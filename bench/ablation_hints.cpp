@@ -1,0 +1,88 @@
+// Ablation study — the design choices DESIGN.md calls out, each swept on
+// the Fig. 9 workload (120 procs, dense fine-grained interleave):
+//   * aggregator count (cb_nodes)
+//   * stripe-aligned vs even file domains
+//   * eager/rendezvous threshold
+//   * data-sieving gap for chunk reads
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace colcom;
+
+namespace {
+
+constexpr int kProcs = 120;
+
+struct Knobs {
+  int cb_nodes = -1;
+  bool stripe_aligned = false;
+  std::uint64_t eager = 8ull << 10;
+  std::uint64_t sieve_gap = 64ull << 10;
+};
+
+double run_once(const Knobs& k) {
+  auto machine = bench::paper_machine();
+  machine.eager_threshold = k.eager;
+  mpi::Runtime rt(machine, kProcs);
+  auto ds = bench::make_climate_dataset(rt.fs(), {256, 240, 512});
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("temperature");
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    io.start = {0, 2 * r, 0};
+    io.count = {256, 2, 512};
+    io.op = mpi::Op::sum();
+    io.hints.cb_buffer_size = 4ull << 20;
+    io.hints.cb_nodes = k.cb_nodes;
+    io.hints.stripe_aligned_fd = k.stripe_aligned;
+    io.hints.sieve_gap = k.sieve_gap;
+    core::CcOutput out;
+    core::collective_compute(comm, ds, io, out);
+  });
+  return rt.elapsed();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "two-phase / CC design knobs",
+                      "aggregator count, domain alignment, eager threshold, "
+                      "sieve gap");
+
+  TablePrinter t;
+  t.set_header({"knob", "setting", "time (s)"});
+
+  std::vector<double> agg_times;
+  for (int n : {1, 2, 5, 10, 20}) {
+    Knobs k;
+    k.cb_nodes = n;
+    const double v = run_once(k);
+    agg_times.push_back(v);
+    t.add_row({"aggregators", std::to_string(n), format_fixed(v, 3)});
+  }
+  for (bool aligned : {false, true}) {
+    Knobs k;
+    k.stripe_aligned = aligned;
+    t.add_row({"file domains", aligned ? "stripe-aligned" : "even",
+               format_fixed(run_once(k), 3)});
+  }
+  for (std::uint64_t e : {1ull << 10, 8ull << 10, 64ull << 10, 1ull << 20}) {
+    Knobs k;
+    k.eager = e;
+    t.add_row({"eager threshold", format_bytes(e), format_fixed(run_once(k), 3)});
+  }
+  for (std::uint64_t g : {0ull, 64ull << 10, 1ull << 20}) {
+    Knobs k;
+    k.sieve_gap = g;
+    t.add_row({"sieve gap", format_bytes(g), format_fixed(run_once(k), 3)});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+  // One aggregator serializes the whole I/O phase; more aggregators must
+  // help up to the OST parallelism limit.
+  bench::shape_check(agg_times.front() > agg_times[2],
+                     "one aggregator is slower than five (I/O parallelism)");
+  return 0;
+}

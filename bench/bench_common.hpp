@@ -1,0 +1,97 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every bench prints (a) the experiment configuration, (b) the series/rows
+// the paper reports, with the paper's reference numbers beside ours, and
+// (c) a pass/fail shape check ("who wins, by roughly what factor").
+//
+// Scale: workloads are scaled-down analogues of the paper's runs (the
+// evaluation machine had 153k cores; this harness runs the full algorithm
+// stack on every rank but sizes datasets to finish in seconds). Set
+// COLCOM_BENCH_SCALE=N (default 1) to multiply workload sizes.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/object_io.hpp"
+#include "core/runtime.hpp"
+#include "mpi/runtime.hpp"
+#include "ncio/dataset.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace colcom::bench {
+
+/// Workload multiplier from the environment (COLCOM_BENCH_SCALE).
+inline int scale_factor() {
+  const char* s = std::getenv("COLCOM_BENCH_SCALE");
+  if (s == nullptr) return 1;
+  const int v = std::atoi(s);
+  return v >= 1 ? v : 1;
+}
+
+/// The paper's testbed, scaled: Hopper-like nodes (24 cores), Lustre with
+/// 40 OSTs at 4 MB stripes (the configuration of the paper's experiments),
+/// Gemini-like mesh.
+inline mpi::MachineConfig paper_machine() {
+  mpi::MachineConfig cfg;
+  cfg.cores_per_node = 24;
+  cfg.pfs.n_osts = 40;
+  cfg.pfs.stripe_size = 4ull << 20;
+  cfg.pfs.ost_bw = 400e6;
+  cfg.pfs.ost_seek = 3e-3;
+  cfg.pfs.storage_net_bw = 16e9;
+  return cfg;
+}
+
+inline void print_header(const char* fig, const char* title,
+                         const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", fig, title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n\n");
+}
+
+/// One-line shape verdict printed at the end of each bench.
+inline void shape_check(bool ok, const std::string& what) {
+  std::printf("[shape %s] %s\n", ok ? "OK " : "MISS", what.c_str());
+}
+
+/// Builds the synthetic climate dataset used by the benchmark section: a
+/// 4-D variable (t, z, y, x) of float32 whose logical size can far exceed
+/// memory (generator-backed).
+inline ncio::Dataset make_climate_dataset(pfs::Pfs& fs,
+                                          std::vector<std::uint64_t> dims) {
+  return ncio::DatasetBuilder(fs, "climate.nc")
+      .add_generated_var<float>(
+          "temperature", std::move(dims),
+          [](std::span<const std::uint64_t> c) {
+            double v = 250.0;
+            for (std::size_t d = 0; d < c.size(); ++d) {
+              v += static_cast<double>((c[d] * (d + 3) * 2654435761ull) %
+                                       977) /
+                   977.0;
+            }
+            return static_cast<float>(v);
+          })
+      .finish();
+}
+
+/// The Figs. 1/2/3 workload: a (720, 288, 1024) f32 climate variable where
+/// rank r of 72 owns y rows [4r, 4r+4) across all 720 time steps — 720
+/// non-contiguous 16 KB runs per rank, finely interleaved so that every
+/// 4 MB aggregation chunk carries pieces for all 72 processes (the paper's
+/// "large amounts of non-contiguous small requests").
+inline std::vector<std::uint64_t> fig1_dims() { return {720, 288, 1024}; }
+
+inline romio::FlatRequest fig1_request(const ncio::Dataset& ds, int rank) {
+  const std::vector<std::uint64_t> start{
+      0, static_cast<std::uint64_t>(4 * rank), 0};
+  const std::vector<std::uint64_t> count{720, 4, 1024};
+  return ds.slab_request(ds.var("temperature"), start, count);
+}
+
+}  // namespace colcom::bench

@@ -1,0 +1,104 @@
+// Fig. 11 — Overhead analysis: collective computing's "local reduction".
+//
+// Paper setup: 128/256/512 processes, total I/O fixed at 40 GB or 80 GB.
+// "Local reduction" sums the additional work CC needs beyond plain
+// collective I/O: logical-map construction, intermediate-result metadata
+// handling, and the partial-result reductions; for MPI it is the plain
+// result reduction. Reported: the overhead decreases with process count
+// (per-process work shrinks), CC-80G > CC-40G (more data, more work), and
+// none of it approaches the I/O cost itself (~76 s in the paper's runs).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace colcom;
+
+namespace {
+
+struct Measured {
+  double local_reduction_s = 0;
+  double io_s = 0;
+};
+
+// `gigabytes` of real bytes move through the runtime; scaled 1/100 vs the
+// paper (0.4 / 0.8 GB) to finish in host seconds — the curve shape depends
+// only on per-process work division.
+Measured run_once(int nprocs, double gigabytes, bool use_cc) {
+  auto machine = bench::paper_machine();
+  mpi::Runtime rt(machine, nprocs);
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(gigabytes * (1ull << 30));
+  // Rows of 1024 f32; each rank reads an equal share of rows, half-row
+  // runs (non-contiguous).
+  const std::uint64_t rows_total = total_bytes / (512 * 4) /
+                                   static_cast<std::uint64_t>(nprocs) *
+                                   static_cast<std::uint64_t>(nprocs);
+  const std::uint64_t rows_per_rank =
+      rows_total / static_cast<std::uint64_t>(nprocs);
+  auto ds = bench::make_climate_dataset(rt.fs(), {rows_total, 1024});
+  std::vector<core::CcStats> stats(static_cast<std::size_t>(nprocs));
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("temperature");
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    io.start = {r * rows_per_rank, 256};
+    io.count = {rows_per_rank, 512};
+    io.op = mpi::Op::sum();
+    io.blocking = !use_cc;
+    io.hints.cb_buffer_size = 4ull << 20;
+    core::CcOutput out;
+    stats[static_cast<std::size_t>(comm.rank())] =
+        core::collective_compute(comm, ds, io, out);
+  });
+  Measured m;
+  for (const auto& st : stats) {
+    // CC: construction + partial handling + final reduce; MPI: the
+    // reduction phase (local fold + MPI_Reduce).
+    m.local_reduction_s = std::max(
+        m.local_reduction_s,
+        use_cc ? st.construct_s + st.reduce_s : st.map_s + st.reduce_s);
+    m.io_s = std::max(m.io_s, st.io_s);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 11", "local-reduction overhead vs process count (40 GB / 80 GB)",
+      "overhead decreases with procs; CC-80G > CC-40G; all far below "
+      "the I/O cost");
+
+  const std::vector<int> procs{128, 256, 512};
+  TablePrinter t;
+  t.set_header({"procs", "MPI-40G (ms)", "CC-40G (ms)", "CC-80G (ms)",
+                "I/O time (s)"});
+  std::vector<double> mpi40, cc40, cc80;
+  double io_cost = 0;
+  for (int n : procs) {
+    const auto m_mpi = run_once(n, 0.4, false);
+    const auto m_cc40 = run_once(n, 0.4, true);
+    const auto m_cc80 = run_once(n, 0.8, true);
+    mpi40.push_back(m_mpi.local_reduction_s * 1e3);
+    cc40.push_back(m_cc40.local_reduction_s * 1e3);
+    cc80.push_back(m_cc80.local_reduction_s * 1e3);
+    io_cost = std::max(io_cost, m_cc80.io_s);
+    t.add_row({std::to_string(n), format_fixed(mpi40.back(), 2),
+               format_fixed(cc40.back(), 2), format_fixed(cc80.back(), 2),
+               format_fixed(m_cc80.io_s, 2)});
+  }
+  t.print(std::cout);
+
+  std::printf("\n(paper: overhead of 2-8 s against an I/O cost of ~76 s at "
+              "100x our data volume)\n\n");
+  bench::shape_check(cc80[0] > cc40[0],
+                     "CC-80G overhead exceeds CC-40G at equal process count");
+  bench::shape_check(cc40.front() > cc40.back(),
+                     "overhead shrinks as processes increase (work divides)");
+  bench::shape_check(cc80.back() < io_cost * 1e3 * 0.5,
+                     "local reduction never approaches the I/O cost");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 12 — Metadata overhead vs MPI collective buffer size.
+//
+// Paper setup: the intermediate partial results carry metadata (process
+// information + logical coordinates). A small collective buffer splits
+// logical subsets across iterations, duplicating metadata records; a larger
+// buffer amortizes them, with diminishing returns past ~8-12 MB (analogous
+// to file-system block-size effects). Reported curve: ~40 MB of metadata at
+// 1 MB buffers dropping to ~5 MB around 8-12 MB, flat afterwards.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace colcom;
+
+namespace {
+
+std::uint64_t run_once(std::uint64_t cb_bytes) {
+  const int nprocs = 48;
+  auto machine = bench::paper_machine();
+  mpi::Runtime rt(machine, nprocs);
+  // High-dimensional non-contiguous subsets: many small logical runs, the
+  // pattern the paper calls out as metadata-heavy.
+  auto ds = bench::make_climate_dataset(rt.fs(), {192, 64, 256, 256});
+  std::vector<core::CcStats> stats(static_cast<std::size_t>(nprocs));
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("temperature");
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    io.start = {4 * r, 8, 64, 96};
+    io.count = {4, 24, 96, 64};  // 4-D block: 96 runs of 64 elems per slab
+    io.op = mpi::Op::sum();
+    io.hints.cb_buffer_size = cb_bytes;
+    core::CcOutput out;
+    stats[static_cast<std::size_t>(comm.rank())] =
+        core::collective_compute(comm, ds, io, out);
+  });
+  std::uint64_t metadata = 0;
+  for (const auto& st : stats) metadata += st.metadata_bytes;
+  return metadata;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 12", "intermediate-result metadata vs collective buffer size",
+      "metadata shrinks as the buffer grows; optimum around 8-12 MB; the "
+      "largest buffer gains nothing more");
+
+  const std::vector<std::uint64_t> buffers_mb{1, 4, 8, 12, 24};
+  TablePrinter t;
+  t.set_header({"cb buffer (MB)", "metadata", "partial records/MB of data"});
+  std::vector<std::string> labels;
+  std::vector<double> meta_mb;
+  for (auto mb : buffers_mb) {
+    const auto bytes = run_once(mb << 20);
+    labels.push_back(std::to_string(mb));
+    meta_mb.push_back(static_cast<double>(bytes) / (1 << 20));
+    t.add_row({std::to_string(mb), format_bytes(bytes), ""});
+  }
+  t.print(std::cout);
+  std::printf("\nmetadata size vs buffer (MB):\n");
+  print_bar_chart(std::cout, labels, meta_mb, 40, 3);
+
+  std::printf("\n(paper: ~40 MB at 1 MB buffers -> ~5 MB at 8-12 MB, flat "
+              "beyond)\n\n");
+  bench::shape_check(meta_mb[0] > meta_mb[2],
+                     "1 MB buffer carries more metadata than 8 MB");
+  bench::shape_check(meta_mb[2] <= meta_mb[0] &&
+                         meta_mb[4] >= meta_mb[2] * 0.5,
+                     "beyond ~8 MB the curve flattens (largest buffer does "
+                     "not keep shrinking it)");
+  bench::shape_check(std::is_sorted(meta_mb.rbegin(), meta_mb.rend() - 2) ||
+                         meta_mb[0] >= meta_mb[1],
+                     "metadata is non-increasing across the sweep's head");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-kernels (google-benchmark): host-side costs of the hot runtime
+// paths — datatype flattening, pack/unpack, logical-map construction,
+// accumulator folding, extent intersection. These complement the virtual-
+// time figure benches: they show the reproduction's own constant factors.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/logical.hpp"
+#include "core/reduce.hpp"
+#include "mpi/datatype.hpp"
+#include "romio/request.hpp"
+
+using namespace colcom;
+
+namespace {
+
+void BM_SubarrayFlatten4D(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const std::vector<std::uint64_t> sizes{n, 16, 64, 64};
+  const std::vector<std::uint64_t> sub{n / 2, 8, 32, 32};
+  const std::vector<std::uint64_t> start{1, 2, 3, 4};
+  for (auto _ : state) {
+    auto t = mpi::Datatype::subarray(sizes, sub, start, mpi::Datatype::f32());
+    benchmark::DoNotOptimize(t.flatten());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n / 2 * 8 * 32));
+}
+BENCHMARK(BM_SubarrayFlatten4D)->Arg(8)->Arg(32);
+
+void BM_PackSubarray(benchmark::State& state) {
+  const std::vector<std::uint64_t> sizes{64, 256};
+  const std::vector<std::uint64_t> sub{48, 128};
+  const std::vector<std::uint64_t> start{8, 64};
+  auto t = mpi::Datatype::subarray(sizes, sub, start, mpi::Datatype::f32());
+  std::vector<float> field(64 * 256);
+  std::iota(field.begin(), field.end(), 0.f);
+  std::vector<float> packed(48 * 128);
+  for (auto _ : state) {
+    t.pack(std::as_bytes(std::span<const float>(field)),
+           std::as_writable_bytes(std::span<float>(packed)));
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_PackSubarray);
+
+void BM_LogicalConstruct(benchmark::State& state) {
+  ncio::VarInfo var;
+  var.name = "v";
+  var.prim = mpi::Prim::f32;
+  var.dims = {256, 128, 512};
+  var.file_offset = 4096;
+  core::LogicalMap lmap(var);
+  std::vector<core::CoordRun> runs;
+  const std::uint64_t span_elems =
+      static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    runs.clear();
+    lmap.construct(4096 + 123 * 512 * 4, span_elems * 4, runs);
+    benchmark::DoNotOptimize(runs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(span_elems));
+}
+BENCHMARK(BM_LogicalConstruct)->Arg(512)->Arg(65536);
+
+void BM_AccumulatorBuiltinSum(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)));
+  std::iota(v.begin(), v.end(), 0.0);
+  const auto op = mpi::Op::sum();
+  for (auto _ : state) {
+    core::Accumulator acc(op, mpi::Prim::f64);
+    acc.combine(v.data(), v.size());
+    benchmark::DoNotOptimize(acc.as<double>());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(v.size() * 8));
+}
+BENCHMARK(BM_AccumulatorBuiltinSum)->Arg(1 << 10)->Arg(1 << 18);
+
+void BM_AccumulatorUserOpFold(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)));
+  std::iota(v.begin(), v.end(), 0.0);
+  const auto op = mpi::Op::create(
+      [](const void* in, void* inout, std::size_t n, mpi::Prim) {
+        const double* a = static_cast<const double*>(in);
+        double* b = static_cast<double*>(inout);
+        for (std::size_t i = 0; i < n; ++i) b[i] += a[i];
+      });
+  for (auto _ : state) {
+    core::Accumulator acc(op, mpi::Prim::f64);
+    acc.combine(v.data(), v.size());
+    benchmark::DoNotOptimize(acc.as<double>());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(v.size() * 8));
+}
+BENCHMARK(BM_AccumulatorUserOpFold)->Arg(1 << 10)->Arg(1 << 18);
+
+void BM_FlatRequestIntersect(benchmark::State& state) {
+  std::vector<pfs::ByteExtent> ext;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    ext.push_back({i * 8192, 2048});
+  }
+  romio::FlatRequest req(std::move(ext));
+  std::uint64_t lo = 0;
+  for (auto _ : state) {
+    auto pieces = req.intersect(lo, lo + (4ull << 20));
+    benchmark::DoNotOptimize(pieces.data());
+    lo = (lo + (1ull << 20)) % (4096ull * 8192);
+  }
+}
+BENCHMARK(BM_FlatRequestIntersect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Climate analysis example: the paper's benchmark scenario at example scale.
+//
+// A 4-D climate variable (time, level, lat, lon) is analyzed with sum, max
+// and average operations, comparing the traditional MPI workflow
+// (collective read, then compute, then MPI_Reduce) against collective
+// computing, for both reduce modes.
+//
+//   $ ./climate_analysis
+#include <cstdio>
+#include <vector>
+
+#include "core/object_io.hpp"
+#include "core/runtime.hpp"
+#include "mpi/runtime.hpp"
+#include "ncio/dataset.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace colcom;
+
+namespace {
+
+constexpr std::uint64_t kTime = 16, kLev = 8, kLat = 64, kLon = 128;
+
+ncio::Dataset make_dataset(pfs::Pfs& fs) {
+  return ncio::DatasetBuilder(fs, "climate4d.nc")
+      .add_generated_var<float>(
+          "temperature", {kTime, kLev, kLat, kLon},
+          [](std::span<const std::uint64_t> c) {
+            // A plausible temperature field: latitude gradient + diurnal
+            // cycle + altitude lapse.
+            const double lat = static_cast<double>(c[2]) / kLat * 180.0 - 90.0;
+            const double diurnal =
+                4.0 * std::sin(static_cast<double>(c[0]) / kTime * 6.283 +
+                               static_cast<double>(c[3]) / kLon * 6.283);
+            const double lapse = -6.5 * static_cast<double>(c[1]);
+            return static_cast<float>(288.0 - 0.4 * std::abs(lat) + diurnal +
+                                      lapse);
+          })
+      .finish();
+}
+
+struct RunResult {
+  double elapsed = 0;
+  double value = 0;
+  std::uint64_t shuffle_bytes = 0;
+};
+
+RunResult run(int nprocs, mpi::Op op, bool use_cc, core::ReduceMode mode) {
+  mpi::MachineConfig machine;
+  machine.cores_per_node = 8;
+  mpi::Runtime rt(machine, nprocs);
+  auto ds = make_dataset(rt.fs());
+  RunResult res;
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("temperature");
+    // Each rank analyzes a band of latitudes across all times/levels/lons —
+    // a heavily non-contiguous file pattern.
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    const std::uint64_t band = kLat / static_cast<std::uint64_t>(nprocs);
+    io.start = {0, 0, r * band, 0};
+    io.count = {kTime, kLev, band, kLon};
+    io.op = op;
+    io.blocking = !use_cc;
+    io.reduce_mode = mode;
+    io.compute.seconds_per_byte = 1.0 / 2.5e9;  // analysis scans at 2.5 GB/s
+    io.hints.cb_buffer_size = 256 << 10;
+    core::CcOutput out;
+    const auto st = core::collective_compute(comm, ds, io, out);
+    if (comm.rank() == 0) {
+      res.value = static_cast<double>(out.global_as<float>());
+      res.shuffle_bytes = st.shuffle_bytes;
+    }
+  });
+  res.elapsed = rt.elapsed();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const int nprocs = 16;
+  const std::uint64_t total_bytes = kTime * kLev * kLat * kLon * 4;
+  std::printf("Climate analysis: %d ranks, variable of %s\n\n", nprocs,
+              format_bytes(total_bytes).c_str());
+
+  TablePrinter table;
+  table.set_header({"operation", "mode", "result", "time", "speedup vs MPI"});
+  struct OpCase {
+    const char* name;
+    mpi::Op op;
+  };
+  std::vector<OpCase> ops;
+  ops.push_back({"sum", mpi::Op::sum()});
+  ops.push_back({"max", mpi::Op::max()});
+  // "average" = user-op sum; divide by the element count afterwards,
+  // the standard map-reduce formulation of a mean.
+  ops.push_back({"avg(sum)", mpi::Op::create([](const void* in, void* inout,
+                                                std::size_t n, mpi::Prim) {
+    const float* a = static_cast<const float*>(in);
+    float* b = static_cast<float*>(inout);
+    for (std::size_t i = 0; i < n; ++i) b[i] += a[i];
+  })});
+
+  for (auto& oc : ops) {
+    const auto trad =
+        run(nprocs, oc.op, /*use_cc=*/false, core::ReduceMode::all_to_one);
+    for (auto mode :
+         {core::ReduceMode::all_to_one, core::ReduceMode::all_to_all}) {
+      const auto cc = run(nprocs, oc.op, /*use_cc=*/true, mode);
+      double shown = cc.value;
+      if (std::string(oc.name) == "avg(sum)") {
+        shown /= static_cast<double>(kTime * kLev * kLat * kLon);
+      }
+      table.add_row({oc.name,
+                     mode == core::ReduceMode::all_to_one ? "CC all-to-one"
+                                                          : "CC all-to-all",
+                     format_fixed(shown, 3), format_seconds(cc.elapsed),
+                     format_fixed(trad.elapsed / cc.elapsed, 2) + "x"});
+    }
+    double shown = trad.value;
+    if (std::string(oc.name) == "avg(sum)") {
+      shown /= static_cast<double>(kTime * kLev * kLat * kLon);
+    }
+    table.add_row({oc.name, "traditional MPI", format_fixed(shown, 3),
+                   format_seconds(trad.elapsed), "1.00x"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nAll modes compute identical results; collective computing wins by\n"
+      "overlapping the analysis with the I/O phase and shuffling only\n"
+      "partial results.\n");
+  return 0;
+}

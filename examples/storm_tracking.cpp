@@ -1,0 +1,75 @@
+// Storm tracking with iterative collective computing.
+//
+// A forecaster monitors hurricane intensification: the minimum sea-level
+// pressure over each 6-step output window, repeated across the simulation.
+// IterativeComputer builds the two-phase plan once and shifts it per window
+// (the paper's Sec. VI "iterative operations" extension), so each step costs
+// only the aggregation-map-reduce pipeline.
+//
+//   $ ./storm_tracking
+#include <cstdio>
+#include <iostream>
+
+#include "core/iterative.hpp"
+#include "mpi/runtime.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "wrf/analysis.hpp"
+#include "wrf/hurricane.hpp"
+
+using namespace colcom;
+
+int main() {
+  wrf::HurricaneConfig storm;
+  storm.nt = 48;
+  storm.ny = 256;
+  storm.nx = 256;
+  storm.depth_hpa = 70.0;
+  const int nprocs = 16;
+  constexpr std::uint64_t kWindow = 6;
+
+  mpi::MachineConfig machine;
+  machine.cores_per_node = 8;
+  mpi::Runtime rt(machine, nprocs);
+  auto ds = wrf::make_hurricane_dataset(rt.fs(), "wrfout.nc", storm);
+
+  std::vector<float> window_min(storm.nt / kWindow, 0);
+  double plan_cost = 0;
+  rt.run([&](mpi::Comm& comm) {
+    // Each rank owns a y band over one window; the window slides over time.
+    core::ObjectIO io;
+    io.var = ds.var("SLP");
+    const auto rows = storm.ny / static_cast<std::uint64_t>(nprocs);
+    io.start = {0, static_cast<std::uint64_t>(comm.rank()) * rows, 0};
+    io.count = {kWindow, rows, storm.nx};
+    io.op = mpi::Op::min();
+    io.hints.cb_buffer_size = 1 << 20;
+    core::IterativeComputer tracker(comm, ds, io);
+    for (std::uint64_t w = 0; w < storm.nt / kWindow; ++w) {
+      core::CcOutput out;
+      tracker.step(w * kWindow, out);
+      if (comm.rank() == 0) window_min[w] = out.global_as<float>();
+    }
+    if (comm.rank() == 0) plan_cost = tracker.plan_cost_s();
+  });
+
+  std::printf("Hurricane intensification (min SLP per %llu-step window):\n\n",
+              static_cast<unsigned long long>(kWindow));
+  TablePrinter t;
+  t.set_header({"window", "steps", "min SLP (hPa)", "trend"});
+  for (std::size_t w = 0; w < window_min.size(); ++w) {
+    const char* trend =
+        w == 0 ? ""
+               : (window_min[w] < window_min[w - 1] ? "deepening"
+                                                    : "weakening/steady");
+    t.add_row({std::to_string(w),
+               std::to_string(w * kWindow) + ".." +
+                   std::to_string((w + 1) * kWindow - 1),
+               format_fixed(window_min[w], 2), trend});
+  }
+  t.print(std::cout);
+  std::printf("\nplan built once (%s), reused for %zu windows\n",
+              format_seconds(plan_cost).c_str(), window_min.size());
+  std::printf("total virtual time: %s\n", format_seconds(rt.elapsed()).c_str());
+  return 0;
+}

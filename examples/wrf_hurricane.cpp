@@ -1,0 +1,87 @@
+// WRF hurricane example: the paper's application study (Sec. IV-C).
+//
+// Generates a synthetic hurricane simulation output (Holland vortex moving
+// across the domain) and runs the paper's two analysis tasks — minimum
+// sea-level pressure and maximum 10 m wind speed — through collective
+// computing and through the traditional MPI workflow.
+//
+//   $ ./wrf_hurricane
+#include <cstdio>
+#include <iostream>
+
+#include "mpi/runtime.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "wrf/analysis.hpp"
+#include "wrf/hurricane.hpp"
+
+using namespace colcom;
+
+namespace {
+
+struct TaskRun {
+  float value = 0;
+  double elapsed = 0;
+};
+
+TaskRun run_task(const wrf::HurricaneConfig& storm, int nprocs, bool use_cc,
+                 bool min_pressure) {
+  mpi::MachineConfig machine;  // Hopper-like defaults
+  mpi::Runtime rt(machine, nprocs);
+  auto ds = wrf::make_hurricane_dataset(rt.fs(), "wrfout.nc", storm);
+  TaskRun res;
+  rt.run([&](mpi::Comm& comm) {
+    wrf::TaskOptions opt;
+    opt.use_cc = use_cc;
+    opt.hints.cb_buffer_size = 1 << 20;
+    const auto r = min_pressure ? wrf::min_slp(comm, ds, opt)
+                                : wrf::max_wind(comm, ds, opt);
+    if (comm.rank() == 0) res.value = r.value;
+  });
+  res.elapsed = rt.elapsed();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  wrf::HurricaneConfig storm;
+  storm.nt = 24;
+  storm.ny = 384;
+  storm.nx = 384;
+  const int nprocs = 24;
+
+  std::printf("WRF hurricane analysis: %llu x %llu domain, %llu output steps,"
+              " %d ranks\n",
+              static_cast<unsigned long long>(storm.ny),
+              static_cast<unsigned long long>(storm.nx),
+              static_cast<unsigned long long>(storm.nt), nprocs);
+  std::printf("dataset: 4 variables (SLP, U10, V10, W10), %s each\n\n",
+              format_bytes(storm.nt * storm.ny * storm.nx * 4).c_str());
+
+  TablePrinter table;
+  table.set_header({"task", "path", "result", "time", "speedup"});
+  struct Task {
+    const char* name;
+    bool min_pressure;
+    const char* unit;
+  };
+  for (const Task task : {Task{"Min Sea-Level Pressure", true, "hPa"},
+                          Task{"Max 10m wind speed", false, "knots"}}) {
+    const auto mpi_run = run_task(storm, nprocs, /*use_cc=*/false,
+                                  task.min_pressure);
+    const auto cc_run = run_task(storm, nprocs, /*use_cc=*/true,
+                                 task.min_pressure);
+    table.add_row({task.name, "traditional MPI",
+                   format_fixed(mpi_run.value, 2) + " " + task.unit,
+                   format_seconds(mpi_run.elapsed), "1.00x"});
+    table.add_row({task.name, "collective computing",
+                   format_fixed(cc_run.value, 2) + " " + task.unit,
+                   format_seconds(cc_run.elapsed),
+                   format_fixed(mpi_run.elapsed / cc_run.elapsed, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::printf("\nThe paper reports ~1.45x for the WRF min-SLP task "
+              "(Fig. 13).\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Runs every bench binary in order, as the reproduction workflow expects.
+set -e
+cd "$(dirname "$0")/.."
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo
+    echo ">>> $b"
+    "$b"
+  fi
+done

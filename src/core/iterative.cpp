@@ -1,0 +1,42 @@
+#include "core/iterative.hpp"
+
+#include "mpi/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::core {
+
+IterativeComputer::IterativeComputer(mpi::Comm& comm,
+                                     const ncio::Dataset& ds, ObjectIO base)
+    : comm_(&comm), ds_(&ds), base_(std::move(base)) {
+  COLCOM_EXPECT(base_.op.valid());
+  COLCOM_EXPECT_MSG(!base_.blocking && base_.collective,
+                    "iterative mode is a collective-computing feature");
+  const auto& var = ds.info(base_.var);
+  COLCOM_EXPECT(var.dims.size() >= 2);
+  std::uint64_t slice_elems = 1;
+  for (std::size_t d = 1; d < var.dims.size(); ++d) slice_elems *= var.dims[d];
+  slice_bytes_ = slice_elems * mpi::prim_size(var.prim);
+
+  const double t0 = comm.wtime();
+  const auto req = ds.slab_request(base_.var, base_.start, base_.count);
+  plan0_ = romio::build_plan(comm, req,
+                             detail::cc_hints(base_, mpi::prim_size(var.prim)));
+  plan_cost_s_ = comm.wtime() - t0;
+}
+
+CcStats IterativeComputer::step(std::uint64_t t, CcOutput& out) {
+  const auto& var = ds_->info(base_.var);
+  COLCOM_EXPECT_MSG(t + base_.count[0] <= var.dims[0],
+                    "shifted window exceeds the variable");
+  ObjectIO obj = base_;
+  obj.start[0] = t;
+  const std::int64_t delta =
+      (static_cast<std::int64_t>(t) -
+       static_cast<std::int64_t>(base_.start[0])) *
+      static_cast<std::int64_t>(slice_bytes_);
+  const romio::TwoPhasePlan plan = plan0_.shifted(delta);
+  ++steps_;
+  return collective_compute_with_plan(*comm_, *ds_, obj, plan, out);
+}
+
+}  // namespace colcom::core

@@ -1,0 +1,47 @@
+// Iterative collective computing — the paper's first listed future-work
+// item ("we would like to support the iterative operations").
+//
+// Scientific analyses typically repeat the same reduction over successive
+// windows along the record (time) dimension. The expensive part of every
+// collective call is the plan: the offset-list exchange and file-domain
+// agreement. When the access pattern is translation-invariant along dim 0
+// (same shape every step, only start[0] moves), the plan for step t is the
+// step-0 plan with every byte offset shifted by a constant — so it can be
+// built once and reused, removing the per-step planning collectives
+// entirely.
+#pragma once
+
+#include "core/object_io.hpp"
+#include "core/runtime.hpp"
+#include "romio/plan.hpp"
+
+namespace colcom::core {
+
+class IterativeComputer {
+ public:
+  /// Builds the plan for `base` (all ranks must construct collectively with
+  /// identical `base.count` shape). `base.start[0]` defines the reference
+  /// window.
+  IterativeComputer(mpi::Comm& comm, const ncio::Dataset& ds, ObjectIO base);
+
+  /// Runs the analysis with the window moved to start[0] = t, reusing the
+  /// cached plan (collective; all ranks must pass the same t). The shifted
+  /// window must stay inside the variable.
+  CcStats step(std::uint64_t t, CcOutput& out);
+
+  /// The plan-building time paid once at construction (virtual seconds) —
+  /// what every subsequent step saves.
+  double plan_cost_s() const { return plan_cost_s_; }
+  int steps_run() const { return steps_; }
+
+ private:
+  mpi::Comm* comm_;
+  const ncio::Dataset* ds_;
+  ObjectIO base_;
+  romio::TwoPhasePlan plan0_;
+  std::uint64_t slice_bytes_;  ///< bytes per unit of dim 0
+  double plan_cost_s_ = 0;
+  int steps_ = 0;
+};
+
+}  // namespace colcom::core

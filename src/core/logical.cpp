@@ -1,0 +1,73 @@
+#include "core/logical.hpp"
+
+#include "util/assert.hpp"
+
+namespace colcom::core {
+
+LogicalMap::LogicalMap(const ncio::VarInfo& var)
+    : var_offset_(var.file_offset),
+      esize_(mpi::prim_size(var.prim)),
+      ndims_(var.dims.size()),
+      total_elements_(var.element_count()) {
+  COLCOM_EXPECT(ndims_ >= 1 && ndims_ <= kMaxDims);
+  for (std::size_t d = 0; d < ndims_; ++d) dims_[d] = var.dims[d];
+}
+
+std::uint64_t LogicalMap::element_of(std::uint64_t file_off) const {
+  COLCOM_EXPECT_MSG(file_off >= var_offset_, "offset before variable data");
+  const std::uint64_t rel = file_off - var_offset_;
+  COLCOM_EXPECT_MSG(rel % esize_ == 0, "offset splits an element");
+  const std::uint64_t elem = rel / esize_;
+  COLCOM_EXPECT_MSG(elem < total_elements_, "offset past variable end");
+  return elem;
+}
+
+std::array<std::uint64_t, kMaxDims> LogicalMap::coords_of(
+    std::uint64_t element) const {
+  COLCOM_EXPECT(element < total_elements_);
+  std::array<std::uint64_t, kMaxDims> c{};
+  std::uint64_t rem = element;
+  for (std::size_t d = ndims_; d-- > 0;) {
+    c[d] = rem % dims_[d];
+    rem /= dims_[d];
+  }
+  return c;
+}
+
+std::size_t LogicalMap::construct(std::uint64_t file_off, std::uint64_t len,
+                                  std::vector<CoordRun>& out) const {
+  COLCOM_EXPECT_MSG(len % esize_ == 0, "range splits an element");
+  std::uint64_t elem = element_of(file_off);
+  std::uint64_t remaining = len / esize_;
+  COLCOM_EXPECT(elem + remaining <= total_elements_);
+  const std::uint64_t fast = dims_[ndims_ - 1];
+  std::size_t appended = 0;
+  auto coords = coords_of(elem);
+  while (remaining > 0) {
+    const std::uint64_t row_left = fast - coords[ndims_ - 1];
+    const std::uint64_t n = std::min(remaining, row_left);
+    out.push_back(CoordRun{coords, n});
+    ++appended;
+    remaining -= n;
+    elem += n;
+    if (remaining > 0) {
+      // Advance to the start of the next row (odometer carry).
+      coords[ndims_ - 1] = 0;
+      for (std::size_t d = ndims_ - 1; d-- > 0;) {
+        if (++coords[d] < dims_[d]) break;
+        coords[d] = 0;
+      }
+    }
+  }
+  return appended;
+}
+
+std::uint64_t LogicalMap::metadata_bytes(const LogicalSubset& subset,
+                                         std::size_t ndims) {
+  // Record layout: origin rank (4) + element count (8) + run count (8) +
+  // per run: ndims coordinates (8 each) + length (8).
+  return 4 + 8 + 8 +
+         subset.runs.size() * (static_cast<std::uint64_t>(ndims) * 8 + 8);
+}
+
+}  // namespace colcom::core

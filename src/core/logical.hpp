@@ -1,0 +1,73 @@
+// The "logical map" (paper Sec. III-B, Fig. 8): reconstructing logical
+// dataset coordinates from the raw byte sequences the two-phase layer works
+// on.
+//
+// A collective I/O chunk is "just a sequence of bytes, with no
+// self-describing metadata"; to run analysis on it, each byte range is
+// mapped back to (start, length) coordinate runs of the variable — the
+// construction step between phase 1 and the map.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ncio/dataset.hpp"
+
+namespace colcom::core {
+
+/// Maximum dataset rank supported (matches ncio).
+constexpr std::size_t kMaxDims = 8;
+
+/// A contiguous run of `len` elements along the fastest dimension, starting
+/// at logical coordinates `start`.
+struct CoordRun {
+  std::array<std::uint64_t, kMaxDims> start{};
+  std::uint64_t len = 0;
+};
+
+/// A logical subset: one origin rank's elements within a chunk, as
+/// coordinate runs — "sequence_k = {(start_0, length_0, start_1, length_1),
+/// ...}" in the paper's construction example.
+struct LogicalSubset {
+  int origin_rank = -1;
+  std::uint64_t elements = 0;
+  std::vector<CoordRun> runs;
+};
+
+/// Reconstructs coordinates from byte offsets for one variable.
+class LogicalMap {
+ public:
+  LogicalMap(const ncio::VarInfo& var);
+
+  std::size_t ndims() const { return ndims_; }
+  std::uint64_t element_size() const { return esize_; }
+
+  /// Converts a file byte range [file_off, file_off + len) — which must be
+  /// element-aligned and inside the variable — into coordinate runs,
+  /// appending to `out`. Returns the number of runs appended.
+  std::size_t construct(std::uint64_t file_off, std::uint64_t len,
+                        std::vector<CoordRun>& out) const;
+
+  /// Element index of a file offset (must be element-aligned, in range).
+  std::uint64_t element_of(std::uint64_t file_off) const;
+
+  /// Coordinates of a flat element index.
+  std::array<std::uint64_t, kMaxDims> coords_of(std::uint64_t element) const;
+
+  /// Serialized metadata footprint of a subset: origin/process info, element
+  /// count, and the coordinate runs (the paper's Fig. 12 measures exactly
+  /// this storage overhead).
+  static std::uint64_t metadata_bytes(const LogicalSubset& subset,
+                                      std::size_t ndims);
+
+ private:
+  std::uint64_t var_offset_;
+  std::uint64_t esize_;
+  std::size_t ndims_;
+  std::array<std::uint64_t, kMaxDims> dims_{};
+  std::uint64_t total_elements_;
+};
+
+}  // namespace colcom::core

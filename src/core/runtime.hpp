@@ -1,0 +1,86 @@
+// The collective computing runtime (paper Sec. III, Figs. 4/7) and the
+// traditional MPI read-then-compute baseline it is evaluated against.
+//
+// collective_compute() splits the two-phase collective I/O: after each
+// aggregation chunk is read, the logical map reconstructs coordinates, the
+// user's map op runs *in place* on the aggregated bytes, and the shuffle
+// phase carries only small partial results, finished by a lightweight
+// reduce. traditional_compute() performs the same analysis the conventional
+// way: full collective (or independent) read, then compute, then MPI_Reduce.
+// Both produce identical numeric results; only the schedule differs.
+#pragma once
+
+#include <cstring>
+
+#include "core/object_io.hpp"
+#include "core/reduce.hpp"
+#include "mpi/comm.hpp"
+#include "ncio/dataset.hpp"
+
+namespace colcom::core {
+
+/// Reduction results of an analysis run.
+struct CcOutput {
+  mpi::Prim prim = mpi::Prim::f64;
+
+  /// Global reduction over every rank's subset. Valid at the root, and on
+  /// all ranks when ObjectIO::broadcast_result.
+  bool has_global = false;
+  alignas(8) unsigned char global[8] = {};
+
+  /// This rank's own-subset reduction. all_to_all: valid on every rank with
+  /// a non-empty subset. all_to_one: valid on the root (for its own subset).
+  bool has_mine = false;
+  alignas(8) unsigned char mine[8] = {};
+
+  /// all_to_one mode, root only: the reduction of each rank's subset,
+  /// reconstructed from the shuffled partials ("each process' partial
+  /// results are constructed on that node").
+  std::vector<Accumulator> per_rank;
+
+  template <typename T>
+  T global_as() const {
+    COLCOM_EXPECT(has_global);
+    T v;
+    std::memcpy(&v, global, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  T mine_as() const {
+    COLCOM_EXPECT(has_mine);
+    T v;
+    std::memcpy(&v, mine, sizeof(T));
+    return v;
+  }
+};
+
+/// Runs the object I/O through the collective computing runtime. All ranks
+/// must call collectively. Honors obj.blocking / obj.collective by routing
+/// to the traditional path (paper: io.block=true degenerates to plain
+/// MPI-IO code).
+CcStats collective_compute(mpi::Comm& comm, const ncio::Dataset& ds,
+                           const ObjectIO& obj, CcOutput& out);
+
+/// The baseline: read everything (two-phase collective or independent per
+/// obj.collective), then compute, then reduce.
+CcStats traditional_compute(mpi::Comm& comm, const ncio::Dataset& ds,
+                            const ObjectIO& obj, CcOutput& out);
+
+/// Runs collective computing over a caller-provided two-phase plan (built
+/// with detail::cc_hints for an object of the same shape) — the fast path
+/// of IterativeComputer, which shifts one cached plan across time windows.
+CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
+                                     const ObjectIO& obj,
+                                     const romio::TwoPhasePlan& plan,
+                                     CcOutput& out);
+
+namespace detail {
+/// The element-aligned hints the CC runtime derives from an object.
+romio::Hints cc_hints(const ObjectIO& obj, std::uint64_t esize);
+}  // namespace detail
+
+/// Serial ground truth: evaluates the reduction over a hyperslab directly
+/// against the dataset's store, bypassing the runtime (tests/benches).
+Accumulator serial_reduce(const ncio::Dataset& ds, const ObjectIO& obj);
+
+}  // namespace colcom::core

@@ -1,0 +1,129 @@
+// Completion: a one-shot future in virtual time.
+//
+// Producers either know the completion time up front (FIFO resources) and use
+// Completion::at(), or fire manually through a CompletionSource. Actors wait
+// with Completion::wait(); multiple waiters are allowed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/time.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::des {
+
+class CompletionSource;
+
+class Completion {
+ public:
+  /// Default-constructed completions are invalid; wait() on them is an error.
+  Completion() = default;
+
+  /// A completion that fires at absolute virtual time `t`.
+  static Completion at(Engine& engine, SimTime t) {
+    Completion c;
+    c.state_ = std::make_shared<State>();
+    c.state_->engine = &engine;
+    engine.schedule(t, [st = c.state_] { fire(*st); });
+    return c;
+  }
+
+  /// A completion that is already done (zero-cost operations).
+  static Completion ready(Engine& engine) {
+    Completion c;
+    c.state_ = std::make_shared<State>();
+    c.state_->engine = &engine;
+    c.state_->done = true;
+    c.state_->ready_at = engine.now();
+    return c;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return valid() && state_->done; }
+
+  /// Time the completion fired (valid once done()).
+  SimTime ready_at() const {
+    COLCOM_EXPECT(done());
+    return state_->ready_at;
+  }
+
+  /// Blocks the calling actor until done. No-op if already done.
+  void wait() const {
+    COLCOM_EXPECT_MSG(valid(), "wait() on an invalid Completion");
+    Engine& e = *state_->engine;
+    while (!state_->done) {
+      state_->waiters.push_back(e.current_actor());
+      e.block();
+    }
+  }
+
+  /// Runs `fn` when the completion fires (immediately if already done).
+  /// Callbacks run in the engine's event context — they must not block.
+  void on_done(std::function<void()> fn) const {
+    COLCOM_EXPECT_MSG(valid(), "on_done() on an invalid Completion");
+    if (state_->done) {
+      state_->engine->schedule(state_->engine->now(), std::move(fn));
+    } else {
+      state_->callbacks.push_back(std::move(fn));
+    }
+  }
+
+ private:
+  friend class CompletionSource;
+
+  struct State {
+    Engine* engine = nullptr;
+    bool done = false;
+    SimTime ready_at = 0;
+    std::vector<int> waiters;
+    std::vector<std::function<void()>> callbacks;
+  };
+
+  static void fire(State& st) {
+    st.done = true;
+    st.ready_at = st.engine->now();
+    std::vector<int> waiters;
+    waiters.swap(st.waiters);
+    for (int id : waiters) st.engine->wake(id);
+    std::vector<std::function<void()>> callbacks;
+    callbacks.swap(st.callbacks);
+    for (auto& fn : callbacks) fn();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+/// Manually-fired completion (e.g. "message matched and delivered").
+class CompletionSource {
+ public:
+  explicit CompletionSource(Engine& engine)
+      : state_(std::make_shared<Completion::State>()) {
+    state_->engine = &engine;
+  }
+
+  Completion completion() const {
+    Completion c;
+    c.state_ = state_;
+    return c;
+  }
+
+  /// Fires at the current virtual time. Firing twice is a contract error.
+  void fire() {
+    COLCOM_EXPECT_MSG(!state_->done, "CompletionSource fired twice");
+    Completion::fire(*state_);
+  }
+
+  bool fired() const { return state_->done; }
+
+ private:
+  std::shared_ptr<Completion::State> state_;
+};
+
+/// Waits for every completion in the span (order-insensitive).
+inline void wait_all(const std::vector<Completion>& cs) {
+  for (const auto& c : cs) c.wait();
+}
+
+}  // namespace colcom::des

@@ -1,0 +1,132 @@
+#include "des/engine.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace colcom::des {
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+ActorHandle Engine::spawn(std::string name, int node,
+                          std::function<void()> body,
+                          std::size_t stack_bytes) {
+  COLCOM_EXPECT(body != nullptr);
+  const int id = static_cast<int>(actors_.size());
+  auto actor = std::make_unique<Actor>();
+  actor->name = std::move(name);
+  actor->node = node;
+  actor->fiber = std::make_unique<Fiber>(stack_bytes, std::move(body));
+  fiber_of_actor_.push_back(actor->fiber.get());
+  actors_.push_back(std::move(actor));
+  // First dispatch happens through the queue so spawn order == start order.
+  schedule(now_, [this, id] { resume_actor(id); });
+  return ActorHandle{id};
+}
+
+void Engine::schedule(SimTime t, std::function<void()> fn) {
+  COLCOM_EXPECT_MSG(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Engine::run() {
+  COLCOM_EXPECT_MSG(!in_actor(), "run() must be called from the host context");
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the event is copied out before pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    COLCOM_ENSURE_MSG(ev.time >= now_, "virtual clock must be monotonic");
+    now_ = ev.time;
+    ++events_dispatched_;
+    ev.fn();
+    if (pending_exception_) {
+      std::exception_ptr e = std::exchange(pending_exception_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+Engine::Actor& Engine::self() {
+  COLCOM_EXPECT_MSG(in_actor(), "call valid only inside an actor");
+  COLCOM_ENSURE(current_actor_ >= 0);
+  return *actors_[static_cast<std::size_t>(current_actor_)];
+}
+
+void Engine::resume_actor(int id) {
+  Actor& a = *actors_[static_cast<std::size_t>(id)];
+  if (a.fiber->finished()) return;
+  const int prev = std::exchange(current_actor_, id);
+  a.fiber->resume();
+  current_actor_ = prev;
+  if (a.fiber->finished() && a.fiber->exception()) {
+    pending_exception_ = a.fiber->exception();
+  }
+}
+
+void Engine::advance(SimTime dt, CpuKind kind) {
+  COLCOM_EXPECT(dt >= 0);
+  Actor& a = self();
+  const int id = current_actor_;
+  const SimTime begin = now_;
+  const SimTime end = now_ + dt;
+  schedule(end, [this, id] { resume_actor(id); });
+  a.fiber->yield();
+  record(id, kind, begin, end);
+}
+
+void Engine::block() {
+  Actor& a = self();
+  const int id = current_actor_;
+  a.blocked = true;
+  a.blocked_since = now_;
+  a.fiber->yield();
+  COLCOM_ENSURE_MSG(!a.blocked, "woken actor must have been unblocked");
+  record(id, CpuKind::wait, a.blocked_since, now_);
+}
+
+void Engine::sleep_until(SimTime t) {
+  COLCOM_EXPECT(t >= now_);
+  const int id = current_actor_;
+  schedule(t, [this, id] { wake(id); });
+  block();
+}
+
+void Engine::wake(int actor_id) {
+  COLCOM_EXPECT(actor_id >= 0 &&
+                actor_id < static_cast<int>(actors_.size()));
+  Actor& a = *actors_[static_cast<std::size_t>(actor_id)];
+  COLCOM_EXPECT_MSG(a.blocked, "wake() target must be blocked");
+  a.blocked = false;
+  schedule(now_, [this, actor_id] { resume_actor(actor_id); });
+}
+
+int Engine::current_actor() const {
+  COLCOM_EXPECT_MSG(in_actor(), "no current actor in host context");
+  return current_actor_;
+}
+
+int Engine::current_node() const {
+  return actors_[static_cast<std::size_t>(current_actor())]->node;
+}
+
+const std::string& Engine::actor_name(int id) const {
+  return actors_[static_cast<std::size_t>(id)]->name;
+}
+
+int Engine::node_of(int id) const {
+  return actors_[static_cast<std::size_t>(id)]->node;
+}
+
+bool Engine::actor_finished(int id) const {
+  return actors_[static_cast<std::size_t>(id)]->fiber->finished();
+}
+
+void Engine::record(int actor_id, CpuKind kind, SimTime begin, SimTime end) {
+  if (cpu_listener_ != nullptr && end > begin) {
+    cpu_listener_->on_interval(actors_[static_cast<std::size_t>(actor_id)]->node,
+                               actor_id, kind, begin, end);
+  }
+}
+
+}  // namespace colcom::des

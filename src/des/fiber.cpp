@@ -1,0 +1,66 @@
+#include "des/fiber.hpp"
+
+#include "util/assert.hpp"
+
+namespace colcom::des {
+
+Fiber* Fiber::current_ = nullptr;
+
+// makecontext() can only pass int arguments portably, so the target fiber is
+// handed to the trampoline through this static slot. The engine is
+// single-threaded, which makes this safe: the slot is written immediately
+// before the one swapcontext() that consumes it.
+namespace {
+Fiber* g_trampoline_target = nullptr;
+}
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
+    : stack_(std::make_unique<std::byte[]>(stack_bytes)),
+      stack_bytes_(stack_bytes),
+      body_(std::move(body)) {
+  COLCOM_EXPECT(stack_bytes >= 16 * 1024);
+  COLCOM_EXPECT(body_ != nullptr);
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_trampoline_target;
+  try {
+    self->body_();
+  } catch (...) {
+    self->exception_ = std::current_exception();
+  }
+  self->finished_ = true;
+  // Fall back to the scheduler; uc_link returns there, but swap explicitly so
+  // `current_` is maintained.
+  current_ = nullptr;
+  swapcontext(&self->ctx_, &self->return_ctx_);
+}
+
+void Fiber::resume() {
+  COLCOM_EXPECT_MSG(current_ == nullptr,
+                    "resume() must be called from the scheduler context");
+  COLCOM_EXPECT_MSG(!finished_, "cannot resume a finished fiber");
+  if (!started_) {
+    started_ = true;
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = &return_ctx_;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+    g_trampoline_target = this;
+  }
+  current_ = this;
+  swapcontext(&return_ctx_, &ctx_);
+  current_ = nullptr;
+}
+
+void Fiber::yield() {
+  COLCOM_EXPECT_MSG(current_ == this, "yield() must be called from the fiber");
+  current_ = nullptr;
+  swapcontext(&ctx_, &return_ctx_);
+  current_ = this;
+}
+
+}  // namespace colcom::des

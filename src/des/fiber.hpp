@@ -1,0 +1,60 @@
+// Cooperative user-level fibers (ucontext-based) for DES actors.
+//
+// The engine is strictly single-threaded: exactly one fiber (or the main
+// scheduler context) runs at any instant, and control transfers only at
+// explicit resume/yield points. That makes every data structure in the
+// simulation race-free by construction (CP.2) without any locking.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+namespace colcom::des {
+
+/// A single cooperative fiber. Not copyable/movable: the ucontext captures
+/// the object address.
+class Fiber {
+ public:
+  /// `body` runs on the fiber's own stack when resume() is first called.
+  Fiber(std::size_t stack_bytes, std::function<void()> body);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfers control from the scheduler into the fiber; returns when the
+  /// fiber yields or finishes. Must not be called from inside a fiber.
+  void resume();
+
+  /// Transfers control back to the scheduler. Must be called from inside
+  /// this fiber.
+  void yield();
+
+  bool finished() const { return finished_; }
+
+  /// If the body exited with an exception, it is captured here.
+  std::exception_ptr exception() const { return exception_; }
+
+  /// Fiber currently executing, or nullptr when in the scheduler context.
+  static Fiber* current() { return current_; }
+
+ private:
+  static void trampoline();
+
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_bytes_;
+  std::function<void()> body_;
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr exception_;
+
+  static Fiber* current_;
+};
+
+}  // namespace colcom::des

@@ -1,0 +1,69 @@
+// FifoResource: a non-preemptive single server in virtual time.
+//
+// Models one OST disk head, one shared storage-network pipe, one CPU core —
+// anything whose service discipline is "first come, first served, one at a
+// time". Because the completion time of a FIFO server is known the moment a
+// request is enqueued, use_async() can return a Completion immediately.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "des/completion.hpp"
+#include "des/engine.hpp"
+#include "des/time.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::des {
+
+class FifoResource {
+ public:
+  FifoResource(Engine& engine, std::string name)
+      : engine_(&engine), name_(std::move(name)) {}
+
+  /// Enqueues a request needing `service` seconds; returns a completion that
+  /// fires when the server finishes it.
+  Completion use_async(SimTime service) {
+    COLCOM_EXPECT(service >= 0);
+    const SimTime start = std::max(engine_->now(), next_free_);
+    const SimTime done = start + service;
+    next_free_ = done;
+    busy_ += service;
+    ++ops_;
+    return Completion::at(*engine_, done);
+  }
+
+  /// Blocking form: the calling actor waits for its own request.
+  void use(SimTime service) { use_async(service).wait(); }
+
+  /// Enqueues a request and returns only its completion *time* — no
+  /// Completion object is allocated. Composite devices (the PFS) use this to
+  /// fold several servers' finish times into a single completion.
+  SimTime enqueue(SimTime service) {
+    COLCOM_EXPECT(service >= 0);
+    const SimTime start = std::max(engine_->now(), next_free_);
+    const SimTime done = start + service;
+    next_free_ = done;
+    busy_ += service;
+    ++ops_;
+    return done;
+  }
+
+  /// When the server drains its current queue (>= now() means busy).
+  SimTime next_free() const { return next_free_; }
+
+  /// Total service time delivered (for utilization reports).
+  SimTime busy_time() const { return busy_; }
+  std::uint64_t ops() const { return ops_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  SimTime next_free_ = 0;
+  SimTime busy_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace colcom::des

@@ -1,0 +1,145 @@
+// Fiber-blocking synchronisation primitives: Semaphore, bounded Channel,
+// FiberBarrier. These are the coordination vocabulary of the collective-
+// computing runtime (Fig. 7 of the paper: I/O thread and shuffle thread
+// connected by a bounded queue).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::des {
+
+/// Counting semaphore for fibers.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, int initial) : engine_(&engine), count_(initial) {
+    COLCOM_EXPECT(initial >= 0);
+  }
+
+  void acquire() {
+    while (count_ == 0) {
+      waiters_.push_back(engine_->current_actor());
+      engine_->block();
+    }
+    --count_;
+  }
+
+  void release() {
+    ++count_;
+    wake_one();
+  }
+
+  int available() const { return count_; }
+
+ private:
+  void wake_one() {
+    if (!waiters_.empty()) {
+      const int id = waiters_.front();
+      waiters_.pop_front();
+      engine_->wake(id);
+    }
+  }
+
+  Engine* engine_;
+  int count_;
+  std::deque<int> waiters_;
+};
+
+/// Bounded single-producer/consumer-friendly FIFO channel. push() blocks when
+/// full, pop() blocks when empty. close() makes pop() return nullopt once
+/// drained — the conventional end-of-stream signal between pipeline stages.
+template <typename T>
+class Channel {
+ public:
+  Channel(Engine& engine, std::size_t capacity)
+      : engine_(&engine), capacity_(capacity) {
+    COLCOM_EXPECT(capacity >= 1);
+  }
+
+  void push(T value) {
+    COLCOM_EXPECT_MSG(!closed_, "push() on a closed channel");
+    while (items_.size() >= capacity_) {
+      push_waiters_.push_back(engine_->current_actor());
+      engine_->block();
+      COLCOM_EXPECT_MSG(!closed_, "channel closed while push was blocked");
+    }
+    items_.push_back(std::move(value));
+    wake_all(pop_waiters_);
+  }
+
+  /// Blocks until an item is available or the channel is closed and empty.
+  std::optional<T> pop() {
+    while (items_.empty() && !closed_) {
+      pop_waiters_.push_back(engine_->current_actor());
+      engine_->block();
+    }
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    wake_all(push_waiters_);
+    return v;
+  }
+
+  void close() {
+    closed_ = true;
+    wake_all(pop_waiters_);
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  void wake_all(std::deque<int>& waiters) {
+    while (!waiters.empty()) {
+      const int id = waiters.front();
+      waiters.pop_front();
+      engine_->wake(id);
+    }
+  }
+
+  Engine* engine_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<int> push_waiters_;
+  std::deque<int> pop_waiters_;
+  bool closed_ = false;
+};
+
+/// Reusable barrier for a fixed party count (cyclic, like MPI_Barrier reused
+/// across iterations).
+class FiberBarrier {
+ public:
+  FiberBarrier(Engine& engine, int parties)
+      : engine_(&engine), parties_(parties) {
+    COLCOM_EXPECT(parties >= 1);
+  }
+
+  void arrive_and_wait() {
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      std::vector<int> waiters;
+      waiters.swap(waiters_);
+      for (int id : waiters) engine_->wake(id);
+      return;
+    }
+    while (generation_ == my_generation) {
+      waiters_.push_back(engine_->current_actor());
+      engine_->block();
+    }
+  }
+
+ private:
+  Engine* engine_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<int> waiters_;
+};
+
+}  // namespace colcom::des

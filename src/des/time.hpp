@@ -1,0 +1,23 @@
+// Virtual time for the discrete-event simulator.
+//
+// All performance numbers this repository reports are *virtual seconds*
+// accumulated by the DES cost models (network, storage, CPU), never host
+// wall-clock. Double precision is ample: experiments span microseconds to a
+// few hundred seconds, and event ordering ties are broken by sequence number,
+// so FP rounding cannot change schedule order between runs.
+#pragma once
+
+namespace colcom::des {
+
+/// Virtual seconds.
+using SimTime = double;
+
+/// What a fiber's CPU is doing during an interval — the classification behind
+/// the paper's Figures 2/3 (user% / sys% / wait%).
+enum class CpuKind {
+  user,  ///< application computation (map functions, simulated analysis)
+  sys,   ///< kernel-ish work: pack/unpack, memcpy, metadata handling
+  wait,  ///< blocked on I/O or communication
+};
+
+}  // namespace colcom::des

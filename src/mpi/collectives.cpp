@@ -1,0 +1,200 @@
+// Collective algorithms over point-to-point: binomial bcast/reduce,
+// dissemination barrier, direct gather/scatter, pairwise alltoallv.
+// Mirrors the classic MPICH algorithm choices so communication cost emerges
+// from the network model.
+#include <cstring>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/world.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::mpi {
+
+namespace {
+// Distinct internal tags per collective kind.
+constexpr int kTagBarrier = kCollectiveTagBase - 0;
+constexpr int kTagBcast = kCollectiveTagBase - 1;
+constexpr int kTagReduce = kCollectiveTagBase - 2;
+constexpr int kTagGather = kCollectiveTagBase - 3;
+constexpr int kTagScatter = kCollectiveTagBase - 4;
+constexpr int kTagAlltoall = kCollectiveTagBase - 5;
+}  // namespace
+
+void Comm::barrier() {
+  const int n = size();
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const int dst = (rank_ + mask) % n;
+    const int src = (rank_ - mask + n) % n;
+    std::byte token{};
+    sendrecv(dst, kTagBarrier, {}, src, kTagBarrier, {&token, 0});
+  }
+}
+
+void Comm::bcast(std::span<std::byte> data, int root) {
+  const int n = size();
+  COLCOM_EXPECT(root >= 0 && root < n);
+  if (n == 1) return;
+  const int relrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (relrank & mask) {
+      const int src = (rank_ - mask + n) % n;
+      recv(src, kTagBcast, data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relrank + mask < n) {
+      const int dst = (rank_ + mask) % n;
+      send(dst, kTagBcast, data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
+                  Prim p, const Op& op, int root) {
+  const int n = size();
+  COLCOM_EXPECT(root >= 0 && root < n);
+  COLCOM_EXPECT(op.valid() && op.commutative());
+  const std::size_t bytes = count * prim_size(p);
+
+  // Working accumulator starts as the local contribution.
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), send_buf, bytes);
+  std::vector<std::byte> tmp(bytes);
+
+  const int relrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((relrank & mask) == 0) {
+      const int rel_src = relrank | mask;
+      if (rel_src < n) {
+        const int src = (rel_src + root) % n;
+        recv(src, kTagReduce, std::span<std::byte>(tmp));
+        op.apply(tmp.data(), acc.data(), count, p);
+        // Charge the combine as user compute (bytes touched / memcpy rate).
+        compute(static_cast<double>(bytes) / world_->rt->config().memcpy_bw);
+      }
+    } else {
+      const int dst = ((relrank & ~mask) + root) % n;
+      send(dst, kTagReduce, std::span<const std::byte>(acc));
+      break;
+    }
+    mask <<= 1;
+  }
+  if (rank_ == root) std::memcpy(recv_buf, acc.data(), bytes);
+}
+
+void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
+                     Prim p, const Op& op) {
+  reduce(send_buf, recv_buf, count, p, op, 0);
+  bcast(std::span<std::byte>(static_cast<std::byte*>(recv_buf),
+                             count * prim_size(p)),
+        0);
+}
+
+void Comm::gather(std::span<const std::byte> send, std::span<std::byte> recv,
+                  int root) {
+  const auto n = static_cast<std::size_t>(size());
+  std::vector<std::uint64_t> counts(n, send.size());
+  if (rank_ == root) {
+    COLCOM_EXPECT(recv.size() >= n * send.size());
+  }
+  gatherv(send, counts, recv, root);
+}
+
+void Comm::gatherv(std::span<const std::byte> send,
+                   std::span<const std::uint64_t> counts,
+                   std::span<std::byte> recv, int root) {
+  const int n = size();
+  COLCOM_EXPECT(static_cast<int>(counts.size()) == n);
+  COLCOM_EXPECT(send.size() == counts[static_cast<std::size_t>(rank_)]);
+  if (rank_ != root) {
+    send_t(root, kTagGather, send);
+    return;
+  }
+  std::vector<std::uint64_t> displ(static_cast<std::size_t>(n) + 1, 0);
+  for (int r = 0; r < n; ++r) {
+    displ[static_cast<std::size_t>(r) + 1] =
+        displ[static_cast<std::size_t>(r)] + counts[static_cast<std::size_t>(r)];
+  }
+  COLCOM_EXPECT(recv.size() >= displ[static_cast<std::size_t>(n)]);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(n) - 1);
+  for (int r = 0; r < n; ++r) {
+    auto slice = recv.subspan(displ[static_cast<std::size_t>(r)],
+                              counts[static_cast<std::size_t>(r)]);
+    if (r == rank_) {
+      std::memcpy(slice.data(), send.data(), send.size());
+    } else {
+      reqs.push_back(irecv(r, kTagGather, slice));
+    }
+  }
+  wait_all(reqs);
+}
+
+void Comm::allgatherv(std::span<const std::byte> send,
+                      std::span<const std::uint64_t> counts,
+                      std::span<std::byte> recv) {
+  gatherv(send, counts, recv, 0);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  bcast(recv.subspan(0, total), 0);
+}
+
+void Comm::scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+                   int root) {
+  const int n = size();
+  if (rank_ == root) {
+    COLCOM_EXPECT(send.size() >= static_cast<std::size_t>(n) * recv.size());
+    std::vector<Request> reqs;
+    for (int r = 0; r < n; ++r) {
+      auto slice = send.subspan(static_cast<std::size_t>(r) * recv.size(),
+                                recv.size());
+      if (r == rank_) {
+        std::memcpy(recv.data(), slice.data(), slice.size());
+      } else {
+        reqs.push_back(isend(r, kTagScatter, slice));
+      }
+    }
+    wait_all(reqs);
+  } else {
+    recv_t(root, kTagScatter, recv);
+  }
+}
+
+void Comm::alltoallv(std::span<const std::byte> send,
+                     std::span<const std::uint64_t> send_counts,
+                     std::span<const std::uint64_t> send_displs,
+                     std::span<std::byte> recv,
+                     std::span<const std::uint64_t> recv_counts,
+                     std::span<const std::uint64_t> recv_displs) {
+  const int n = size();
+  COLCOM_EXPECT(static_cast<int>(send_counts.size()) == n &&
+                static_cast<int>(send_displs.size()) == n &&
+                static_cast<int>(recv_counts.size()) == n &&
+                static_cast<int>(recv_displs.size()) == n);
+  const auto me = static_cast<std::size_t>(rank_);
+  // Local slice first.
+  COLCOM_EXPECT(send_counts[me] == recv_counts[me]);
+  if (send_counts[me] > 0) {
+    std::memcpy(recv.data() + recv_displs[me], send.data() + send_displs[me],
+                send_counts[me]);
+  }
+  // Pairwise exchange: round r talks to rank±r, so each channel carries one
+  // message per round and hot spots rotate around the mesh.
+  for (int r = 1; r < n; ++r) {
+    const auto dst = static_cast<std::size_t>((rank_ + r) % n);
+    const auto src = static_cast<std::size_t>((rank_ - r + n) % n);
+    sendrecv(static_cast<int>(dst), kTagAlltoall,
+             send.subspan(send_displs[dst], send_counts[dst]),
+             static_cast<int>(src), kTagAlltoall,
+             recv.subspan(recv_displs[src], recv_counts[src]));
+  }
+}
+
+}  // namespace colcom::mpi

@@ -1,0 +1,223 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mpi/world.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::mpi {
+
+// ---------------------------------------------------------------- Request
+
+struct Request::State {
+  des::Completion completion;
+  const PostedRecv* recv = nullptr;        // for irecv info()
+  std::shared_ptr<PostedRecv> recv_own;    // keeps the posted recv alive
+};
+
+void Request::wait() {
+  COLCOM_EXPECT(valid());
+  state_->completion.wait();
+}
+
+bool Request::done() const {
+  COLCOM_EXPECT(valid());
+  return state_->completion.done();
+}
+
+MsgInfo Request::info() const {
+  COLCOM_EXPECT(valid());
+  COLCOM_EXPECT_MSG(state_->recv != nullptr, "info() is for receives");
+  COLCOM_EXPECT_MSG(state_->completion.done(), "request not complete");
+  return state_->recv->info;
+}
+
+void wait_all(std::span<Request> reqs) {
+  for (auto& r : reqs) r.wait();
+}
+
+// ---------------------------------------------------------------- World
+
+void World::deliver(int dst, std::shared_ptr<Msg> msg) {
+  PairChannel& ch = chan(msg->src, dst);
+  ch.holdback.emplace(msg->seq, std::move(msg));
+  // Release in send order (MPI non-overtaking even if the network reorders).
+  while (!ch.holdback.empty() &&
+         ch.holdback.begin()->first == ch.next_deliver_seq) {
+    auto released = std::move(ch.holdback.begin()->second);
+    ch.holdback.erase(ch.holdback.begin());
+    ++ch.next_deliver_seq;
+    match_or_enqueue(dst, std::move(released));
+  }
+}
+
+void World::complete_match(int dst, std::shared_ptr<Msg> msg,
+                           std::shared_ptr<PostedRecv> pr) {
+  auto finish = [](Msg& m, PostedRecv& r) {
+    COLCOM_EXPECT_MSG(m.payload.size() <= r.dst.size(),
+                      "message longer than receive buffer");
+    if (!m.payload.empty()) {
+      std::memcpy(r.dst.data(), m.payload.data(), m.payload.size());
+    }
+    r.matched = true;
+    r.info = MsgInfo{m.src, m.tag, m.payload.size()};
+    r.cs->fire();
+  };
+  if (!msg->rendezvous) {
+    finish(*msg, *pr);
+    return;
+  }
+  // Rendezvous: clear-to-send back to the sender, then the payload, then
+  // both sides complete.
+  net::Network& net = rt->network();
+  const int src_node = rt->node_of(msg->src);
+  const int dst_node = rt->node_of(dst);
+  auto cts = net.transfer_async(dst_node, src_node, kMsgHeaderBytes);
+  World* w = this;
+  cts.on_done([w, src_node, dst_node, msg, pr, finish] {
+    auto data = w->rt->network().transfer_async(
+        src_node, dst_node, msg->payload.size() + kMsgHeaderBytes);
+    data.on_done([msg, pr, finish] {
+      finish(*msg, *pr);
+      msg->send_done->fire();
+    });
+  });
+}
+
+void World::match_or_enqueue(int dst, std::shared_ptr<Msg> msg) {
+  Mailbox& mb = mailbox[static_cast<std::size_t>(dst)];
+  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+    if (!matches((*it)->src, (*it)->tag, *msg)) continue;
+    auto pr = std::move(*it);
+    mb.posted.erase(it);
+    complete_match(dst, std::move(msg), std::move(pr));
+    return;
+  }
+  mb.unexpected.push_back(std::move(msg));
+}
+
+// ---------------------------------------------------------------- Comm p2p
+
+int Comm::size() const { return world_->nprocs; }
+Runtime& Comm::runtime() const { return *world_->rt; }
+des::Engine& Comm::engine() const { return world_->rt->engine(); }
+int Comm::node() const { return world_->rt->node_of(rank_); }
+int Comm::node_of(int rank) const { return world_->rt->node_of(rank); }
+double Comm::wtime() const { return engine().now(); }
+
+void Comm::compute(double seconds) {
+  engine().advance(seconds, des::CpuKind::user);
+}
+
+void Comm::overhead(double seconds) {
+  engine().advance(seconds, des::CpuKind::sys);
+}
+
+Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
+  COLCOM_EXPECT(dst >= 0 && dst < size());
+  auto msg = std::make_shared<Msg>();
+  msg->src = rank_;
+  msg->tag = tag;
+  msg->seq = world_->chan(rank_, dst).next_send_seq++;
+  msg->payload.assign(data.begin(), data.end());
+
+  World* w = world_;
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  if (data.size() <= world_->rt->config().eager_threshold) {
+    // Eager: the payload travels immediately; the send completes on
+    // delivery regardless of the receiver.
+    auto transfer = world_->rt->network().transfer_async(
+        node(), node_of(dst), data.size() + kMsgHeaderBytes);
+    transfer.on_done([w, dst, msg] { w->deliver(dst, msg); });
+    req.state_->completion = transfer;
+  } else {
+    // Rendezvous: only the RTS travels now; the payload moves when the
+    // receiver matches, and this request completes with the payload.
+    msg->rendezvous = true;
+    msg->send_done = std::make_shared<des::CompletionSource>(engine());
+    auto rts = world_->rt->network().transfer_async(node(), node_of(dst),
+                                                    kMsgHeaderBytes);
+    rts.on_done([w, dst, msg] { w->deliver(dst, msg); });
+    req.state_->completion = msg->send_done->completion();
+  }
+  return req;
+}
+
+void Comm::send(int dst, int tag, std::span<const std::byte> data) {
+  isend(dst, tag, data).wait();
+}
+
+Request Comm::irecv(int src, int tag, std::span<std::byte> dst) {
+  COLCOM_EXPECT(src == kAnySource || (src >= 0 && src < size()));
+  Mailbox& mb = world_->mailbox[static_cast<std::size_t>(rank_)];
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+
+  // Unexpected-queue scan first (earliest arrival wins).
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    if (!World::matches(src, tag, **it)) continue;
+    auto msg = std::move(*it);
+    mb.unexpected.erase(it);
+    auto pr = std::make_shared<PostedRecv>();
+    pr->src = src;
+    pr->tag = tag;
+    pr->dst = dst;
+    pr->cs = std::make_unique<des::CompletionSource>(engine());
+    req.state_->completion = pr->cs->completion();
+    req.state_->recv = pr.get();
+    req.state_->recv_own = pr;
+    // Eager payloads complete immediately; rendezvous ones only now start
+    // their CTS + payload transfer.
+    world_->complete_match(rank_, std::move(msg), std::move(pr));
+    return req;
+  }
+
+  auto pr = std::make_shared<PostedRecv>();
+  pr->src = src;
+  pr->tag = tag;
+  pr->dst = dst;
+  pr->cs = std::make_unique<des::CompletionSource>(engine());
+  req.state_->completion = pr->cs->completion();
+  req.state_->recv = pr.get();
+  req.state_->recv_own = pr;
+  mb.posted.push_back(std::move(pr));
+  return req;
+}
+
+MsgInfo Comm::recv(int src, int tag, std::span<std::byte> dst) {
+  Request r = irecv(src, tag, dst);
+  r.wait();
+  const MsgInfo info = r.info();
+  // Model the receive-side copy-out as sys time.
+  if (info.bytes > 0) {
+    overhead(static_cast<double>(info.bytes) /
+             world_->rt->config().memcpy_bw);
+  }
+  return info;
+}
+
+void Comm::sendrecv(int dst, int send_tag,
+                    std::span<const std::byte> send_data, int src,
+                    int recv_tag, std::span<std::byte> recv_buf) {
+  Request r = irecv(src, recv_tag, recv_buf);
+  Request s = isend(dst, send_tag, send_data);
+  r.wait();
+  s.wait();
+}
+
+des::Completion Comm::spawn_thread(const std::string& name,
+                                   std::function<void()> fn) {
+  auto cs = std::make_shared<des::CompletionSource>(engine());
+  world_->rt->engine().spawn(
+      name, node(),
+      [fn = std::move(fn), cs] {
+        fn();
+        cs->fire();
+      },
+      world_->rt->config().fiber_stack_bytes);
+  return cs->completion();
+}
+
+}  // namespace colcom::mpi

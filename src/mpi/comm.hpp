@@ -1,0 +1,142 @@
+// The message-passing runtime: ranks, point-to-point with MPI matching
+// semantics, and collectives.
+//
+// Each simulated rank is a DES fiber; a Comm is that rank's view of the
+// world (rank id + shared matching state). Point-to-point follows MPI rules:
+// (source, tag) matching with wildcards, and non-overtaking delivery per
+// (sender, receiver) pair even when the network would reorder. Collectives
+// are implemented algorithmically over point-to-point (binomial trees,
+// dissemination, pairwise exchange), so their cost emerges from the network
+// model instead of being postulated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "des/completion.hpp"
+#include "des/engine.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/op.hpp"
+
+namespace colcom::mpi {
+
+class Runtime;
+struct World;
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Envelope information returned by receives.
+struct MsgInfo {
+  int source = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;
+};
+
+/// Handle for a nonblocking operation.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return state_ != nullptr; }
+  /// Blocks the calling fiber until the operation completes.
+  void wait();
+  bool done() const;
+  /// Envelope of a completed receive (contract error for sends/incomplete).
+  MsgInfo info() const;
+
+ private:
+  friend class Comm;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Waits for all requests (any order).
+void wait_all(std::span<Request> reqs);
+
+/// A rank's bound view of the communicator.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- point-to-point, raw bytes ---
+  void send(int dst, int tag, std::span<const std::byte> data);
+  Request isend(int dst, int tag, std::span<const std::byte> data);
+  MsgInfo recv(int src, int tag, std::span<std::byte> dst);
+  Request irecv(int src, int tag, std::span<std::byte> dst);
+  /// Combined exchange — deadlock-free even when all ranks call it at once.
+  void sendrecv(int dst, int send_tag, std::span<const std::byte> send_data,
+                int src, int recv_tag, std::span<std::byte> recv_buf);
+
+  // --- typed conveniences ---
+  template <typename T>
+  void send_t(int dst, int tag, std::span<const T> v) {
+    send(dst, tag, std::as_bytes(v));
+  }
+  template <typename T>
+  MsgInfo recv_t(int src, int tag, std::span<T> v) {
+    return recv(src, tag, std::as_writable_bytes(v));
+  }
+
+  // --- collectives (all ranks of the world must participate) ---
+  void barrier();
+  void bcast(std::span<std::byte> data, int root);
+  /// recv = reduction over all ranks' `send` (count elements of p); result
+  /// significant at root only.
+  void reduce(const void* send, void* recv, std::size_t count, Prim p,
+              const Op& op, int root);
+  void allreduce(const void* send, void* recv, std::size_t count, Prim p,
+                 const Op& op);
+  /// Equal-size gather; recv (root only) holds size() * block bytes.
+  void gather(std::span<const std::byte> send, std::span<std::byte> recv,
+              int root);
+  /// Variable-size gather: counts[i] bytes from rank i, packed in rank order.
+  void gatherv(std::span<const std::byte> send,
+               std::span<const std::uint64_t> counts,
+               std::span<std::byte> recv, int root);
+  void allgatherv(std::span<const std::byte> send,
+                  std::span<const std::uint64_t> counts,
+                  std::span<std::byte> recv);
+  void scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+               int root);
+  /// Pairwise-exchange all-to-all with per-peer counts/displacements (bytes).
+  void alltoallv(std::span<const std::byte> send,
+                 std::span<const std::uint64_t> send_counts,
+                 std::span<const std::uint64_t> send_displs,
+                 std::span<std::byte> recv,
+                 std::span<const std::uint64_t> recv_counts,
+                 std::span<const std::uint64_t> recv_displs);
+
+  // --- environment ---
+  Runtime& runtime() const;
+  des::Engine& engine() const;
+  /// Node hosting this rank.
+  int node() const;
+  int node_of(int rank) const;
+  /// Virtual wall clock (MPI_Wtime).
+  double wtime() const;
+  /// Burns `seconds` of CPU as user (application) time.
+  void compute(double seconds);
+  /// Burns `seconds` of CPU as sys (pack/copy/metadata) time.
+  void overhead(double seconds);
+
+  /// Spawns a helper fiber on this rank's node (the paper's Fig. 7 runs an
+  /// I/O thread and a shuffle thread per aggregator). Returns a completion
+  /// firing when `fn` returns.
+  des::Completion spawn_thread(const std::string& name,
+                               std::function<void()> fn);
+
+ private:
+  friend class Runtime;
+  friend struct World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_ = nullptr;
+  int rank_ = -1;
+};
+
+}  // namespace colcom::mpi

@@ -1,0 +1,265 @@
+#include "mpi/datatype.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace colcom::mpi {
+
+const char* prim_name(Prim p) {
+  switch (p) {
+    case Prim::u8: return "u8";
+    case Prim::i32: return "i32";
+    case Prim::i64: return "i64";
+    case Prim::f32: return "f32";
+    case Prim::f64: return "f64";
+  }
+  return "?";
+}
+
+// Internally every datatype is stored pre-flattened (one instance). That
+// keeps pack/flatten simple and fast; the constructors do the structural
+// work once.
+struct Datatype::Impl {
+  Prim prim = Prim::u8;
+  std::uint64_t size = 0;    // data bytes per instance
+  std::uint64_t extent = 0;  // covered span per instance
+  std::vector<FlatSeg> segs; // sorted by disp, non-adjacent
+  std::string desc;
+};
+
+namespace {
+void merge_push(std::vector<FlatSeg>& segs, std::uint64_t disp,
+                std::uint64_t length) {
+  if (length == 0) return;
+  if (!segs.empty() && segs.back().disp + segs.back().length == disp) {
+    segs.back().length += length;
+  } else {
+    segs.push_back(FlatSeg{disp, length});
+  }
+}
+}  // namespace
+
+Datatype Datatype::of(Prim p) {
+  auto impl = std::make_shared<Impl>();
+  impl->prim = p;
+  impl->size = prim_size(p);
+  impl->extent = impl->size;
+  impl->segs = {FlatSeg{0, impl->size}};
+  impl->desc = prim_name(p);
+  return Datatype(std::move(impl));
+}
+
+Datatype Datatype::u8() { return of(Prim::u8); }
+Datatype Datatype::i32() { return of(Prim::i32); }
+Datatype Datatype::i64() { return of(Prim::i64); }
+Datatype Datatype::f32() { return of(Prim::f32); }
+Datatype Datatype::f64() { return of(Prim::f64); }
+
+Datatype Datatype::contiguous(std::uint64_t count, const Datatype& base) {
+  COLCOM_EXPECT(base.valid());
+  auto impl = std::make_shared<Impl>();
+  impl->prim = base.prim();
+  impl->size = base.size() * count;
+  impl->extent = base.extent() * count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t shift = i * base.extent();
+    for (const auto& s : base.impl_->segs) {
+      merge_push(impl->segs, shift + s.disp, s.length);
+    }
+  }
+  impl->desc = "contiguous(" + std::to_string(count) + ", " +
+               base.impl_->desc + ")";
+  return Datatype(std::move(impl));
+}
+
+Datatype Datatype::vec(std::uint64_t count, std::uint64_t blocklen,
+                       std::uint64_t stride, const Datatype& base) {
+  COLCOM_EXPECT(base.valid());
+  COLCOM_EXPECT_MSG(stride >= blocklen, "overlapping vector blocks");
+  auto impl = std::make_shared<Impl>();
+  impl->prim = base.prim();
+  impl->size = base.size() * blocklen * count;
+  impl->extent =
+      count == 0 ? 0 : ((count - 1) * stride + blocklen) * base.extent();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t block_org = i * stride * base.extent();
+    for (std::uint64_t j = 0; j < blocklen; ++j) {
+      const std::uint64_t shift = block_org + j * base.extent();
+      for (const auto& s : base.impl_->segs) {
+        merge_push(impl->segs, shift + s.disp, s.length);
+      }
+    }
+  }
+  impl->desc = "vector(" + std::to_string(count) + "x" +
+               std::to_string(blocklen) + "/" + std::to_string(stride) + ", " +
+               base.impl_->desc + ")";
+  return Datatype(std::move(impl));
+}
+
+Datatype Datatype::indexed(std::span<const std::uint64_t> blocklens,
+                           std::span<const std::uint64_t> displs,
+                           const Datatype& base) {
+  COLCOM_EXPECT(base.valid());
+  COLCOM_EXPECT(blocklens.size() == displs.size());
+  auto impl = std::make_shared<Impl>();
+  impl->prim = base.prim();
+  std::uint64_t prev_end = 0;
+  for (std::size_t b = 0; b < blocklens.size(); ++b) {
+    COLCOM_EXPECT_MSG(displs[b] * base.extent() >= prev_end,
+                      "indexed blocks must be sorted and disjoint");
+    impl->size += blocklens[b] * base.size();
+    for (std::uint64_t j = 0; j < blocklens[b]; ++j) {
+      const std::uint64_t shift = (displs[b] + j) * base.extent();
+      for (const auto& s : base.impl_->segs) {
+        merge_push(impl->segs, shift + s.disp, s.length);
+      }
+    }
+    prev_end = (displs[b] + blocklens[b]) * base.extent();
+    impl->extent = std::max(impl->extent, prev_end);
+  }
+  impl->desc = "indexed(" + std::to_string(blocklens.size()) + " blocks, " +
+               base.impl_->desc + ")";
+  return Datatype(std::move(impl));
+}
+
+Datatype Datatype::subarray(std::span<const std::uint64_t> sizes,
+                            std::span<const std::uint64_t> subsizes,
+                            std::span<const std::uint64_t> starts,
+                            const Datatype& base) {
+  COLCOM_EXPECT(base.valid());
+  const std::size_t nd = sizes.size();
+  COLCOM_EXPECT(nd >= 1 && subsizes.size() == nd && starts.size() == nd);
+  std::uint64_t full = 1;
+  std::uint64_t sub = 1;
+  for (std::size_t d = 0; d < nd; ++d) {
+    COLCOM_EXPECT_MSG(starts[d] + subsizes[d] <= sizes[d],
+                      "subarray exceeds array bounds");
+    COLCOM_EXPECT(subsizes[d] >= 1);
+    full *= sizes[d];
+    sub *= subsizes[d];
+  }
+
+  auto impl = std::make_shared<Impl>();
+  impl->prim = base.prim();
+  const std::uint64_t eb = base.extent();
+  impl->size = sub * base.size();
+  impl->extent = full * eb;
+
+  // Row strides (elements) of the full array, C order (slowest dim first).
+  std::vector<std::uint64_t> stride(nd, 1);
+  for (std::size_t d = nd - 1; d > 0; --d) {
+    stride[d - 1] = stride[d] * sizes[d];
+  }
+  // The fastest dimension yields contiguous runs of subsizes[nd-1] elements;
+  // iterate odometer-style over the remaining dims.
+  const std::uint64_t run_elems = subsizes[nd - 1];
+  std::vector<std::uint64_t> idx(nd, 0);  // index within subsizes, dims 0..nd-2
+  const bool contiguous_base = base.is_contiguous();
+  while (true) {
+    std::uint64_t elem = starts[nd - 1];
+    for (std::size_t d = 0; d + 1 < nd; ++d) {
+      elem += (starts[d] + idx[d]) * stride[d];
+    }
+    if (contiguous_base) {
+      merge_push(impl->segs, elem * eb, run_elems * base.size());
+    } else {
+      for (std::uint64_t j = 0; j < run_elems; ++j) {
+        const std::uint64_t shift = (elem + j) * eb;
+        for (const auto& s : base.impl_->segs) {
+          merge_push(impl->segs, shift + s.disp, s.length);
+        }
+      }
+    }
+    // Odometer increment over dims nd-2 .. 0.
+    if (nd == 1) break;
+    std::size_t d = nd - 2;
+    while (true) {
+      if (++idx[d] < subsizes[d]) break;
+      idx[d] = 0;
+      if (d == 0) goto done;
+      --d;
+    }
+  }
+done:;
+  std::ostringstream os;
+  os << "subarray(";
+  for (std::size_t d = 0; d < nd; ++d) {
+    os << (d ? "," : "") << starts[d] << "+" << subsizes[d] << "/" << sizes[d];
+  }
+  os << ", " << base.impl_->desc << ")";
+  impl->desc = os.str();
+  return Datatype(std::move(impl));
+}
+
+std::uint64_t Datatype::size() const {
+  COLCOM_EXPECT(valid());
+  return impl_->size;
+}
+
+std::uint64_t Datatype::extent() const {
+  COLCOM_EXPECT(valid());
+  return impl_->extent;
+}
+
+Prim Datatype::prim() const {
+  COLCOM_EXPECT(valid());
+  return impl_->prim;
+}
+
+bool Datatype::is_contiguous() const {
+  COLCOM_EXPECT(valid());
+  return impl_->segs.size() == 1 && impl_->segs[0].disp == 0 &&
+         impl_->segs[0].length == impl_->extent;
+}
+
+std::vector<FlatSeg> Datatype::flatten(std::uint64_t count) const {
+  COLCOM_EXPECT(valid());
+  std::vector<FlatSeg> out;
+  out.reserve(impl_->segs.size() * count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t shift = i * impl_->extent;
+    for (const auto& s : impl_->segs) {
+      merge_push(out, shift + s.disp, s.length);
+    }
+  }
+  return out;
+}
+
+void Datatype::pack(std::span<const std::byte> src, std::span<std::byte> dst,
+                    std::uint64_t count) const {
+  COLCOM_EXPECT(valid());
+  COLCOM_EXPECT(dst.size() >= size() * count);
+  COLCOM_EXPECT(count == 0 || src.size() >= extent() * count);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t shift = i * impl_->extent;
+    for (const auto& s : impl_->segs) {
+      std::memcpy(dst.data() + out, src.data() + shift + s.disp, s.length);
+      out += s.length;
+    }
+  }
+}
+
+void Datatype::unpack(std::span<const std::byte> src, std::span<std::byte> dst,
+                      std::uint64_t count) const {
+  COLCOM_EXPECT(valid());
+  COLCOM_EXPECT(src.size() >= size() * count);
+  COLCOM_EXPECT(count == 0 || dst.size() >= extent() * count);
+  std::uint64_t in = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t shift = i * impl_->extent;
+    for (const auto& s : impl_->segs) {
+      std::memcpy(dst.data() + shift + s.disp, src.data() + in, s.length);
+      in += s.length;
+    }
+  }
+}
+
+std::string Datatype::describe() const {
+  COLCOM_EXPECT(valid());
+  return impl_->desc;
+}
+
+}  // namespace colcom::mpi

@@ -1,0 +1,115 @@
+// MPI-style derived datatypes with flattening and pack/unpack.
+//
+// A datatype describes a (possibly non-contiguous) typemap over a memory or
+// file region. The two-phase I/O engine works exclusively on the flattened
+// (displacement, length) representation — exactly what ROMIO's ADIOI_Flatten
+// produces — and the high-level ncio layer builds subarray types from
+// hyperslab requests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace colcom::mpi {
+
+/// Primitive element kinds. Composite datatypes are homogeneous: every leaf
+/// is the same primitive, which is what reduction ops require.
+enum class Prim : std::uint8_t { u8, i32, i64, f32, f64 };
+
+/// Bytes per primitive.
+constexpr std::uint64_t prim_size(Prim p) {
+  switch (p) {
+    case Prim::u8: return 1;
+    case Prim::i32: return 4;
+    case Prim::f32: return 4;
+    case Prim::i64: return 8;
+    case Prim::f64: return 8;
+  }
+  return 0;
+}
+
+const char* prim_name(Prim p);
+
+/// A contiguous piece of a flattened typemap: `length` bytes at displacement
+/// `disp` from the type's origin.
+struct FlatSeg {
+  std::uint64_t disp = 0;
+  std::uint64_t length = 0;
+  friend bool operator==(const FlatSeg&, const FlatSeg&) = default;
+};
+
+/// Immutable, cheaply copyable datatype handle.
+class Datatype {
+ public:
+  Datatype() = default;  ///< invalid; use factories
+
+  // -- primitives --
+  static Datatype u8();
+  static Datatype i32();
+  static Datatype i64();
+  static Datatype f32();
+  static Datatype f64();
+  static Datatype of(Prim p);
+
+  // -- constructors mirroring MPI_Type_* --
+
+  /// `count` consecutive copies of `base`.
+  static Datatype contiguous(std::uint64_t count, const Datatype& base);
+
+  /// `count` blocks of `blocklen` base elements, block starts `stride` base
+  /// elements apart (MPI_Type_vector).
+  static Datatype vec(std::uint64_t count, std::uint64_t blocklen,
+                      std::uint64_t stride, const Datatype& base);
+
+  /// Blocks of given lengths at given displacements, both in base elements
+  /// (MPI_Type_indexed).
+  static Datatype indexed(std::span<const std::uint64_t> blocklens,
+                          std::span<const std::uint64_t> displs,
+                          const Datatype& base);
+
+  /// N-dimensional subarray of a C-order array (MPI_Type_create_subarray).
+  /// sizes/subsizes/starts are in elements of `base`, slowest dim first.
+  static Datatype subarray(std::span<const std::uint64_t> sizes,
+                           std::span<const std::uint64_t> subsizes,
+                           std::span<const std::uint64_t> starts,
+                           const Datatype& base);
+
+  bool valid() const { return impl_ != nullptr; }
+
+  /// Total data bytes (sum of leaf lengths).
+  std::uint64_t size() const;
+
+  /// Memory span covered: max displacement + length.
+  std::uint64_t extent() const;
+
+  /// Element primitive and count (size() / prim_size).
+  Prim prim() const;
+  std::uint64_t element_count() const { return size() / prim_size(prim()); }
+
+  bool is_contiguous() const;
+
+  /// Flattened typemap for `count` consecutive instances (each instance
+  /// shifted by extent()); adjacent segments are merged.
+  std::vector<FlatSeg> flatten(std::uint64_t count = 1) const;
+
+  /// Gathers the typemap's bytes from `src` (a region of at least
+  /// count*extent() bytes) into contiguous `dst` (count*size() bytes).
+  void pack(std::span<const std::byte> src, std::span<std::byte> dst,
+            std::uint64_t count = 1) const;
+
+  /// Scatters contiguous `src` back through the typemap into `dst`.
+  void unpack(std::span<const std::byte> src, std::span<std::byte> dst,
+              std::uint64_t count = 1) const;
+
+  std::string describe() const;
+
+ private:
+  struct Impl;
+  explicit Datatype(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace colcom::mpi

@@ -1,0 +1,64 @@
+// Reduction operators, including user-defined ops (MPI_Op_create).
+//
+// The paper's object I/O (Fig. 6) wraps the analysis kernel in exactly this
+// interface: `void compute(out, in, len, dtype)` registered via
+// MPI_Op_create and handed to the collective I/O call.
+#pragma once
+
+#include <functional>
+
+#include "mpi/datatype.hpp"
+
+namespace colcom::mpi {
+
+/// Signature of a user reduction function: combine `count` elements of
+/// primitive `p` from `in` into `inout` (inout = inout ⊕ in), exactly like
+/// MPI_User_function.
+using UserFn =
+    std::function<void(const void* in, void* inout, std::size_t count, Prim p)>;
+
+class Op {
+ public:
+  /// Operator identity, letting performance-sensitive callers use fused
+  /// loops for builtins instead of per-element user-function calls.
+  enum class Kind { sum, prod, min, max, user };
+
+  Op() = default;  ///< invalid; use factories
+
+  static Op sum();
+  static Op prod();
+  static Op min();
+  static Op max();
+
+  /// MPI_Op_create: wraps a user combine function. `commutative` mirrors the
+  /// MPI flag; the collectives here require commutativity and enforce it.
+  static Op create(UserFn fn, bool commutative = true);
+
+  bool valid() const { return fn_ != nullptr; }
+  bool commutative() const { return commutative_; }
+  const char* name() const { return name_; }
+  Kind kind() const { return kind_; }
+
+  /// inout[i] = inout[i] ⊕ in[i] for i in [0, count).
+  void apply(const void* in, void* inout, std::size_t count, Prim p) const;
+
+  /// Identity value for builtin ops (sum -> 0, min -> +inf, ...), written
+  /// into `out` (one element of primitive p). User ops have no known
+  /// identity; callers must seed accumulators from the first operand.
+  bool has_identity() const { return identity_ != nullptr; }
+  void identity(void* out, Prim p) const;
+
+ private:
+  using IdentityFn = void (*)(void*, Prim);
+  Op(UserFn fn, bool commutative, const char* name, IdentityFn id, Kind kind)
+      : fn_(std::move(fn)), commutative_(commutative), name_(name),
+        identity_(id), kind_(kind) {}
+
+  UserFn fn_;
+  bool commutative_ = true;
+  const char* name_ = "user";
+  IdentityFn identity_ = nullptr;
+  Kind kind_ = Kind::user;
+};
+
+}  // namespace colcom::mpi

@@ -1,0 +1,47 @@
+#include "mpi/runtime.hpp"
+
+#include "mpi/world.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::mpi {
+
+Runtime::Runtime(MachineConfig cfg, int nprocs) : cfg_(cfg), nprocs_(nprocs) {
+  COLCOM_EXPECT(nprocs >= 1);
+  COLCOM_EXPECT(cfg.cores_per_node >= 1);
+  n_nodes_ = (nprocs + cfg.cores_per_node - 1) / cfg.cores_per_node;
+  engine_ = std::make_unique<des::Engine>();
+  const auto topo = net::MeshTopology::square_for(n_nodes_, cfg.torus);
+  network_ = std::make_unique<net::Network>(*engine_, topo, cfg.net);
+  pfs_ = std::make_unique<pfs::Pfs>(*engine_, cfg.pfs);
+  world_ = std::make_unique<World>();
+  world_->rt = this;
+  world_->nprocs = nprocs;
+  world_->mailbox.resize(static_cast<std::size_t>(nprocs));
+  world_->comms.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    world_->comms.push_back(Comm(world_.get(), r));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+int Runtime::node_of(int rank) const {
+  COLCOM_EXPECT(rank >= 0 && rank < nprocs_);
+  return rank / cfg_.cores_per_node;
+}
+
+void Runtime::run(std::function<void(Comm&)> body) {
+  COLCOM_EXPECT_MSG(!ran_, "Runtime::run may only be called once");
+  COLCOM_EXPECT(body != nullptr);
+  ran_ = true;
+  for (int r = 0; r < nprocs_; ++r) {
+    Comm& comm = world_->comms[static_cast<std::size_t>(r)];
+    engine_->spawn(
+        "rank" + std::to_string(r), node_of(r), [body, &comm] { body(comm); },
+        cfg_.fiber_stack_bytes);
+  }
+  engine_->run();
+  elapsed_ = engine_->now();
+}
+
+}  // namespace colcom::mpi

@@ -1,0 +1,87 @@
+// Internal shared state of the rank world: mailboxes, matching, sequencing.
+// Not part of the public API.
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "des/completion.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+
+namespace colcom::mpi {
+
+/// Per-message header bytes charged on the wire (envelope + protocol).
+constexpr std::uint64_t kMsgHeaderBytes = 64;
+
+/// Tags below this are reserved for internal collective algorithms.
+constexpr int kCollectiveTagBase = -1000;
+
+struct Msg {
+  int src = -1;
+  int tag = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::byte> payload;
+  /// Large messages use a rendezvous protocol: only a request-to-send
+  /// travels eagerly; the payload moves after the receive is matched
+  /// (clear-to-send), and the sender's request completes with the payload.
+  bool rendezvous = false;
+  std::shared_ptr<des::CompletionSource> send_done;  // rendezvous only
+};
+
+struct PostedRecv {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  std::span<std::byte> dst;
+  bool matched = false;
+  MsgInfo info;
+  std::unique_ptr<des::CompletionSource> cs;
+};
+
+struct PairChannel {
+  std::uint64_t next_send_seq = 0;
+  std::uint64_t next_deliver_seq = 0;
+  std::map<std::uint64_t, std::shared_ptr<Msg>> holdback;
+};
+
+struct Mailbox {
+  std::deque<std::shared_ptr<Msg>> unexpected;
+  std::deque<std::shared_ptr<PostedRecv>> posted;
+};
+
+struct World {
+  Runtime* rt = nullptr;
+  int nprocs = 0;
+  std::vector<Mailbox> mailbox;                       // per dst rank
+  std::unordered_map<std::uint64_t, PairChannel> chans;  // key src*n+dst
+  std::vector<Comm> comms;                            // per rank
+
+  PairChannel& chan(int src, int dst) {
+    return chans[static_cast<std::uint64_t>(src) *
+                     static_cast<std::uint64_t>(nprocs) +
+                 static_cast<std::uint64_t>(dst)];
+  }
+
+  static bool matches(int want_src, int want_tag, const Msg& m) {
+    return (want_src == kAnySource || want_src == m.src) &&
+           (want_tag == kAnyTag || want_tag == m.tag);
+  }
+
+  /// Called in event context when a message's transfer (or its RTS)
+  /// completes; enforces per-pair FIFO then matches or enqueues.
+  void deliver(int dst, std::shared_ptr<Msg> msg);
+
+  /// Completes a matched pair: eager messages copy out immediately;
+  /// rendezvous messages run CTS + payload transfer first.
+  void complete_match(int dst, std::shared_ptr<Msg> msg,
+                      std::shared_ptr<PostedRecv> pr);
+
+ private:
+  void match_or_enqueue(int dst, std::shared_ptr<Msg> msg);
+};
+
+}  // namespace colcom::mpi

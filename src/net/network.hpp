@@ -1,0 +1,77 @@
+// Virtual-time interconnect: mesh links + NICs with a wormhole-style cost
+// model.
+//
+// A transfer's head flit advances hop by hop, queuing behind earlier traffic
+// on each channel; the payload then streams behind it, occupying every
+// channel on the route until the tail passes. This gives the two effects the
+// paper's evaluation depends on: (1) per-message latency grows with hop count
+// and with contention, so many-small-message shuffles are expensive, and
+// (2) links shared by concurrent transfers serialize, so all-to-all cost per
+// byte grows with node count on a mesh.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/completion.hpp"
+#include "des/engine.hpp"
+#include "des/time.hpp"
+#include "net/topology.hpp"
+
+namespace colcom::net {
+
+struct NetConfig {
+  // Defaults approximate effective (not peak) MPI throughput on a
+  // Gemini-class interconnect: per-node injection well below link peak.
+  double link_bw = 3.0e9;      ///< bytes/s per mesh link
+  double link_latency = 0.8e-6;  ///< per-hop latency, seconds
+  double nic_bw = 1.5e9;       ///< injection/ejection bandwidth, bytes/s
+  double nic_latency = 1.2e-6;   ///< per-message software overhead, seconds
+  double memcpy_bw = 4.0e9;    ///< intra-node copy bandwidth, bytes/s
+  bool torus = false;
+};
+
+/// Per-network counters for reports.
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t intra_node_messages = 0;
+  des::SimTime total_busy = 0;  ///< sum of per-channel occupancy
+};
+
+class Network {
+ public:
+  Network(des::Engine& engine, const MeshTopology& topo, NetConfig cfg);
+
+  /// Models moving `bytes` from `src_node` to `dst_node`; returns a
+  /// completion firing when the tail arrives. Does not touch user data —
+  /// callers (the MPI layer) copy buffers at delivery time.
+  des::Completion transfer_async(int src_node, int dst_node,
+                                 std::uint64_t bytes);
+
+  /// Blocking form for callers inside a fiber.
+  void transfer(int src_node, int dst_node, std::uint64_t bytes) {
+    transfer_async(src_node, dst_node, bytes).wait();
+  }
+
+  const NetStats& stats() const { return stats_; }
+  const MeshTopology& topology() const { return topo_; }
+  const NetConfig& config() const { return cfg_; }
+
+ private:
+  // A directed channel (mesh link or NIC port) is just its next-free time.
+  struct Channel {
+    des::SimTime next_free = 0;
+  };
+
+  des::Engine* engine_;
+  MeshTopology topo_;
+  NetConfig cfg_;
+  std::vector<Channel> links_;     // indexed by MeshTopology::link_id
+  std::vector<Channel> nic_out_;   // per node
+  std::vector<Channel> nic_in_;    // per node
+  NetStats stats_;
+};
+
+}  // namespace colcom::net

@@ -1,0 +1,37 @@
+#include "net/topology.hpp"
+
+namespace colcom::net {
+
+namespace {
+// Signed distance moving from a to b along a ring of length n, choosing the
+// shorter direction (+1 / -1 step). For a line (no torus) it is simply the
+// sign of b - a.
+int ring_step(int a, int b, int n, bool torus) {
+  if (a == b) return 0;
+  if (!torus) return b > a ? 1 : -1;
+  const int fwd = (b - a + n) % n;
+  const int bwd = (a - b + n) % n;
+  return fwd <= bwd ? 1 : -1;
+}
+}  // namespace
+
+std::vector<int> MeshTopology::route(int src, int dst) const {
+  COLCOM_EXPECT(src >= 0 && src < node_count());
+  COLCOM_EXPECT(dst >= 0 && dst < node_count());
+  std::vector<int> path{src};
+  Coord cur = coord_of(src);
+  const Coord goal = coord_of(dst);
+  while (cur.x != goal.x) {
+    const int s = ring_step(cur.x, goal.x, size_x_, torus_);
+    cur.x = (cur.x + s + size_x_) % size_x_;
+    path.push_back(node_at(cur));
+  }
+  while (cur.y != goal.y) {
+    const int s = ring_step(cur.y, goal.y, size_y_, torus_);
+    cur.y = (cur.y + s + size_y_) % size_y_;
+    path.push_back(node_at(cur));
+  }
+  return path;
+}
+
+}  // namespace colcom::net

@@ -1,0 +1,100 @@
+// Mesh topology and dimension-ordered routing.
+//
+// Hopper's Gemini interconnect is a 3-D torus; we model a 2-D mesh (optionally
+// torus) which preserves the property the paper's scalability experiment
+// depends on: bisection bandwidth grows like sqrt(nodes) while all-to-all
+// traffic grows linearly, so shuffle cost per byte rises with scale.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace colcom::net {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// A rectangular mesh of nodes, row-major node ids.
+class MeshTopology {
+ public:
+  MeshTopology(int size_x, int size_y, bool torus = false)
+      : size_x_(size_x), size_y_(size_y), torus_(torus) {
+    COLCOM_EXPECT(size_x >= 1 && size_y >= 1);
+  }
+
+  /// Smallest near-square mesh holding `n_nodes`.
+  static MeshTopology square_for(int n_nodes, bool torus = false) {
+    COLCOM_EXPECT(n_nodes >= 1);
+    int x = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n_nodes))));
+    int y = (n_nodes + x - 1) / x;
+    return MeshTopology(x, y, torus);
+  }
+
+  int size_x() const { return size_x_; }
+  int size_y() const { return size_y_; }
+  int node_count() const { return size_x_ * size_y_; }
+  bool torus() const { return torus_; }
+
+  Coord coord_of(int node) const {
+    COLCOM_EXPECT(node >= 0 && node < node_count());
+    return Coord{node % size_x_, node / size_x_};
+  }
+
+  int node_at(Coord c) const {
+    COLCOM_EXPECT(c.x >= 0 && c.x < size_x_ && c.y >= 0 && c.y < size_y_);
+    return c.y * size_x_ + c.x;
+  }
+
+  /// Directed link id for the hop from `from` to an adjacent node `to`.
+  /// Links are identified as from-node * 4 + direction.
+  std::uint32_t link_id(int from, int to) const {
+    const Coord a = coord_of(from);
+    const Coord b = coord_of(to);
+    int dir;
+    if (step(b.x, a.x, size_x_) == 1) {
+      dir = 0;  // +x
+    } else if (step(a.x, b.x, size_x_) == 1) {
+      dir = 1;  // -x
+    } else if (step(b.y, a.y, size_y_) == 1) {
+      dir = 2;  // +y
+    } else {
+      COLCOM_EXPECT_MSG(step(a.y, b.y, size_y_) == 1, "nodes not adjacent");
+      dir = 3;  // -y
+    }
+    return static_cast<std::uint32_t>(from) * 4u + static_cast<std::uint32_t>(dir);
+  }
+
+  std::uint32_t max_link_id() const {
+    return static_cast<std::uint32_t>(node_count()) * 4u;
+  }
+
+  /// Dimension-ordered (x then y) route; returns the node sequence
+  /// src, ..., dst inclusive. Torus routes take the shorter wrap direction.
+  std::vector<int> route(int src, int dst) const;
+
+  /// Hop count of the dimension-ordered route.
+  int hops(int src, int dst) const {
+    return static_cast<int>(route(src, dst).size()) - 1;
+  }
+
+ private:
+  // 1 if `hi` is one step beyond `lo` in a ring of length n (or a line when
+  // not torus), else 0. Helper for adjacency classification.
+  int step(int hi, int lo, int n) const {
+    if (hi == lo + 1) return 1;
+    if (torus_ && lo == n - 1 && hi == 0) return 1;
+    return 0;
+  }
+
+  int size_x_;
+  int size_y_;
+  bool torus_;
+};
+
+}  // namespace colcom::net

@@ -1,0 +1,29 @@
+// Byte extents — the lingua franca between the high-level I/O layer, the
+// two-phase engine, and the file system.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace colcom::pfs {
+
+/// A contiguous byte range [offset, offset + length) in a file.
+struct ByteExtent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  std::uint64_t end() const { return offset + length; }
+  friend bool operator==(const ByteExtent&, const ByteExtent&) = default;
+};
+
+/// Sums the lengths of all extents.
+inline std::uint64_t total_bytes(const std::vector<ByteExtent>& extents) {
+  std::uint64_t n = 0;
+  for (const auto& e : extents) n += e.length;
+  return n;
+}
+
+/// Merges adjacent/overlapping extents in a *sorted* extent list, in place.
+void coalesce_sorted(std::vector<ByteExtent>& extents);
+
+}  // namespace colcom::pfs

@@ -1,0 +1,75 @@
+#include "pfs/fault.hpp"
+
+#include "util/assert.hpp"
+
+namespace colcom::pfs {
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t store_checksum(const Store& store, std::uint64_t offset,
+                             std::uint64_t len) {
+  // Stream in bounded windows to stay memory-friendly for large ranges.
+  constexpr std::uint64_t kWindow = 1ull << 20;
+  std::vector<std::byte> buf;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  std::uint64_t pos = 0;
+  while (pos < len) {
+    const std::uint64_t n = std::min(kWindow, len - pos);
+    buf.resize(n);
+    store.read(offset + pos, buf);
+    for (const std::byte b : buf) {
+      h ^= static_cast<std::uint64_t>(b);
+      h *= 0x100000001b3ull;
+    }
+    pos += n;
+  }
+  return h;
+}
+
+FaultyStore::FaultyStore(std::unique_ptr<Store> base, double corrupt_prob,
+                         std::uint64_t seed, int corrupt_attempts)
+    : base_(std::move(base)),
+      corrupt_prob_(corrupt_prob),
+      seed_(seed),
+      corrupt_attempts_(corrupt_attempts) {
+  COLCOM_EXPECT(base_ != nullptr);
+  COLCOM_EXPECT(corrupt_prob >= 0.0 && corrupt_prob <= 1.0);
+  COLCOM_EXPECT(corrupt_attempts >= 1);
+}
+
+bool FaultyStore::should_corrupt(std::uint64_t offset) const {
+  if (corrupt_prob_ <= 0.0) return false;
+  // Hash the offset with the seed into a uniform [0,1) decision so the
+  // fault pattern is a pure function of location (reproducible), then cap
+  // by attempt count so retries succeed.
+  SplitMix64 sm(seed_ ^ (offset * 0x9e3779b97f4a7c15ull + 1));
+  const double roll =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  if (roll >= corrupt_prob_) return false;
+  const int attempt = ++attempts_[offset];
+  return attempt <= corrupt_attempts_;
+}
+
+void FaultyStore::read(std::uint64_t offset, std::span<std::byte> dst) const {
+  base_->read(offset, dst);
+  if (dst.empty() || !should_corrupt(offset)) return;
+  ++corruptions_;
+  // Flip a deterministic byte pattern across the payload.
+  SplitMix64 sm(seed_ ^ offset);
+  for (std::size_t i = 0; i < dst.size(); i += 257) {
+    dst[i] ^= std::byte{static_cast<std::uint8_t>(sm.next() | 1)};
+  }
+}
+
+void FaultyStore::write(std::uint64_t offset, std::span<const std::byte> src) {
+  base_->write(offset, src);
+}
+
+}  // namespace colcom::pfs

@@ -1,0 +1,69 @@
+// Fault injection for the storage stack — the substrate behind the
+// fault-tolerance investigation the paper lists as future work (Sec. VI).
+//
+// Two deterministic fault classes:
+//  * transient OST faults: an injected fraction of OST requests time out and
+//    are retried after a delay (costed in virtual time, data unharmed);
+//  * silent corruption: a FaultyStore flips bytes of selected reads while
+//    checksum() still reflects the pristine data, so end-to-end verification
+//    (as in Lustre T10-PI) can detect the damage and trigger a re-read.
+// All randomness is seeded; runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "pfs/store.hpp"
+#include "util/prng.hpp"
+
+namespace colcom::pfs {
+
+/// Transient-fault model applied per OST request.
+struct FaultModel {
+  double transient_fail_prob = 0;  ///< chance an OST request must retry
+  double retry_delay_s = 0.25;     ///< detection timeout before the retry
+  int max_retries = 4;             ///< give up (contract error) after this
+  std::uint64_t seed = 0x5eed;
+};
+
+/// 64-bit FNV-1a over a byte range — the end-to-end checksum primitive.
+std::uint64_t fnv1a(std::span<const std::byte> bytes);
+
+/// Checksum of a store's *pristine* content over [offset, offset+len).
+std::uint64_t store_checksum(const Store& store, std::uint64_t offset,
+                             std::uint64_t len);
+
+/// Wraps a store; an injected fraction of reads returns corrupted bytes
+/// (deterministic in offset and attempt count). Each location corrupts at
+/// most `corrupt_attempts` times, so retries eventually see good data —
+/// modelling transient in-flight corruption.
+class FaultyStore final : public Store {
+ public:
+  FaultyStore(std::unique_ptr<Store> base, double corrupt_prob,
+              std::uint64_t seed = 0xbadc0de, int corrupt_attempts = 1);
+
+  void read(std::uint64_t offset, std::span<std::byte> dst) const override;
+  void write(std::uint64_t offset, std::span<const std::byte> src) override;
+  std::uint64_t size() const override { return base_->size(); }
+
+  /// Pristine content (for checksums / verification).
+  const Store& pristine() const override { return *base_; }
+
+  std::uint64_t corruptions_served() const { return corruptions_; }
+
+ private:
+  /// Deterministic per-(offset,attempt) decision.
+  bool should_corrupt(std::uint64_t offset) const;
+
+  std::unique_ptr<Store> base_;
+  double corrupt_prob_;
+  std::uint64_t seed_;
+  int corrupt_attempts_;
+  // Attempt counters per offset bucket; mutable: read() is logically const.
+  mutable std::map<std::uint64_t, int> attempts_;
+  mutable std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace colcom::pfs

@@ -1,0 +1,170 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace colcom::pfs {
+
+void coalesce_sorted(std::vector<ByteExtent>& extents) {
+  if (extents.empty()) return;
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    COLCOM_EXPECT_MSG(extents[i].offset >= extents[out].offset,
+                      "coalesce_sorted requires sorted input");
+    if (extents[i].offset <= extents[out].end()) {
+      extents[out].length =
+          std::max(extents[out].end(), extents[i].end()) - extents[out].offset;
+    } else {
+      extents[++out] = extents[i];
+    }
+  }
+  extents.resize(out + 1);
+}
+
+Pfs::Pfs(des::Engine& engine, PfsConfig cfg)
+    : engine_(&engine), cfg_(cfg), storage_net_(engine, "storage-net") {
+  COLCOM_EXPECT(cfg.n_osts >= 1);
+  COLCOM_EXPECT(cfg.stripe_size >= 1);
+  COLCOM_EXPECT(cfg.ost_bw > 0 && cfg.storage_net_bw > 0);
+  osts_.resize(static_cast<std::size_t>(cfg.n_osts));
+  for (int i = 0; i < cfg.n_osts; ++i) {
+    osts_[static_cast<std::size_t>(i)].server =
+        std::make_unique<des::FifoResource>(engine,
+                                            "ost" + std::to_string(i));
+  }
+}
+
+FileId Pfs::create(std::string name, std::unique_ptr<Store> store) {
+  COLCOM_EXPECT(store != nullptr);
+  for (const auto& f : files_) {
+    COLCOM_EXPECT_MSG(f.name != name, "duplicate file name");
+  }
+  files_.push_back(File{std::move(name), std::move(store)});
+  return FileId{static_cast<int>(files_.size()) - 1};
+}
+
+FileId Pfs::open(const std::string& name) const {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) return FileId{static_cast<int>(i)};
+  }
+  COLCOM_EXPECT_MSG(false, "no such file: " + name);
+  return FileId{};
+}
+
+Store& Pfs::store(FileId id) {
+  COLCOM_EXPECT(id.valid() && id.index < static_cast<int>(files_.size()));
+  return *files_[static_cast<std::size_t>(id.index)].store;
+}
+
+const Store& Pfs::store(FileId id) const {
+  COLCOM_EXPECT(id.valid() && id.index < static_cast<int>(files_.size()));
+  return *files_[static_cast<std::size_t>(id.index)].store;
+}
+
+void Pfs::wrap_store(FileId id,
+                     const std::function<std::unique_ptr<Store>(
+                         std::unique_ptr<Store>)>& wrap) {
+  COLCOM_EXPECT(id.valid() && id.index < static_cast<int>(files_.size()));
+  auto& slot = files_[static_cast<std::size_t>(id.index)].store;
+  slot = wrap(std::move(slot));
+  COLCOM_EXPECT(slot != nullptr);
+}
+
+double Pfs::peak_bandwidth() const {
+  return std::min(static_cast<double>(cfg_.n_osts) * cfg_.ost_bw,
+                  cfg_.storage_net_bw);
+}
+
+des::SimTime Pfs::charge(std::uint64_t offset, std::uint64_t len) {
+  // Decompose [offset, offset+len) into per-OST byte counts. Within one
+  // request an OST serves its stripes as one sequential pass.
+  des::SimTime done = engine_->now();
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + len;
+  // Per-OST accumulation for this request.
+  std::vector<std::uint64_t> ost_bytes(osts_.size(), 0);
+  std::vector<std::uint64_t> ost_first(osts_.size(), ~0ull);
+  std::vector<std::uint64_t> ost_last(osts_.size(), 0);
+  while (pos < end) {
+    const std::uint64_t stripe = pos / cfg_.stripe_size;
+    const auto ost = static_cast<std::size_t>(
+        stripe % static_cast<std::uint64_t>(cfg_.n_osts));
+    const std::uint64_t stripe_end = (stripe + 1) * cfg_.stripe_size;
+    const std::uint64_t n = std::min(end, stripe_end) - pos;
+    if (ost_bytes[ost] == 0) ost_first[ost] = pos;
+    ost_bytes[ost] += n;
+    ost_last[ost] = pos + n;
+    pos += n;
+  }
+  for (std::size_t o = 0; o < osts_.size(); ++o) {
+    if (ost_bytes[o] == 0) continue;
+    Ost& ost = osts_[o];
+    const bool sequential = (ost.last_end == ost_first[o]);
+    if (!sequential) ++stats_.seeks;
+    des::SimTime service = cfg_.ost_request_overhead +
+                           (sequential ? 0.0 : cfg_.ost_seek) +
+                           static_cast<double>(ost_bytes[o]) / cfg_.ost_bw;
+    // Transient faults: deterministic per (request, OST) roll; each retry
+    // pays the detection timeout plus a fresh service pass.
+    if (cfg_.transient_fail_prob > 0) {
+      SplitMix64 sm(cfg_.fault_seed ^
+                    (stats_.requests * 1099511628211ull + o * 40503ull));
+      const des::SimTime single_pass = service;
+      int tries = 0;
+      while (static_cast<double>(sm.next() >> 11) * 0x1.0p-53 <
+             cfg_.transient_fail_prob) {
+        COLCOM_EXPECT_MSG(++tries <= cfg_.max_retries,
+                          "OST request exceeded max_retries");
+        ++stats_.retries;
+        service += cfg_.retry_delay_s + single_pass;
+      }
+    }
+    done = std::max(done, ost.server->enqueue(service));
+    ost.last_end = ost_last[o];
+    ++stats_.ost_requests;
+  }
+  // The payload also crosses the shared storage network.
+  done = std::max(done, storage_net_.enqueue(static_cast<double>(len) /
+                                             cfg_.storage_net_bw));
+  ++stats_.requests;
+  return done;
+}
+
+des::Completion Pfs::read_async(FileId id, std::uint64_t offset,
+                                std::span<std::byte> dst) {
+  Store& s = store(id);
+  s.read(offset, dst);
+  stats_.read_bytes += dst.size();
+  if (dst.empty()) return des::Completion::ready(*engine_);
+  return des::Completion::at(*engine_, charge(offset, dst.size()));
+}
+
+des::Completion Pfs::read_extents_async(FileId id,
+                                        const std::vector<ByteExtent>& extents,
+                                        std::span<std::byte> dst) {
+  Store& s = store(id);
+  des::SimTime done = engine_->now();
+  std::uint64_t pos = 0;
+  for (const auto& e : extents) {
+    COLCOM_EXPECT(pos + e.length <= dst.size());
+    s.read(e.offset, dst.subspan(pos, e.length));
+    pos += e.length;
+    stats_.read_bytes += e.length;
+    if (e.length > 0) done = std::max(done, charge(e.offset, e.length));
+  }
+  COLCOM_EXPECT_MSG(pos == dst.size(), "dst must match total extent bytes");
+  return des::Completion::at(*engine_, done);
+}
+
+des::Completion Pfs::write_async(FileId id, std::uint64_t offset,
+                                 std::span<const std::byte> src) {
+  Store& s = store(id);
+  s.write(offset, src);
+  stats_.written_bytes += src.size();
+  if (src.empty()) return des::Completion::ready(*engine_);
+  return des::Completion::at(*engine_, charge(offset, src.size()));
+}
+
+}  // namespace colcom::pfs

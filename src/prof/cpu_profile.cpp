@@ -1,0 +1,63 @@
+#include "prof/cpu_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace colcom::prof {
+
+CpuProfile::CpuProfile(double bucket_seconds) : bucket_s_(bucket_seconds) {
+  COLCOM_EXPECT(bucket_seconds > 0);
+}
+
+void CpuProfile::on_interval(int /*node*/, int /*actor*/, des::CpuKind kind,
+                             des::SimTime begin, des::SimTime end) {
+  if (end <= begin) return;
+  const int idx = static_cast<int>(kind);
+  COLCOM_EXPECT(idx >= 0 && idx < 3);
+  double t = begin;
+  while (t < end) {
+    const auto b = static_cast<std::size_t>(t / bucket_s_);
+    if (b >= buckets_.size()) buckets_.resize(b + 1);
+    const double bucket_end = (static_cast<double>(b) + 1.0) * bucket_s_;
+    const double n = std::min(end, bucket_end) - t;
+    buckets_[b].acc[idx] += n;
+    t += n;
+  }
+}
+
+std::vector<CpuProfile::Row> CpuProfile::rows() const {
+  std::vector<Row> out;
+  out.reserve(buckets_.size());
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    Row r;
+    r.t = static_cast<double>(b) * bucket_s_;
+    const double total =
+        buckets_[b].acc[0] + buckets_[b].acc[1] + buckets_[b].acc[2];
+    if (total > 0) {
+      r.user_pct = buckets_[b].acc[0] / total * 100.0;
+      r.sys_pct = buckets_[b].acc[1] / total * 100.0;
+      r.wait_pct = buckets_[b].acc[2] / total * 100.0;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+CpuProfile::Row CpuProfile::total() const {
+  double acc[3] = {0, 0, 0};
+  for (const auto& b : buckets_) {
+    for (int i = 0; i < 3; ++i) acc[i] += b.acc[i];
+  }
+  Row r;
+  const double total = acc[0] + acc[1] + acc[2];
+  if (total > 0) {
+    r.user_pct = acc[0] / total * 100.0;
+    r.sys_pct = acc[1] / total * 100.0;
+    r.wait_pct = acc[2] / total * 100.0;
+  }
+  return r;
+}
+
+}  // namespace colcom::prof

@@ -1,0 +1,102 @@
+// Two-phase collective read/write (ROMIO's ADIOI_GEN_ReadStridedColl /
+// WriteStridedColl, reimplemented over the simulated machine).
+//
+// Read: aggregators stream their file domain in cb-sized chunks (I/O
+// phase) and redistribute each chunk's bytes to the requesting ranks
+// (shuffle phase). With hints.pipelined the read of chunk k+1 overlaps the
+// shuffle of chunk k — the nonblocking two-phase the paper profiles in
+// Fig. 1 and contrasts with collective computing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "pfs/pfs.hpp"
+#include "romio/plan.hpp"
+#include "romio/request.hpp"
+
+namespace colcom::romio {
+
+/// Aggregator-side timing of one two-phase iteration.
+struct IterStat {
+  double read_s = 0;     ///< PFS service time of this chunk
+  double stall_s = 0;    ///< time the aggregator actually waited on the read
+  double shuffle_s = 0;  ///< time to deliver all shuffle messages
+  std::uint64_t read_bytes = 0;
+  std::uint64_t shuffle_bytes = 0;
+};
+
+/// Per-rank result of a collective operation.
+struct CollectiveStats {
+  double plan_s = 0;   ///< access-info exchange and planning
+  double total_s = 0;  ///< whole collective call on this rank
+  std::uint64_t bytes_moved = 0;  ///< user payload into (read) / out of (write) this rank
+  std::vector<IterStat> iters;    ///< non-empty on aggregators only
+};
+
+/// One in-flight aggregation-chunk read: the union of requested ranges in
+/// the chunk window (holes skipped per Hints::sieve_gap), landing in a
+/// window-addressed buffer (byte at file offset o sits at buf[o - chunk.
+/// offset]). Both the plain two-phase read and the collective-computing
+/// runtime drive their I/O phase through this.
+class ChunkReader {
+ public:
+  /// Issues the async reads for `chunk`; `buf` must outlive wait().
+  void issue(pfs::Pfs& fs, pfs::FileId file, const TwoPhasePlan& plan,
+             pfs::ByteExtent chunk, std::vector<std::byte>& buf,
+             std::uint64_t sieve_gap, double now);
+
+  /// Blocks until every extent of the chunk arrived.
+  void wait();
+
+  pfs::ByteExtent chunk() const { return chunk_; }
+  std::uint64_t bytes_read() const { return bytes_; }
+  /// The extents actually read (post hole-skipping) — used by chunk
+  /// verification to checksum and re-read.
+  const std::vector<pfs::ByteExtent>& extents() const { return extents_; }
+  /// PFS service time of this chunk (valid after wait()).
+  double service_time() const;
+  bool issued() const { return issued_; }
+
+ private:
+  pfs::ByteExtent chunk_{0, 0};
+  std::vector<pfs::ByteExtent> extents_;
+  std::vector<des::Completion> pending_;
+  std::uint64_t bytes_ = 0;
+  double issued_at_ = 0;
+  double done_at_ = 0;
+  bool issued_ = false;
+};
+
+class CollectiveIo {
+ public:
+  explicit CollectiveIo(Hints hints = {}) : hints_(hints) {}
+
+  /// Collective read: all ranks must call. `mine` describes this rank's file
+  /// extents; bytes land packed-in-extent-order in `dst`.
+  CollectiveStats read_all(mpi::Comm& comm, pfs::FileId file,
+                           const FlatRequest& mine, std::span<std::byte> dst);
+
+  /// Collective write: `src` holds this rank's bytes packed in extent order.
+  CollectiveStats write_all(mpi::Comm& comm, pfs::FileId file,
+                            const FlatRequest& mine,
+                            std::span<const std::byte> src);
+
+  const Hints& hints() const { return hints_; }
+
+ private:
+  /// Receiver side of one iteration: pull this rank's pieces of every
+  /// aggregator's chunk `k` and scatter them into `dst`.
+  void receive_for_iteration(mpi::Comm& comm, const TwoPhasePlan& plan,
+                             const FlatRequest& mine, std::span<std::byte> dst,
+                             int k, std::vector<std::byte>& staging,
+                             CollectiveStats& stats);
+
+  static IterStat& ensure_iter(CollectiveStats& stats, int n_iters, int k);
+
+  Hints hints_;
+};
+
+}  // namespace colcom::romio

@@ -1,0 +1,103 @@
+#include "romio/independent.hpp"
+
+#include "mpi/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace colcom::romio {
+
+IndependentStats read_indep(mpi::Comm& comm, pfs::FileId file,
+                            const FlatRequest& mine, std::span<std::byte> dst,
+                            const SievingConfig& sieving) {
+  COLCOM_EXPECT(dst.size() >= mine.total_bytes());
+  IndependentStats stats;
+  const double t0 = comm.wtime();
+  auto& fs = comm.runtime().fs();
+  const auto before = fs.stats().requests;
+
+  if (mine.empty()) {
+    stats.total_s = comm.wtime() - t0;
+    return stats;
+  }
+
+  if (!sieving.enabled) {
+    fs.read_extents_async(file, mine.extents(), dst.subspan(0, mine.total_bytes()))
+        .wait();
+    stats.bytes_accessed = mine.total_bytes();
+  } else {
+    // Slide a sieve window over [min, max); read whole windows that are
+    // dense enough, extract the useful bytes.
+    std::vector<std::byte> window(sieving.buffer_size);
+    std::uint64_t lo = mine.min_offset();
+    const std::uint64_t end = mine.max_offset();
+    while (lo < end) {
+      const std::uint64_t hi = std::min(end, lo + sieving.buffer_size);
+      const auto pieces = mine.intersect(lo, hi);
+      if (!pieces.empty()) {
+        std::uint64_t useful = 0;
+        for (const auto& p : pieces) useful += p.len;
+        const double frac =
+            static_cast<double>(useful) / static_cast<double>(hi - lo);
+        if (frac >= sieving.min_useful_fraction) {
+          window.resize(hi - lo);
+          fs.read(file, lo, window);
+          stats.bytes_accessed += hi - lo;
+          for (const auto& p : pieces) {
+            std::memcpy(dst.data() + p.buf_off,
+                        window.data() + (p.file_off - lo), p.len);
+          }
+          const double memcpy_bw = comm.runtime().config().memcpy_bw;
+          comm.overhead(static_cast<double>(useful) / memcpy_bw);
+        } else {
+          std::vector<pfs::ByteExtent> ext;
+          std::uint64_t piece_bytes = 0;
+          for (const auto& p : pieces) {
+            ext.push_back(pfs::ByteExtent{p.file_off, p.len});
+            piece_bytes += p.len;
+          }
+          std::vector<std::byte> tmp(piece_bytes);
+          fs.read_extents_async(file, ext, tmp).wait();
+          stats.bytes_accessed += piece_bytes;
+          std::uint64_t pos = 0;
+          for (const auto& p : pieces) {
+            std::memcpy(dst.data() + p.buf_off, tmp.data() + pos, p.len);
+            pos += p.len;
+          }
+        }
+      }
+      lo = hi;
+    }
+  }
+  stats.bytes_moved = mine.total_bytes();
+  stats.pfs_requests = fs.stats().requests - before;
+  stats.total_s = comm.wtime() - t0;
+  return stats;
+}
+
+IndependentStats write_indep(mpi::Comm& comm, pfs::FileId file,
+                             const FlatRequest& mine,
+                             std::span<const std::byte> src) {
+  COLCOM_EXPECT(src.size() >= mine.total_bytes());
+  IndependentStats stats;
+  const double t0 = comm.wtime();
+  auto& fs = comm.runtime().fs();
+  const auto before = fs.stats().requests;
+  std::uint64_t pos = 0;
+  std::vector<des::Completion> pending;
+  for (const auto& e : mine.extents()) {
+    pending.push_back(fs.write_async(file, e.offset, src.subspan(pos, e.length)));
+    pos += e.length;
+  }
+  des::wait_all(pending);
+  stats.bytes_moved = mine.total_bytes();
+  stats.bytes_accessed = mine.total_bytes();
+  stats.pfs_requests = fs.stats().requests - before;
+  stats.total_s = comm.wtime() - t0;
+  return stats;
+}
+
+}  // namespace colcom::romio

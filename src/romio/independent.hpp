@@ -1,0 +1,43 @@
+// Independent (non-collective) I/O, with optional data sieving — the
+// baselines collective I/O is measured against (paper Figs. 2/3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpi/comm.hpp"
+#include "pfs/pfs.hpp"
+#include "romio/request.hpp"
+
+namespace colcom::romio {
+
+struct SievingConfig {
+  bool enabled = false;
+  /// Sieve window read at once (ROMIO ind_rd_buffer_size, default 4 MB).
+  std::uint64_t buffer_size = 4ull << 20;
+  /// Sieve only when useful bytes / window bytes >= this threshold;
+  /// otherwise fall back to direct extent reads for that window.
+  double min_useful_fraction = 0.0;
+};
+
+struct IndependentStats {
+  double total_s = 0;
+  std::uint64_t bytes_moved = 0;     ///< user payload delivered
+  std::uint64_t bytes_accessed = 0;  ///< bytes actually read from the PFS
+  std::uint64_t pfs_requests = 0;
+};
+
+/// Reads this rank's extents directly from the PFS (every extent is a
+/// separate request — the non-contiguous small-I/O pattern that motivates
+/// two-phase collective I/O). With sieving, whole windows are read and the
+/// useful bytes extracted.
+IndependentStats read_indep(mpi::Comm& comm, pfs::FileId file,
+                            const FlatRequest& mine, std::span<std::byte> dst,
+                            const SievingConfig& sieving = {});
+
+/// Independent write (no write sieving: extents are written one by one).
+IndependentStats write_indep(mpi::Comm& comm, pfs::FileId file,
+                             const FlatRequest& mine,
+                             std::span<const std::byte> src);
+
+}  // namespace colcom::romio

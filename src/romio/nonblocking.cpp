@@ -1,0 +1,27 @@
+#include "romio/nonblocking.hpp"
+
+#include "util/assert.hpp"
+
+namespace colcom::romio {
+
+NbRequest nb_read_all(mpi::Comm& comm, pfs::FileId file,
+                      const FlatRequest& mine, std::span<std::byte> dst,
+                      const Hints& hints, int context) {
+  COLCOM_EXPECT_MSG(context >= 1,
+                    "nonblocking collectives need a context id >= 1 so they "
+                    "cannot cross-match the blocking context 0");
+  NbRequest req;
+  req.state_ = std::make_shared<NbRequest::State>();
+  Hints h = hints;
+  h.context = context;
+  auto st = req.state_;
+  req.state_->done = comm.spawn_thread(
+      "nbcio-rank" + std::to_string(comm.rank()),
+      [&comm, file, mine, dst, h, st] {
+        CollectiveIo cio(h);
+        st->stats = cio.read_all(comm, file, mine, dst);
+      });
+  return req;
+}
+
+}  // namespace colcom::romio

@@ -1,0 +1,53 @@
+// Nonblocking collective I/O (NB-CIO) — the libNBC / PnetCDF-style baseline
+// the paper discusses in Sec. V-A.
+//
+// The entire two-phase collective read runs on a helper fiber ("progress
+// thread"), so the caller can overlap *independent* computation and wait()
+// later. Note the contrast with collective computing: NB-CIO cannot compute
+// on the data stream itself, only next to it.
+//
+// Concurrent NB-CIO operations on one communicator must use distinct
+// `context` ids (the analogue of MPI context ids) so their internal tags do
+// not cross-match.
+#pragma once
+
+#include <memory>
+
+#include "des/completion.hpp"
+#include "romio/collective.hpp"
+
+namespace colcom::romio {
+
+class NbRequest {
+ public:
+  NbRequest() = default;
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks the calling fiber until the collective read finished on this
+  /// rank; returns its stats.
+  const CollectiveStats& wait() {
+    COLCOM_EXPECT(valid());
+    state_->done.wait();
+    return state_->stats;
+  }
+
+  bool done() const { return valid() && state_->done.done(); }
+
+ private:
+  friend NbRequest nb_read_all(mpi::Comm&, pfs::FileId, const FlatRequest&,
+                               std::span<std::byte>, const Hints&, int);
+  struct State {
+    des::Completion done;
+    CollectiveStats stats;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Starts a nonblocking collective read. ALL ranks of the communicator must
+/// start the matching operation (with the same context) — exactly like
+/// ncmpi_iget_vara + wait. `dst` must stay alive until wait() returns.
+NbRequest nb_read_all(mpi::Comm& comm, pfs::FileId file,
+                      const FlatRequest& mine, std::span<std::byte> dst,
+                      const Hints& hints = {}, int context = 1);
+
+}  // namespace colcom::romio

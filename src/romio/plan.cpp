@@ -1,0 +1,177 @@
+#include "romio/plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mpi/world.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::romio {
+
+namespace {
+constexpr int kPlanTag = -2000;
+// Context ids shift internal tags by blocks of 16 so concurrent collectives
+// (distinct contexts) cannot cross-match.
+int plan_tag(const Hints& hints) { return kPlanTag - hints.context * 16; }
+}
+
+std::vector<pfs::ByteExtent> chunk_read_extents(
+    const std::vector<FlatRequest>& domain_requests, pfs::ByteExtent chunk,
+    std::uint64_t sieve_gap) {
+  std::vector<pfs::ByteExtent> needed;
+  for (const auto& req : domain_requests) {
+    for (const auto& p : req.intersect(chunk.offset, chunk.end())) {
+      needed.push_back(pfs::ByteExtent{p.file_off, p.len});
+    }
+  }
+  if (needed.empty()) return needed;
+  std::sort(needed.begin(), needed.end(),
+            [](const pfs::ByteExtent& a, const pfs::ByteExtent& b) {
+              return a.offset != b.offset ? a.offset < b.offset
+                                          : a.length < b.length;
+            });
+  // Merge overlaps and sieve small holes.
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < needed.size(); ++i) {
+    if (needed[i].offset <= needed[out].end() + sieve_gap) {
+      needed[out].length =
+          std::max(needed[out].end(), needed[i].end()) - needed[out].offset;
+    } else {
+      needed[++out] = needed[i];
+    }
+  }
+  needed.resize(out + 1);
+  return needed;
+}
+
+int TwoPhasePlan::aggregator_index(int rank) const {
+  for (std::size_t i = 0; i < aggregators.size(); ++i) {
+    if (aggregators[i] == rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TwoPhasePlan TwoPhasePlan::shifted(std::int64_t delta) const {
+  TwoPhasePlan p = *this;
+  auto move = [delta](std::uint64_t v) {
+    COLCOM_EXPECT_MSG(delta >= 0 || v >= static_cast<std::uint64_t>(-delta),
+                      "plan shift would move offsets before 0");
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(v) + delta);
+  };
+  p.gmin = move(p.gmin);
+  p.gmax = move(p.gmax);
+  for (auto& b : p.fd_begin) b = move(b);
+  for (auto& e : p.fd_end) e = move(e);
+  for (auto& req : p.domain_requests) req = req.shifted(delta);
+  return p;
+}
+
+pfs::ByteExtent TwoPhasePlan::chunk(int a, int k) const {
+  const auto ia = static_cast<std::size_t>(a);
+  COLCOM_EXPECT(ia < fd_begin.size() && k >= 0);
+  const std::uint64_t begin =
+      fd_begin[ia] + static_cast<std::uint64_t>(k) * cb;
+  if (begin >= fd_end[ia]) return pfs::ByteExtent{0, 0};
+  const std::uint64_t end = std::min(begin + cb, fd_end[ia]);
+  return pfs::ByteExtent{begin, end - begin};
+}
+
+TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
+                        const Hints& hints) {
+  COLCOM_EXPECT(hints.cb_buffer_size >= 1);
+  TwoPhasePlan plan;
+  plan.cb = hints.cb_buffer_size;
+
+  // Agree on the global access range.
+  const std::int64_t my_min =
+      mine.empty() ? std::numeric_limits<std::int64_t>::max()
+                   : static_cast<std::int64_t>(mine.min_offset());
+  const std::int64_t my_max =
+      mine.empty() ? 0 : static_cast<std::int64_t>(mine.max_offset());
+  std::int64_t gmin = 0, gmax = 0;
+  comm.allreduce(&my_min, &gmin, 1, mpi::Prim::i64, mpi::Op::min());
+  comm.allreduce(&my_max, &gmax, 1, mpi::Prim::i64, mpi::Op::max());
+  if (gmin >= gmax) {  // nobody accesses anything
+    plan.gmin = plan.gmax = 0;
+    return plan;
+  }
+  plan.gmin = static_cast<std::uint64_t>(gmin);
+  plan.gmax = static_cast<std::uint64_t>(gmax);
+  if (hints.fd_alignment > 1) {
+    // Round the range outward so domain boundaries land on element borders.
+    plan.gmin -= plan.gmin % hints.fd_alignment;
+    plan.gmax += (hints.fd_alignment - plan.gmax % hints.fd_alignment) %
+                 hints.fd_alignment;
+    COLCOM_EXPECT_MSG(hints.cb_buffer_size % hints.fd_alignment == 0,
+                      "cb_buffer_size must be a multiple of fd_alignment");
+  }
+
+  // Aggregator selection: cb_nodes ranks spread evenly (default: the first
+  // rank of each compute node, ROMIO's one-aggregator-per-node default).
+  const int nprocs = comm.size();
+  int naggs = hints.cb_nodes > 0 ? std::min(hints.cb_nodes, nprocs)
+                                 : comm.runtime().n_nodes();
+  naggs = std::max(1, naggs);
+  const int spacing = std::max(1, nprocs / naggs);
+  for (int a = 0; a < naggs; ++a) {
+    plan.aggregators.push_back(std::min(a * spacing, nprocs - 1));
+  }
+
+  // Even file-domain partitioning (optionally stripe-aligned).
+  const std::uint64_t len = plan.gmax - plan.gmin;
+  std::uint64_t per = (len + static_cast<std::uint64_t>(naggs) - 1) /
+                      static_cast<std::uint64_t>(naggs);
+  if (hints.stripe_aligned_fd && hints.stripe_size > 0) {
+    per = ((per + hints.stripe_size - 1) / hints.stripe_size) *
+          hints.stripe_size;
+  }
+  if (hints.fd_alignment > 1) {
+    per = ((per + hints.fd_alignment - 1) / hints.fd_alignment) *
+          hints.fd_alignment;
+  }
+  per = std::max<std::uint64_t>(per, 1);
+  std::uint64_t max_domain = 0;
+  for (int a = 0; a < naggs; ++a) {
+    const std::uint64_t b =
+        std::min(plan.gmax, plan.gmin + static_cast<std::uint64_t>(a) * per);
+    const std::uint64_t e = std::min(plan.gmax, b + per);
+    plan.fd_begin.push_back(b);
+    plan.fd_end.push_back(e);
+    max_domain = std::max(max_domain, e - b);
+  }
+  plan.n_iters =
+      static_cast<int>((max_domain + plan.cb - 1) / plan.cb);
+
+  // Exchange access information: every rank ships the part of its offset
+  // list that falls in each aggregator's file domain to that aggregator.
+  std::vector<mpi::Request> sends;
+  std::vector<std::vector<std::byte>> wires(plan.aggregators.size());
+  for (int a = 0; a < naggs; ++a) {
+    const auto ia = static_cast<std::size_t>(a);
+    std::vector<pfs::ByteExtent> clipped;
+    for (const auto& p : mine.intersect(plan.fd_begin[ia], plan.fd_end[ia])) {
+      clipped.push_back(pfs::ByteExtent{p.file_off, p.len});
+    }
+    wires[ia] = FlatRequest(std::move(clipped)).serialize();
+    sends.push_back(comm.isend(plan.aggregators[ia], plan_tag(hints), wires[ia]));
+  }
+
+  if (plan.is_aggregator(comm.rank())) {
+    plan.domain_requests.resize(static_cast<std::size_t>(nprocs));
+    // Receive every rank's clipped list (deterministic rank order).
+    // The sender's clipped-list size is unknown a priori; recv() enforces
+    // fit, so use a staging buffer large enough for any realistic offset
+    // list (256k extents).
+    std::vector<std::byte> buf(4 << 20);
+    for (int r = 0; r < nprocs; ++r) {
+      const auto info = comm.recv(r, plan_tag(hints), buf);
+      plan.domain_requests[static_cast<std::size_t>(r)] =
+          FlatRequest::deserialize(
+              std::span<const std::byte>(buf.data(), info.bytes));
+    }
+  }
+  mpi::wait_all(sends);
+  return plan;
+}
+
+}  // namespace colcom::romio

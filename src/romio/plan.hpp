@@ -1,0 +1,79 @@
+// Two-phase planning: aggregator selection, file-domain partitioning, and
+// the collective exchange of access information ("all processes share their
+// accessing information by exchanging the offset list" — paper Sec. III-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "romio/request.hpp"
+
+namespace colcom::romio {
+
+/// MPI-IO-style hints controlling the two-phase engine.
+struct Hints {
+  std::uint64_t cb_buffer_size = 4ull << 20;  ///< per-iteration chunk (4 MB)
+  /// Aggregator count; -1 selects one per compute node (ROMIO default).
+  int cb_nodes = -1;
+  /// Overlap the read of chunk k+1 with the shuffle of chunk k (the
+  /// nonblocking two-phase the paper profiles in Fig. 1).
+  bool pipelined = true;
+  /// Align file-domain boundaries down to stripe boundaries.
+  bool stripe_aligned_fd = false;
+  std::uint64_t stripe_size = 4ull << 20;  ///< used when stripe_aligned_fd
+  /// File domains and the global range are aligned to this many bytes.
+  /// Collective computing sets it to the element size so chunks never split
+  /// an element (a requirement for mapping in place).
+  std::uint64_t fd_alignment = 1;
+  /// Holes up to this size inside a chunk are read through (data sieving);
+  /// larger holes split the chunk read so unrequested regions are skipped,
+  /// as ROMIO does.
+  std::uint64_t sieve_gap = 64ull << 10;
+  /// Collective context id (like an MPI context): concurrent collective
+  /// operations on one communicator must use distinct contexts so their
+  /// internal tags cannot cross-match. 0 is the default blocking context.
+  int context = 0;
+};
+
+/// The byte extents an aggregator actually reads for one chunk: the union
+/// of all requests inside the chunk, with holes <= sieve_gap read through.
+std::vector<pfs::ByteExtent> chunk_read_extents(
+    const std::vector<FlatRequest>& domain_requests, pfs::ByteExtent chunk,
+    std::uint64_t sieve_gap);
+
+/// The collectively agreed plan. Identical on every rank except for
+/// `my_request` / aggregator-held peer requests.
+struct TwoPhasePlan {
+  std::uint64_t gmin = 0;  ///< global min offset
+  std::uint64_t gmax = 0;  ///< global max offset (one past last byte)
+  std::vector<int> aggregators;        ///< ranks acting as aggregators
+  std::vector<std::uint64_t> fd_begin; ///< per-aggregator domain start
+  std::vector<std::uint64_t> fd_end;   ///< per-aggregator domain end
+  int n_iters = 0;                     ///< lockstep iteration count
+  std::uint64_t cb = 0;                ///< chunk bytes per iteration
+
+  /// Peer requests clipped to my file domain — populated on aggregators
+  /// only, indexed by rank.
+  std::vector<FlatRequest> domain_requests;
+
+  int aggregator_count() const { return static_cast<int>(aggregators.size()); }
+  /// Index of `rank` among aggregators, or -1.
+  int aggregator_index(int rank) const;
+  bool is_aggregator(int rank) const { return aggregator_index(rank) >= 0; }
+
+  /// Chunk range of aggregator `a` at iteration `k` (may be empty).
+  pfs::ByteExtent chunk(int a, int k) const;
+
+  /// A copy of the plan with every byte offset moved by `delta` — valid for
+  /// translation-invariant iterative access (core::IterativeComputer).
+  TwoPhasePlan shifted(std::int64_t delta) const;
+};
+
+/// Builds the plan collectively. Every rank must call with its own request.
+/// Cost model: one allreduce for [gmin,gmax) plus each rank shipping its
+/// clipped offset list to each intersecting aggregator.
+TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
+                        const Hints& hints);
+
+}  // namespace colcom::romio

@@ -1,0 +1,66 @@
+// FlatRequest: a rank's file access as a sorted extent list — ROMIO's
+// flattened representation — plus the mapping back into the rank's
+// contiguous user buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpi/datatype.hpp"
+#include "pfs/extent.hpp"
+
+namespace colcom::romio {
+
+/// One intersected piece of a request: `len` bytes at file offset
+/// `file_off`, landing at `buf_off` in the requesting rank's user buffer.
+struct Piece {
+  std::uint64_t file_off = 0;
+  std::uint64_t len = 0;
+  std::uint64_t buf_off = 0;
+  friend bool operator==(const Piece&, const Piece&) = default;
+};
+
+class FlatRequest {
+ public:
+  FlatRequest() = default;
+
+  /// From sorted, non-overlapping extents (user-buffer order == extent
+  /// order, as produced by datatype flattening).
+  explicit FlatRequest(std::vector<pfs::ByteExtent> extents);
+
+  /// From a datatype's typemap anchored at `file_base` (e.g. a variable's
+  /// start offset in the file).
+  static FlatRequest from_datatype(std::uint64_t file_base,
+                                   const mpi::Datatype& type,
+                                   std::uint64_t count = 1);
+
+  const std::vector<pfs::ByteExtent>& extents() const { return extents_; }
+  std::uint64_t total_bytes() const { return total_; }
+  bool empty() const { return extents_.empty(); }
+
+  /// Smallest/largest file offset touched (contract error when empty).
+  std::uint64_t min_offset() const;
+  std::uint64_t max_offset() const;  ///< one past the last byte
+
+  /// Pieces of this request inside file range [lo, hi), in file order.
+  std::vector<Piece> intersect(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Bytes of this request inside [lo, hi).
+  std::uint64_t bytes_in(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Wire form: [n][off,len]... for exchanging access info with aggregators.
+  std::vector<std::byte> serialize() const;
+  static FlatRequest deserialize(std::span<const std::byte> wire);
+
+  /// The same request translated by `delta` bytes (delta may be negative
+  /// but must not move any extent before offset 0).
+  FlatRequest shifted(std::int64_t delta) const;
+
+ private:
+  std::vector<pfs::ByteExtent> extents_;
+  std::vector<std::uint64_t> buf_displ_;  // user-buffer offset per extent
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace colcom::romio

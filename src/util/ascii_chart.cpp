@@ -1,0 +1,99 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace colcom {
+
+namespace {
+std::size_t max_label_width(const std::vector<std::string>& labels) {
+  std::size_t w = 0;
+  for (const auto& l : labels) w = std::max(w, l.size());
+  return w;
+}
+}  // namespace
+
+void print_bar_chart(std::ostream& os, const std::vector<std::string>& labels,
+                     const std::vector<double>& values, int width,
+                     int precision) {
+  COLCOM_EXPECT(labels.size() == values.size());
+  if (labels.empty()) return;
+  const double vmax = *std::max_element(values.begin(), values.end());
+  const std::size_t lw = max_label_width(labels);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int n =
+        vmax <= 0.0 ? 0
+                    : static_cast<int>(std::lround(values[i] / vmax * width));
+    os << labels[i] << std::string(lw - labels[i].size(), ' ') << "  |"
+       << std::string(static_cast<std::size_t>(std::max(n, 0)), '#')
+       << std::string(static_cast<std::size_t>(std::max(width - n, 0)), ' ')
+       << "| " << format_fixed(values[i], precision) << '\n';
+  }
+}
+
+void print_grouped_bars(std::ostream& os,
+                        const std::vector<std::string>& labels,
+                        const std::vector<std::string>& series_names,
+                        const std::vector<std::vector<double>>& series,
+                        int width, int precision) {
+  COLCOM_EXPECT(series.size() == series_names.size());
+  double vmax = 0.0;
+  std::size_t nw = 0;
+  for (const auto& s : series) {
+    COLCOM_EXPECT(s.size() == labels.size());
+    for (double v : s) vmax = std::max(vmax, v);
+  }
+  for (const auto& n : series_names) nw = std::max(nw, n.size());
+  const std::size_t lw = max_label_width(labels);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const double v = series[s][i];
+      const int n =
+          vmax <= 0.0 ? 0 : static_cast<int>(std::lround(v / vmax * width));
+      os << (s == 0 ? labels[i] : std::string(labels[i].size(), ' '))
+         << std::string(lw - labels[i].size(), ' ') << "  " << series_names[s]
+         << std::string(nw - series_names[s].size(), ' ') << " |"
+         << std::string(static_cast<std::size_t>(std::max(n, 0)), '#')
+         << std::string(static_cast<std::size_t>(std::max(width - n, 0)), ' ')
+         << "| " << format_fixed(v, precision) << '\n';
+    }
+  }
+}
+
+void print_series(std::ostream& os, const std::string& x_name,
+                  const std::vector<double>& x,
+                  const std::vector<SeriesColumn>& columns,
+                  std::size_t max_rows, int precision) {
+  COLCOM_EXPECT(max_rows >= 2);
+  for (const auto& c : columns) {
+    COLCOM_EXPECT(c.values != nullptr && c.values->size() == x.size());
+  }
+  os << x_name;
+  for (const auto& c : columns) os << '\t' << c.name;
+  os << '\n';
+  if (x.empty()) return;
+  const std::size_t stride =
+      x.size() <= max_rows ? 1 : (x.size() + max_rows - 1) / max_rows;
+  for (std::size_t i = 0; i < x.size(); i += stride) {
+    os << format_fixed(x[i], precision);
+    for (const auto& c : columns) {
+      os << '\t' << format_fixed((*c.values)[i], precision);
+    }
+    os << '\n';
+  }
+  // Always show the final point so the series endpoint is visible.
+  if ((x.size() - 1) % stride != 0) {
+    const std::size_t i = x.size() - 1;
+    os << format_fixed(x[i], precision);
+    for (const auto& c : columns) {
+      os << '\t' << format_fixed((*c.values)[i], precision);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace colcom

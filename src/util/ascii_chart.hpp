@@ -1,0 +1,37 @@
+// Minimal ASCII chart renderers so bench output visually mirrors the paper's
+// figures (bar charts for Figs. 9/10/13, line series for Figs. 1/11/12).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace colcom {
+
+/// One labelled horizontal bar chart, values auto-scaled to `width` chars.
+///
+///   10:1  |#############                | 1.12
+///   1:1   |#############################| 2.44
+void print_bar_chart(std::ostream& os, const std::vector<std::string>& labels,
+                     const std::vector<double>& values, int width = 40,
+                     int precision = 2);
+
+/// Grouped bars (e.g. CC vs MPI side by side per x label).
+void print_grouped_bars(std::ostream& os,
+                        const std::vector<std::string>& labels,
+                        const std::vector<std::string>& series_names,
+                        const std::vector<std::vector<double>>& series,
+                        int width = 40, int precision = 2);
+
+/// Down-samples a long (x, y...) series to at most `max_rows` printed rows —
+/// used for the 35k-iteration trace of Fig. 1.
+struct SeriesColumn {
+  std::string name;
+  const std::vector<double>* values;
+};
+void print_series(std::ostream& os, const std::string& x_name,
+                  const std::vector<double>& x,
+                  const std::vector<SeriesColumn>& columns,
+                  std::size_t max_rows = 40, int precision = 4);
+
+}  // namespace colcom

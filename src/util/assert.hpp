@@ -1,0 +1,60 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations throw colcom::ContractViolation so that
+// tests can assert on misuse without aborting the whole process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace colcom {
+
+/// Thrown when a COLCOM_EXPECT / COLCOM_ENSURE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace colcom
+
+/// Precondition check: document and enforce what a function requires.
+#define COLCOM_EXPECT(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::colcom::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                      __LINE__, "");                         \
+  } while (0)
+
+/// Precondition check with an explanatory message.
+#define COLCOM_EXPECT_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::colcom::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                      __LINE__, (msg));                      \
+  } while (0)
+
+/// Postcondition / internal-invariant check.
+#define COLCOM_ENSURE(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::colcom::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                      __LINE__, "");                         \
+  } while (0)
+
+#define COLCOM_ENSURE_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::colcom::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                      __LINE__, (msg));                      \
+  } while (0)

@@ -1,0 +1,21 @@
+// Human-readable formatting helpers for bench/report output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace colcom {
+
+/// "1.50 GB", "4.00 MB", "312 B" — binary (1024) units, as in I/O literature.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "1.234 s", "56.7 ms", "890 us" — picks the natural unit.
+std::string format_seconds(double seconds);
+
+/// Fixed-precision double, e.g. format_fixed(2.4456, 2) == "2.45".
+std::string format_fixed(double value, int precision);
+
+/// "12,345,678" with thousands separators.
+std::string format_count(std::uint64_t n);
+
+}  // namespace colcom

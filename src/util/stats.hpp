@@ -1,0 +1,91 @@
+// Streaming statistics accumulators used by benches and the DES profiler.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace colcom {
+
+/// Welford-style streaming accumulator: mean/variance/min/max without storing
+/// samples.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample-retaining statistics: adds percentile queries on top of
+/// StreamingStats. Suitable for bench-sized sample counts.
+class SampleStats {
+ public:
+  void add(double x) {
+    stream_.add(x);
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return stream_.count(); }
+  double sum() const { return stream_.sum(); }
+  double mean() const { return stream_.mean(); }
+  double min() const { return stream_.min(); }
+  double max() const { return stream_.max(); }
+  double stddev() const { return stream_.stddev(); }
+
+  /// p in [0, 100]; linear interpolation between closest ranks.
+  double percentile(double p) const {
+    COLCOM_EXPECT(p >= 0.0 && p <= 100.0);
+    COLCOM_EXPECT(!samples_.empty());
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    if (samples_.size() == 1) return samples_.front();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  }
+
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  StreamingStats stream_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace colcom

@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace colcom {
+
+void TablePrinter::set_header(std::vector<std::string> header) {
+  COLCOM_EXPECT_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  COLCOM_EXPECT_MSG(row.size() == header_.size(),
+                    "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(width[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule.emplace_back(width[c], '-');
+  }
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace colcom

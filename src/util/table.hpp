@@ -1,0 +1,34 @@
+// Plain-text table printer used by every bench binary to emit the rows the
+// paper's tables/figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace colcom {
+
+/// Column-aligned ASCII table. Add a header once, then rows of equal arity;
+/// print() pads every cell to the widest entry in its column.
+class TablePrinter {
+ public:
+  /// Declares column titles. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a rule under the header, e.g.
+  ///   ratio   speedup
+  ///   ------  -------
+  ///   10:1    1.12
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace colcom

@@ -1,0 +1,109 @@
+#include "wrf/hurricane.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace colcom::wrf {
+
+namespace {
+
+struct StormState {
+  double cx = 0;  ///< storm center, cells
+  double cy = 0;
+};
+
+StormState center_at(const HurricaneConfig& cfg, std::uint64_t t) {
+  const double f =
+      cfg.nt <= 1 ? 0.0
+                  : static_cast<double>(t) / static_cast<double>(cfg.nt - 1);
+  StormState s;
+  s.cx = (cfg.x0 + (cfg.x1 - cfg.x0) * f) * static_cast<double>(cfg.nx);
+  s.cy = (cfg.y0 + (cfg.y1 - cfg.y0) * f) * static_cast<double>(cfg.ny);
+  return s;
+}
+
+/// Distance from the storm center in cells; dx/dy out-parameters for wind
+/// direction.
+double radius(const HurricaneConfig& cfg, std::uint64_t t, std::uint64_t y,
+              std::uint64_t x, double* dx_out, double* dy_out) {
+  const auto s = center_at(cfg, t);
+  const double dx = static_cast<double>(x) - s.cx;
+  const double dy = static_cast<double>(y) - s.cy;
+  if (dx_out != nullptr) *dx_out = dx;
+  if (dy_out != nullptr) *dy_out = dy;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Holland (1980) pressure profile factor exp(-(rm/r)^B).
+double holland_factor(const HurricaneConfig& cfg, double r) {
+  const double rr = std::max(r, 1e-6);
+  return std::exp(-std::pow(cfg.rmax_cells / rr, cfg.holland_b));
+}
+
+/// Tangential gradient-wind magnitude, normalized to peak vmax at rmax.
+double wind_profile(const HurricaneConfig& cfg, double r) {
+  const double rr = std::max(r, 1e-6);
+  const double x = std::pow(cfg.rmax_cells / rr, cfg.holland_b);
+  // V(r) ∝ sqrt(x * exp(1 - x)); equals 1 at r = rmax (x = 1).
+  return cfg.vmax_knots * std::sqrt(x * std::exp(1.0 - x));
+}
+
+}  // namespace
+
+double slp_at(const HurricaneConfig& cfg, std::uint64_t t, std::uint64_t y,
+              std::uint64_t x) {
+  const double r = radius(cfg, t, y, x, nullptr, nullptr);
+  // P(r) = Pc + deficit * exp(-(rm/r)^B); Pc = background - depth.
+  return cfg.background_hpa - cfg.depth_hpa +
+         cfg.depth_hpa * holland_factor(cfg, r);
+}
+
+double u10_at(const HurricaneConfig& cfg, std::uint64_t t, std::uint64_t y,
+              std::uint64_t x) {
+  double dx = 0, dy = 0;
+  const double r = radius(cfg, t, y, x, &dx, &dy);
+  if (r < 1e-9) return 0.0;
+  // Cyclonic (counter-clockwise, northern hemisphere): tangential unit
+  // vector is (-dy, dx)/r.
+  return wind_profile(cfg, r) * (-dy / r);
+}
+
+double v10_at(const HurricaneConfig& cfg, std::uint64_t t, std::uint64_t y,
+              std::uint64_t x) {
+  double dx = 0, dy = 0;
+  const double r = radius(cfg, t, y, x, &dx, &dy);
+  if (r < 1e-9) return 0.0;
+  return wind_profile(cfg, r) * (dx / r);
+}
+
+double wind_speed_at(const HurricaneConfig& cfg, std::uint64_t t,
+                     std::uint64_t y, std::uint64_t x) {
+  return wind_profile(cfg, radius(cfg, t, y, x, nullptr, nullptr));
+}
+
+ncio::Dataset make_hurricane_dataset(pfs::Pfs& fs, const std::string& name,
+                                     const HurricaneConfig& cfg) {
+  COLCOM_EXPECT(cfg.nt >= 1 && cfg.ny >= 2 && cfg.nx >= 2);
+  ncio::DatasetBuilder b(fs, name);
+  const std::vector<std::uint64_t> dims{cfg.nt, cfg.ny, cfg.nx};
+  b.add_generated_var<float>(
+      "SLP", dims, [cfg](std::span<const std::uint64_t> c) {
+        return static_cast<float>(slp_at(cfg, c[0], c[1], c[2]));
+      });
+  b.add_generated_var<float>(
+      "U10", dims, [cfg](std::span<const std::uint64_t> c) {
+        return static_cast<float>(u10_at(cfg, c[0], c[1], c[2]));
+      });
+  b.add_generated_var<float>(
+      "V10", dims, [cfg](std::span<const std::uint64_t> c) {
+        return static_cast<float>(v10_at(cfg, c[0], c[1], c[2]));
+      });
+  b.add_generated_var<float>(
+      "W10", dims, [cfg](std::span<const std::uint64_t> c) {
+        return static_cast<float>(wind_speed_at(cfg, c[0], c[1], c[2]));
+      });
+  return b.finish();
+}
+
+}  // namespace colcom::wrf

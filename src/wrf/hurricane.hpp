@@ -1,0 +1,58 @@
+// Synthetic WRF-like hurricane output.
+//
+// The paper evaluates on two analysis tasks from a WRF hurricane simulation:
+// "Min Sea-Level Pressure (hPa)" and "Max 10 m wind speed (knots)". Real WRF
+// output is not available offline, so the fields are generated from a
+// Holland-profile moving vortex: a pressure low tracking across the domain
+// with the corresponding tangential gradient wind. The fields are closed
+// form, so every analysis result has exact ground truth, and they are served
+// through ncio generated variables so the whole I/O stack (striping,
+// two-phase aggregation, logical map) is exercised exactly as with real
+// data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ncio/dataset.hpp"
+#include "pfs/pfs.hpp"
+
+namespace colcom::wrf {
+
+struct HurricaneConfig {
+  std::uint64_t nt = 24;   ///< output time steps
+  std::uint64_t ny = 256;  ///< south-north cells
+  std::uint64_t nx = 256;  ///< west-east cells
+
+  double background_hpa = 1013.25;  ///< ambient sea-level pressure
+  double depth_hpa = 62.0;          ///< central pressure deficit
+  double rmax_cells = 14.0;         ///< radius of maximum wind
+  double holland_b = 1.6;           ///< Holland shape parameter
+  double vmax_knots = 118.0;        ///< peak 10 m wind
+
+  // Storm track: linear from (x0, y0) to (x1, y1) in fractional domain
+  // coordinates over the nt steps.
+  double x0 = 0.15, y0 = 0.75;
+  double x1 = 0.85, y1 = 0.25;
+};
+
+/// Sea-level pressure (hPa) at cell (t, y, x).
+double slp_at(const HurricaneConfig& cfg, std::uint64_t t, std::uint64_t y,
+              std::uint64_t x);
+
+/// Eastward / northward 10 m wind components (knots).
+double u10_at(const HurricaneConfig& cfg, std::uint64_t t, std::uint64_t y,
+              std::uint64_t x);
+double v10_at(const HurricaneConfig& cfg, std::uint64_t t, std::uint64_t y,
+              std::uint64_t x);
+
+/// 10 m wind speed magnitude (knots).
+double wind_speed_at(const HurricaneConfig& cfg, std::uint64_t t,
+                     std::uint64_t y, std::uint64_t x);
+
+/// Builds the dataset with variables SLP, U10, V10, W10, each (nt, ny, nx)
+/// float32, generator-backed.
+ncio::Dataset make_hurricane_dataset(pfs::Pfs& fs, const std::string& name,
+                                     const HurricaneConfig& cfg);
+
+}  // namespace colcom::wrf

@@ -1,0 +1,325 @@
+// Unit tests for the discrete-event engine: fibers, clock, resources,
+// completions, channels, barriers, determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/completion.hpp"
+#include "des/engine.hpp"
+#include "des/fiber.hpp"
+#include "des/resource.hpp"
+#include "des/sync.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::des {
+namespace {
+
+TEST(Fiber, RunsBodyOnResume) {
+  int steps = 0;
+  Fiber f(64 * 1024, [&] {
+    ++steps;
+    Fiber::current()->yield();
+    ++steps;
+  });
+  EXPECT_EQ(steps, 0);
+  f.resume();
+  EXPECT_EQ(steps, 1);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_EQ(steps, 2);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CapturesException) {
+  Fiber f(64 * 1024, [] { throw std::runtime_error("boom"); });
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  ASSERT_TRUE(f.exception() != nullptr);
+  EXPECT_THROW(std::rethrow_exception(f.exception()), std::runtime_error);
+}
+
+TEST(Engine, AdvanceMovesVirtualClock) {
+  Engine e;
+  SimTime seen = -1;
+  e.spawn("a", 0, [&] {
+    e.advance(1.5);
+    seen = e.now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 1.5);
+}
+
+TEST(Engine, ActorsInterleaveByTime) {
+  Engine e;
+  std::vector<std::string> order;
+  e.spawn("slow", 0, [&] {
+    e.advance(2.0);
+    order.push_back("slow");
+  });
+  e.spawn("fast", 0, [&] {
+    e.advance(1.0);
+    order.push_back("fast");
+  });
+  e.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "fast");
+  EXPECT_EQ(order[1], "slow");
+}
+
+TEST(Engine, TieBreakIsSpawnOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.spawn("a" + std::to_string(i), 0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SleepUntilWakesAtExactTime) {
+  Engine e;
+  SimTime woke = -1;
+  e.spawn("s", 0, [&] {
+    e.sleep_until(3.25);
+    woke = e.now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(woke, 3.25);
+}
+
+TEST(Engine, ExceptionInActorPropagates) {
+  Engine e;
+  e.spawn("bad", 0, [] { throw std::runtime_error("actor failed"); });
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, SchedulingInPastIsContractViolation) {
+  Engine e;
+  e.spawn("a", 0, [&] {
+    e.advance(1.0);
+    EXPECT_THROW(e.schedule(0.5, [] {}), ContractViolation);
+  });
+  e.run();
+}
+
+TEST(Engine, BlockAndWakeRoundTrip) {
+  Engine e;
+  int waiter_id = -1;
+  bool resumed = false;
+  e.spawn("waiter", 0, [&] {
+    waiter_id = e.current_actor();
+    e.block();
+    resumed = true;
+  });
+  e.spawn("waker", 1, [&] {
+    e.advance(2.0);
+    e.wake(waiter_id);
+  });
+  e.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Engine, CpuListenerReceivesIntervals) {
+  struct Rec : CpuListener {
+    std::vector<std::tuple<int, CpuKind, SimTime, SimTime>> intervals;
+    void on_interval(int node, int, CpuKind kind, SimTime b,
+                     SimTime en) override {
+      intervals.emplace_back(node, kind, b, en);
+    }
+  } rec;
+  Engine e;
+  e.set_cpu_listener(&rec);
+  e.spawn("a", 3, [&] {
+    e.advance(1.0, CpuKind::user);
+    e.advance(0.5, CpuKind::sys);
+    e.sleep_until(4.0);
+  });
+  e.run();
+  ASSERT_EQ(rec.intervals.size(), 3u);
+  EXPECT_EQ(std::get<0>(rec.intervals[0]), 3);
+  EXPECT_EQ(std::get<1>(rec.intervals[0]), CpuKind::user);
+  EXPECT_DOUBLE_EQ(std::get<3>(rec.intervals[0]), 1.0);
+  EXPECT_EQ(std::get<1>(rec.intervals[1]), CpuKind::sys);
+  EXPECT_EQ(std::get<1>(rec.intervals[2]), CpuKind::wait);
+  EXPECT_DOUBLE_EQ(std::get<3>(rec.intervals[2]), 4.0);
+}
+
+TEST(Resource, FifoSerializesRequests) {
+  Engine e;
+  std::vector<SimTime> done;
+  FifoResource r(e, "disk");
+  for (int i = 0; i < 3; ++i) {
+    e.spawn("u" + std::to_string(i), 0, [&] {
+      r.use(1.0);
+      done.push_back(e.now());
+    });
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 3.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 3.0);
+  EXPECT_EQ(r.ops(), 3u);
+}
+
+TEST(Resource, AsyncOverlapsWithCompute) {
+  Engine e;
+  SimTime finish = -1;
+  FifoResource r(e, "disk");
+  e.spawn("overlap", 0, [&] {
+    Completion c = r.use_async(2.0);  // disk works 0..2
+    e.advance(1.5);                   // compute 0..1.5 in parallel
+    c.wait();                         // done at 2, not 3.5
+    finish = e.now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(finish, 2.0);
+}
+
+TEST(Completion, ReadyIsImmediate) {
+  Engine e;
+  SimTime t = -1;
+  e.spawn("a", 0, [&] {
+    Completion c = Completion::ready(e);
+    c.wait();
+    t = e.now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Completion, MultipleWaiters) {
+  Engine e;
+  CompletionSource src(e);
+  int woken = 0;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn("w" + std::to_string(i), 0, [&] {
+      src.completion().wait();
+      ++woken;
+    });
+  }
+  e.spawn("firer", 0, [&] {
+    e.advance(5.0);
+    src.fire();
+  });
+  e.run();
+  EXPECT_EQ(woken, 4);
+}
+
+TEST(Completion, WaitAllWaitsForSlowest) {
+  Engine e;
+  FifoResource a(e, "a"), b(e, "b");
+  SimTime t = -1;
+  e.spawn("w", 0, [&] {
+    std::vector<Completion> cs{a.use_async(1.0), b.use_async(3.0)};
+    wait_all(cs);
+    t = e.now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+TEST(Sync, SemaphoreLimitsConcurrency) {
+  Engine e;
+  Semaphore sem(e, 2);
+  int inside = 0, peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    e.spawn("s" + std::to_string(i), 0, [&] {
+      sem.acquire();
+      peak = std::max(peak, ++inside);
+      e.advance(1.0);
+      --inside;
+      sem.release();
+    });
+  }
+  e.run();
+  EXPECT_EQ(peak, 2);
+}
+
+TEST(Sync, ChannelTransfersInOrder) {
+  Engine e;
+  Channel<int> ch(e, 2);
+  std::vector<int> got;
+  e.spawn("producer", 0, [&] {
+    for (int i = 0; i < 10; ++i) {
+      ch.push(i);
+      e.advance(0.1);
+    }
+    ch.close();
+  });
+  e.spawn("consumer", 1, [&] {
+    while (auto v = ch.pop()) got.push_back(*v);
+  });
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Sync, ChannelCapacityBlocksProducer) {
+  Engine e;
+  Channel<int> ch(e, 1);
+  SimTime second_push_done = -1;
+  e.spawn("producer", 0, [&] {
+    ch.push(1);
+    ch.push(2);  // must wait until consumer pops at t=5
+    second_push_done = e.now();
+    ch.close();
+  });
+  e.spawn("consumer", 1, [&] {
+    e.advance(5.0);
+    (void)ch.pop();
+    (void)ch.pop();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(second_push_done, 5.0);
+}
+
+TEST(Sync, BarrierReleasesTogetherAndIsCyclic) {
+  Engine e;
+  FiberBarrier bar(e, 3);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn("b" + std::to_string(i), 0, [&, i] {
+      e.advance(static_cast<SimTime>(i));  // arrive at 0, 1, 2
+      bar.arrive_and_wait();
+      times.push_back(e.now());
+      bar.arrive_and_wait();  // reuse in a second cycle
+      times.push_back(e.now());
+    });
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 6u);
+  for (const SimTime t : times) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+// Determinism: two identical simulations dispatch identical event counts and
+// end at identical virtual times.
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e;
+    FifoResource disk(e, "d");
+    Channel<int> ch(e, 4);
+    for (int i = 0; i < 8; ++i) {
+      e.spawn("p" + std::to_string(i), i % 2, [&e, &disk, &ch, i] {
+        for (int k = 0; k < 5; ++k) {
+          disk.use(0.01 * (i + 1));
+          ch.push(i);
+          e.advance(0.002);
+        }
+      });
+    }
+    e.spawn("drain", 0, [&] {
+      for (int k = 0; k < 40; ++k) (void)ch.pop();
+    });
+    e.run();
+    return std::pair<SimTime, std::uint64_t>{e.now(), e.events_dispatched()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace colcom::des

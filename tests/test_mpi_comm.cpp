@@ -1,0 +1,556 @@
+// Tests for point-to-point messaging, ops, and collectives over the
+// simulated network.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "mpi/comm.hpp"
+#include "mpi/op.hpp"
+#include "mpi/runtime.hpp"
+#include "util/prng.hpp"
+
+namespace colcom::mpi {
+namespace {
+
+MachineConfig small_machine() {
+  MachineConfig cfg;
+  cfg.cores_per_node = 4;
+  return cfg;
+}
+
+template <typename T>
+std::span<const std::byte> bytes_of(const std::vector<T>& v) {
+  return std::as_bytes(std::span<const T>(v));
+}
+template <typename T>
+std::span<std::byte> mut_bytes_of(std::vector<T>& v) {
+  return std::as_writable_bytes(std::span<T>(v));
+}
+
+TEST(Op, BuiltinsCombine) {
+  std::vector<std::int32_t> a{1, 5, 3}, b{4, 2, 6};
+  Op::sum().apply(a.data(), b.data(), 3, Prim::i32);
+  EXPECT_EQ(b, (std::vector<std::int32_t>{5, 7, 9}));
+  std::vector<float> fa{1.f, 5.f}, fb{4.f, 2.f};
+  Op::max().apply(fa.data(), fb.data(), 2, Prim::f32);
+  EXPECT_EQ(fb, (std::vector<float>{4.f, 5.f}));
+  std::vector<double> da{3.0}, db{5.0};
+  Op::min().apply(da.data(), db.data(), 1, Prim::f64);
+  EXPECT_EQ(db[0], 3.0);
+}
+
+TEST(Op, IdentityValues) {
+  float f;
+  Op::sum().identity(&f, Prim::f32);
+  EXPECT_EQ(f, 0.f);
+  Op::min().identity(&f, Prim::f32);
+  EXPECT_EQ(f, std::numeric_limits<float>::infinity());
+  std::int32_t i;
+  Op::max().identity(&i, Prim::i32);
+  EXPECT_EQ(i, std::numeric_limits<std::int32_t>::min());
+  EXPECT_FALSE(Op::create([](const void*, void*, std::size_t, Prim) {})
+                   .has_identity());
+}
+
+TEST(Op, UserFunctionIsCalled) {
+  // The paper's Fig. 6: a user "compute" routine registered like
+  // MPI_Op_create and applied by the runtime.
+  auto op = Op::create([](const void* in, void* inout, std::size_t n, Prim p) {
+    ASSERT_EQ(p, Prim::f32);
+    const float* a = static_cast<const float*>(in);
+    float* b = static_cast<float*>(inout);
+    for (std::size_t i = 0; i < n; ++i) b[i] += 2.f * a[i];
+  });
+  std::vector<float> a{1.f, 2.f}, b{10.f, 20.f};
+  op.apply(a.data(), b.data(), 2, Prim::f32);
+  EXPECT_EQ(b, (std::vector<float>{12.f, 24.f}));
+}
+
+TEST(Comm, SendRecvMovesBytes) {
+  Runtime rt(small_machine(), 2);
+  std::vector<std::int32_t> got(4);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::int32_t> v{10, 20, 30, 40};
+      c.send(1, 7, bytes_of(v));
+    } else {
+      const auto info = c.recv(0, 7, mut_bytes_of(got));
+      EXPECT_EQ(info.source, 0);
+      EXPECT_EQ(info.tag, 7);
+      EXPECT_EQ(info.bytes, 16u);
+    }
+  });
+  EXPECT_EQ(got, (std::vector<std::int32_t>{10, 20, 30, 40}));
+}
+
+TEST(Comm, RecvBeforeSendBlocks) {
+  Runtime rt(small_machine(), 2);
+  double recv_done = -1;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 1) {
+      std::vector<std::byte> b(8);
+      c.recv(0, 1, b);  // posted long before the send
+      recv_done = c.wtime();
+    } else {
+      c.compute(0.5);
+      std::vector<std::byte> b(8);
+      c.send(1, 1, b);
+    }
+  });
+  EXPECT_GE(recv_done, 0.5);
+}
+
+TEST(Comm, UnexpectedMessageIsBuffered) {
+  Runtime rt(small_machine(), 2);
+  std::int32_t got = 0;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::int32_t v = 99;
+      c.send(1, 3, std::as_bytes(std::span<const std::int32_t>(&v, 1)));
+    } else {
+      c.compute(1.0);  // message arrives while we're busy
+      c.recv(0, 3, std::as_writable_bytes(std::span<std::int32_t>(&got, 1)));
+    }
+  });
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Comm, TagSelectsAmongMessages) {
+  Runtime rt(small_machine(), 2);
+  std::int32_t first = 0;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::int32_t a = 1, b = 2;
+      c.send(1, 10, std::as_bytes(std::span<const std::int32_t>(&a, 1)));
+      c.send(1, 20, std::as_bytes(std::span<const std::int32_t>(&b, 1)));
+    } else {
+      c.compute(0.1);
+      // Receive the tag-20 message first even though tag-10 arrived earlier.
+      c.recv(0, 20, std::as_writable_bytes(std::span<std::int32_t>(&first, 1)));
+      std::int32_t other;
+      c.recv(0, 10, std::as_writable_bytes(std::span<std::int32_t>(&other, 1)));
+      EXPECT_EQ(other, 1);
+    }
+  });
+  EXPECT_EQ(first, 2);
+}
+
+TEST(Comm, AnySourceAnyTagWildcards) {
+  Runtime rt(small_machine(), 3);
+  std::vector<int> sources;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        std::int32_t v;
+        const auto info = c.recv(kAnySource, kAnyTag,
+                                 std::as_writable_bytes(
+                                     std::span<std::int32_t>(&v, 1)));
+        sources.push_back(info.source);
+        EXPECT_EQ(v, info.source * 100);
+      }
+    } else {
+      std::int32_t v = c.rank() * 100;
+      c.send(0, c.rank(), std::as_bytes(std::span<const std::int32_t>(&v, 1)));
+    }
+  });
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(sources, (std::vector<int>{1, 2}));
+}
+
+TEST(Comm, NonOvertakingSameTag) {
+  // Messages from one sender with the same tag must arrive in send order,
+  // even though the first is much larger (and slower on the wire).
+  Runtime rt(small_machine(), 2);
+  std::vector<std::int32_t> order;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::int32_t> big(1 << 18, 1);
+      std::vector<std::int32_t> tiny{2};
+      Request r1 = c.isend(1, 5, bytes_of(big));
+      Request r2 = c.isend(1, 5, bytes_of(tiny));
+      r1.wait();
+      r2.wait();
+    } else {
+      std::vector<std::int32_t> big(1 << 18);
+      std::int32_t tiny = 0;
+      c.recv(0, 5, mut_bytes_of(big));
+      c.recv(0, 5, std::as_writable_bytes(std::span<std::int32_t>(&tiny, 1)));
+      order.push_back(big[0]);
+      order.push_back(tiny);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<std::int32_t>{1, 2}));
+}
+
+TEST(Comm, SendrecvAllRanksSimultaneously) {
+  const int n = 8;
+  Runtime rt(small_machine(), n);
+  std::vector<std::int32_t> got(n, -1);
+  rt.run([&](Comm& c) {
+    std::int32_t mine = c.rank();
+    std::int32_t theirs = -1;
+    const int dst = (c.rank() + 1) % n;
+    const int src = (c.rank() + n - 1) % n;
+    c.sendrecv(dst, 1, std::as_bytes(std::span<const std::int32_t>(&mine, 1)),
+               src, 1, std::as_writable_bytes(std::span<std::int32_t>(&theirs, 1)));
+    got[static_cast<std::size_t>(c.rank())] = theirs;
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], (r + n - 1) % n);
+  }
+}
+
+TEST(Comm, LargeTransferTakesLongerThanSmall) {
+  Runtime rt(small_machine(), 2);
+  double t_small = 0, t_large = 0;
+  rt.run([&](Comm& c) {
+    std::vector<std::byte> small(64), large(64 << 20);
+    if (c.rank() == 0) {
+      double t0 = c.wtime();
+      c.send(1, 1, small);
+      c.recv(1, 2, small);  // sync
+      t_small = c.wtime() - t0;
+      t0 = c.wtime();
+      c.send(1, 3, large);
+      c.recv(1, 4, small);
+      t_large = c.wtime() - t0;
+    } else {
+      c.recv(0, 1, small);
+      c.send(0, 2, small);
+      c.recv(0, 3, large);
+      c.send(0, 4, small);
+    }
+  });
+  EXPECT_GT(t_large, 10 * t_small);
+}
+
+TEST(Comm, RendezvousWaitsForReceiver) {
+  // A large send cannot complete before the receiver posts its recv.
+  Runtime rt(small_machine(), 2);
+  double send_done = -1;
+  rt.run([&](Comm& c) {
+    std::vector<std::byte> big(1 << 20);  // >> eager threshold
+    if (c.rank() == 0) {
+      Request s = c.isend(1, 1, big);
+      s.wait();
+      send_done = c.wtime();
+    } else {
+      c.compute(0.7);  // receiver is busy; RTS sits unmatched
+      c.recv(0, 1, big);
+    }
+  });
+  EXPECT_GE(send_done, 0.7);
+}
+
+TEST(Comm, EagerCompletesWithoutReceiver) {
+  // A small send completes on delivery even though the recv is late.
+  Runtime rt(small_machine(), 2);
+  double send_done = -1;
+  rt.run([&](Comm& c) {
+    std::vector<std::byte> small(256);
+    if (c.rank() == 0) {
+      Request s = c.isend(1, 1, small);
+      s.wait();
+      send_done = c.wtime();
+    } else {
+      c.compute(0.7);
+      c.recv(0, 1, small);
+    }
+  });
+  EXPECT_LT(send_done, 0.1);
+}
+
+TEST(Comm, RendezvousDataIntact) {
+  Runtime rt(small_machine(), 2);
+  std::vector<std::int32_t> got(1 << 18);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::int32_t> v(1 << 18);
+      std::iota(v.begin(), v.end(), 7);
+      c.send(1, 2, bytes_of(v));
+    } else {
+      c.compute(0.01);  // force the unexpected-RTS path
+      c.recv(0, 2, mut_bytes_of(got));
+    }
+  });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], static_cast<std::int32_t>(i) + 7);
+  }
+}
+
+TEST(Comm, RendezvousPreservesOrderingWithEager) {
+  // Big (rendezvous) then small (eager) on the same tag must still match in
+  // send order.
+  Runtime rt(small_machine(), 2);
+  std::vector<std::int32_t> order;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::int32_t> big(1 << 16, 1);
+      std::vector<std::int32_t> tiny{2};
+      Request r1 = c.isend(1, 5, bytes_of(big));
+      Request r2 = c.isend(1, 5, bytes_of(tiny));
+      r1.wait();
+      r2.wait();
+    } else {
+      std::vector<std::int32_t> big(1 << 16);
+      std::int32_t tiny = 0;
+      c.recv(0, 5, mut_bytes_of(big));
+      c.recv(0, 5, std::as_writable_bytes(std::span<std::int32_t>(&tiny, 1)));
+      order.push_back(big[0]);
+      order.push_back(tiny);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<std::int32_t>{1, 2}));
+}
+
+// ---- collectives, parameterized over world size ----
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<double> after(static_cast<std::size_t>(n));
+  rt.run([&](Comm& c) {
+    c.compute(0.01 * c.rank());  // staggered arrival
+    c.barrier();
+    after[static_cast<std::size_t>(c.rank())] = c.wtime();
+  });
+  const double latest_arrival = 0.01 * (n - 1);
+  for (double t : after) EXPECT_GE(t, latest_arrival);
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  const int n = GetParam();
+  for (int root : {0, n / 2, n - 1}) {
+    Runtime rt(small_machine(), n);
+    std::vector<std::vector<std::int32_t>> got(
+        static_cast<std::size_t>(n), std::vector<std::int32_t>(5, -1));
+    rt.run([&](Comm& c) {
+      auto& mine = got[static_cast<std::size_t>(c.rank())];
+      if (c.rank() == root) std::iota(mine.begin(), mine.end(), 42);
+      c.bcast(mut_bytes_of(mine), root);
+    });
+    for (auto& v : got) {
+      EXPECT_EQ(v, (std::vector<std::int32_t>{42, 43, 44, 45, 46}));
+    }
+  }
+}
+
+TEST_P(Collectives, ReduceSumMatchesSerial) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<std::int64_t> result(3, 0);
+  rt.run([&](Comm& c) {
+    std::vector<std::int64_t> mine{c.rank() + 1, 10 * (c.rank() + 1), 1};
+    c.reduce(mine.data(), result.data(), 3, Prim::i64, Op::sum(), 0);
+  });
+  const std::int64_t s = static_cast<std::int64_t>(n) * (n + 1) / 2;
+  EXPECT_EQ(result, (std::vector<std::int64_t>{s, 10 * s, n}));
+}
+
+TEST_P(Collectives, ReduceMinMaxWithUserData) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  float mn = 0, mx = 0;
+  rt.run([&](Comm& c) {
+    const float v = static_cast<float>((c.rank() * 37) % n);
+    c.reduce(&v, &mn, 1, Prim::f32, Op::min(), 0);
+    c.reduce(&v, &mx, 1, Prim::f32, Op::max(), 0);
+  });
+  EXPECT_EQ(mn, 0.f);
+  // max of (r*37) mod n over r in [0,n)
+  float expect_mx = 0;
+  for (int r = 0; r < n; ++r) {
+    expect_mx = std::max(expect_mx, static_cast<float>((r * 37) % n));
+  }
+  EXPECT_EQ(mx, expect_mx);
+}
+
+TEST_P(Collectives, AllreduceEveryRankGetsResult) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<std::int32_t> results(static_cast<std::size_t>(n), 0);
+  rt.run([&](Comm& c) {
+    const std::int32_t v = 1;
+    std::int32_t out = 0;
+    c.allreduce(&v, &out, 1, Prim::i32, Op::sum());
+    results[static_cast<std::size_t>(c.rank())] = out;
+  });
+  for (auto r : results) EXPECT_EQ(r, n);
+}
+
+TEST_P(Collectives, GathervVariableSizes) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<std::uint8_t> gathered;
+  rt.run([&](Comm& c) {
+    // Rank r contributes r+1 bytes of value r.
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(n));
+    std::uint64_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(r) + 1;
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::uint8_t> mine(static_cast<std::size_t>(c.rank()) + 1,
+                                   static_cast<std::uint8_t>(c.rank()));
+    std::vector<std::uint8_t> recv(c.rank() == 0 ? total : 0);
+    c.gatherv(bytes_of(mine), counts, mut_bytes_of(recv), 0);
+    if (c.rank() == 0) gathered = recv;
+  });
+  std::size_t pos = 0;
+  for (int r = 0; r < n; ++r) {
+    for (int k = 0; k <= r; ++k) {
+      EXPECT_EQ(gathered.at(pos++), static_cast<std::uint8_t>(r));
+    }
+  }
+}
+
+TEST_P(Collectives, AllgathervEveryoneSeesAll) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<bool> ok(static_cast<std::size_t>(n), false);
+  rt.run([&](Comm& c) {
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(n), 4);
+    std::vector<std::int32_t> mine{c.rank() * 3};
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n), -1);
+    c.allgatherv(bytes_of(mine), counts, mut_bytes_of(all));
+    bool good = true;
+    for (int r = 0; r < n; ++r) {
+      good &= (all[static_cast<std::size_t>(r)] == r * 3);
+    }
+    ok[static_cast<std::size_t>(c.rank())] = good;
+  });
+  for (bool b : ok) EXPECT_TRUE(b);
+}
+
+TEST_P(Collectives, ScatterDistributesSlices) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<std::int32_t> got(static_cast<std::size_t>(n), -1);
+  rt.run([&](Comm& c) {
+    std::vector<std::int32_t> root_data;
+    if (c.rank() == 0) {
+      root_data.resize(static_cast<std::size_t>(n));
+      std::iota(root_data.begin(), root_data.end(), 100);
+    }
+    std::int32_t mine = -1;
+    c.scatter(bytes_of(root_data),
+              std::as_writable_bytes(std::span<std::int32_t>(&mine, 1)), 0);
+    got[static_cast<std::size_t>(c.rank())] = mine;
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], 100 + r);
+  }
+}
+
+TEST_P(Collectives, AlltoallvPermutesBlocks) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<bool> ok(static_cast<std::size_t>(n), false);
+  rt.run([&](Comm& c) {
+    // Rank r sends (r*1000 + dst) to every dst, dst's slot sized 4 bytes.
+    const auto un = static_cast<std::size_t>(n);
+    std::vector<std::int32_t> send(un), recv(un, -1);
+    std::vector<std::uint64_t> counts(un, 4), displs(un);
+    for (std::size_t d = 0; d < un; ++d) {
+      send[d] = c.rank() * 1000 + static_cast<std::int32_t>(d);
+      displs[d] = d * 4;
+    }
+    c.alltoallv(bytes_of(send), counts, displs, mut_bytes_of(recv), counts,
+                displs);
+    bool good = true;
+    for (std::size_t s = 0; s < un; ++s) {
+      good &= (recv[s] == static_cast<std::int32_t>(s) * 1000 + c.rank());
+    }
+    ok[static_cast<std::size_t>(c.rank())] = good;
+  });
+  for (bool b : ok) EXPECT_TRUE(b);
+}
+
+TEST_P(Collectives, AlltoallvZeroCountsAllowed) {
+  const int n = GetParam();
+  Runtime rt(small_machine(), n);
+  std::vector<std::int32_t> sum(static_cast<std::size_t>(n), 0);
+  rt.run([&](Comm& c) {
+    // Only even ranks send, only to rank 0.
+    const auto un = static_cast<std::size_t>(n);
+    std::vector<std::uint64_t> scounts(un, 0), sdispls(un, 0);
+    std::vector<std::uint64_t> rcounts(un, 0), rdispls(un, 0);
+    std::int32_t payload = c.rank() + 1;
+    if (c.rank() % 2 == 0) scounts[0] = 4;
+    std::vector<std::int32_t> recv;
+    if (c.rank() == 0) {
+      for (std::size_t s = 0; s < un; s += 2) {
+        rcounts[s] = 4;
+        rdispls[s] = (s / 2) * 4;
+      }
+      recv.resize((un + 1) / 2, 0);
+    }
+    c.alltoallv(std::as_bytes(std::span<const std::int32_t>(&payload, 1)),
+                scounts, sdispls, mut_bytes_of(recv), rcounts, rdispls);
+    if (c.rank() == 0) {
+      std::int32_t s = 0;
+      for (auto v : recv) s += v;
+      sum[0] = s;
+    }
+  });
+  std::int32_t expect = 0;
+  for (int r = 0; r < n; r += 2) expect += r + 1;
+  EXPECT_EQ(sum[0], expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16));
+
+TEST(Comm, SpawnThreadRunsOnSameNodeAndJoins) {
+  Runtime rt(small_machine(), 2);
+  bool thread_ran = false;
+  double join_time = -1;
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      auto done = c.spawn_thread("helper", [&] {
+        c.engine().advance(2.0, des::CpuKind::user);
+        thread_ran = true;
+      });
+      c.compute(0.5);
+      done.wait();
+      join_time = c.wtime();
+    }
+  });
+  EXPECT_TRUE(thread_ran);
+  EXPECT_DOUBLE_EQ(join_time, 2.0);
+}
+
+TEST(Runtime, NodePlacementIsBlocked) {
+  Runtime rt(small_machine(), 10);  // 4 cores per node
+  EXPECT_EQ(rt.n_nodes(), 3);
+  EXPECT_EQ(rt.node_of(0), 0);
+  EXPECT_EQ(rt.node_of(3), 0);
+  EXPECT_EQ(rt.node_of(4), 1);
+  EXPECT_EQ(rt.node_of(9), 2);
+}
+
+TEST(Runtime, ElapsedReflectsSlowestRank) {
+  Runtime rt(small_machine(), 4);
+  rt.run([&](Comm& c) { c.compute(0.25 * (c.rank() + 1)); });
+  EXPECT_DOUBLE_EQ(rt.elapsed(), 1.0);
+}
+
+TEST(Runtime, DeterministicElapsedAcrossRuns) {
+  auto once = [] {
+    Runtime rt(small_machine(), 6);
+    rt.run([&](Comm& c) {
+      std::vector<std::int32_t> v{c.rank()};
+      std::int32_t out = 0;
+      c.allreduce(v.data(), &out, 1, Prim::i32, Op::sum());
+      c.barrier();
+    });
+    return rt.elapsed();
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace colcom::mpi

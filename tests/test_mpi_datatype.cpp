@@ -1,0 +1,200 @@
+// Unit tests for derived datatypes: construction, flattening, pack/unpack.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "mpi/datatype.hpp"
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace colcom::mpi {
+namespace {
+
+TEST(Datatype, PrimitiveProperties) {
+  EXPECT_EQ(Datatype::f32().size(), 4u);
+  EXPECT_EQ(Datatype::f64().extent(), 8u);
+  EXPECT_EQ(Datatype::u8().size(), 1u);
+  EXPECT_TRUE(Datatype::i64().is_contiguous());
+  EXPECT_EQ(Datatype::i32().prim(), Prim::i32);
+}
+
+TEST(Datatype, ContiguousMergesIntoOneSegment) {
+  auto t = Datatype::contiguous(10, Datatype::f32());
+  EXPECT_EQ(t.size(), 40u);
+  EXPECT_EQ(t.extent(), 40u);
+  EXPECT_TRUE(t.is_contiguous());
+  const auto segs = t.flatten();
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (FlatSeg{0, 40}));
+}
+
+TEST(Datatype, VectorLayout) {
+  // 3 blocks of 2 f32, stride 4 elements: |XX..|XX..|XX|
+  auto t = Datatype::vec(3, 2, 4, Datatype::f32());
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.extent(), (2u * 4 + 2) * 4);
+  const auto segs = t.flatten();
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (FlatSeg{0, 8}));
+  EXPECT_EQ(segs[1], (FlatSeg{16, 8}));
+  EXPECT_EQ(segs[2], (FlatSeg{32, 8}));
+}
+
+TEST(Datatype, VectorWithUnitStrideIsContiguous) {
+  auto t = Datatype::vec(5, 1, 1, Datatype::i32());
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.flatten().size(), 1u);
+}
+
+TEST(Datatype, IndexedLayout) {
+  const std::array<std::uint64_t, 3> lens{2, 1, 3};
+  const std::array<std::uint64_t, 3> disps{0, 4, 8};
+  auto t = Datatype::indexed(lens, disps, Datatype::f64());
+  EXPECT_EQ(t.size(), 6u * 8);
+  EXPECT_EQ(t.extent(), 11u * 8);
+  const auto segs = t.flatten();
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[1], (FlatSeg{32, 8}));
+}
+
+TEST(Datatype, IndexedRejectsOverlap) {
+  const std::array<std::uint64_t, 2> lens{3, 1};
+  const std::array<std::uint64_t, 2> disps{0, 2};  // second block inside first
+  EXPECT_THROW(Datatype::indexed(lens, disps, Datatype::u8()),
+               ContractViolation);
+}
+
+TEST(Datatype, Subarray2D) {
+  // 4x6 array, take rows 1..2, cols 2..4 (2x3 block).
+  const std::array<std::uint64_t, 2> sizes{4, 6};
+  const std::array<std::uint64_t, 2> sub{2, 3};
+  const std::array<std::uint64_t, 2> start{1, 2};
+  auto t = Datatype::subarray(sizes, sub, start, Datatype::f32());
+  EXPECT_EQ(t.size(), 6u * 4);
+  EXPECT_EQ(t.extent(), 24u * 4);
+  const auto segs = t.flatten();
+  ASSERT_EQ(segs.size(), 2u);  // one run per selected row
+  EXPECT_EQ(segs[0], (FlatSeg{(1 * 6 + 2) * 4, 12}));
+  EXPECT_EQ(segs[1], (FlatSeg{(2 * 6 + 2) * 4, 12}));
+}
+
+TEST(Datatype, SubarrayFullFastDimMergesRows) {
+  // Selecting entire fastest dimension makes consecutive rows contiguous.
+  const std::array<std::uint64_t, 2> sizes{4, 6};
+  const std::array<std::uint64_t, 2> sub{2, 6};
+  const std::array<std::uint64_t, 2> start{1, 0};
+  auto t = Datatype::subarray(sizes, sub, start, Datatype::f32());
+  const auto segs = t.flatten();
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (FlatSeg{6 * 4, 2 * 6 * 4}));
+}
+
+TEST(Datatype, Subarray4DRunCount) {
+  // The paper's benchmark shape: 4-D dataset, per-process 4-D block.
+  const std::array<std::uint64_t, 4> sizes{16, 8, 32, 64};
+  const std::array<std::uint64_t, 4> sub{2, 3, 4, 5};
+  const std::array<std::uint64_t, 4> start{1, 1, 1, 1};
+  auto t = Datatype::subarray(sizes, sub, start, Datatype::f32());
+  EXPECT_EQ(t.size(), 2u * 3 * 4 * 5 * 4);
+  // Non-mergeable runs: one per (d0,d1,d2) combination.
+  EXPECT_EQ(t.flatten().size(), 2u * 3 * 4);
+}
+
+TEST(Datatype, SubarrayBoundsChecked) {
+  const std::array<std::uint64_t, 1> sizes{10};
+  const std::array<std::uint64_t, 1> sub{5};
+  const std::array<std::uint64_t, 1> start{6};
+  EXPECT_THROW(Datatype::subarray(sizes, sub, start, Datatype::f32()),
+               ContractViolation);
+}
+
+TEST(Datatype, FlattenMultipleCountsShiftsByExtent) {
+  auto t = Datatype::vec(2, 1, 2, Datatype::u8());  // bytes 0 and 2, extent 3
+  // Instance 1 is shifted by extent 3 -> bytes 3 and 5; byte 3 merges with
+  // byte 2 of instance 0 (MPI extent semantics make them adjacent).
+  const auto segs = t.flatten(2);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (FlatSeg{0, 1}));
+  EXPECT_EQ(segs[1], (FlatSeg{2, 2}));
+  EXPECT_EQ(segs[2], (FlatSeg{5, 1}));
+}
+
+TEST(Datatype, PackUnpackRoundTrip2D) {
+  const std::array<std::uint64_t, 2> sizes{8, 8};
+  const std::array<std::uint64_t, 2> sub{3, 4};
+  const std::array<std::uint64_t, 2> start{2, 1};
+  auto t = Datatype::subarray(sizes, sub, start, Datatype::i32());
+
+  std::vector<std::int32_t> field(64);
+  std::iota(field.begin(), field.end(), 0);
+  std::vector<std::int32_t> packed(12, -1);
+  t.pack(std::as_bytes(std::span<const std::int32_t>(field)),
+         std::as_writable_bytes(std::span<std::int32_t>(packed)));
+  // First packed run is row 2, cols 1..4.
+  EXPECT_EQ(packed[0], 17);
+  EXPECT_EQ(packed[3], 20);
+  EXPECT_EQ(packed[4], 25);
+
+  std::vector<std::int32_t> restored(64, -7);
+  t.unpack(std::as_bytes(std::span<const std::int32_t>(packed)),
+           std::as_writable_bytes(std::span<std::int32_t>(restored)));
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const bool inside = r >= 2 && r < 5 && c >= 1 && c < 5;
+      EXPECT_EQ(restored[r * 8 + c], inside ? field[r * 8 + c] : -7);
+    }
+  }
+}
+
+// Property test: for random subarrays, pack . unpack restores exactly the
+// selected elements, and flatten covers size() bytes.
+class SubarrayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubarrayProperty, FlattenAndPackAgree) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t nd = 1 + rng.next_below(4);
+  std::vector<std::uint64_t> sizes(nd), sub(nd), start(nd);
+  std::uint64_t total = 1;
+  for (std::size_t d = 0; d < nd; ++d) {
+    sizes[d] = 2 + rng.next_below(9);
+    sub[d] = 1 + rng.next_below(sizes[d]);
+    start[d] = rng.next_below(sizes[d] - sub[d] + 1);
+    total *= sizes[d];
+  }
+  auto t = Datatype::subarray(sizes, sub, start, Datatype::f64());
+
+  std::uint64_t covered = 0;
+  std::uint64_t prev_end = 0;
+  for (const auto& s : t.flatten()) {
+    EXPECT_GE(s.disp, prev_end);  // sorted, non-overlapping, non-adjacent
+    covered += s.length;
+    prev_end = s.disp + s.length;
+  }
+  EXPECT_EQ(covered, t.size());
+  EXPECT_LE(t.extent(), total * 8);
+
+  std::vector<double> field(total);
+  for (auto& v : field) v = rng.next_double();
+  std::vector<double> packed(t.size() / 8);
+  t.pack(std::as_bytes(std::span<const double>(field)),
+         std::as_writable_bytes(std::span<double>(packed)));
+  std::vector<double> restored(total, -1.0);
+  t.unpack(std::as_bytes(std::span<const double>(packed)),
+           std::as_writable_bytes(std::span<double>(restored)));
+  // Every selected element restored; the rest untouched.
+  std::size_t selected = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (restored[i] != -1.0) {
+      EXPECT_DOUBLE_EQ(restored[i], field[i]);
+      ++selected;
+    }
+  }
+  EXPECT_EQ(selected, t.element_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, SubarrayProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace colcom::mpi

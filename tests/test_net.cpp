@@ -1,0 +1,185 @@
+// Unit tests for the interconnect model: topology, routing, transfer timing,
+// contention.
+#include <gtest/gtest.h>
+
+#include "des/engine.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace colcom::net {
+namespace {
+
+TEST(Topology, SquareForCoversNodeCount) {
+  for (int n : {1, 2, 5, 24, 120, 1024}) {
+    const auto t = MeshTopology::square_for(n);
+    EXPECT_GE(t.node_count(), n);
+    EXPECT_LE(t.size_x() * t.size_y(), 2 * n + 2);  // not wildly oversized
+  }
+}
+
+TEST(Topology, CoordRoundTrip) {
+  MeshTopology t(4, 3);
+  for (int n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(t.node_at(t.coord_of(n)), n);
+  }
+}
+
+TEST(Topology, RouteIsDimensionOrdered) {
+  MeshTopology t(4, 4);
+  // (0,0) -> (2,1): x first, then y.
+  const auto path = t.route(t.node_at({0, 0}), t.node_at({2, 1}));
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], t.node_at({0, 0}));
+  EXPECT_EQ(path[1], t.node_at({1, 0}));
+  EXPECT_EQ(path[2], t.node_at({2, 0}));
+  EXPECT_EQ(path[3], t.node_at({2, 1}));
+}
+
+TEST(Topology, RouteToSelfIsTrivial) {
+  MeshTopology t(3, 3);
+  EXPECT_EQ(t.route(4, 4), std::vector<int>{4});
+  EXPECT_EQ(t.hops(4, 4), 0);
+}
+
+TEST(Topology, TorusTakesShortWay) {
+  MeshTopology line(5, 1, /*torus=*/false);
+  MeshTopology ring(5, 1, /*torus=*/true);
+  EXPECT_EQ(line.hops(0, 4), 4);
+  EXPECT_EQ(ring.hops(0, 4), 1);  // wraps around
+}
+
+TEST(Topology, AdjacentHopsAreConsistent) {
+  MeshTopology t(4, 4);
+  for (int a = 0; a < t.node_count(); ++a) {
+    for (int b = 0; b < t.node_count(); ++b) {
+      const auto c1 = t.coord_of(a);
+      const auto c2 = t.coord_of(b);
+      EXPECT_EQ(t.hops(a, b), std::abs(c1.x - c2.x) + std::abs(c1.y - c2.y));
+    }
+  }
+}
+
+TEST(Topology, LinkIdsAreUniquePerDirectedEdge) {
+  MeshTopology t(3, 3);
+  std::set<std::uint32_t> ids;
+  int edges = 0;
+  for (int a = 0; a < t.node_count(); ++a) {
+    for (int b = 0; b < t.node_count(); ++b) {
+      if (a == b || t.hops(a, b) != 1) continue;
+      ids.insert(t.link_id(a, b));
+      ++edges;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), edges);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetConfig cfg() {
+    NetConfig c;
+    c.link_bw = 1e9;
+    c.link_latency = 1e-6;
+    c.nic_bw = 1e9;
+    c.nic_latency = 2e-6;
+    c.memcpy_bw = 4e9;
+    return c;
+  }
+};
+
+TEST_F(NetworkTest, IntraNodeUsesMemcpyPath) {
+  des::Engine e;
+  Network net(e, MeshTopology(2, 2), cfg());
+  des::SimTime done = -1;
+  e.spawn("t", 0, [&] {
+    net.transfer(1, 1, 4'000'000);
+    done = e.now();
+  });
+  e.run();
+  EXPECT_NEAR(done, 2e-6 + 4e6 / 4e9, 1e-12);
+}
+
+TEST_F(NetworkTest, LatencyGrowsWithHops) {
+  des::Engine e;
+  MeshTopology t(4, 1);
+  Network net(e, t, cfg());
+  des::SimTime one_hop = 0, three_hops = 0;
+  e.spawn("t", 0, [&] {
+    const des::SimTime t0 = e.now();
+    net.transfer(0, 1, 8);
+    one_hop = e.now() - t0;
+    const des::SimTime t1 = e.now();
+    net.transfer(0, 3, 8);
+    three_hops = e.now() - t1;
+  });
+  e.run();
+  // Two extra hops => two extra link latencies.
+  EXPECT_NEAR(three_hops - one_hop, 2e-6, 1e-12);
+}
+
+TEST_F(NetworkTest, SharedLinkSerializesTransfers) {
+  des::Engine e;
+  MeshTopology t(3, 1);
+  Network net(e, t, cfg());
+  std::vector<des::SimTime> done;
+  // Both transfers cross link 1->2.
+  e.spawn("a", 0, [&] {
+    net.transfer(0, 2, 1'000'000);
+    done.push_back(e.now());
+  });
+  e.spawn("b", 1, [&] {
+    net.transfer(1, 2, 1'000'000);
+    done.push_back(e.now());
+  });
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Serialization: the later finisher waits roughly one extra payload time.
+  const double payload = 1e6 / 1e9;  // 1 ms
+  EXPECT_GT(std::max(done[0], done[1]),
+            std::min(done[0], done[1]) + 0.9 * payload);
+}
+
+TEST_F(NetworkTest, DisjointPathsRunInParallel) {
+  des::Engine e;
+  MeshTopology t(2, 2);
+  Network net(e, t, cfg());
+  std::vector<des::SimTime> done;
+  e.spawn("a", 0, [&] {
+    net.transfer(t.node_at({0, 0}), t.node_at({1, 0}), 1'000'000);
+    done.push_back(e.now());
+  });
+  e.spawn("b", 0, [&] {
+    net.transfer(t.node_at({0, 1}), t.node_at({1, 1}), 1'000'000);
+    done.push_back(e.now());
+  });
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], done[1], 1e-9);  // no shared channel => same finish
+}
+
+TEST_F(NetworkTest, StatsCountMessagesAndBytes) {
+  des::Engine e;
+  Network net(e, MeshTopology(2, 1), cfg());
+  e.spawn("t", 0, [&] {
+    net.transfer(0, 1, 100);
+    net.transfer(0, 0, 50);
+  });
+  e.run();
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 150u);
+  EXPECT_EQ(net.stats().intra_node_messages, 1u);
+}
+
+TEST_F(NetworkTest, BigTransferTimeMatchesBandwidth) {
+  des::Engine e;
+  Network net(e, MeshTopology(2, 1), cfg());
+  des::SimTime done = -1;
+  e.spawn("t", 0, [&] {
+    net.transfer(0, 1, 100'000'000);  // 100 MB at 1 GB/s => ~0.1 s
+    done = e.now();
+  });
+  e.run();
+  EXPECT_NEAR(done, 0.1, 0.001);
+}
+
+}  // namespace
+}  // namespace colcom::net

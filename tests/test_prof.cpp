@@ -1,0 +1,84 @@
+// Tests for the CPU profiler behind Figs. 2/3.
+#include <gtest/gtest.h>
+
+#include "des/engine.hpp"
+#include "mpi/runtime.hpp"
+#include "prof/cpu_profile.hpp"
+#include "romio/independent.hpp"
+#include "romio/collective.hpp"
+#include "pfs/store.hpp"
+
+namespace colcom::prof {
+namespace {
+
+TEST(CpuProfile, BucketsSplitIntervals) {
+  CpuProfile p(1.0);
+  p.on_interval(0, 0, des::CpuKind::user, 0.5, 2.5);   // 0.5+1+0.5
+  p.on_interval(0, 0, des::CpuKind::wait, 0.0, 0.5);
+  const auto rows = p.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].user_pct, 50.0);
+  EXPECT_DOUBLE_EQ(rows[0].wait_pct, 50.0);
+  EXPECT_DOUBLE_EQ(rows[1].user_pct, 100.0);
+  EXPECT_DOUBLE_EQ(rows[2].user_pct, 100.0);
+}
+
+TEST(CpuProfile, TotalsSumTo100) {
+  CpuProfile p(0.5);
+  p.on_interval(0, 0, des::CpuKind::user, 0, 1);
+  p.on_interval(1, 1, des::CpuKind::sys, 0, 2);
+  p.on_interval(2, 2, des::CpuKind::wait, 1, 4);
+  const auto t = p.total();
+  EXPECT_NEAR(t.user_pct + t.sys_pct + t.wait_pct, 100.0, 1e-9);
+  EXPECT_NEAR(t.user_pct, 1.0 / 6.0 * 100, 1e-9);
+}
+
+TEST(CpuProfile, EmptyBucketsAreZero) {
+  CpuProfile p(1.0);
+  p.on_interval(0, 0, des::CpuKind::user, 3.0, 4.0);
+  const auto rows = p.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(rows[1].user_pct + rows[1].sys_pct + rows[1].wait_pct, 0.0);
+}
+
+// Independent non-contiguous I/O must show a higher wait share than
+// two-phase collective I/O on the same workload — the contrast between the
+// paper's Fig. 2 and Fig. 3.
+TEST(CpuProfile, IndependentWaitsMoreThanCollective) {
+  auto run = [](bool collective) {
+    mpi::MachineConfig cfg;
+    cfg.cores_per_node = 4;
+    cfg.pfs.n_osts = 4;
+    cfg.pfs.stripe_size = 4096;
+    mpi::Runtime rt(cfg, 8);
+    auto profile = std::make_unique<CpuProfile>(0.01);
+    rt.engine().set_cpu_listener(profile.get());
+    auto file = rt.fs().create(
+        "f", std::make_unique<pfs::GeneratorStore>(
+                 4 << 20, [](std::uint64_t, std::span<std::byte> d) {
+                   std::fill(d.begin(), d.end(), std::byte{1});
+                 }));
+    rt.run([&](mpi::Comm& c) {
+      std::vector<pfs::ByteExtent> ext;
+      for (std::uint64_t b = 0; b < 64; ++b) {
+        ext.push_back({(b * 8 + static_cast<std::uint64_t>(c.rank())) * 4096,
+                       1024});
+      }
+      romio::FlatRequest mine(std::move(ext));
+      std::vector<std::byte> dst(mine.total_bytes());
+      if (collective) {
+        romio::CollectiveIo cio{romio::Hints{.cb_buffer_size = 65536}};
+        cio.read_all(c, file, mine, dst);
+      } else {
+        romio::read_indep(c, file, mine, dst);
+      }
+    });
+    return profile->total().wait_pct;
+  };
+  const double wait_coll = run(true);
+  const double wait_ind = run(false);
+  EXPECT_GT(wait_ind, wait_coll);
+}
+
+}  // namespace
+}  // namespace colcom::prof

@@ -1,0 +1,168 @@
+// Unit tests for src/util: contracts, PRNG, stats, formatting, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace colcom {
+namespace {
+
+TEST(Assert, ExpectThrowsOnViolation) {
+  EXPECT_THROW(COLCOM_EXPECT(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(COLCOM_EXPECT(1 == 1));
+}
+
+TEST(Assert, MessageIsIncluded) {
+  try {
+    COLCOM_EXPECT_MSG(false, "the-reason");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the-reason"), std::string::npos);
+  }
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowStaysInRange) {
+  Prng p(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(p.next_below(17), 17u);
+  }
+}
+
+TEST(Prng, NextBelowHitsAllResidues) {
+  Prng p(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(p.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, NextRangeInclusiveBounds) {
+  Prng p(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = p.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng p(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = p.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Stats, StreamingMoments) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+}
+
+TEST(Stats, PercentileInterpolates) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Stats, PercentileSingleSample) {
+  SampleStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 3.5);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4ull << 20), "4.00 MB");
+  EXPECT_EQ(format_bytes(800ull << 30), "800.00 GB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0125), "12.500 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.500 us");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(12345678), "12,345,678");
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t;
+  t.set_header({"ratio", "speedup"});
+  t.add_row({"10:1", "1.12"});
+  t.add_row({"1:1", "2.44"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("ratio"), std::string::npos);
+  EXPECT_NE(s.find("2.44"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsAridityMismatch) {
+  TablePrinter t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(AsciiChart, BarChartRenders) {
+  std::ostringstream os;
+  print_bar_chart(os, {"a", "bb"}, {1.0, 2.0}, 10);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("##########"), std::string::npos);  // max bar is full width
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(AsciiChart, SeriesDownsamplesButKeepsEndpoint) {
+  std::vector<double> x(1000), y(1000);
+  for (int i = 0; i < 1000; ++i) {
+    x[static_cast<std::size_t>(i)] = i;
+    y[static_cast<std::size_t>(i)] = 2.0 * i;
+  }
+  std::ostringstream os;
+  print_series(os, "it", x, {{"y", &y}}, 10, 0);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("999"), std::string::npos);
+  // Fewer than ~15 lines despite 1000 points.
+  EXPECT_LT(static_cast<int>(std::count(s.begin(), s.end(), '\n')), 15);
+}
+
+}  // namespace
+}  // namespace colcom

@@ -1,0 +1,202 @@
+// Tests for the synthetic hurricane fields and the two WRF analysis tasks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runtime.hpp"
+#include "mpi/runtime.hpp"
+#include "wrf/analysis.hpp"
+#include "wrf/hurricane.hpp"
+
+namespace colcom::wrf {
+namespace {
+
+HurricaneConfig tiny_storm() {
+  HurricaneConfig cfg;
+  cfg.nt = 6;
+  cfg.ny = 48;
+  cfg.nx = 48;
+  return cfg;
+}
+
+mpi::MachineConfig small_machine() {
+  mpi::MachineConfig cfg;
+  cfg.cores_per_node = 4;
+  cfg.pfs.n_osts = 4;
+  cfg.pfs.stripe_size = 8192;
+  return cfg;
+}
+
+TEST(Hurricane, PressureLowestNearCenterHighestFarAway) {
+  const auto cfg = tiny_storm();
+  // At t=0, center is at (0.15*48, 0.75*48) = (7.2, 36).
+  const double near = slp_at(cfg, 0, 36, 7);
+  const double far = slp_at(cfg, 0, 2, 46);
+  EXPECT_LT(near, far);
+  EXPECT_GT(near, cfg.background_hpa - cfg.depth_hpa - 1e-9);
+  EXPECT_LE(far, cfg.background_hpa + 1e-9);
+  EXPECT_GT(far, cfg.background_hpa - 8.0);  // ambient far from the storm
+}
+
+TEST(Hurricane, WindPeaksAtRadiusOfMaximumWind) {
+  const auto cfg = tiny_storm();
+  // Scan wind along a ray from the t=0 center; peak must be near rmax.
+  double best_v = -1;
+  double best_r = -1;
+  for (std::uint64_t x = 8; x < 48; ++x) {
+    const double v = wind_speed_at(cfg, 0, 36, x);
+    const double r = static_cast<double>(x) - 7.2;
+    if (v > best_v) {
+      best_v = v;
+      best_r = r;
+    }
+  }
+  EXPECT_NEAR(best_v, cfg.vmax_knots, cfg.vmax_knots * 0.05);
+  EXPECT_NEAR(best_r, cfg.rmax_cells, 1.5);
+}
+
+TEST(Hurricane, WindIsTangential) {
+  const auto cfg = tiny_storm();
+  // East of the center the cyclonic wind blows north: u ~ 0, v > 0.
+  const double u = u10_at(cfg, 0, 36, 20);
+  const double v = v10_at(cfg, 0, 36, 20);
+  EXPECT_GT(v, 0);
+  EXPECT_NEAR(u, 0, 1e-6);
+  // Speed equals component magnitude.
+  EXPECT_NEAR(std::hypot(u, v), wind_speed_at(cfg, 0, 36, 20), 1e-9);
+}
+
+TEST(Hurricane, StormMovesAlongTrack) {
+  const auto cfg = tiny_storm();
+  // The minimum-pressure cell must move from NW toward SE over time.
+  auto argmin_x = [&](std::uint64_t t) {
+    double best = 1e30;
+    std::uint64_t bx = 0;
+    for (std::uint64_t y = 0; y < cfg.ny; ++y) {
+      for (std::uint64_t x = 0; x < cfg.nx; ++x) {
+        const double p = slp_at(cfg, t, y, x);
+        if (p < best) {
+          best = p;
+          bx = x;
+        }
+      }
+    }
+    return bx;
+  };
+  EXPECT_LT(argmin_x(0), argmin_x(cfg.nt - 1));
+}
+
+TEST(Hurricane, DatasetVariablesMatchClosedForm) {
+  des::Engine e;
+  pfs::Pfs fs(e, pfs::PfsConfig{});
+  const auto cfg = tiny_storm();
+  auto ds = make_hurricane_dataset(fs, "wrf.nc", cfg);
+  EXPECT_EQ(ds.var_count(), 4);
+  const auto slp = ds.var("SLP");
+  float v = 0;
+  const std::uint64_t t = 3, y = 20, x = 30;
+  fs.store(ds.file()).read(
+      ds.info(slp).file_offset + ((t * cfg.ny + y) * cfg.nx + x) * 4,
+      std::as_writable_bytes(std::span<float>(&v, 1)));
+  EXPECT_FLOAT_EQ(v, static_cast<float>(slp_at(cfg, t, y, x)));
+}
+
+float serial_min_slp(const HurricaneConfig& cfg) {
+  float best = 1e30f;
+  for (std::uint64_t t = 0; t < cfg.nt; ++t) {
+    for (std::uint64_t y = 0; y < cfg.ny; ++y) {
+      for (std::uint64_t x = 0; x < cfg.nx; ++x) {
+        best = std::min(best, static_cast<float>(slp_at(cfg, t, y, x)));
+      }
+    }
+  }
+  return best;
+}
+
+float serial_max_wind(const HurricaneConfig& cfg) {
+  float best = -1e30f;
+  for (std::uint64_t t = 0; t < cfg.nt; ++t) {
+    for (std::uint64_t y = 0; y < cfg.ny; ++y) {
+      for (std::uint64_t x = 0; x < cfg.nx; ++x) {
+        best = std::max(best, static_cast<float>(wind_speed_at(cfg, t, y, x)));
+      }
+    }
+  }
+  return best;
+}
+
+class WrfTasks : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WrfTasks, MinSlpMatchesSerialScan) {
+  const auto cfg = tiny_storm();
+  mpi::Runtime rt(small_machine(), 6);
+  auto ds = make_hurricane_dataset(rt.fs(), "wrf.nc", cfg);
+  std::vector<float> got(6, -1);
+  rt.run([&](mpi::Comm& c) {
+    TaskOptions opt;
+    opt.use_cc = GetParam();
+    opt.hints.cb_buffer_size = 16384;
+    got[static_cast<std::size_t>(c.rank())] = min_slp(c, ds, opt).value;
+  });
+  const float truth = serial_min_slp(cfg);
+  for (float g : got) EXPECT_FLOAT_EQ(g, truth);
+}
+
+TEST_P(WrfTasks, MaxWindMatchesSerialScan) {
+  const auto cfg = tiny_storm();
+  mpi::Runtime rt(small_machine(), 6);
+  auto ds = make_hurricane_dataset(rt.fs(), "wrf.nc", cfg);
+  std::vector<float> got(6, -1);
+  rt.run([&](mpi::Comm& c) {
+    TaskOptions opt;
+    opt.use_cc = GetParam();
+    opt.hints.cb_buffer_size = 16384;
+    got[static_cast<std::size_t>(c.rank())] = max_wind(c, ds, opt).value;
+  });
+  const float truth = serial_max_wind(cfg);
+  for (float g : got) EXPECT_FLOAT_EQ(g, truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(CcAndTraditional, WrfTasks, ::testing::Bool());
+
+TEST(WrfTasks, CcNotSlowerThanTraditional) {
+  const auto cfg = tiny_storm();
+  auto run = [&](bool use_cc) {
+    mpi::Runtime rt(small_machine(), 6);
+    auto ds = make_hurricane_dataset(rt.fs(), "wrf.nc", cfg);
+    rt.run([&](mpi::Comm& c) {
+      TaskOptions opt;
+      opt.use_cc = use_cc;
+      opt.hints.cb_buffer_size = 16384;
+      min_slp(c, ds, opt);
+    });
+    return rt.elapsed();
+  };
+  EXPECT_LE(run(true), run(false) * 1.02);
+}
+
+TEST(WrfTasks, DecompositionCoversDomainExactly) {
+  const auto cfg = tiny_storm();
+  mpi::Runtime rt(small_machine(), 5);  // ny=48 not divisible by 5
+  auto ds = make_hurricane_dataset(rt.fs(), "wrf.nc", cfg);
+  std::vector<std::uint64_t> rows(5, 0), y0(5, 0);
+  rt.run([&](mpi::Comm& c) {
+    TaskOptions opt;
+    auto obj = make_task_object(ds, "SLP", mpi::Op::min(), c, opt);
+    rows[static_cast<std::size_t>(c.rank())] = obj.count[1];
+    y0[static_cast<std::size_t>(c.rank())] = obj.start[1];
+  });
+  std::uint64_t total = 0;
+  for (int r = 0; r < 5; ++r) {
+    total += rows[static_cast<std::size_t>(r)];
+    if (r > 0) {
+      EXPECT_EQ(y0[static_cast<std::size_t>(r)],
+                y0[static_cast<std::size_t>(r - 1)] +
+                    rows[static_cast<std::size_t>(r - 1)]);
+    }
+  }
+  EXPECT_EQ(total, cfg.ny);
+}
+
+}  // namespace
+}  // namespace colcom::wrf
