@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_iterative.dir/ext_iterative.cpp.o"
+  "CMakeFiles/ext_iterative.dir/ext_iterative.cpp.o.d"
+  "ext_iterative"
+  "ext_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

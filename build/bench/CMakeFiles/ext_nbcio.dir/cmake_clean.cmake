@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nbcio.dir/ext_nbcio.cpp.o"
+  "CMakeFiles/ext_nbcio.dir/ext_nbcio.cpp.o.d"
+  "ext_nbcio"
+  "ext_nbcio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nbcio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_cpu_collective.dir/fig02_cpu_collective.cpp.o"
+  "CMakeFiles/fig02_cpu_collective.dir/fig02_cpu_collective.cpp.o.d"
+  "fig02_cpu_collective"
+  "fig02_cpu_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cpu_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cpu_independent.dir/fig03_cpu_independent.cpp.o"
+  "CMakeFiles/fig03_cpu_independent.dir/fig03_cpu_independent.cpp.o.d"
+  "fig03_cpu_independent"
+  "fig03_cpu_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cpu_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

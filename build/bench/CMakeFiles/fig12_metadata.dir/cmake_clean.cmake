@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_metadata.dir/fig12_metadata.cpp.o"
+  "CMakeFiles/fig12_metadata.dir/fig12_metadata.cpp.o.d"
+  "fig12_metadata"
+  "fig12_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

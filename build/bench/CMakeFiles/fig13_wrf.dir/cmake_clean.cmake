@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_wrf.dir/fig13_wrf.cpp.o"
+  "CMakeFiles/fig13_wrf.dir/fig13_wrf.cpp.o.d"
+  "fig13_wrf"
+  "fig13_wrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_wrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

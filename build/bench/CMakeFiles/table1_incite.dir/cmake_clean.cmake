@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_incite.dir/table1_incite.cpp.o"
+  "CMakeFiles/table1_incite.dir/table1_incite.cpp.o.d"
+  "table1_incite"
+  "table1_incite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_incite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_alltoall.dir/histogram_alltoall.cpp.o"
+  "CMakeFiles/histogram_alltoall.dir/histogram_alltoall.cpp.o.d"
+  "histogram_alltoall"
+  "histogram_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

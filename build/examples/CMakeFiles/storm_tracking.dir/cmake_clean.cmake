@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_tracking.dir/storm_tracking.cpp.o"
+  "CMakeFiles/storm_tracking.dir/storm_tracking.cpp.o.d"
+  "storm_tracking"
+  "storm_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrf_hurricane.dir/wrf_hurricane.cpp.o"
+  "CMakeFiles/wrf_hurricane.dir/wrf_hurricane.cpp.o.d"
+  "wrf_hurricane"
+  "wrf_hurricane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrf_hurricane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

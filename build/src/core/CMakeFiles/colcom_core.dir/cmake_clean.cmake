@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_core.dir/iterative.cpp.o"
+  "CMakeFiles/colcom_core.dir/iterative.cpp.o.d"
+  "CMakeFiles/colcom_core.dir/logical.cpp.o"
+  "CMakeFiles/colcom_core.dir/logical.cpp.o.d"
+  "CMakeFiles/colcom_core.dir/reduce.cpp.o"
+  "CMakeFiles/colcom_core.dir/reduce.cpp.o.d"
+  "CMakeFiles/colcom_core.dir/runtime.cpp.o"
+  "CMakeFiles/colcom_core.dir/runtime.cpp.o.d"
+  "libcolcom_core.a"
+  "libcolcom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

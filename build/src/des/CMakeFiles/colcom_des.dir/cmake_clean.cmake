@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_des.dir/engine.cpp.o"
+  "CMakeFiles/colcom_des.dir/engine.cpp.o.d"
+  "CMakeFiles/colcom_des.dir/fiber.cpp.o"
+  "CMakeFiles/colcom_des.dir/fiber.cpp.o.d"
+  "libcolcom_des.a"
+  "libcolcom_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

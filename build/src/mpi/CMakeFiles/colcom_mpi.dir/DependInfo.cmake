@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/colcom_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/colcom_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/colcom_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/colcom_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/colcom_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/colcom_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/op.cpp" "src/mpi/CMakeFiles/colcom_mpi.dir/op.cpp.o" "gcc" "src/mpi/CMakeFiles/colcom_mpi.dir/op.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/mpi/CMakeFiles/colcom_mpi.dir/runtime.cpp.o" "gcc" "src/mpi/CMakeFiles/colcom_mpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/colcom_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/colcom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/colcom_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/colcom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

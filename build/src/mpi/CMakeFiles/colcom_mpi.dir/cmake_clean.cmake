@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/colcom_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/colcom_mpi.dir/comm.cpp.o"
+  "CMakeFiles/colcom_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/colcom_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/colcom_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/colcom_mpi.dir/op.cpp.o"
+  "CMakeFiles/colcom_mpi.dir/op.cpp.o.d"
+  "CMakeFiles/colcom_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/colcom_mpi.dir/runtime.cpp.o.d"
+  "libcolcom_mpi.a"
+  "libcolcom_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_ncio.dir/dataset.cpp.o"
+  "CMakeFiles/colcom_ncio.dir/dataset.cpp.o.d"
+  "libcolcom_ncio.a"
+  "libcolcom_ncio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_ncio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_net.dir/network.cpp.o"
+  "CMakeFiles/colcom_net.dir/network.cpp.o.d"
+  "CMakeFiles/colcom_net.dir/topology.cpp.o"
+  "CMakeFiles/colcom_net.dir/topology.cpp.o.d"
+  "libcolcom_net.a"
+  "libcolcom_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_pfs.dir/fault.cpp.o"
+  "CMakeFiles/colcom_pfs.dir/fault.cpp.o.d"
+  "CMakeFiles/colcom_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/colcom_pfs.dir/pfs.cpp.o.d"
+  "CMakeFiles/colcom_pfs.dir/store.cpp.o"
+  "CMakeFiles/colcom_pfs.dir/store.cpp.o.d"
+  "libcolcom_pfs.a"
+  "libcolcom_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_prof.dir/cpu_profile.cpp.o"
+  "CMakeFiles/colcom_prof.dir/cpu_profile.cpp.o.d"
+  "libcolcom_prof.a"
+  "libcolcom_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

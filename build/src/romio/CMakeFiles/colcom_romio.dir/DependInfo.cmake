@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/romio/collective.cpp" "src/romio/CMakeFiles/colcom_romio.dir/collective.cpp.o" "gcc" "src/romio/CMakeFiles/colcom_romio.dir/collective.cpp.o.d"
+  "/root/repo/src/romio/independent.cpp" "src/romio/CMakeFiles/colcom_romio.dir/independent.cpp.o" "gcc" "src/romio/CMakeFiles/colcom_romio.dir/independent.cpp.o.d"
+  "/root/repo/src/romio/nonblocking.cpp" "src/romio/CMakeFiles/colcom_romio.dir/nonblocking.cpp.o" "gcc" "src/romio/CMakeFiles/colcom_romio.dir/nonblocking.cpp.o.d"
+  "/root/repo/src/romio/plan.cpp" "src/romio/CMakeFiles/colcom_romio.dir/plan.cpp.o" "gcc" "src/romio/CMakeFiles/colcom_romio.dir/plan.cpp.o.d"
+  "/root/repo/src/romio/request.cpp" "src/romio/CMakeFiles/colcom_romio.dir/request.cpp.o" "gcc" "src/romio/CMakeFiles/colcom_romio.dir/request.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/colcom_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/colcom_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/colcom_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/colcom_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/colcom_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_romio.dir/collective.cpp.o"
+  "CMakeFiles/colcom_romio.dir/collective.cpp.o.d"
+  "CMakeFiles/colcom_romio.dir/independent.cpp.o"
+  "CMakeFiles/colcom_romio.dir/independent.cpp.o.d"
+  "CMakeFiles/colcom_romio.dir/nonblocking.cpp.o"
+  "CMakeFiles/colcom_romio.dir/nonblocking.cpp.o.d"
+  "CMakeFiles/colcom_romio.dir/plan.cpp.o"
+  "CMakeFiles/colcom_romio.dir/plan.cpp.o.d"
+  "CMakeFiles/colcom_romio.dir/request.cpp.o"
+  "CMakeFiles/colcom_romio.dir/request.cpp.o.d"
+  "libcolcom_romio.a"
+  "libcolcom_romio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_romio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/colcom_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/colcom_util.dir/format.cpp.o"
+  "CMakeFiles/colcom_util.dir/format.cpp.o.d"
+  "CMakeFiles/colcom_util.dir/table.cpp.o"
+  "CMakeFiles/colcom_util.dir/table.cpp.o.d"
+  "libcolcom_util.a"
+  "libcolcom_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

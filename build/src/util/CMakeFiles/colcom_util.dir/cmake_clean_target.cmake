@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcolcom_util.a"
+)

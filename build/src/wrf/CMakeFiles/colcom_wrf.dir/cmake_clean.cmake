@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colcom_wrf.dir/analysis.cpp.o"
+  "CMakeFiles/colcom_wrf.dir/analysis.cpp.o.d"
+  "CMakeFiles/colcom_wrf.dir/hurricane.cpp.o"
+  "CMakeFiles/colcom_wrf.dir/hurricane.cpp.o.d"
+  "libcolcom_wrf.a"
+  "libcolcom_wrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colcom_wrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

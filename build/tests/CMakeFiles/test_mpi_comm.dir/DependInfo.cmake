@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mpi_comm.cpp" "tests/CMakeFiles/test_mpi_comm.dir/test_mpi_comm.cpp.o" "gcc" "tests/CMakeFiles/test_mpi_comm.dir/test_mpi_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wrf/CMakeFiles/colcom_wrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/colcom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncio/CMakeFiles/colcom_ncio.dir/DependInfo.cmake"
+  "/root/repo/build/src/romio/CMakeFiles/colcom_romio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/colcom_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/colcom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/colcom_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/colcom_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/colcom_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/colcom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

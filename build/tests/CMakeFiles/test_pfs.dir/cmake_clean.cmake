@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs.dir/test_pfs.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_pfs.cpp.o.d"
+  "test_pfs"
+  "test_pfs.pdb"
+  "test_pfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_romio.dir/test_romio.cpp.o"
+  "CMakeFiles/test_romio.dir/test_romio.cpp.o.d"
+  "test_romio"
+  "test_romio.pdb"
+  "test_romio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_romio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
