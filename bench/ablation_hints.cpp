@@ -46,7 +46,8 @@ double run_once(const Knobs& k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header("Ablation", "two-phase / CC design knobs",
                       "aggregator count, domain alignment, eager threshold, "
                       "sieve gap");

@@ -13,17 +13,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/object_io.hpp"
 #include "core/runtime.hpp"
 #include "mpi/runtime.hpp"
 #include "ncio/dataset.hpp"
+#include "trace/session.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
 namespace colcom::bench {
+
+/// `--trace <out.json>` support for every bench binary; see trace::Session.
+using TraceSession = trace::Session;
 
 /// Workload multiplier from the environment (COLCOM_BENCH_SCALE).
 inline int scale_factor() {

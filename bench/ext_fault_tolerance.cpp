@@ -64,7 +64,8 @@ Run run_once(double transient_prob, double corrupt_prob) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Extension", "fault tolerance of collective computing (Sec. VI)",
       "results stay exact under injected faults; overhead grows smoothly");

@@ -67,7 +67,8 @@ double run_iterative(std::vector<double>& values, double* plan_cost) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Extension", "iterative collective computing (plan reuse, Sec. VI)",
       "per-step planning collectives amortize away; results identical");

@@ -108,7 +108,8 @@ double run_cc() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Extension", "CC vs nonblocking collective I/O (paper Sec. V-A)",
       "NB-CIO overlaps compute with *other* I/O; CC computes on the I/O "

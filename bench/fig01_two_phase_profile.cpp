@@ -18,7 +18,8 @@
 
 using namespace colcom;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Fig. 1", "per-iteration read vs shuffle of two-phase collective read",
       "shuffle is well overlapped but still ~20% overhead of total I/O");

@@ -14,7 +14,8 @@
 
 using namespace colcom;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header("Fig. 2", "CPU profile during two-phase collective I/O",
                       "wait%% dominates; user%% is near zero during the I/O");
 

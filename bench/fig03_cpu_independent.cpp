@@ -14,7 +14,8 @@
 
 using namespace colcom;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header("Fig. 3", "CPU profile during independent I/O",
                       "wait%% saturates; independent non-contiguous I/O "
                       "starves the CPUs");

@@ -50,7 +50,8 @@ double run_once(double ratio, bool use_cc, bool pipelined) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Fig. 9", "collective computing speedup vs computation:I/O ratio",
       "avg 1.57x, peak 2.44x at 1:1; I/O-dominant side beats "

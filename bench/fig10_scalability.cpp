@@ -42,7 +42,8 @@ double run_once(int nprocs, bool use_cc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Fig. 10", "weak scaling at computation:I/O = 1:5, 24..1024 processes",
       "speedup grows with scale: 1.42x @120 procs -> 1.7x @1024");

@@ -66,7 +66,8 @@ Measured run_once(int nprocs, double gigabytes, bool use_cc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Fig. 11", "local-reduction overhead vs process count (40 GB / 80 GB)",
       "overhead decreases with procs; CC-80G > CC-40G; all far below "

@@ -43,7 +43,8 @@ std::uint64_t run_once(std::uint64_t cb_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Fig. 12", "intermediate-result metadata vs collective buffer size",
       "metadata shrinks as the buffer grows; optimum around 8-12 MB; the "

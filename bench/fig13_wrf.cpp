@@ -46,7 +46,8 @@ Run run_once(std::uint64_t nt, bool use_cc, bool min_pressure) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header(
       "Fig. 13", "WRF 'Min Sea-Level Pressure' task, CC vs traditional MPI",
       "~1.45x speedup across workload sizes");

@@ -13,7 +13,8 @@
 
 using namespace colcom;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::print_header("Table I", "INCITE application data requirements",
                       "on-line data reaches tens of TB, off-line hundreds");
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "trace/session.hpp"
 #include "core/object_io.hpp"
 #include "core/runtime.hpp"
 #include "mpi/runtime.hpp"
@@ -81,7 +82,8 @@ RunResult run(int nprocs, mpi::Op op, bool use_cc, core::ReduceMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  trace::Session trace_session(argc, argv);
   const int nprocs = 16;
   const std::uint64_t total_bytes = kTime * kLev * kLat * kLon * 4;
   std::printf("Climate analysis: %d ranks, variable of %s\n\n", nprocs,

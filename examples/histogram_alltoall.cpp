@@ -14,6 +14,7 @@
 #include <iostream>
 #include <vector>
 
+#include "trace/session.hpp"
 #include "core/object_io.hpp"
 #include "core/runtime.hpp"
 #include "mpi/runtime.hpp"
@@ -23,7 +24,8 @@
 
 using namespace colcom;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::Session trace_session(argc, argv);
   constexpr std::uint64_t kLat = 96, kLon = 192;
   constexpr int kProcs = 12;
 

@@ -8,6 +8,7 @@
 //   $ ./quickstart
 #include <cstdio>
 
+#include "trace/session.hpp"
 #include "core/object_io.hpp"
 #include "core/runtime.hpp"
 #include "mpi/runtime.hpp"
@@ -15,7 +16,8 @@
 
 using namespace colcom;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::Session trace_session(argc, argv);
   // A simulated cluster: 2 nodes x 4 cores, Lustre-like PFS.
   mpi::MachineConfig machine;
   machine.cores_per_node = 4;

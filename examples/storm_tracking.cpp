@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "trace/session.hpp"
 #include "core/iterative.hpp"
 #include "mpi/runtime.hpp"
 #include "util/format.hpp"
@@ -19,7 +20,8 @@
 
 using namespace colcom;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::Session trace_session(argc, argv);
   wrf::HurricaneConfig storm;
   storm.nt = 48;
   storm.ny = 256;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "trace/session.hpp"
 #include "mpi/runtime.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -44,7 +45,8 @@ TaskRun run_task(const wrf::HurricaneConfig& storm, int nprocs, bool use_cc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  trace::Session trace_session(argc, argv);
   wrf::HurricaneConfig storm;
   storm.nt = 24;
   storm.ny = 384;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# CI driver: configure -> build -> test inside a wall-clock budget, then an
+# optional -Werror + ASan/UBSan pass over the trace/prof tests.
+#
+# Usage: scripts/ci.sh [--fast] [--no-sanitize]
+#   --fast         skip tests labeled `slow` (ctest -LE slow)
+#   --no-sanitize  skip the sanitizer build/run stage
+#
+# Environment:
+#   CI_BUDGET_S  wall-clock budget in seconds for each ctest invocation
+#                (default 900)
+#   BUILD_DIR    main build tree (default build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUDGET="${CI_BUDGET_S:-900}"
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+FAST=0
+SANITIZE=1
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --no-sanitize) SANITIZE=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { echo; echo "=== $* ==="; }
+
+step "configure ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S . -DCOLCOM_WERROR=ON
+
+step "build"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+step "ctest (budget ${BUDGET}s)"
+CTEST_ARGS=(--output-on-failure -j "$(nproc)")
+if STOP_AT="$(date -d "+${BUDGET} seconds" '+%H:%M:%S' 2>/dev/null)"; then
+  CTEST_ARGS+=(--stop-time "$STOP_AT")
+fi
+if [[ $FAST -eq 1 ]]; then CTEST_ARGS+=(-LE slow); fi
+timeout "$BUDGET" ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
+
+if [[ $SANITIZE -eq 1 ]]; then
+  step "sanitizer build (-Werror + ASan/UBSan)"
+  cmake -B "$BUILD_DIR-asan" -S . -DCOLCOM_WERROR=ON -DCOLCOM_SANITIZE=ON
+  cmake --build "$BUILD_DIR-asan" -j "$(nproc)" --target test_trace test_prof
+
+  step "sanitizer run (trace + prof tests)"
+  # The DES runs ranks on ucontext fibers; ASan's fake-stack bookkeeping
+  # cannot follow swapcontext, so fake stacks must stay off here.
+  export ASAN_OPTIONS="detect_stack_use_after_return=0:abort_on_error=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_trace"
+  timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_prof"
+fi
+
+echo
+echo "CI OK"

@@ -8,6 +8,7 @@
 #include "mpi/runtime.hpp"
 #include "romio/collective.hpp"
 #include "romio/independent.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::core {
@@ -55,6 +56,7 @@ void fold_final(mpi::Comm& comm, const ObjectIO& obj, mpi::Prim prim,
   // the flag handles ranks with empty subsets, so user ops without an
   // identity still reduce correctly.
   const double t0 = comm.wtime();
+  TRACE_SPAN(comm.engine(), "cc", "reduce");
   FinalRecord rec;
   rec.has_value = mine.empty() ? 0 : 1;
   if (!mine.empty()) {
@@ -188,8 +190,13 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     std::vector<mpi::Request> sends;
     if (my_agg >= 0) {
       const pfs::ByteExtent c = reader.chunk();
+      TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                  "cc.aggregation_rounds", 1);
       const double wait0 = comm.wtime();
-      reader.wait();
+      {
+        TRACE_SPAN(comm.engine(), "cc", "io");
+        reader.wait();
+      }
       const double read_service = reader.service_time();
       stats.io_s += comm.wtime() - wait0;  // stall only; overlap is free
       stats.bytes_read += reader.bytes_read();
@@ -262,36 +269,50 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       // map of a chunk costs ratio * the chunk's I/O service time,
       // reproducing the paper's simulated-computation benchmark.
       const double c0 = comm.wtime();
-      comm.overhead(construct_charge);
+      {
+        TRACE_SPAN(comm.engine(), "cc", "construct");
+        comm.overhead(construct_charge);
+      }
       stats.construct_s += comm.wtime() - c0;
       const double m0 = comm.wtime();
-      if (obj.compute.ratio_of_io > 0) {
-        comm.compute(obj.compute.ratio_of_io * read_service *
-                     kRatioIoCalibration);
-      } else if (obj.compute.seconds_per_byte > 0) {
-        comm.compute(obj.compute.seconds_per_byte *
-                     static_cast<double>(mapped_bytes));
-      } else if (mapped_bytes > 0) {
-        // No explicit model: the map is the reduction itself, a streaming
-        // scan at memory bandwidth.
-        comm.compute(static_cast<double>(mapped_bytes) /
-                     comm.runtime().config().memcpy_bw);
+      {
+        TRACE_SPAN(comm.engine(), "cc", "map");
+        if (obj.compute.ratio_of_io > 0) {
+          comm.compute(obj.compute.ratio_of_io * read_service *
+                       kRatioIoCalibration);
+        } else if (obj.compute.seconds_per_byte > 0) {
+          comm.compute(obj.compute.seconds_per_byte *
+                       static_cast<double>(mapped_bytes));
+        } else if (mapped_bytes > 0) {
+          // No explicit model: the map is the reduction itself, a streaming
+          // scan at memory bandwidth.
+          comm.compute(static_cast<double>(mapped_bytes) /
+                       comm.runtime().config().memcpy_bw);
+        }
       }
       stats.map_s += comm.wtime() - m0;
 
       // ---- shuffle phase: ship partial results, not raw data ----
       const double s0 = comm.wtime();
-      if (c.length > 0) {
-        if (a2one) {
-          const auto wire = std::as_bytes(std::span<const PartialRecord>(batch));
-          stats.shuffle_bytes += wire.size();
-          sends.push_back(comm.isend(obj.root, kPartialTag, wire));
-        } else {
-          for (const auto& rec : batch) {
-            stats.shuffle_bytes += sizeof(PartialRecord);
-            sends.push_back(comm.isend(
-                rec.origin, kPartialTag,
-                std::as_bytes(std::span<const PartialRecord>(&rec, 1))));
+      {
+        TRACE_SPAN(comm.engine(), "cc", "shuffle");
+        if (c.length > 0) {
+          if (a2one) {
+            const auto wire =
+                std::as_bytes(std::span<const PartialRecord>(batch));
+            stats.shuffle_bytes += wire.size();
+            TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                        "cc.shuffle_bytes", wire.size());
+            sends.push_back(comm.isend(obj.root, kPartialTag, wire));
+          } else {
+            for (const auto& rec : batch) {
+              stats.shuffle_bytes += sizeof(PartialRecord);
+              TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                          "cc.shuffle_bytes", sizeof(PartialRecord));
+              sends.push_back(comm.isend(
+                  rec.origin, kPartialTag,
+                  std::as_bytes(std::span<const PartialRecord>(&rec, 1))));
+            }
           }
         }
       }
@@ -303,6 +324,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
 
     // ---- receiver side of the shuffle ----
     const double r0 = comm.wtime();
+    trace::ScopedSpan recv_shuffle_span(comm.engine(), "cc", "shuffle");
     if (a2one) {
       if (i_am_root) {
         for (int a = 0; a < plan.aggregator_count(); ++a) {
@@ -405,31 +427,37 @@ CcStats traditional_compute(mpi::Comm& comm, const ncio::Dataset& ds,
 
   // Phase 1: the whole read completes before any analysis (blocking).
   const double io0 = comm.wtime();
-  if (obj.collective) {
-    romio::CollectiveIo cio(detail::cc_hints(obj, esize));
-    const auto st = cio.read_all(comm, ds.file(), mine_req, buffer);
-    stats.plan_s = st.plan_s;
-    for (const auto& it : st.iters) stats.bytes_read += it.read_bytes;
-    stats.shuffle_bytes = st.bytes_moved;
-  } else {
-    const auto st = romio::read_indep(comm, ds.file(), mine_req, buffer);
-    stats.bytes_read = st.bytes_accessed;
+  {
+    TRACE_SPAN(comm.engine(), "cc", "io");
+    if (obj.collective) {
+      romio::CollectiveIo cio(detail::cc_hints(obj, esize));
+      const auto st = cio.read_all(comm, ds.file(), mine_req, buffer);
+      stats.plan_s = st.plan_s;
+      for (const auto& it : st.iters) stats.bytes_read += it.read_bytes;
+      stats.shuffle_bytes = st.bytes_moved;
+    } else {
+      const auto st = romio::read_indep(comm, ds.file(), mine_req, buffer);
+      stats.bytes_read = st.bytes_accessed;
+    }
   }
   stats.io_s = comm.wtime() - io0;
 
   // Phase 2: compute (lines 5-7 of the paper's Fig. 5).
   const double m0 = comm.wtime();
-  if (obj.compute.ratio_of_io > 0) {
-    comm.compute(obj.compute.ratio_of_io * stats.io_s);
-  } else if (obj.compute.seconds_per_byte > 0) {
-    comm.compute(obj.compute.seconds_per_byte *
-                 static_cast<double>(buffer.size()));
-  } else if (!buffer.empty()) {
-    comm.compute(static_cast<double>(buffer.size()) /
-                 comm.runtime().config().memcpy_bw);
-  }
   Accumulator my_acc(obj.op, prim);
-  my_acc.combine(buffer.data(), stats.elements);
+  {
+    TRACE_SPAN(comm.engine(), "cc", "map");
+    if (obj.compute.ratio_of_io > 0) {
+      comm.compute(obj.compute.ratio_of_io * stats.io_s);
+    } else if (obj.compute.seconds_per_byte > 0) {
+      comm.compute(obj.compute.seconds_per_byte *
+                   static_cast<double>(buffer.size()));
+    } else if (!buffer.empty()) {
+      comm.compute(static_cast<double>(buffer.size()) /
+                   comm.runtime().config().memcpy_bw);
+    }
+    my_acc.combine(buffer.data(), stats.elements);
+  }
   stats.map_s = comm.wtime() - m0;
 
   if (stats.elements > 0 && !my_acc.empty()) {

@@ -1,5 +1,6 @@
 #include "des/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -7,7 +8,41 @@
 namespace colcom::des {
 
 Engine::Engine() = default;
-Engine::~Engine() = default;
+
+Engine::~Engine() {
+  // Unlink live sinks so a sink outliving this engine (a tracer spanning
+  // several runtimes) neither dangles nor tries to deregister later.
+  for (TraceSink* s : sinks_) {
+    auto& e = s->engines_;
+    e.erase(std::remove(e.begin(), e.end(), this), e.end());
+    s->on_engine_destroyed();
+  }
+}
+
+TraceSink::~TraceSink() {
+  while (!engines_.empty()) engines_.back()->remove_trace_sink(this);
+}
+
+void Engine::add_trace_sink(TraceSink* sink) {
+  COLCOM_EXPECT(sink != nullptr);
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+    sink->engines_.push_back(this);
+  }
+}
+
+void Engine::remove_trace_sink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  auto& e = sink->engines_;
+  e.erase(std::remove(e.begin(), e.end(), this), e.end());
+  if (legacy_listener_ == sink) legacy_listener_ = nullptr;
+}
+
+void Engine::set_cpu_listener(CpuListener* listener) {
+  if (legacy_listener_ != nullptr) remove_trace_sink(legacy_listener_);
+  legacy_listener_ = listener;
+  if (listener != nullptr) add_trace_sink(listener);
+}
 
 ActorHandle Engine::spawn(std::string name, int node,
                           std::function<void()> body,
@@ -20,6 +55,10 @@ ActorHandle Engine::spawn(std::string name, int node,
   actor->fiber = std::make_unique<Fiber>(stack_bytes, std::move(body));
   fiber_of_actor_.push_back(actor->fiber.get());
   actors_.push_back(std::move(actor));
+  for (TraceSink* s : sinks_) {
+    const Actor& a = *actors_.back();
+    s->on_actor_spawn(id, a.node, a.name, now_);
+  }
   // First dispatch happens through the queue so spawn order == start order.
   schedule(now_, [this, id] { resume_actor(id); });
   return ActorHandle{id};
@@ -59,8 +98,11 @@ void Engine::resume_actor(int id) {
   const int prev = std::exchange(current_actor_, id);
   a.fiber->resume();
   current_actor_ = prev;
-  if (a.fiber->finished() && a.fiber->exception()) {
-    pending_exception_ = a.fiber->exception();
+  if (a.fiber->finished()) {
+    for (TraceSink* s : sinks_) s->on_actor_finish(id, now_);
+    if (a.fiber->exception()) {
+      pending_exception_ = a.fiber->exception();
+    }
   }
 }
 
@@ -123,9 +165,10 @@ bool Engine::actor_finished(int id) const {
 }
 
 void Engine::record(int actor_id, CpuKind kind, SimTime begin, SimTime end) {
-  if (cpu_listener_ != nullptr && end > begin) {
-    cpu_listener_->on_interval(actors_[static_cast<std::size_t>(actor_id)]->node,
-                               actor_id, kind, begin, end);
+  if (sinks_.empty() || end <= begin) return;
+  const int node = actors_[static_cast<std::size_t>(actor_id)]->node;
+  for (TraceSink* s : sinks_) {
+    s->on_interval(node, actor_id, kind, begin, end);
   }
 }
 

@@ -17,17 +17,9 @@
 
 #include "des/fiber.hpp"
 #include "des/time.hpp"
+#include "des/trace_sink.hpp"
 
 namespace colcom::des {
-
-/// Receives every CPU interval an actor spends; the profiler (Figs. 2/3)
-/// plugs in here.
-class CpuListener {
- public:
-  virtual ~CpuListener() = default;
-  virtual void on_interval(int node, int actor, CpuKind kind, SimTime begin,
-                           SimTime end) = 0;
-};
 
 /// Identifies a spawned actor; also usable to wait for its completion.
 struct ActorHandle {
@@ -82,8 +74,15 @@ class Engine {
   /// True when called from inside an actor fiber.
   bool in_actor() const { return Fiber::current() != nullptr; }
 
-  /// Installs (or clears, with nullptr) the CPU accounting listener.
-  void set_cpu_listener(CpuListener* listener) { cpu_listener_ = listener; }
+  /// Attaches an observer for CPU intervals and actor lifecycle. Multiple
+  /// sinks may be attached (profiler + tracer); attach order is notify order.
+  void add_trace_sink(TraceSink* sink);
+  void remove_trace_sink(TraceSink* sink);
+
+  /// Legacy single-listener setter: replaces the sink installed by the
+  /// previous set_cpu_listener call (nullptr just clears it). Sinks attached
+  /// via add_trace_sink are unaffected.
+  void set_cpu_listener(CpuListener* listener);
 
   /// Number of events dispatched so far (for tests / sanity checks).
   std::uint64_t events_dispatched() const { return events_dispatched_; }
@@ -120,7 +119,8 @@ class Engine {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::vector<Fiber*> fiber_of_actor_;  // index: actor id
   int current_actor_ = -1;
-  CpuListener* cpu_listener_ = nullptr;
+  std::vector<TraceSink*> sinks_;
+  TraceSink* legacy_listener_ = nullptr;
   std::exception_ptr pending_exception_;
 };
 

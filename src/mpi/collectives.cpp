@@ -7,6 +7,7 @@
 
 #include "mpi/comm.hpp"
 #include "mpi/world.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::mpi {
@@ -22,6 +23,8 @@ constexpr int kTagAlltoall = kCollectiveTagBase - 5;
 }  // namespace
 
 void Comm::barrier() {
+  TRACE_SPAN(engine(), "coll", "barrier");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   const int n = size();
   for (int mask = 1; mask < n; mask <<= 1) {
     const int dst = (rank_ + mask) % n;
@@ -32,6 +35,8 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(std::span<std::byte> data, int root) {
+  TRACE_SPAN(engine(), "coll", "bcast");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   const int n = size();
   COLCOM_EXPECT(root >= 0 && root < n);
   if (n == 1) return;
@@ -57,6 +62,8 @@ void Comm::bcast(std::span<std::byte> data, int root) {
 
 void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
                   Prim p, const Op& op, int root) {
+  TRACE_SPAN(engine(), "coll", "reduce");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   const int n = size();
   COLCOM_EXPECT(root >= 0 && root < n);
   COLCOM_EXPECT(op.valid() && op.commutative());
@@ -91,6 +98,8 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
 
 void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
                      Prim p, const Op& op) {
+  TRACE_SPAN(engine(), "coll", "allreduce");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   reduce(send_buf, recv_buf, count, p, op, 0);
   bcast(std::span<std::byte>(static_cast<std::byte*>(recv_buf),
                              count * prim_size(p)),
@@ -110,6 +119,8 @@ void Comm::gather(std::span<const std::byte> send, std::span<std::byte> recv,
 void Comm::gatherv(std::span<const std::byte> send,
                    std::span<const std::uint64_t> counts,
                    std::span<std::byte> recv, int root) {
+  TRACE_SPAN(engine(), "coll", "gatherv");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   const int n = size();
   COLCOM_EXPECT(static_cast<int>(counts.size()) == n);
   COLCOM_EXPECT(send.size() == counts[static_cast<std::size_t>(rank_)]);
@@ -140,6 +151,8 @@ void Comm::gatherv(std::span<const std::byte> send,
 void Comm::allgatherv(std::span<const std::byte> send,
                       std::span<const std::uint64_t> counts,
                       std::span<std::byte> recv) {
+  TRACE_SPAN(engine(), "coll", "allgatherv");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   gatherv(send, counts, recv, 0);
   std::uint64_t total = 0;
   for (auto c : counts) total += c;
@@ -148,6 +161,8 @@ void Comm::allgatherv(std::span<const std::byte> send,
 
 void Comm::scatter(std::span<const std::byte> send, std::span<std::byte> recv,
                    int root) {
+  TRACE_SPAN(engine(), "coll", "scatter");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   const int n = size();
   if (rank_ == root) {
     COLCOM_EXPECT(send.size() >= static_cast<std::size_t>(n) * recv.size());
@@ -173,6 +188,8 @@ void Comm::alltoallv(std::span<const std::byte> send,
                      std::span<std::byte> recv,
                      std::span<const std::uint64_t> recv_counts,
                      std::span<const std::uint64_t> recv_displs) {
+  TRACE_SPAN(engine(), "coll", "alltoallv");
+  TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
   const int n = size();
   COLCOM_EXPECT(static_cast<int>(send_counts.size()) == n &&
                 static_cast<int>(send_displs.size()) == n &&

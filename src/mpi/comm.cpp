@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "mpi/world.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
+#include "util/format.hpp"
 
 namespace colcom::mpi {
 
@@ -54,7 +56,8 @@ void World::deliver(int dst, std::shared_ptr<Msg> msg) {
 
 void World::complete_match(int dst, std::shared_ptr<Msg> msg,
                            std::shared_ptr<PostedRecv> pr) {
-  auto finish = [](Msg& m, PostedRecv& r) {
+  des::Engine& eng = rt->engine();
+  auto finish = [&eng, dst](Msg& m, PostedRecv& r) {
     COLCOM_EXPECT_MSG(m.payload.size() <= r.dst.size(),
                       "message longer than receive buffer");
     if (!m.payload.empty()) {
@@ -62,6 +65,13 @@ void World::complete_match(int dst, std::shared_ptr<Msg> msg,
     }
     r.matched = true;
     r.info = MsgInfo{m.src, m.tag, m.payload.size()};
+    // Land the sender's flow arrow on the receiving rank's track at the
+    // moment the message is handed to the application.
+    if (trace::Tracer* tr = trace::Tracer::current();
+        tr != nullptr && m.trace_flow != 0) {
+      tr->flow_in(trace::Track::ranks, dst, "mpi", "msg", m.trace_flow,
+                  eng.now());
+    }
     r.cs->fire();
   };
   if (!msg->rendezvous) {
@@ -73,6 +83,9 @@ void World::complete_match(int dst, std::shared_ptr<Msg> msg,
   net::Network& net = rt->network();
   const int src_node = rt->node_of(msg->src);
   const int dst_node = rt->node_of(dst);
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    tr->instant(trace::Track::ranks, dst, "mpi", "cts", eng.now());
+  }
   auto cts = net.transfer_async(dst_node, src_node, kMsgHeaderBytes);
   World* w = this;
   cts.on_done([w, src_node, dst_node, msg, pr, finish] {
@@ -122,10 +135,28 @@ Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
   msg->seq = world_->chan(rank_, dst).next_send_seq++;
   msg->payload.assign(data.begin(), data.end());
 
+  const bool eager = data.size() <= world_->rt->config().eager_threshold;
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    const des::SimTime now = engine().now();
+    tr->count(trace::Track::ranks, "mpi.bytes_sent", data.size(), now);
+    tr->metrics()
+        .counter(eager ? "mpi.msgs_eager" : "mpi.msgs_rendezvous")
+        .add(1);
+    tr->metrics()
+        .histogram("mpi.msg_bytes", {64, 1024, 8192, 65536, 1 << 20})
+        .observe(static_cast<double>(data.size()));
+    // Flow arrow from the sending fiber's track to the receiving rank.
+    const int tid = engine().in_actor() ? engine().current_actor() : rank_;
+    msg->trace_flow = tr->next_flow_id();
+    tr->flow_out(trace::Track::ranks, tid, "mpi",
+                 (eager ? "eager " : "rndv ") + format_bytes(data.size()),
+                 msg->trace_flow, now);
+  }
+
   World* w = world_;
   Request req;
   req.state_ = std::make_shared<Request::State>();
-  if (data.size() <= world_->rt->config().eager_threshold) {
+  if (eager) {
     // Eager: the payload travels immediately; the send completes on
     // delivery regardless of the receiver.
     auto transfer = world_->rt->network().transfer_async(
@@ -146,6 +177,7 @@ Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
 }
 
 void Comm::send(int dst, int tag, std::span<const std::byte> data) {
+  TRACE_SPAN(engine(), "mpi", "send");
   isend(dst, tag, data).wait();
 }
 
@@ -187,6 +219,7 @@ Request Comm::irecv(int src, int tag, std::span<std::byte> dst) {
 }
 
 MsgInfo Comm::recv(int src, int tag, std::span<std::byte> dst) {
+  TRACE_SPAN(engine(), "mpi", "recv");
   Request r = irecv(src, tag, dst);
   r.wait();
   const MsgInfo info = r.info();
@@ -201,6 +234,7 @@ MsgInfo Comm::recv(int src, int tag, std::span<std::byte> dst) {
 void Comm::sendrecv(int dst, int send_tag,
                     std::span<const std::byte> send_data, int src,
                     int recv_tag, std::span<std::byte> recv_buf) {
+  TRACE_SPAN(engine(), "mpi", "sendrecv");
   Request r = irecv(src, recv_tag, recv_buf);
   Request s = isend(dst, send_tag, send_data);
   r.wait();

@@ -1,6 +1,7 @@
 #include "mpi/runtime.hpp"
 
 #include "mpi/world.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::mpi {
@@ -10,6 +11,7 @@ Runtime::Runtime(MachineConfig cfg, int nprocs) : cfg_(cfg), nprocs_(nprocs) {
   COLCOM_EXPECT(cfg.cores_per_node >= 1);
   n_nodes_ = (nprocs + cfg.cores_per_node - 1) / cfg.cores_per_node;
   engine_ = std::make_unique<des::Engine>();
+  if (trace::Tracer* t = trace::auto_attach()) t->attach(*engine_);
   const auto topo = net::MeshTopology::square_for(n_nodes_, cfg.torus);
   network_ = std::make_unique<net::Network>(*engine_, topo, cfg.net);
   pfs_ = std::make_unique<pfs::Pfs>(*engine_, cfg.pfs);

@@ -31,6 +31,7 @@ struct Msg {
   /// (clear-to-send), and the sender's request completes with the payload.
   bool rendezvous = false;
   std::shared_ptr<des::CompletionSource> send_done;  // rendezvous only
+  std::uint64_t trace_flow = 0;  ///< flow-arrow id, 0 when tracing is off
 };
 
 struct PostedRecv {

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
+#include "util/format.hpp"
 
 namespace colcom::net {
+
+namespace {
+
+std::string link_track_name(std::uint32_t link_id) {
+  static const char* kDirs[] = {"+x", "-x", "+y", "-y"};
+  return "link n" + std::to_string(link_id / 4) + kDirs[link_id % 4];
+}
+
+}  // namespace
 
 Network::Network(des::Engine& engine, const MeshTopology& topo, NetConfig cfg)
     : engine_(&engine), topo_(topo), cfg_(cfg) {
@@ -22,8 +33,19 @@ des::Completion Network::transfer_async(int src_node, int dst_node,
   ++stats_.messages;
   stats_.bytes += bytes;
 
+  trace::Tracer* tr = trace::Tracer::current();
+  if (tr != nullptr) {
+    tr->count(trace::Track::net, "net.bytes", bytes, now);
+    tr->metrics().counter("net.messages").add(1);
+    tr->metrics()
+        .histogram("net.msg_bytes",
+                   {64, 1024, 8192, 65536, 1 << 20, 16 << 20})
+        .observe(static_cast<double>(bytes));
+  }
+
   if (src_node == dst_node) {
     ++stats_.intra_node_messages;
+    if (tr != nullptr) tr->metrics().counter("net.intra_node_messages").add(1);
     const des::SimTime done =
         now + cfg_.nic_latency +
         static_cast<double>(bytes) / cfg_.memcpy_bw;
@@ -33,27 +55,58 @@ des::Completion Network::transfer_async(int src_node, int dst_node,
   const auto path = topo_.route(src_node, dst_node);
 
   // Collect the channel sequence: src NIC out, each mesh link, dst NIC in.
-  std::vector<Channel*> channels;
+  // Track ids inside Track::net: [0, max_link_id) are mesh links, then one
+  // outbound and one inbound NIC port per node.
+  struct Hop {
+    Channel* ch;
+    int tid;
+  };
+  const int nic_out_base = static_cast<int>(topo_.max_link_id());
+  const int nic_in_base = nic_out_base + topo_.node_count();
+  std::vector<Hop> channels;
   channels.reserve(path.size() + 1);
-  channels.push_back(&nic_out_[static_cast<std::size_t>(src_node)]);
+  channels.push_back(
+      {&nic_out_[static_cast<std::size_t>(src_node)], nic_out_base + src_node});
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    channels.push_back(&links_[topo_.link_id(path[i], path[i + 1])]);
+    const std::uint32_t id = topo_.link_id(path[i], path[i + 1]);
+    channels.push_back({&links_[id], static_cast<int>(id)});
   }
-  channels.push_back(&nic_in_[static_cast<std::size_t>(dst_node)]);
+  channels.push_back(
+      {&nic_in_[static_cast<std::size_t>(dst_node)], nic_in_base + dst_node});
 
   // Wormhole approximation: the head flit queues at every channel; the
-  // payload streams at the slowest channel rate and occupies each channel
+  // payload streams at the slowest channel rate and occupies every channel
   // until the tail passes.
   des::SimTime head = now + cfg_.nic_latency;
   double min_bw = cfg_.nic_bw;
-  for (Channel* ch : channels) {
-    head = std::max(head, ch->next_free) + cfg_.link_latency;
+  for (const Hop& hop : channels) {
+    head = std::max(head, hop.ch->next_free) + cfg_.link_latency;
   }
   min_bw = std::min(min_bw, cfg_.link_bw);
   const des::SimTime serialization = static_cast<double>(bytes) / min_bw;
   const des::SimTime done = head + serialization;
-  for (Channel* ch : channels) {
-    ch->next_free = done;
+  for (const Hop& hop : channels) {
+    if (tr != nullptr) {
+      // Occupancy slice: this message holds the channel from the moment it
+      // can start queuing there until the tail passes.
+      const des::SimTime busy_from = std::max(now, hop.ch->next_free);
+      if (hop.tid < nic_out_base) {
+        tr->name_track(trace::Track::net, hop.tid,
+                       link_track_name(static_cast<std::uint32_t>(hop.tid)));
+      } else if (hop.tid < nic_in_base) {
+        tr->name_track(trace::Track::net, hop.tid,
+                       "nic-out n" + std::to_string(hop.tid - nic_out_base));
+      } else {
+        tr->name_track(trace::Track::net, hop.tid,
+                       "nic-in n" + std::to_string(hop.tid - nic_in_base));
+      }
+      tr->complete(trace::Track::net, hop.tid, "net",
+                   "msg " + format_bytes(bytes) + " n" +
+                       std::to_string(src_node) + ">n" +
+                       std::to_string(dst_node),
+                   busy_from, done);
+    }
+    hop.ch->next_free = done;
     stats_.total_busy += serialization;
   }
   return des::Completion::at(*engine_, done);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
+#include "util/format.hpp"
 #include "util/prng.hpp"
 
 namespace colcom::pfs {
@@ -77,7 +79,19 @@ double Pfs::peak_bandwidth() const {
                   cfg_.storage_net_bw);
 }
 
-des::SimTime Pfs::charge(std::uint64_t offset, std::uint64_t len) {
+des::SimTime Pfs::charge(std::uint64_t offset, std::uint64_t len,
+                         const char* op) {
+  trace::Tracer* tr = trace::Tracer::current();
+  if (tr != nullptr) {
+    // Track ids inside Track::pfs: one per OST, then the storage network.
+    tr->count(trace::Track::pfs,
+              op[0] == 'r' ? "pfs.ost_read_bytes" : "pfs.ost_write_bytes",
+              len, engine_->now());
+    tr->metrics()
+        .histogram("pfs.request_bytes",
+                   {4096, 65536, 1 << 20, 4 << 20, 16 << 20, 64 << 20})
+        .observe(static_cast<double>(len));
+  }
   // Decompose [offset, offset+len) into per-OST byte counts. Within one
   // request an OST serves its stripes as one sequential pass.
   des::SimTime done = engine_->now();
@@ -102,12 +116,16 @@ des::SimTime Pfs::charge(std::uint64_t offset, std::uint64_t len) {
     if (ost_bytes[o] == 0) continue;
     Ost& ost = osts_[o];
     const bool sequential = (ost.last_end == ost_first[o]);
-    if (!sequential) ++stats_.seeks;
+    if (!sequential) {
+      ++stats_.seeks;
+      if (tr != nullptr) tr->metrics().counter("pfs.seeks").add(1);
+    }
     des::SimTime service = cfg_.ost_request_overhead +
                            (sequential ? 0.0 : cfg_.ost_seek) +
                            static_cast<double>(ost_bytes[o]) / cfg_.ost_bw;
     // Transient faults: deterministic per (request, OST) roll; each retry
     // pays the detection timeout plus a fresh service pass.
+    int retries = 0;
     if (cfg_.transient_fail_prob > 0) {
       SplitMix64 sm(cfg_.fault_seed ^
                     (stats_.requests * 1099511628211ull + o * 40503ull));
@@ -118,16 +136,47 @@ des::SimTime Pfs::charge(std::uint64_t offset, std::uint64_t len) {
         COLCOM_EXPECT_MSG(++tries <= cfg_.max_retries,
                           "OST request exceeded max_retries");
         ++stats_.retries;
+        ++retries;
         service += cfg_.retry_delay_s + single_pass;
       }
     }
-    done = std::max(done, ost.server->enqueue(service));
+    const des::SimTime busy_from =
+        std::max(engine_->now(), ost.server->next_free());
+    const des::SimTime done_o = ost.server->enqueue(service);
+    done = std::max(done, done_o);
+    if (tr != nullptr) {
+      const int tid = static_cast<int>(o);
+      tr->name_track(trace::Track::pfs, tid, "ost" + std::to_string(o));
+      tr->complete(trace::Track::pfs, tid, "pfs",
+                   std::string(op) + " " + format_bytes(ost_bytes[o]),
+                   busy_from, done_o);
+      if (retries > 0) {
+        tr->metrics().counter("pfs.retries").add(
+            static_cast<std::uint64_t>(retries));
+        for (int i = 0; i < retries; ++i) {
+          tr->instant(trace::Track::pfs, tid, "pfs", "fault.retry",
+                      engine_->now());
+        }
+      }
+    }
     ost.last_end = ost_last[o];
     ++stats_.ost_requests;
   }
   // The payload also crosses the shared storage network.
-  done = std::max(done, storage_net_.enqueue(static_cast<double>(len) /
-                                             cfg_.storage_net_bw));
+  {
+    const des::SimTime busy_from =
+        std::max(engine_->now(), storage_net_.next_free());
+    const des::SimTime done_n = storage_net_.enqueue(
+        static_cast<double>(len) / cfg_.storage_net_bw);
+    done = std::max(done, done_n);
+    if (tr != nullptr) {
+      const int tid = cfg_.n_osts;
+      tr->name_track(trace::Track::pfs, tid, "storage-net");
+      tr->complete(trace::Track::pfs, tid, "pfs",
+                   std::string(op) + " " + format_bytes(len), busy_from,
+                   done_n);
+    }
+  }
   ++stats_.requests;
   return done;
 }
@@ -138,7 +187,7 @@ des::Completion Pfs::read_async(FileId id, std::uint64_t offset,
   s.read(offset, dst);
   stats_.read_bytes += dst.size();
   if (dst.empty()) return des::Completion::ready(*engine_);
-  return des::Completion::at(*engine_, charge(offset, dst.size()));
+  return des::Completion::at(*engine_, charge(offset, dst.size(), "read"));
 }
 
 des::Completion Pfs::read_extents_async(FileId id,
@@ -152,7 +201,7 @@ des::Completion Pfs::read_extents_async(FileId id,
     s.read(e.offset, dst.subspan(pos, e.length));
     pos += e.length;
     stats_.read_bytes += e.length;
-    if (e.length > 0) done = std::max(done, charge(e.offset, e.length));
+    if (e.length > 0) done = std::max(done, charge(e.offset, e.length, "read"));
   }
   COLCOM_EXPECT_MSG(pos == dst.size(), "dst must match total extent bytes");
   return des::Completion::at(*engine_, done);
@@ -164,7 +213,7 @@ des::Completion Pfs::write_async(FileId id, std::uint64_t offset,
   s.write(offset, src);
   stats_.written_bytes += src.size();
   if (src.empty()) return des::Completion::ready(*engine_);
-  return des::Completion::at(*engine_, charge(offset, src.size()));
+  return des::Completion::at(*engine_, charge(offset, src.size(), "write"));
 }
 
 }  // namespace colcom::pfs

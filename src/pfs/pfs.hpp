@@ -115,8 +115,9 @@ class Pfs {
   };
 
   /// Charges OST + network time for accessing [offset, offset+len); returns
-  /// the finish time. Shared by read/write (symmetric cost model).
-  des::SimTime charge(std::uint64_t offset, std::uint64_t len);
+  /// the finish time. Shared by read/write (symmetric cost model); `op` is
+  /// "read" or "write" and only labels trace output.
+  des::SimTime charge(std::uint64_t offset, std::uint64_t len, const char* op);
 
   des::Engine* engine_;
   PfsConfig cfg_;

@@ -16,14 +16,22 @@ void CpuProfile::on_interval(int /*node*/, int /*actor*/, des::CpuKind kind,
   if (end <= begin) return;
   const int idx = static_cast<int>(kind);
   COLCOM_EXPECT(idx >= 0 && idx < 3);
-  double t = begin;
-  while (t < end) {
-    const auto b = static_cast<std::size_t>(t / bucket_s_);
-    if (b >= buckets_.size()) buckets_.resize(b + 1);
-    const double bucket_end = (static_cast<double>(b) + 1.0) * bucket_s_;
-    const double n = std::min(end, bucket_end) - t;
-    buckets_[b].acc[idx] += n;
-    t += n;
+  // Iterate over bucket *indices*, not by advancing a time cursor: a cursor
+  // of the form t += (bucket_end - t) can make zero progress when
+  // (b+1)*bucket_s rounds to exactly t, which used to hang this loop on
+  // boundary-straddling intervals.
+  auto b0 = static_cast<std::size_t>(begin / bucket_s_);
+  auto b1 = static_cast<std::size_t>(end / bucket_s_);
+  // An end exactly on (or rounded up to) a bucket boundary contributes
+  // nothing to that bucket.
+  if (b1 > 0 && static_cast<double>(b1) * bucket_s_ >= end) --b1;
+  if (b1 < b0) b1 = b0;
+  if (b1 >= buckets_.size()) buckets_.resize(b1 + 1);
+  for (std::size_t b = b0; b <= b1; ++b) {
+    const double lo = std::max(begin, static_cast<double>(b) * bucket_s_);
+    const double hi =
+        std::min(end, (static_cast<double>(b) + 1.0) * bucket_s_);
+    if (hi > lo) buckets_[b].acc[idx] += hi - lo;
   }
 }
 

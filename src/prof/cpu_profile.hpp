@@ -2,17 +2,24 @@
 // wait and buckets it over virtual time — the measurement behind the
 // paper's Figs. 2 and 3 (total CPU profiling of two-phase collective vs
 // independent I/O).
+//
+// A thin consumer of the engine's TraceSink seam: it only aggregates the
+// intervals the seam reports. For full structured tracing (spans, counters,
+// Perfetto export) attach a trace::Tracer instead — or alongside; the seam
+// supports multiple sinks.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "des/engine.hpp"
+#include "des/time.hpp"
+#include "des/trace_sink.hpp"
 
 namespace colcom::prof {
 
-/// Install on an Engine before running; read rows() afterwards.
-class CpuProfile final : public des::CpuListener {
+/// Install on an Engine (add_trace_sink / set_cpu_listener) before running;
+/// read rows() afterwards.
+class CpuProfile final : public des::TraceSink {
  public:
   /// `bucket_seconds`: time-series resolution.
   explicit CpuProfile(double bucket_seconds = 1.0);

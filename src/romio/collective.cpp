@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::romio {
@@ -69,6 +70,7 @@ CollectiveStats CollectiveIo::read_all(mpi::Comm& comm, pfs::FileId file,
                                        const FlatRequest& mine,
                                        std::span<std::byte> dst) {
   COLCOM_EXPECT(dst.size() >= mine.total_bytes());
+  TRACE_SPAN(comm.engine(), "romio", "read_all");
   CollectiveStats stats;
   const double t_begin = comm.wtime();
   TwoPhasePlan plan = build_plan(comm, mine, hints_);
@@ -97,8 +99,13 @@ CollectiveStats CollectiveIo::read_all(mpi::Comm& comm, pfs::FileId file,
     if (my_agg >= 0) {
       auto& is = stats.iters[static_cast<std::size_t>(k)];
       const pfs::ByteExtent c = reader.chunk();
+      TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                  "romio.aggregation_rounds", 1);
       const double wait_begin = comm.wtime();
-      reader.wait();
+      {
+        TRACE_SPAN(comm.engine(), "romio", "io");
+        reader.wait();
+      }
       is.stall_s = comm.wtime() - wait_begin;
       is.read_s = reader.service_time();
       is.read_bytes = reader.bytes_read();
@@ -108,25 +115,31 @@ CollectiveStats CollectiveIo::read_all(mpi::Comm& comm, pfs::FileId file,
       if (hints_.pipelined && k + 1 < plan.n_iters) issue_read(k + 1);
 
       const double shuffle_begin = comm.wtime();
-      if (c.length > 0) {
-        for (int r = 0; r < comm.size(); ++r) {
-          const auto pieces =
-              plan.domain_requests[static_cast<std::size_t>(r)].intersect(
-                  c.offset, c.offset + c.length);
-          if (pieces.empty()) continue;
-          wires.push_back(pack_pieces(chunk_buf, c.offset, pieces));
-          is.shuffle_bytes += wires.back().size();
-          // Pack cost (sys time) at the aggregator.
-          comm.overhead(static_cast<double>(wires.back().size()) / pack_bw);
-          sends.push_back(comm.isend(r, read_tag(hints_), wires.back()));
+      {
+        TRACE_SPAN(comm.engine(), "romio", "shuffle");
+        if (c.length > 0) {
+          for (int r = 0; r < comm.size(); ++r) {
+            const auto pieces =
+                plan.domain_requests[static_cast<std::size_t>(r)].intersect(
+                    c.offset, c.offset + c.length);
+            if (pieces.empty()) continue;
+            wires.push_back(pack_pieces(chunk_buf, c.offset, pieces));
+            is.shuffle_bytes += wires.back().size();
+            TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                        "romio.shuffle_bytes", wires.back().size());
+            // Pack cost (sys time) at the aggregator.
+            comm.overhead(static_cast<double>(wires.back().size()) / pack_bw);
+            sends.push_back(comm.isend(r, read_tag(hints_), wires.back()));
+          }
         }
+        // Receive own pieces below, then account the shuffle completion.
+        receive_for_iteration(comm, plan, mine, dst, k, staging, stats);
+        mpi::wait_all(sends);
       }
-      // Receive own pieces below, then account the shuffle completion.
-      receive_for_iteration(comm, plan, mine, dst, k, staging, stats);
-      mpi::wait_all(sends);
       is.shuffle_s = comm.wtime() - shuffle_begin;
       if (!hints_.pipelined && k + 1 < plan.n_iters) issue_read(k + 1);
     } else {
+      TRACE_SPAN(comm.engine(), "romio", "shuffle");
       receive_for_iteration(comm, plan, mine, dst, k, staging, stats);
     }
   }
@@ -195,6 +208,7 @@ CollectiveStats CollectiveIo::write_all(mpi::Comm& comm, pfs::FileId file,
                                         const FlatRequest& mine,
                                         std::span<const std::byte> src) {
   COLCOM_EXPECT(src.size() >= mine.total_bytes());
+  TRACE_SPAN(comm.engine(), "romio", "write_all");
   CollectiveStats stats;
   const double t_begin = comm.wtime();
   TwoPhasePlan plan = build_plan(comm, mine, hints_);
@@ -233,45 +247,58 @@ CollectiveStats CollectiveIo::write_all(mpi::Comm& comm, pfs::FileId file,
       auto& is = ensure_iter(stats, plan.n_iters, k);
       const pfs::ByteExtent c = plan.chunk(my_agg, k);
       if (c.length > 0) {
+        TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                    "romio.aggregation_rounds", 1);
         const double shuffle_begin = comm.wtime();
-        chunk_buf.resize(c.length);
-        // Collect pieces from every contributing rank (deterministic order);
-        // track coverage to decide whether a pre-read is needed.
-        std::uint64_t covered = 0;
-        std::vector<std::pair<const FlatRequest*, int>> contributors;
-        for (int r = 0; r < comm.size(); ++r) {
-          const auto& req = plan.domain_requests[static_cast<std::size_t>(r)];
-          const auto pieces = req.intersect(c.offset, c.offset + c.length);
-          if (pieces.empty()) continue;
-          for (const auto& p : pieces) covered += p.len;
-          contributors.emplace_back(&req, r);
-        }
-        const bool holes = covered < c.length;
-        if (holes) {
-          // Read-modify-write (ROMIO's data sieving on the write path).
-          const double t0 = comm.wtime();
-          fs.read(file, c.offset, chunk_buf);
-          is.read_s += comm.wtime() - t0;
-          is.read_bytes += c.length;
-        }
-        for (const auto& [req, r] : contributors) {
-          const auto pieces = req->intersect(c.offset, c.offset + c.length);
-          std::uint64_t total = 0;
-          for (const auto& p : pieces) total += p.len;
-          staging.resize(total);
-          const auto info = comm.recv(r, write_tag(hints_), staging);
-          COLCOM_ENSURE(info.bytes == total);
-          std::uint64_t pos = 0;
-          for (const auto& p : pieces) {
-            std::memcpy(chunk_buf.data() + (p.file_off - c.offset),
-                        staging.data() + pos, p.len);
-            pos += p.len;
+        {
+          TRACE_SPAN(comm.engine(), "romio", "shuffle");
+          chunk_buf.resize(c.length);
+          // Collect pieces from every contributing rank (deterministic
+          // order); track coverage to decide whether a pre-read is needed.
+          std::uint64_t covered = 0;
+          std::vector<std::pair<const FlatRequest*, int>> contributors;
+          for (int r = 0; r < comm.size(); ++r) {
+            const auto& req = plan.domain_requests[static_cast<std::size_t>(r)];
+            const auto pieces = req.intersect(c.offset, c.offset + c.length);
+            if (pieces.empty()) continue;
+            for (const auto& p : pieces) covered += p.len;
+            contributors.emplace_back(&req, r);
           }
-          is.shuffle_bytes += total;
+          const bool holes = covered < c.length;
+          if (holes) {
+            // Read-modify-write (ROMIO's data sieving on the write path).
+            const double t0 = comm.wtime();
+            {
+              TRACE_SPAN(comm.engine(), "romio", "io");
+              fs.read(file, c.offset, chunk_buf);
+            }
+            is.read_s += comm.wtime() - t0;
+            is.read_bytes += c.length;
+          }
+          for (const auto& [req, r] : contributors) {
+            const auto pieces = req->intersect(c.offset, c.offset + c.length);
+            std::uint64_t total = 0;
+            for (const auto& p : pieces) total += p.len;
+            staging.resize(total);
+            const auto info = comm.recv(r, write_tag(hints_), staging);
+            COLCOM_ENSURE(info.bytes == total);
+            std::uint64_t pos = 0;
+            for (const auto& p : pieces) {
+              std::memcpy(chunk_buf.data() + (p.file_off - c.offset),
+                          staging.data() + pos, p.len);
+              pos += p.len;
+            }
+            is.shuffle_bytes += total;
+            TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                        "romio.shuffle_bytes", total);
+          }
         }
         is.shuffle_s += comm.wtime() - shuffle_begin;
         const double w0 = comm.wtime();
-        fs.write(file, c.offset, chunk_buf);
+        {
+          TRACE_SPAN(comm.engine(), "romio", "io");
+          fs.write(file, c.offset, chunk_buf);
+        }
         is.read_s += comm.wtime() - w0;  // I/O phase time (write side)
         is.read_bytes += c.length;
       }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "mpi/world.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::romio {
@@ -79,6 +80,7 @@ pfs::ByteExtent TwoPhasePlan::chunk(int a, int k) const {
 TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
                         const Hints& hints) {
   COLCOM_EXPECT(hints.cb_buffer_size >= 1);
+  TRACE_SPAN(comm.engine(), "romio", "plan");
   TwoPhasePlan plan;
   plan.cb = hints.cb_buffer_size;
 
@@ -144,6 +146,7 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
 
   // Exchange access information: every rank ships the part of its offset
   // list that falls in each aggregator's file domain to that aggregator.
+  TRACE_SPAN(comm.engine(), "romio", "exchange");
   std::vector<mpi::Request> sends;
   std::vector<std::vector<std::byte>> wires(plan.aggregators.size());
   for (int a = 0; a < naggs; ++a) {

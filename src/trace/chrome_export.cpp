@@ -1,0 +1,180 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <ostream>
+
+namespace colcom::trace {
+
+namespace {
+
+const char* process_name(Track t) {
+  switch (t) {
+    case Track::ranks: return "ranks";
+    case Track::net: return "network";
+    case Track::pfs: return "pfs";
+  }
+  return "?";
+}
+
+/// Microseconds with enough precision to round-trip sub-ns virtual times.
+void append_us(std::string& out, double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e6);
+  out += buf;
+}
+
+void append_common(std::string& out, const TraceEvent& ev) {
+  out += "\"pid\":";
+  out += std::to_string(static_cast<int>(ev.track));
+  out += ",\"tid\":";
+  out += std::to_string(ev.tid);
+  out += ",\"ts\":";
+  append_us(out, ev.ts);
+  if (ev.cat[0] != '\0') {
+    out += ",\"cat\":\"";
+    out += json_escape(ev.cat);
+    out += "\"";
+  }
+  out += ",\"name\":\"";
+  out += json_escape(ev.name);
+  out += "\"";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  const auto& events = tracer.events();
+
+  // Stable (ts asc, dur desc) order: a parent slice precedes the children it
+  // contains even when they share a start time.
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (events[a].ts != events[b].ts) {
+                       return events[a].ts < events[b].ts;
+                     }
+                     return events[a].dur > events[b].dur;
+                   });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << line;
+  };
+
+  // Metadata: process names for every track group in use, thread names for
+  // every named track.
+  bool seen_track[4] = {false, false, false, false};
+  for (const auto& ev : events) {
+    seen_track[static_cast<int>(ev.track)] = true;
+  }
+  for (const auto& [key, name] : tracer.track_names()) {
+    seen_track[key.first] = true;
+  }
+  for (int p = 1; p <= 3; ++p) {
+    if (!seen_track[p]) continue;
+    std::string line = "{\"ph\":\"M\",\"pid\":";
+    line += std::to_string(p);
+    line += ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    line += process_name(static_cast<Track>(p));
+    line += "\"}}";
+    emit(line);
+  }
+  for (const auto& [key, name] : tracer.track_names()) {
+    std::string line = "{\"ph\":\"M\",\"pid\":";
+    line += std::to_string(key.first);
+    line += ",\"tid\":";
+    line += std::to_string(key.second);
+    line += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    line += json_escape(name);
+    line += "\"}}";
+    emit(line);
+  }
+
+  char idbuf[32];
+  for (const std::size_t i : order) {
+    const TraceEvent& ev = events[i];
+    std::string line = "{";
+    switch (ev.ph) {
+      case TraceEvent::Ph::complete:
+        line += "\"ph\":\"X\",";
+        append_common(line, ev);
+        line += ",\"dur\":";
+        append_us(line, ev.dur);
+        break;
+      case TraceEvent::Ph::instant:
+        line += "\"ph\":\"i\",\"s\":\"t\",";
+        append_common(line, ev);
+        break;
+      case TraceEvent::Ph::counter:
+        line += "\"ph\":\"C\",";
+        append_common(line, ev);
+        line += ",\"args\":{\"value\":";
+        char vbuf[40];
+        std::snprintf(vbuf, sizeof(vbuf), "%.17g", ev.value);
+        line += vbuf;
+        line += "}";
+        break;
+      case TraceEvent::Ph::flow_out:
+        line += "\"ph\":\"s\",";
+        append_common(line, ev);
+        std::snprintf(idbuf, sizeof(idbuf), ",\"id\":\"0x%" PRIx64 "\"",
+                      ev.flow_id);
+        line += idbuf;
+        break;
+      case TraceEvent::Ph::flow_in:
+        line += "\"ph\":\"f\",\"bp\":\"e\",";
+        append_common(line, ev);
+        std::snprintf(idbuf, sizeof(idbuf), ",\"id\":\"0x%" PRIx64 "\"",
+                      ev.flow_id);
+        line += idbuf;
+        break;
+    }
+    line += "}";
+    emit(line);
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "trace: cannot open " << path << " for writing\n";
+    return false;
+  }
+  write_chrome_trace(tracer, f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace colcom::trace

@@ -1,0 +1,29 @@
+// Chrome/Perfetto trace_event JSON exporter.
+//
+// Produces the JSON Object Format ({"traceEvents": [...]}) documented by the
+// Chromium Trace Event Format spec, loadable in ui.perfetto.dev or
+// chrome://tracing. Virtual seconds become microsecond "ts"/"dur" values;
+// track groups (Track::ranks/net/pfs) become processes with process_name
+// metadata, individual tracks become named threads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace colcom::trace {
+
+/// Streams the whole trace as one JSON object. Events are emitted in
+/// (timestamp, longer-duration-first) order so nested slices render
+/// correctly in viewers that do not sort.
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Convenience: writes to `path`; returns false (and reports on stderr) if
+/// the file cannot be opened.
+bool write_chrome_trace_file(const Tracer& tracer, const std::string& path);
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace colcom::trace

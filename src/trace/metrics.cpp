@@ -1,0 +1,93 @@
+#include "trace/metrics.hpp"
+
+#include <limits>
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace colcom::trace {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    COLCOM_EXPECT_MSG(bounds_[i - 1] < bounds_[i],
+                      "histogram bounds must be strictly ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void Histogram::observe(double x) {
+  // First bucket whose upper bound admits x; overflow if none does. Linear
+  // scan: bucket lists are short (a dozen bounds) and fixed.
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  ++counts_[i];
+  ++total_;
+  sum_ += x;
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+Counter& Metrics::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& Metrics::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Metrics::histogram(const std::string& name,
+                              std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+void Metrics::report(std::ostream& os) const {
+  if (!counters_.empty()) {
+    TablePrinter t;
+    t.set_header({"counter", "value"});
+    for (const auto& [name, c] : counters_) {
+      t.add_row({name, format_count(c.value())});
+    }
+    os << "counters:\n";
+    t.print(os);
+    os << "\n";
+  }
+  if (!gauges_.empty()) {
+    TablePrinter t;
+    t.set_header({"gauge", "value"});
+    for (const auto& [name, g] : gauges_) {
+      t.add_row({name, format_fixed(g.value(), 6)});
+    }
+    os << "gauges:\n";
+    t.print(os);
+    os << "\n";
+  }
+  if (!histograms_.empty()) {
+    TablePrinter t;
+    t.set_header({"histogram", "count", "sum", "min", "max", "buckets"});
+    for (const auto& [name, h] : histograms_) {
+      std::string buckets;
+      for (std::size_t i = 0; i < h.bucket_n(); ++i) {
+        if (i > 0) buckets += " ";
+        if (i < h.bounds().size()) {
+          buckets += "<=" + format_fixed(h.bounds()[i], 0) + ":";
+        } else {
+          buckets += "inf:";
+        }
+        buckets += std::to_string(h.bucket_count(i));
+      }
+      t.add_row({name, format_count(h.total()),
+                 h.total() > 0 ? format_fixed(h.sum(), 3) : "0",
+                 h.total() > 0 ? format_fixed(h.min(), 3) : "-",
+                 h.total() > 0 ? format_fixed(h.max(), 3) : "-", buckets});
+    }
+    os << "histograms:\n";
+    t.print(os);
+    os << "\n";
+  }
+}
+
+}  // namespace colcom::trace

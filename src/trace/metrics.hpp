@@ -1,0 +1,95 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Every layer of the runtime publishes its operational numbers here when a
+// tracer is installed (mpi.bytes_sent, pfs.ost_read_bytes,
+// romio.aggregation_rounds, ...). The registry is append-only and
+// single-threaded like the DES itself; lookups are by name, and hot call
+// sites may cache the returned reference — entries are never invalidated.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace colcom::trace {
+
+/// Monotonically increasing integer quantity (bytes moved, requests served).
+class Counter {
+ public:
+  void add(std::uint64_t delta) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins (or accumulated) floating-point quantity.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations x with
+/// x <= bounds[i] (and > bounds[i-1]); one extra overflow bucket counts
+/// everything above the last bound. Bounds are fixed at creation.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending (may be empty: everything lands in
+  /// the overflow bucket).
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 buckets; index bounds().size() is the overflow.
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bucket_n() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class Metrics {
+ public:
+  /// Finds or creates the named instrument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used only when the histogram does not exist yet.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Plain-text dump (util::table): one table per instrument kind.
+  void report(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace colcom::trace

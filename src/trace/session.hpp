@@ -1,0 +1,71 @@
+// trace::Session — command-line glue for tracing a whole binary run.
+//
+// Parses `--trace <out.json>` (or `--trace=out.json`) from argv; when
+// present, installs a Tracer in auto-attach mode so every simulation
+// runtime the program builds is traced, and on destruction writes a
+// Chrome/Perfetto trace_event file plus a metrics report to stdout.
+// Without the flag the session is inert and the simulation runs exactly as
+// untraced — the tracer only observes virtual time, never schedules, so
+// results are bit-identical either way.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
+
+namespace colcom::trace {
+
+class Session {
+ public:
+  Session(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        path_ = arg.substr(8);
+      }
+    }
+    if (!path_.empty()) {
+      tracer_ = std::make_unique<Tracer>();
+      set_auto_attach(tracer_.get());
+    }
+  }
+
+  ~Session() {
+    if (tracer_ == nullptr) return;
+    set_auto_attach(nullptr);
+    tracer_->detach();
+    if (write_chrome_trace_file(*tracer_, path_)) {
+      std::printf("\n[trace] wrote %s (%zu events)\n", path_.c_str(),
+                  tracer_->events().size());
+    } else {
+      std::fprintf(stderr, "[trace] FAILED to write %s\n", path_.c_str());
+    }
+    if (!tracer_->metrics().empty()) {
+      std::printf("\n[trace] metrics\n");
+      tracer_->metrics().report(std::cout);
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool enabled() const { return tracer_ != nullptr; }
+  Tracer* tracer() { return tracer_.get(); }
+
+  /// Explicit attach, for engines built outside mpi::Runtime.
+  void attach(des::Engine& engine) {
+    if (tracer_ != nullptr) tracer_->attach(engine);
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace colcom::trace

@@ -1,0 +1,154 @@
+#include "trace/trace.hpp"
+
+#include "util/assert.hpp"
+
+namespace colcom::trace {
+
+Tracer* Tracer::current_ = nullptr;
+
+Tracer::~Tracer() { detach(); }
+
+void Tracer::attach(des::Engine& engine) {
+  if (engine_ == &engine && current_ == this) return;
+  if (engine_ != nullptr) engine_->remove_trace_sink(this);
+  engine_ = &engine;
+  engine_->add_trace_sink(this);
+  COLCOM_EXPECT_MSG(current_ == nullptr || current_ == this,
+                    "another tracer is already installed");
+  current_ = this;
+}
+
+void Tracer::detach() {
+  if (engine_ != nullptr) {
+    engine_->remove_trace_sink(this);
+    engine_ = nullptr;
+  }
+  if (current_ == this) current_ = nullptr;
+}
+
+void Tracer::name_track(Track t, int tid, std::string name) {
+  track_names_.emplace(std::pair{static_cast<int>(t), tid}, std::move(name));
+}
+
+void Tracer::complete(Track t, int tid, const char* cat, std::string name,
+                      des::SimTime begin, des::SimTime end) {
+  COLCOM_EXPECT(end >= begin);
+  TraceEvent ev;
+  ev.ph = TraceEvent::Ph::complete;
+  ev.track = t;
+  ev.tid = tid;
+  ev.ts = begin;
+  ev.dur = end - begin;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(Track t, int tid, const char* cat, std::string name,
+                     des::SimTime ts) {
+  TraceEvent ev;
+  ev.ph = TraceEvent::Ph::instant;
+  ev.track = t;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::count(Track t, const char* name, std::uint64_t delta,
+                   des::SimTime ts) {
+  Counter& c = metrics_.counter(name);
+  c.add(delta);
+  if (opt_.counter_events) {
+    counter_sample(t, name, static_cast<double>(c.value()), ts);
+  }
+}
+
+void Tracer::counter_sample(Track t, const char* name, double value,
+                            des::SimTime ts) {
+  TraceEvent ev;
+  ev.ph = TraceEvent::Ph::counter;
+  ev.track = t;
+  ev.tid = 0;
+  ev.ts = ts;
+  ev.value = value;
+  ev.name = name;
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::flow_out(Track t, int tid, const char* cat, std::string name,
+                      std::uint64_t id, des::SimTime ts) {
+  TraceEvent ev;
+  ev.ph = TraceEvent::Ph::flow_out;
+  ev.track = t;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.flow_id = id;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::flow_in(Track t, int tid, const char* cat, std::string name,
+                     std::uint64_t id, des::SimTime ts) {
+  TraceEvent ev;
+  ev.ph = TraceEvent::Ph::flow_in;
+  ev.track = t;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.flow_id = id;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::span_begin(Track t, int tid, const char* cat, std::string name,
+                        des::SimTime ts) {
+  open_[{static_cast<int>(t), tid}].push_back(
+      OpenSpan{cat, std::move(name), ts});
+}
+
+void Tracer::span_end(Track t, int tid, des::SimTime ts) {
+  auto it = open_.find({static_cast<int>(t), tid});
+  COLCOM_EXPECT_MSG(it != open_.end() && !it->second.empty(),
+                    "span_end without a matching span_begin");
+  OpenSpan s = std::move(it->second.back());
+  it->second.pop_back();
+  complete(t, tid, s.cat, std::move(s.name), s.begin, ts);
+}
+
+void Tracer::on_interval(int /*node*/, int actor, des::CpuKind kind,
+                         des::SimTime begin, des::SimTime end) {
+  const char* name = kind == des::CpuKind::user  ? "user"
+                     : kind == des::CpuKind::sys ? "sys"
+                                                 : "wait";
+  metrics_.gauge(kind == des::CpuKind::user  ? "cpu.user_s"
+                 : kind == des::CpuKind::sys ? "cpu.sys_s"
+                                             : "cpu.wait_s")
+      .add(end - begin);
+  if (opt_.cpu_slices) {
+    complete(Track::ranks, actor, "cpu", name, begin, end);
+  }
+}
+
+void Tracer::on_actor_spawn(int actor, int /*node*/, const std::string& name,
+                            des::SimTime /*t*/) {
+  name_track(Track::ranks, actor, name);
+}
+
+void Tracer::on_engine_destroyed() {
+  // The registration was already unlinked by the engine; just forget the
+  // pointer. The tracer stays installed (current_) so a later attach keeps
+  // tracing.
+  engine_ = nullptr;
+}
+
+namespace {
+Tracer* g_auto_attach = nullptr;
+}
+
+void set_auto_attach(Tracer* t) { g_auto_attach = t; }
+Tracer* auto_attach() { return g_auto_attach; }
+
+}  // namespace colcom::trace

@@ -1,0 +1,200 @@
+// Structured tracing in virtual time: spans, instants, counters and flow
+// arrows over the whole runtime, exported as Chrome/Perfetto trace_event
+// JSON (see chrome_export.hpp) plus a metrics registry (see metrics.hpp).
+//
+// Model: three track groups ("processes" in trace_event terms) —
+//   Track::ranks — one track per DES actor (rank fibers, helper threads):
+//                  MPI collectives, ROMIO two-phase sub-phases, CC map /
+//                  shuffle / reduce spans, and leaf cpu user/sys/wait slices
+//                  fed from the engine's TraceSink seam;
+//   Track::net   — one track per interconnect channel (mesh link, NIC port):
+//                  per-message occupancy slices, so contention is visible;
+//   Track::pfs   — one track per OST plus the shared storage-network pipe:
+//                  per-request service slices and fault-retry instants.
+//
+// Zero overhead when disabled: every instrumentation site starts with
+// `Tracer::current()`, a single pointer load; when no tracer is installed
+// nothing is allocated, recorded or counted, and virtual time is never
+// touched either way — the tracer only observes, so enabling it cannot
+// change simulation results.
+//
+// All timestamps are virtual seconds (des::SimTime). The DES is
+// single-threaded, so one process-global current tracer suffices; install
+// with Tracer::attach(engine), uninstall with detach() (automatic on
+// destruction).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/time.hpp"
+#include "des/trace_sink.hpp"
+#include "trace/metrics.hpp"
+
+namespace colcom::trace {
+
+/// Top-level track group ("process" in the exported trace).
+enum class Track : std::uint8_t { ranks = 1, net = 2, pfs = 3 };
+
+struct TraceEvent {
+  enum class Ph : std::uint8_t {
+    complete,  ///< X: [ts, ts+dur) slice on a track
+    instant,   ///< i: point event
+    counter,   ///< C: time-series sample
+    flow_out,  ///< s: flow arrow leaves this track at ts
+    flow_in,   ///< f: flow arrow lands on this track at ts
+  };
+  Ph ph = Ph::complete;
+  Track track = Track::ranks;
+  std::int32_t tid = 0;
+  des::SimTime ts = 0;
+  des::SimTime dur = 0;         ///< complete only
+  std::uint64_t flow_id = 0;    ///< flow_out / flow_in only
+  double value = 0;             ///< counter only
+  const char* cat = "";         ///< static string (category)
+  std::string name;
+};
+
+class Tracer final : public des::TraceSink {
+ public:
+  struct Options {
+    /// Emit leaf cpu user/sys/wait slices from the engine seam. On by
+    /// default; disable to shrink traces of large runs.
+    bool cpu_slices = true;
+    /// Emit counter time-series events alongside registry updates.
+    bool counter_events = true;
+  };
+
+  Tracer() : Tracer(Options{}) {}
+  explicit Tracer(Options opt) : opt_(opt) {}
+  ~Tracer() override;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Registers with the engine's TraceSink seam and installs this tracer as
+  /// the process-current one. Re-attaching to a new engine (benches that
+  /// build several runtimes) is allowed; events keep accumulating.
+  void attach(des::Engine& engine);
+  void detach();
+
+  /// The installed tracer, or nullptr when tracing is disabled.
+  static Tracer* current() { return current_; }
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::map<std::pair<int, int>, std::string>& track_names() const {
+    return track_names_;
+  }
+
+  /// Names a track (exported as thread_name metadata). First write wins.
+  void name_track(Track t, int tid, std::string name);
+
+  // --- emitters (timestamps are virtual seconds) ---
+  void complete(Track t, int tid, const char* cat, std::string name,
+                des::SimTime begin, des::SimTime end);
+  void instant(Track t, int tid, const char* cat, std::string name,
+               des::SimTime ts);
+  /// Registry + optional counter event: adds `delta` to metrics().counter
+  /// and samples the new total on `t`'s counter track.
+  void count(Track t, const char* name, std::uint64_t delta, des::SimTime ts);
+  /// Raw counter sample (no registry side effect).
+  void counter_sample(Track t, const char* name, double value,
+                      des::SimTime ts);
+
+  std::uint64_t next_flow_id() { return ++flow_seq_; }
+  void flow_out(Track t, int tid, const char* cat, std::string name,
+                std::uint64_t id, des::SimTime ts);
+  void flow_in(Track t, int tid, const char* cat, std::string name,
+               std::uint64_t id, des::SimTime ts);
+
+  // --- span stack (used by ScopedSpan; may also be called directly) ---
+  void span_begin(Track t, int tid, const char* cat, std::string name,
+                  des::SimTime ts);
+  void span_end(Track t, int tid, des::SimTime ts);
+
+  // --- des::TraceSink ---
+  void on_interval(int node, int actor, des::CpuKind kind, des::SimTime begin,
+                   des::SimTime end) override;
+  void on_actor_spawn(int actor, int node, const std::string& name,
+                      des::SimTime t) override;
+  void on_engine_destroyed() override;
+
+ private:
+  struct OpenSpan {
+    const char* cat;
+    std::string name;
+    des::SimTime begin;
+  };
+
+  static Tracer* current_;
+
+  Options opt_;
+  des::Engine* engine_ = nullptr;
+  std::vector<TraceEvent> events_;
+  std::map<std::pair<int, int>, std::vector<OpenSpan>> open_;
+  std::map<std::pair<int, int>, std::string> track_names_;
+  Metrics metrics_;
+  std::uint64_t flow_seq_ = 0;
+};
+
+/// True when a tracer is installed — the one check every instrumentation
+/// site performs before doing any work.
+inline bool enabled() { return Tracer::current() != nullptr; }
+
+/// Auto-attach: when set, every newly constructed mpi::Runtime attaches
+/// this tracer to its engine, so one trace spans all the runtimes a bench
+/// builds (the --trace flag uses this). nullptr disables.
+void set_auto_attach(Tracer* t);
+Tracer* auto_attach();
+
+/// RAII span on the calling actor's rank track; no-op when tracing is
+/// disabled or when constructed outside an actor fiber.
+class ScopedSpan {
+ public:
+  ScopedSpan(des::Engine& engine, const char* cat, const char* name) {
+    Tracer* t = Tracer::current();
+    if (t == nullptr || !engine.in_actor()) return;
+    tracer_ = t;
+    engine_ = &engine;
+    tid_ = engine.current_actor();
+    tracer_->span_begin(Track::ranks, tid_, cat, name, engine.now());
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->span_end(Track::ranks, tid_, engine_->now());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  des::Engine* engine_ = nullptr;
+  int tid_ = -1;
+};
+
+#define COLCOM_TRACE_CONCAT2(a, b) a##b
+#define COLCOM_TRACE_CONCAT(a, b) COLCOM_TRACE_CONCAT2(a, b)
+
+/// Span over the enclosing scope on the current actor's track:
+///   TRACE_SPAN(comm.engine(), "romio", "shuffle");
+#define TRACE_SPAN(engine, cat, name)                                   \
+  ::colcom::trace::ScopedSpan COLCOM_TRACE_CONCAT(trace_span_,          \
+                                                  __LINE__)(engine, cat, name)
+
+/// Bumps a registry counter (and its time-series track) when tracing is on.
+#define TRACE_COUNT(engine, track_group, name, delta)                        \
+  do {                                                                       \
+    if (::colcom::trace::Tracer* trace_t_ = ::colcom::trace::Tracer::current(); \
+        trace_t_ != nullptr) {                                               \
+      trace_t_->count(track_group, name, (delta), (engine).now());           \
+    }                                                                        \
+  } while (0)
+
+}  // namespace colcom::trace

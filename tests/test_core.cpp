@@ -456,9 +456,12 @@ TEST(CollectiveCompute, MineValueAllToAll) {
 
 TEST(CollectiveCompute, CcFasterThanTraditionalWithComputeLoad) {
   // With a 1:1 computation:I/O ratio the paper reports its peak speedup;
-  // at small test scale we only assert CC < traditional.
+  // at test scale we only assert CC < traditional. The grid must be large
+  // enough that pipelined compute/I/O overlap amortizes CC's extra
+  // aggregation collectives — below ~64 KB per rank the fixed overhead wins
+  // and the ordering flips.
   auto run_mode = [&](bool blocking) {
-    const auto h = grid_harness(8, {64, 16, 32}, 8);
+    const auto h = grid_harness(8, {512, 16, 32}, 64);
     mpi::Runtime rt(small_machine(), h.nprocs);
     auto ds = ncio::DatasetBuilder(rt.fs(), "d.nc")
                   .add_generated_var<float>(
@@ -475,6 +478,10 @@ TEST(CollectiveCompute, CcFasterThanTraditionalWithComputeLoad) {
       obj.op = mpi::Op::sum();
       obj.blocking = blocking;
       obj.compute.ratio_of_io = 1.0;
+      // Default 4 MB chunks would swallow the whole slab in one aggregation
+      // round, leaving nothing to pipeline; force several rounds so overlap
+      // can actually pay for CC's extra collectives.
+      obj.hints.cb_buffer_size = 64ull << 10;
       CcOutput out;
       collective_compute(c, ds, obj, out);
     });

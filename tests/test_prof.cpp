@@ -41,6 +41,43 @@ TEST(CpuProfile, EmptyBucketsAreZero) {
   EXPECT_DOUBLE_EQ(rows[1].user_pct + rows[1].sys_pct + rows[1].wait_pct, 0.0);
 }
 
+// Regression: the bucketing loop used to advance a floating-point time
+// cursor; for begins like 0.29 (where (b+1)*bucket rounds to exactly the
+// cursor value) it made zero progress and hung forever. The rewrite
+// iterates bucket indices, so this must terminate and attribute the whole
+// interval correctly.
+TEST(CpuProfile, BoundaryStraddlingIntervalTerminates) {
+  CpuProfile p(0.01);
+  // 0.29 / 0.01 truncates to 28 while 29 * 0.01 == 0.29 exactly: the old
+  // cursor stalled at t = 0.29.
+  p.on_interval(0, 0, des::CpuKind::user, 0.29, 0.295);
+  const auto rows = p.rows();
+  ASSERT_GE(rows.size(), 30u);
+  EXPECT_NEAR(rows[29].user_pct, 100.0, 1e-9);
+  const auto t = p.total();
+  EXPECT_NEAR(t.user_pct + t.sys_pct + t.wait_pct, 100.0, 1e-9);
+}
+
+// Percentages must sum to 100 in every non-empty bucket, including ones fed
+// by intervals that straddle bucket boundaries at awkward offsets.
+TEST(CpuProfile, BucketPercentagesSumTo100) {
+  CpuProfile p(0.01);
+  double t = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double dt = 0.001 + 0.0007 * (i % 13);
+    p.on_interval(0, 0, static_cast<des::CpuKind>(i % 3), t, t + dt);
+    t += dt;
+  }
+  int nonempty = 0;
+  for (const auto& row : p.rows()) {
+    const double sum = row.user_pct + row.sys_pct + row.wait_pct;
+    if (sum == 0) continue;
+    ++nonempty;
+    EXPECT_NEAR(sum, 100.0, 1e-6);
+  }
+  EXPECT_GT(nonempty, 10);
+}
+
 // Independent non-contiguous I/O must show a higher wait share than
 // two-phase collective I/O on the same workload — the contrast between the
 // paper's Fig. 2 and Fig. 3.

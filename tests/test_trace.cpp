@@ -1,0 +1,454 @@
+// Tests for the colcom::trace subsystem: span nesting, the disabled-tracer
+// fast path, metrics/histogram edge cases, and a strict parse of the
+// exported Chrome trace_event JSON.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/object_io.hpp"
+#include "core/runtime.hpp"
+#include "des/engine.hpp"
+#include "mpi/runtime.hpp"
+#include "ncio/dataset.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace colcom::trace {
+namespace {
+
+// ------------------------------------------------------------ span basics
+
+TEST(Tracer, SpanNestingProducesContainedSlices) {
+  des::Engine eng;
+  Tracer tr;
+  tr.attach(eng);
+  eng.spawn("a", 0, [&] {
+    TRACE_SPAN(eng, "test", "outer");
+    eng.advance(1.0);
+    {
+      TRACE_SPAN(eng, "test", "inner");
+      eng.advance(2.0);
+    }
+    eng.advance(1.0);
+  });
+  eng.run();
+  tr.detach();
+
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const auto& ev : tr.events()) {
+    if (ev.ph != TraceEvent::Ph::complete) continue;
+    if (ev.name == "outer") outer = &ev;
+    if (ev.name == "inner") inner = &ev;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_DOUBLE_EQ(outer->ts, 0.0);
+  EXPECT_DOUBLE_EQ(outer->dur, 4.0);
+  EXPECT_DOUBLE_EQ(inner->ts, 1.0);
+  EXPECT_DOUBLE_EQ(inner->dur, 2.0);
+  // Containment: inner lies fully inside outer.
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+}
+
+TEST(Tracer, ScopedSpanIsNoopOutsideActor) {
+  des::Engine eng;
+  Tracer tr;
+  tr.attach(eng);
+  {
+    TRACE_SPAN(eng, "test", "host-side");  // host context: must not record
+  }
+  tr.detach();
+  EXPECT_TRUE(tr.events().empty());
+}
+
+TEST(Tracer, CpuSlicesComeFromEngineSeam) {
+  des::Engine eng;
+  Tracer tr;
+  tr.attach(eng);
+  eng.spawn("worker", 0, [&] {
+    eng.advance(0.5, des::CpuKind::user);
+    eng.advance(0.25, des::CpuKind::sys);
+  });
+  eng.run();
+  tr.detach();
+  int user = 0, sys = 0;
+  for (const auto& ev : tr.events()) {
+    if (ev.ph != TraceEvent::Ph::complete) continue;
+    if (ev.name == "user") ++user;
+    if (ev.name == "sys") ++sys;
+  }
+  EXPECT_EQ(user, 1);
+  EXPECT_EQ(sys, 1);
+  EXPECT_NEAR(tr.metrics().gauges().at("cpu.user_s").value(), 0.5, 1e-12);
+  EXPECT_NEAR(tr.metrics().gauges().at("cpu.sys_s").value(), 0.25, 1e-12);
+  // Actor spawn named its rank track.
+  EXPECT_EQ(tr.track_names().at({static_cast<int>(Track::ranks), 0}),
+            "worker");
+}
+
+// -------------------------------------------------- disabled-tracer path
+
+// With no tracer installed the instrumentation must do nothing: no events,
+// no metrics, and — the acceptance bar — virtual-time results identical to
+// a traced run, because the tracer only observes.
+TEST(Tracer, DisabledTracerIsInertAndDoesNotPerturbVirtualTime) {
+  ASSERT_EQ(Tracer::current(), nullptr);
+  ASSERT_FALSE(enabled());
+
+  auto run = [](bool traced) {
+    Tracer tr;
+    mpi::MachineConfig cfg;
+    cfg.cores_per_node = 4;
+    cfg.pfs.n_osts = 4;
+    mpi::Runtime rt(cfg, 8);
+    if (traced) tr.attach(rt.engine());
+    auto ds = ncio::DatasetBuilder(rt.fs(), "f.nc")
+                  .add_generated_var<double>(
+                      "v", {64, 256},
+                      [](std::span<const std::uint64_t> c) {
+                        return static_cast<double>(c[0] + c[1]);
+                      })
+                  .finish();
+    double global = 0;
+    rt.run([&](mpi::Comm& comm) {
+      core::ObjectIO io;
+      io.var = ds.var("v");
+      io.start = {static_cast<std::uint64_t>(comm.rank()) * 8, 0};
+      io.count = {8, 256};
+      io.op = mpi::Op::sum();
+      io.reduce_mode = core::ReduceMode::all_to_one;
+      core::CcOutput out;
+      core::collective_compute(comm, ds, io, out);
+      if (comm.rank() == 0) global = out.global_as<double>();
+    });
+    if (traced) {
+      EXPECT_GT(tr.events().size(), 0u);
+      tr.detach();
+    }
+    return std::pair{rt.elapsed(), global};
+  };
+
+  const auto untraced = run(false);
+  const auto traced = run(true);
+  const auto untraced2 = run(false);
+  // Bit-identical virtual time and result, traced or not.
+  EXPECT_EQ(untraced.first, traced.first);
+  EXPECT_EQ(untraced.second, traced.second);
+  EXPECT_EQ(untraced.first, untraced2.first);
+  ASSERT_EQ(Tracer::current(), nullptr);
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketEdges) {
+  Histogram h({10.0, 100.0, 1000.0});
+  ASSERT_EQ(h.bucket_n(), 4u);  // three bounds + overflow
+  h.observe(-5);     // below everything -> first bucket (x <= 10)
+  h.observe(10);     // exactly on a bound -> that bucket (x <= bound)
+  h.observe(10.001); // just above -> next bucket
+  h.observe(100);
+  h.observe(1000);
+  h.observe(1000.5); // above last bound -> overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.5);
+}
+
+TEST(Histogram, EmptyBoundsIsOneOverflowBucket) {
+  Histogram h({});
+  h.observe(1);
+  h.observe(1e9);
+  ASSERT_EQ(h.bucket_n(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+}
+
+TEST(Metrics, RegistryFindsOrCreates) {
+  Metrics m;
+  EXPECT_TRUE(m.empty());
+  m.counter("a").add(3);
+  m.counter("a").add(4);
+  EXPECT_EQ(m.counter("a").value(), 7u);
+  m.gauge("g").set(2.5);
+  m.gauge("g").add(0.5);
+  EXPECT_DOUBLE_EQ(m.gauge("g").value(), 3.0);
+  // Bounds are only used on creation.
+  m.histogram("h", {1, 2}).observe(1.5);
+  m.histogram("h", {}).observe(10);
+  EXPECT_EQ(m.histogram("h", {}).bounds().size(), 2u);
+  EXPECT_EQ(m.histogram("h", {}).total(), 2u);
+  EXPECT_FALSE(m.empty());
+  std::ostringstream os;
+  m.report(os);
+  EXPECT_NE(os.str().find("a"), std::string::npos);
+}
+
+// ------------------------------------------ strict JSON parse of exports
+
+// Minimal strict JSON parser: accepts exactly the RFC 8259 grammar (minus
+// \u surrogate pairing refinements) and fails on anything malformed. Enough
+// to prove the exporter emits valid JSON, not just JSON-looking text.
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  void fail() { ok = false; }
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail();
+  }
+
+  void value() {
+    if (!ok) return;
+    ws();
+    if (i >= s.size()) return fail();
+    const char c = s[i];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_();
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+      return number();
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+      return;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+      return;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+      return;
+    }
+    fail();
+  }
+  void object() {
+    expect('{');
+    ws();
+    if (eat('}')) return;
+    while (ok) {
+      ws();
+      string_();
+      expect(':');
+      value();
+      if (eat(',')) continue;
+      expect('}');
+      break;
+    }
+  }
+  void array() {
+    expect('[');
+    ws();
+    if (eat(']')) return;
+    while (ok) {
+      value();
+      if (eat(',')) continue;
+      expect(']');
+      break;
+    }
+  }
+  void string_() {
+    ws();
+    if (i >= s.size() || s[i] != '"') return fail();
+    ++i;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        return;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail();
+      if (c == '\\') {
+        ++i;
+        if (i >= s.size()) return fail();
+        const char e = s[i];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i + static_cast<std::size_t>(k) >= s.size() ||
+                std::isxdigit(static_cast<unsigned char>(
+                    s[i + static_cast<std::size_t>(k)])) == 0) {
+              return fail();
+            }
+          }
+          i += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail();
+        }
+      }
+      ++i;
+    }
+    fail();
+  }
+  void number() {
+    if (eat('-')) {
+    }
+    if (i >= s.size()) return fail();
+    if (s[i] == '0') {
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+      while (i < s.size() &&
+             std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+        ++i;
+      }
+    } else {
+      return fail();
+    }
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      if (i >= s.size() || std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+        return fail();
+      }
+      while (i < s.size() &&
+             std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+        ++i;
+      }
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (i >= s.size() || std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+        return fail();
+      }
+      while (i < s.size() &&
+             std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+        ++i;
+      }
+    }
+  }
+  bool parse_document() {
+    value();
+    ws();
+    return ok && i == s.size();
+  }
+};
+
+TEST(ChromeExport, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("n\nl"), "n\\nl");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+// Golden structural check: run a small end-to-end collective compute with
+// the tracer installed, export, strict-parse the JSON, and verify the
+// acceptance properties — at least 3 distinct track groups (rank fibers,
+// network links, PFS OSTs) and the two-phase sub-phase spans.
+TEST(ChromeExport, ExportedTraceIsValidJsonWithAllTrackGroups) {
+  Tracer tr;
+  mpi::MachineConfig cfg;
+  cfg.cores_per_node = 4;
+  cfg.pfs.n_osts = 4;
+  mpi::Runtime rt(cfg, 8);
+  tr.attach(rt.engine());
+  auto ds = ncio::DatasetBuilder(rt.fs(), "f.nc")
+                .add_generated_var<float>(
+                    "v", {64, 512},
+                    [](std::span<const std::uint64_t> c) {
+                      return static_cast<float>(c[0] + c[1]);
+                    })
+                .finish();
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("v");
+    io.start = {static_cast<std::uint64_t>(comm.rank()) * 8, 0};
+    io.count = {8, 512};
+    io.op = mpi::Op::sum();
+    core::CcOutput out;
+    core::collective_compute(comm, ds, io, out);
+  });
+  tr.detach();
+
+  std::ostringstream os;
+  write_chrome_trace(tr, os);
+  const std::string json = os.str();
+
+  JsonParser p(json);
+  EXPECT_TRUE(p.parse_document()) << "invalid JSON near byte " << p.i;
+
+  // >= 3 distinct pids among emitted events (ranks, net, pfs).
+  std::set<Track> groups;
+  std::set<std::string> span_names;
+  for (const auto& ev : tr.events()) {
+    groups.insert(ev.track);
+    if (ev.ph == TraceEvent::Ph::complete) span_names.insert(ev.name);
+  }
+  EXPECT_GE(groups.size(), 3u);
+  // Two-phase + CC sub-phase spans.
+  EXPECT_TRUE(span_names.count("plan") == 1) << "missing plan span";
+  EXPECT_TRUE(span_names.count("exchange") == 1) << "missing exchange span";
+  EXPECT_TRUE(span_names.count("io") == 1) << "missing io span";
+  EXPECT_TRUE(span_names.count("shuffle") == 1) << "missing shuffle span";
+  EXPECT_TRUE(span_names.count("reduce") == 1) << "missing reduce span";
+
+  // The JSON itself mentions all three process groups and flow arrows.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+
+  // Layer metrics made it into the registry.
+  const auto& counters = tr.metrics().counters();
+  EXPECT_GT(counters.at("mpi.bytes_sent").value(), 0u);
+  EXPECT_GT(counters.at("net.messages").value(), 0u);
+  EXPECT_GT(counters.at("pfs.ost_read_bytes").value(), 0u);
+}
+
+// Flow arrows must pair: every flow_in id was previously emitted as a
+// flow_out.
+TEST(Tracer, FlowArrowsPair) {
+  Tracer tr;
+  mpi::MachineConfig cfg;
+  cfg.cores_per_node = 2;
+  mpi::Runtime rt(cfg, 2);
+  tr.attach(rt.engine());
+  rt.run([&](mpi::Comm& comm) {
+    std::vector<std::byte> buf(1024);
+    if (comm.rank() == 0) {
+      comm.send(1, 7, buf);
+    } else {
+      comm.recv(0, 7, buf);
+    }
+  });
+  tr.detach();
+  std::set<std::uint64_t> outs;
+  std::vector<std::uint64_t> ins;
+  for (const auto& ev : tr.events()) {
+    if (ev.ph == TraceEvent::Ph::flow_out) outs.insert(ev.flow_id);
+    if (ev.ph == TraceEvent::Ph::flow_in) ins.push_back(ev.flow_id);
+  }
+  ASSERT_FALSE(ins.empty());
+  for (auto id : ins) EXPECT_TRUE(outs.count(id) == 1);
+}
+
+}  // namespace
+}  // namespace colcom::trace
