@@ -1,32 +1,78 @@
 #!/usr/bin/env bash
 # CI driver: configure -> build -> test inside a wall-clock budget, then an
-# optional -Werror + ASan/UBSan pass over the trace/prof tests.
+# optional -Werror + ASan/UBSan pass over the trace/prof tests, then a chaos
+# stage running the fault suites under the sanitizers with several seeds.
 #
-# Usage: scripts/ci.sh [--fast] [--no-sanitize]
+# Usage: scripts/ci.sh [--fast] [--no-sanitize] [--no-chaos] [chaos]
 #   --fast         skip tests labeled `slow` (ctest -LE slow)
-#   --no-sanitize  skip the sanitizer build/run stage
+#   --no-sanitize  skip the sanitizer build/run stage (implies --no-chaos)
+#   --no-chaos     skip the chaos (fault-injection) stage
+#   chaos          run ONLY the chaos stage (configure/build the sanitizer
+#                  tree as needed)
 #
 # Environment:
 #   CI_BUDGET_S  wall-clock budget in seconds for each ctest invocation
 #                (default 900)
 #   BUILD_DIR    main build tree (default build-ci)
+#   CHAOS_SEEDS  seeds swept by the chaos stage (default "1 7 42")
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUDGET="${CI_BUDGET_S:-900}"
 BUILD_DIR="${BUILD_DIR:-build-ci}"
+CHAOS_SEEDS="${CHAOS_SEEDS:-1 7 42}"
 FAST=0
 SANITIZE=1
+CHAOS=1
+ONLY_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --no-sanitize) SANITIZE=0 ;;
+    --no-chaos) CHAOS=0 ;;
+    chaos) ONLY_CHAOS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 step() { echo; echo "=== $* ==="; }
+
+# The DES runs ranks on ucontext fibers; ASan's fake-stack bookkeeping
+# cannot follow swapcontext, so fake stacks must stay off here.
+sanitizer_env() {
+  export ASAN_OPTIONS="detect_stack_use_after_return=0:abort_on_error=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+}
+
+configure_asan() {
+  step "sanitizer configure ($BUILD_DIR-asan)"
+  cmake -B "$BUILD_DIR-asan" -S . -DCOLCOM_WERROR=ON -DCOLCOM_SANITIZE=ON
+}
+
+chaos_stage() {
+  step "chaos build (fault suites under ASan/UBSan)"
+  cmake --build "$BUILD_DIR-asan" -j "$(nproc)" \
+    --target test_fault test_fault_net
+  sanitizer_env
+  for seed in $CHAOS_SEEDS; do
+    step "chaos run (COLCOM_CHAOS_SEED=$seed)"
+    COLCOM_CHAOS_SEED="$seed" timeout "$BUDGET" \
+      "$BUILD_DIR-asan/tests/test_fault_net"
+  done
+  # test_fault is seed-independent (storage faults roll from pfs.fault_seed);
+  # one sanitizer pass suffices.
+  step "chaos run (storage fault suite)"
+  timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_fault"
+}
+
+if [[ $ONLY_CHAOS -eq 1 ]]; then
+  configure_asan
+  chaos_stage
+  echo
+  echo "CI OK (chaos only)"
+  exit 0
+fi
 
 step "configure ($BUILD_DIR)"
 cmake -B "$BUILD_DIR" -S . -DCOLCOM_WERROR=ON
@@ -43,17 +89,18 @@ if [[ $FAST -eq 1 ]]; then CTEST_ARGS+=(-LE slow); fi
 timeout "$BUDGET" ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 
 if [[ $SANITIZE -eq 1 ]]; then
+  configure_asan
   step "sanitizer build (-Werror + ASan/UBSan)"
-  cmake -B "$BUILD_DIR-asan" -S . -DCOLCOM_WERROR=ON -DCOLCOM_SANITIZE=ON
   cmake --build "$BUILD_DIR-asan" -j "$(nproc)" --target test_trace test_prof
 
   step "sanitizer run (trace + prof tests)"
-  # The DES runs ranks on ucontext fibers; ASan's fake-stack bookkeeping
-  # cannot follow swapcontext, so fake stacks must stay off here.
-  export ASAN_OPTIONS="detect_stack_use_after_return=0:abort_on_error=1"
-  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  sanitizer_env
   timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_trace"
   timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_prof"
+
+  if [[ $CHAOS -eq 1 ]]; then
+    chaos_stage
+  fi
 fi
 
 echo

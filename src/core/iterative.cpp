@@ -1,13 +1,41 @@
 #include "core/iterative.hpp"
 
+#include <cstring>
+#include <span>
+
+#include "fault/chaos.hpp"
 #include "mpi/runtime.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::core {
 
+namespace {
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& pos) {
+  COLCOM_EXPECT(pos + 8 <= bytes.size());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+}  // namespace
+
 IterativeComputer::IterativeComputer(mpi::Comm& comm,
                                      const ncio::Dataset& ds, ObjectIO base)
-    : comm_(&comm), ds_(&ds), base_(std::move(base)) {
+    : comm_(&comm),
+      ds_(&ds),
+      base_(std::move(base)),
+      running_(base_.op, ds.info(base_.var).prim) {
   COLCOM_EXPECT(base_.op.valid());
   COLCOM_EXPECT_MSG(!base_.blocking && base_.collective,
                     "iterative mode is a collective-computing feature");
@@ -24,6 +52,72 @@ IterativeComputer::IterativeComputer(mpi::Comm& comm,
   plan_cost_s_ = comm.wtime() - t0;
 }
 
+IterativeComputer::IterativeComputer(mpi::Comm& comm,
+                                     const ncio::Dataset& ds, ObjectIO base,
+                                     const Checkpoint& ckpt)
+    : comm_(&comm),
+      ds_(&ds),
+      base_(std::move(base)),
+      running_(base_.op, ds.info(base_.var).prim) {
+  COLCOM_EXPECT(base_.op.valid());
+  COLCOM_EXPECT_MSG(!base_.blocking && base_.collective,
+                    "iterative mode is a collective-computing feature");
+  const auto& var = ds.info(base_.var);
+  COLCOM_EXPECT(var.dims.size() >= 2);
+  std::uint64_t slice_elems = 1;
+  for (std::size_t d = 1; d < var.dims.size(); ++d) slice_elems *= var.dims[d];
+  slice_bytes_ = slice_elems * mpi::prim_size(var.prim);
+
+  // Decode the image: no collectives, no plan rebuild — the whole point of
+  // restart is skipping the offset-list exchange.
+  const std::span<const std::byte> bytes(ckpt.bytes);
+  std::size_t pos = 0;
+  steps_ = static_cast<int>(get_u64(bytes, pos));
+  const std::uint64_t cost_bits = get_u64(bytes, pos);
+  std::memcpy(&plan_cost_s_, &cost_bits, 8);
+  const bool has_running = get_u64(bytes, pos) != 0;
+  const std::uint64_t value_bits = get_u64(bytes, pos);
+  if (has_running) {
+    unsigned char value[8];
+    std::memcpy(value, &value_bits, 8);
+    running_.combine_value(value);
+  }
+  const std::uint64_t plan_len = get_u64(bytes, pos);
+  COLCOM_EXPECT(pos + plan_len <= bytes.size());
+  plan0_ = romio::TwoPhasePlan::deserialize(bytes.subspan(pos, plan_len));
+  pos += plan_len;
+  COLCOM_EXPECT_MSG(pos == bytes.size(), "trailing bytes in checkpoint");
+
+  // Charge the deserialization as a memory-bandwidth scan of the image.
+  comm.overhead(static_cast<double>(bytes.size()) /
+                comm.runtime().config().memcpy_bw);
+  if (fault::Injector* fi = comm.runtime().chaos()) fi->note_restore();
+}
+
+IterativeComputer::Checkpoint IterativeComputer::checkpoint() {
+  Checkpoint ck;
+  put_u64(ck.bytes, static_cast<std::uint64_t>(steps_));
+  std::uint64_t cost_bits = 0;
+  std::memcpy(&cost_bits, &plan_cost_s_, 8);
+  put_u64(ck.bytes, cost_bits);
+  put_u64(ck.bytes, running_.empty() ? 0 : 1);
+  std::uint64_t value_bits = 0;
+  if (!running_.empty()) {
+    std::memcpy(&value_bits, running_.value(),
+                mpi::prim_size(running_.prim()));
+  }
+  put_u64(ck.bytes, value_bits);
+  const std::vector<std::byte> plan_wire = plan0_.serialize();
+  put_u64(ck.bytes, plan_wire.size());
+  ck.bytes.insert(ck.bytes.end(), plan_wire.begin(), plan_wire.end());
+
+  // Charge the serialization as a memory-bandwidth scan of the image.
+  comm_->overhead(static_cast<double>(ck.bytes.size()) /
+                  comm_->runtime().config().memcpy_bw);
+  if (fault::Injector* fi = comm_->runtime().chaos()) fi->note_checkpoint();
+  return ck;
+}
+
 CcStats IterativeComputer::step(std::uint64_t t, CcOutput& out) {
   const auto& var = ds_->info(base_.var);
   COLCOM_EXPECT_MSG(t + base_.count[0] <= var.dims[0],
@@ -36,7 +130,9 @@ CcStats IterativeComputer::step(std::uint64_t t, CcOutput& out) {
       static_cast<std::int64_t>(slice_bytes_);
   const romio::TwoPhasePlan plan = plan0_.shifted(delta);
   ++steps_;
-  return collective_compute_with_plan(*comm_, *ds_, obj, plan, out);
+  CcStats stats = collective_compute_with_plan(*comm_, *ds_, obj, plan, out);
+  if (out.has_global) running_.combine_value(out.global);
+  return stats;
 }
 
 }  // namespace colcom::core

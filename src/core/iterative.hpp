@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/object_io.hpp"
+#include "core/reduce.hpp"
 #include "core/runtime.hpp"
 #include "romio/plan.hpp"
 
@@ -19,15 +20,35 @@ namespace colcom::core {
 
 class IterativeComputer {
  public:
+  /// Opaque per-rank checkpoint image: the cached plan, the step counter
+  /// and the running accumulator, serialized to bytes.
+  struct Checkpoint {
+    std::vector<std::byte> bytes;
+  };
+
   /// Builds the plan for `base` (all ranks must construct collectively with
   /// identical `base.count` shape). `base.start[0]` defines the reference
   /// window.
   IterativeComputer(mpi::Comm& comm, const ncio::Dataset& ds, ObjectIO base);
 
+  /// Restart: resumes from a checkpoint taken on this rank with the same
+  /// `base`, skipping the plan-building collectives entirely (the saved
+  /// plan is bit-identical to the one construction would rebuild).
+  IterativeComputer(mpi::Comm& comm, const ncio::Dataset& ds, ObjectIO base,
+                    const Checkpoint& ckpt);
+
   /// Runs the analysis with the window moved to start[0] = t, reusing the
   /// cached plan (collective; all ranks must pass the same t). The shifted
-  /// window must stay inside the variable.
+  /// window must stay inside the variable. Each step's global result (when
+  /// present) is folded into the running accumulator.
   CcStats step(std::uint64_t t, CcOutput& out);
+
+  /// Lightweight checkpoint of this rank's state (local, no collectives);
+  /// charges the serialization as sys time.
+  Checkpoint checkpoint();
+
+  /// Cross-step running reduction over every step's global result.
+  const Accumulator& running() const { return running_; }
 
   /// The plan-building time paid once at construction (virtual seconds) —
   /// what every subsequent step saves.
@@ -40,6 +61,7 @@ class IterativeComputer {
   ObjectIO base_;
   romio::TwoPhasePlan plan0_;
   std::uint64_t slice_bytes_;  ///< bytes per unit of dim 0
+  Accumulator running_;
   double plan_cost_s_ = 0;
   int steps_ = 0;
 };

@@ -87,6 +87,12 @@ struct CcStats {
   std::uint64_t elements = 0;        ///< elements this rank's subset holds
   std::uint64_t chunks_verified = 0; ///< chunk checksums computed
   std::uint64_t verify_rereads = 0;  ///< corrupted chunks repaired
+
+  // Fault-recovery counters (non-zero only under an installed chaos
+  // schedule; see docs/ROBUSTNESS.md).
+  std::uint64_t replans = 0;         ///< aggregator deaths re-planned around
+  std::uint64_t absorbed_chunks = 0; ///< dead-domain chunks this rank served
+  std::uint64_t io_fallbacks = 0;    ///< extents recovered via independent I/O
 };
 
 }  // namespace colcom::core

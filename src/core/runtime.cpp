@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/logical.hpp"
+#include "fault/chaos.hpp"
 #include "pfs/fault.hpp"
 #include "mpi/runtime.hpp"
 #include "romio/collective.hpp"
@@ -17,6 +18,10 @@ namespace {
 
 constexpr int kPartialTag = -2300;
 constexpr int kFinalTag = -2310;
+// Partials of a dead aggregator's chunk, shuffled by the absorbing
+// survivor: a distinct tag so own-chunk and absorbed-chunk streams from one
+// survivor cannot cross-match.
+constexpr int kAbsorbTag = -2320;
 
 // Logical-map construction costs (CPU sys time), per reconstructed run and
 // per byte-range piece. These are the "additional works... summed up as
@@ -174,21 +179,188 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   std::vector<std::uint64_t> per_rank_elems(
       a2one && i_am_root ? static_cast<std::size_t>(comm.size()) : 0, 0);
 
+  // ---- fault machinery: aggregator-crash detection and absorption ----
+  fault::Injector* const fi = comm.runtime().chaos();
+  const bool watch = fi != nullptr && fi->watch_aggregators();
+  const int naggs = plan.aggregator_count();
+  if (watch) {
+    COLCOM_EXPECT_MSG(
+        naggs <= 63,
+        "crash detection uses an i64 bitmask (<= 63 aggregators)");
+  }
+  std::vector<char> agg_dead(static_cast<std::size_t>(naggs), 0);
+  // Per dead aggregator index: every rank's request clipped to the dead
+  // file domain (populated on surviving aggregators by replan_exchange).
+  std::vector<std::vector<romio::FlatRequest>> absorbed(
+      static_cast<std::size_t>(naggs));
+  // The survivor serving chunk (d, k) of a dead aggregator: rotate over the
+  // alive aggregators so absorbed load spreads instead of piling on one.
+  auto serving_index = [&](int d, int k) {
+    std::vector<int> alive;
+    for (int b = 0; b < naggs; ++b) {
+      if (agg_dead[static_cast<std::size_t>(b)] == 0) alive.push_back(b);
+    }
+    COLCOM_EXPECT_MSG(!alive.empty(), "every aggregator crashed");
+    return alive[static_cast<std::size_t>(
+        (d + k) % static_cast<int>(alive.size()))];
+  };
+
   // ---- aggregator-side pipelined I/O state (Fig. 7: the I/O thread) ----
   std::vector<std::byte> bufs[2];
   romio::ChunkReader reader;
   auto issue_read = [&](int k) {
-    reader.issue(fs, ds.file(), plan, plan.chunk(my_agg, k), bufs[k % 2],
-                 hints.sieve_gap, comm.wtime());
+    reader.issue(fs, ds.file(), plan.domain_requests, plan.chunk(my_agg, k),
+                 bufs[k % 2], hints.sieve_gap, comm.wtime(), fi);
   };
   if (my_agg >= 0 && plan.n_iters > 0) issue_read(0);
 
   std::vector<PartialRecord> batch;        // a2one shuffle payload
   std::vector<std::byte> recv_buf;
 
+  // Construction + map + shuffle of one aggregated chunk described by
+  // `dreqs` — the plan's own domain requests under kPartialTag, or an
+  // absorbed dead domain under kAbsorbTag. Identical arithmetic either
+  // way, so recovery preserves the fault-free reduction order bit for bit.
+  auto process_chunk = [&](const pfs::ByteExtent& c,
+                           std::span<const std::byte> chunk,
+                           const std::vector<romio::FlatRequest>& dreqs,
+                           double read_service, int tag,
+                           std::vector<mpi::Request>& sends) {
+    batch.clear();
+    double construct_charge = 0;
+    std::uint64_t mapped_bytes = 0;
+    if (c.length > 0) {
+      for (int r = 0; r < comm.size(); ++r) {
+        const auto pieces = dreqs[static_cast<std::size_t>(r)].intersect(
+            c.offset, c.offset + c.length);
+        if (pieces.empty()) continue;
+        LogicalSubset subset;
+        subset.origin_rank = r;
+        Accumulator part(obj.op, prim);
+        bool any = false;
+        for (const auto& p : pieces) {
+          lmap.construct(p.file_off, p.len, subset.runs);
+          subset.elements += p.len / esize;
+          part.combine(chunk.data() + (p.file_off - c.offset), p.len / esize);
+          mapped_bytes += p.len;
+          any = true;
+        }
+        construct_charge +=
+            kConstructPerPiece * static_cast<double>(pieces.size()) +
+            kConstructPerRun * static_cast<double>(subset.runs.size());
+        stats.logical_runs += subset.runs.size();
+        stats.metadata_bytes +=
+            LogicalMap::metadata_bytes(subset, lmap.ndims());
+        ++stats.partial_count;
+
+        PartialRecord rec;
+        rec.origin = r;
+        rec.has_value = (any && !part.empty()) ? 1 : 0;
+        if (rec.has_value) {
+          std::memcpy(rec.value, part.value(), esize);
+        }
+        rec.elements = subset.elements;
+        rec.runs = subset.runs.size();
+        batch.push_back(rec);
+      }
+    }
+    // Charge construction (sys) and map (user) time. In ratio mode the
+    // map of a chunk costs ratio * the chunk's I/O service time,
+    // reproducing the paper's simulated-computation benchmark.
+    const double c0 = comm.wtime();
+    {
+      TRACE_SPAN(comm.engine(), "cc", "construct");
+      comm.overhead(construct_charge);
+    }
+    stats.construct_s += comm.wtime() - c0;
+    const double m0 = comm.wtime();
+    {
+      TRACE_SPAN(comm.engine(), "cc", "map");
+      if (obj.compute.ratio_of_io > 0) {
+        comm.compute(obj.compute.ratio_of_io * read_service *
+                     kRatioIoCalibration);
+      } else if (obj.compute.seconds_per_byte > 0) {
+        comm.compute(obj.compute.seconds_per_byte *
+                     static_cast<double>(mapped_bytes));
+      } else if (mapped_bytes > 0) {
+        // No explicit model: the map is the reduction itself, a streaming
+        // scan at memory bandwidth.
+        comm.compute(static_cast<double>(mapped_bytes) /
+                     comm.runtime().config().memcpy_bw);
+      }
+    }
+    stats.map_s += comm.wtime() - m0;
+
+    // ---- shuffle phase: ship partial results, not raw data ----
+    const double s0 = comm.wtime();
+    {
+      TRACE_SPAN(comm.engine(), "cc", "shuffle");
+      if (c.length > 0) {
+        if (a2one) {
+          const auto wire =
+              std::as_bytes(std::span<const PartialRecord>(batch));
+          stats.shuffle_bytes += wire.size();
+          TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                      "cc.shuffle_bytes", wire.size());
+          sends.push_back(comm.isend(obj.root, tag, wire));
+        } else {
+          for (const auto& rec : batch) {
+            stats.shuffle_bytes += sizeof(PartialRecord);
+            TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
+                        "cc.shuffle_bytes", sizeof(PartialRecord));
+            sends.push_back(comm.isend(
+                rec.origin, tag,
+                std::as_bytes(std::span<const PartialRecord>(&rec, 1))));
+          }
+        }
+      }
+    }
+    stats.shuffle_s += comm.wtime() - s0;
+  };
+
   for (int k = 0; k < plan.n_iters; ++k) {
+    if (watch) {
+      // Crash watch: each aggregator self-reports its own death as one bit
+      // of an i64 sum-allreduce (one owner per bit, so sum == OR). A
+      // crashed rank stays a communicator member — only its I/O-server
+      // role dies (the paper's aggregators are an I/O-path service).
+      std::int64_t my_bits = 0;
+      if (my_agg >= 0 && agg_dead[static_cast<std::size_t>(my_agg)] == 0 &&
+          fi->schedule().aggregator_crashed(comm.rank(), comm.wtime())) {
+        my_bits = std::int64_t{1} << my_agg;
+      }
+      std::int64_t dead_bits = 0;
+      comm.allreduce(&my_bits, &dead_bits, 1, mpi::Prim::i64, mpi::Op::sum());
+      for (int d = 0; d < naggs; ++d) {
+        if ((dead_bits >> d & 1) == 0 ||
+            agg_dead[static_cast<std::size_t>(d)] != 0) {
+          continue;
+        }
+        agg_dead[static_cast<std::size_t>(d)] = 1;
+        std::vector<int> survivors;
+        for (int b = 0; b < naggs; ++b) {
+          if (agg_dead[static_cast<std::size_t>(b)] == 0) {
+            survivors.push_back(
+                plan.aggregators[static_cast<std::size_t>(b)]);
+          }
+        }
+        COLCOM_EXPECT_MSG(!survivors.empty(), "every aggregator crashed");
+        absorbed[static_cast<std::size_t>(d)] =
+            romio::replan_exchange(comm, plan, d, survivors, mine_req, hints);
+        ++stats.replans;
+        if (comm.rank() == 0) fi->note_replan();
+        if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+          tr->instant(trace::Track::ranks, comm.rank(), "fault",
+                      "agg_crash_detected", comm.wtime());
+        }
+      }
+    }
+    const bool serving_own =
+        my_agg >= 0 && agg_dead[static_cast<std::size_t>(
+                           std::max(my_agg, 0))] == 0;
+
     std::vector<mpi::Request> sends;
-    if (my_agg >= 0) {
+    if (serving_own) {
       const pfs::ByteExtent c = reader.chunk();
       TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
                   "cc.aggregation_rounds", 1);
@@ -225,115 +397,68 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       const std::span<const std::byte> chunk(bufs[k % 2]);
       if (hints.pipelined && k + 1 < plan.n_iters) issue_read(k + 1);
 
-      // ---- construction + map (in place, on the aggregated chunk) ----
-      batch.clear();
-      double construct_charge = 0;
-      std::uint64_t mapped_bytes = 0;
-      if (c.length > 0) {
-        for (int r = 0; r < comm.size(); ++r) {
-          const auto pieces =
-              plan.domain_requests[static_cast<std::size_t>(r)].intersect(
-                  c.offset, c.offset + c.length);
-          if (pieces.empty()) continue;
-          LogicalSubset subset;
-          subset.origin_rank = r;
-          Accumulator part(obj.op, prim);
-          bool any = false;
-          for (const auto& p : pieces) {
-            lmap.construct(p.file_off, p.len, subset.runs);
-            subset.elements += p.len / esize;
-            part.combine(chunk.data() + (p.file_off - c.offset),
-                         p.len / esize);
-            mapped_bytes += p.len;
-            any = true;
-          }
-          construct_charge += kConstructPerPiece * static_cast<double>(pieces.size()) +
-                              kConstructPerRun * static_cast<double>(subset.runs.size());
-          stats.logical_runs += subset.runs.size();
-          stats.metadata_bytes +=
-              LogicalMap::metadata_bytes(subset, lmap.ndims());
-          ++stats.partial_count;
-
-          PartialRecord rec;
-          rec.origin = r;
-          rec.has_value = (any && !part.empty()) ? 1 : 0;
-          if (rec.has_value) {
-            std::memcpy(rec.value, part.value(), esize);
-          }
-          rec.elements = subset.elements;
-          rec.runs = subset.runs.size();
-          batch.push_back(rec);
-        }
-      }
-      // Charge construction (sys) and map (user) time. In ratio mode the
-      // map of a chunk costs ratio * the chunk's I/O service time,
-      // reproducing the paper's simulated-computation benchmark.
-      const double c0 = comm.wtime();
-      {
-        TRACE_SPAN(comm.engine(), "cc", "construct");
-        comm.overhead(construct_charge);
-      }
-      stats.construct_s += comm.wtime() - c0;
-      const double m0 = comm.wtime();
-      {
-        TRACE_SPAN(comm.engine(), "cc", "map");
-        if (obj.compute.ratio_of_io > 0) {
-          comm.compute(obj.compute.ratio_of_io * read_service *
-                       kRatioIoCalibration);
-        } else if (obj.compute.seconds_per_byte > 0) {
-          comm.compute(obj.compute.seconds_per_byte *
-                       static_cast<double>(mapped_bytes));
-        } else if (mapped_bytes > 0) {
-          // No explicit model: the map is the reduction itself, a streaming
-          // scan at memory bandwidth.
-          comm.compute(static_cast<double>(mapped_bytes) /
-                       comm.runtime().config().memcpy_bw);
-        }
-      }
-      stats.map_s += comm.wtime() - m0;
-
-      // ---- shuffle phase: ship partial results, not raw data ----
-      const double s0 = comm.wtime();
-      {
-        TRACE_SPAN(comm.engine(), "cc", "shuffle");
-        if (c.length > 0) {
-          if (a2one) {
-            const auto wire =
-                std::as_bytes(std::span<const PartialRecord>(batch));
-            stats.shuffle_bytes += wire.size();
-            TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
-                        "cc.shuffle_bytes", wire.size());
-            sends.push_back(comm.isend(obj.root, kPartialTag, wire));
-          } else {
-            for (const auto& rec : batch) {
-              stats.shuffle_bytes += sizeof(PartialRecord);
-              TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
-                          "cc.shuffle_bytes", sizeof(PartialRecord));
-              sends.push_back(comm.isend(
-                  rec.origin, kPartialTag,
-                  std::as_bytes(std::span<const PartialRecord>(&rec, 1))));
-            }
-          }
-        }
-      }
-      stats.shuffle_s += comm.wtime() - s0;
+      process_chunk(c, chunk, plan.domain_requests, read_service,
+                    kPartialTag, sends);
       // Blocking two-phase: only start the next read after this chunk is
       // fully processed.
       if (!hints.pipelined && k + 1 < plan.n_iters) issue_read(k + 1);
     }
 
+    // Serve this iteration's chunks of every dead aggregator assigned to
+    // this survivor: re-read the dead-domain chunk (the dead aggregator's
+    // in-flight data is gone) and re-shuffle its partials under kAbsorbTag.
+    if (serving_own && watch) {
+      for (int d = 0; d < naggs; ++d) {
+        if (agg_dead[static_cast<std::size_t>(d)] == 0 ||
+            absorbed[static_cast<std::size_t>(d)].empty()) {
+          continue;
+        }
+        if (serving_index(d, k) != my_agg) continue;
+        const pfs::ByteExtent c = plan.chunk(d, k);
+        if (c.length == 0) continue;
+        romio::ChunkReader ar;
+        std::vector<std::byte> abuf;
+        ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
+                 abuf, hints.sieve_gap, comm.wtime(), fi);
+        const double w0 = comm.wtime();
+        {
+          TRACE_SPAN(comm.engine(), "cc", "absorb");
+          ar.wait();
+        }
+        stats.io_s += comm.wtime() - w0;
+        stats.bytes_read += ar.bytes_read();
+        stats.io_fallbacks += ar.fallbacks();
+        ++stats.absorbed_chunks;
+        fi->note_absorbed_chunk();
+        process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
+                      ar.service_time(), kAbsorbTag, sends);
+      }
+    }
+
     // ---- receiver side of the shuffle ----
     const double r0 = comm.wtime();
     trace::ScopedSpan recv_shuffle_span(comm.engine(), "cc", "shuffle");
+    // Under crash recovery the partials of a dead aggregator's chunk come
+    // from its absorbing survivor, tagged kAbsorbTag; every rank derives
+    // the same (survivor, tag) from the agreed agg_dead state.
+    auto shuffle_source = [&](int a, int iter) {
+      if (watch && agg_dead[static_cast<std::size_t>(a)] != 0) {
+        return std::pair<int, int>(
+            plan.aggregators[static_cast<std::size_t>(
+                serving_index(a, iter))],
+            kAbsorbTag);
+      }
+      return std::pair<int, int>(
+          plan.aggregators[static_cast<std::size_t>(a)], kPartialTag);
+    };
     if (a2one) {
       if (i_am_root) {
         for (int a = 0; a < plan.aggregator_count(); ++a) {
           if (plan.chunk(a, k).length == 0) continue;
           recv_buf.resize(static_cast<std::size_t>(comm.size()) *
                           sizeof(PartialRecord));
-          const auto info =
-              comm.recv(plan.aggregators[static_cast<std::size_t>(a)],
-                        kPartialTag, recv_buf);
+          const auto [src, tag] = shuffle_source(a, k);
+          const auto info = comm.recv(src, tag, recv_buf);
           const auto nrec = info.bytes / sizeof(PartialRecord);
           for (std::uint64_t i = 0; i < nrec; ++i) {
             PartialRecord rec;
@@ -353,8 +478,9 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         const pfs::ByteExtent c = plan.chunk(a, k);
         if (c.length == 0) continue;
         if (mine_req.bytes_in(c.offset, c.offset + c.length) == 0) continue;
+        const auto [src, tag] = shuffle_source(a, k);
         PartialRecord rec;
-        comm.recv(plan.aggregators[static_cast<std::size_t>(a)], kPartialTag,
+        comm.recv(src, tag,
                   std::as_writable_bytes(std::span<PartialRecord>(&rec, 1)));
         if (rec.has_value) my_acc.combine_value(rec.value);
       }
@@ -362,6 +488,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     if (my_agg < 0) stats.shuffle_s += comm.wtime() - r0;
     mpi::wait_all(sends);
   }
+  stats.io_fallbacks += reader.fallbacks();
 
   // ---- final reduce ----
   if (a2one) {

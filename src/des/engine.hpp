@@ -60,6 +60,9 @@ class Engine {
   /// Blocks until absolute virtual time `t` (accounted as wait).
   void sleep_until(SimTime t);
 
+  /// Blocks for `dt` of virtual time (accounted as wait).
+  void sleep_for(SimTime dt) { sleep_until(now_ + dt); }
+
   /// Wakes a blocked actor (schedules its resumption at now()). Waking an
   /// actor that is not blocked is a contract violation.
   void wake(int actor_id);

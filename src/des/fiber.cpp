@@ -2,7 +2,43 @@
 
 #include "util/assert.hpp"
 
+// AddressSanitizer must be told about stack switches: its instrumentation
+// poisons stack frames on scope exit, and exception unwinding only unpoisons
+// the stack it believes is current. Without these annotations, a throw that
+// unwinds frames on a fiber stack leaves stale scope poison behind, and the
+// next run through the same stack depth reports a bogus stack-use-after-scope.
+// The hooks compile to nothing when ASan is off.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define COLCOM_ASAN_FIBERS 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define COLCOM_ASAN_FIBERS 1
+#endif
+
+#if defined(COLCOM_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace colcom::des {
+
+namespace {
+
+#if defined(COLCOM_ASAN_FIBERS)
+inline void asan_start_switch(void** save, const void* bottom,
+                              std::size_t size) {
+  __sanitizer_start_switch_fiber(save, bottom, size);
+}
+inline void asan_finish_switch(void* save, const void** bottom,
+                               std::size_t* size) {
+  __sanitizer_finish_switch_fiber(save, bottom, size);
+}
+#else
+inline void asan_start_switch(void**, const void*, std::size_t) {}
+inline void asan_finish_switch(void*, const void**, std::size_t*) {}
+#endif
+
+}  // namespace
 
 Fiber* Fiber::current_ = nullptr;
 
@@ -26,6 +62,10 @@ Fiber::~Fiber() = default;
 
 void Fiber::trampoline() {
   Fiber* self = g_trampoline_target;
+  // First time on this stack: complete the switch resume() started and learn
+  // the scheduler's stack bounds (finish reports the stack we came from).
+  asan_finish_switch(nullptr, &self->sched_stack_bottom_,
+                     &self->sched_stack_size_);
   try {
     self->body_();
   } catch (...) {
@@ -33,8 +73,11 @@ void Fiber::trampoline() {
   }
   self->finished_ = true;
   // Fall back to the scheduler; uc_link returns there, but swap explicitly so
-  // `current_` is maintained.
+  // `current_` is maintained. save=nullptr: this fiber's fake stack can be
+  // destroyed, the context never runs again.
   current_ = nullptr;
+  asan_start_switch(nullptr, self->sched_stack_bottom_,
+                    self->sched_stack_size_);
   swapcontext(&self->ctx_, &self->return_ctx_);
 }
 
@@ -52,14 +95,20 @@ void Fiber::resume() {
     g_trampoline_target = this;
   }
   current_ = this;
+  void* fake = nullptr;
+  asan_start_switch(&fake, stack_.get(), stack_bytes_);
   swapcontext(&return_ctx_, &ctx_);
+  asan_finish_switch(fake, nullptr, nullptr);
   current_ = nullptr;
 }
 
 void Fiber::yield() {
   COLCOM_EXPECT_MSG(current_ == this, "yield() must be called from the fiber");
   current_ = nullptr;
+  void* fake = nullptr;
+  asan_start_switch(&fake, sched_stack_bottom_, sched_stack_size_);
   swapcontext(&ctx_, &return_ctx_);
+  asan_finish_switch(fake, nullptr, nullptr);
   current_ = this;
 }
 

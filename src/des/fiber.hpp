@@ -53,6 +53,11 @@ class Fiber {
   bool started_ = false;
   bool finished_ = false;
   std::exception_ptr exception_;
+  // Scheduler-context stack bounds as reported by ASan at first entry —
+  // handed back to __sanitizer_start_switch_fiber when yielding, so ASan
+  // tracks which stack is live across swapcontext (unused without ASan).
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
 
   static Fiber* current_;
 };

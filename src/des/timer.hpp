@@ -1,0 +1,52 @@
+// Timer: a cancellable one-shot timeout over Engine::schedule().
+//
+// The engine's event queue has no removal, so cancellation is a tombstone:
+// arming hands the scheduled event a shared flag, and cancel() (or a
+// re-arm) clears it before the event fires. This is the timeout primitive
+// behind the MPI retransmit protocol (arm an ack deadline, cancel on ack).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "des/engine.hpp"
+#include "des/time.hpp"
+
+namespace colcom::des {
+
+class Timer {
+ public:
+  explicit Timer(Engine& engine) : engine_(&engine) {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms the timer to run `fn` (in event context — it must not block) at
+  /// absolute virtual time `at`. Re-arming cancels any pending fire.
+  void arm(SimTime at, std::function<void()> fn) {
+    cancel();
+    auto live = std::make_shared<bool>(true);
+    token_ = live;
+    engine_->schedule(at, [live = std::move(live), fn = std::move(fn)] {
+      if (*live) fn();
+    });
+  }
+
+  /// Disarms a pending fire; no-op when not armed.
+  void cancel() {
+    if (auto live = token_.lock()) *live = false;
+    token_.reset();
+  }
+
+  /// True while a fire is pending (false after firing or cancel()).
+  bool armed() const { return !token_.expired(); }
+
+  Engine& engine() const { return *engine_; }
+
+ private:
+  Engine* engine_;
+  std::weak_ptr<bool> token_;
+};
+
+}  // namespace colcom::des

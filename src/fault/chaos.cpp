@@ -1,0 +1,188 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace colcom::fault {
+
+const char* to_string(Layer layer) {
+  switch (layer) {
+    case Layer::des: return "des";
+    case Layer::net: return "net";
+    case Layer::mpi: return "mpi";
+    case Layer::pfs: return "pfs";
+    case Layer::romio: return "romio";
+    case Layer::core: return "core";
+  }
+  return "?";
+}
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::link_degraded: return "link_degraded";
+    case Kind::msg_loss: return "msg_loss";
+    case Kind::straggler: return "straggler";
+    case Kind::aggregator_crash: return "aggregator_crash";
+    case Kind::ost_timeout: return "ost_timeout";
+    case Kind::retry_exhausted: return "retry_exhausted";
+  }
+  return "?";
+}
+
+ChaosSchedule::ChaosSchedule(const ChaosConfig& cfg, int n_nodes, int nprocs,
+                             int n_links)
+    : cfg_(cfg) {
+  COLCOM_EXPECT(n_nodes >= 1 && nprocs >= 1 && n_links >= 0);
+  COLCOM_EXPECT(cfg.msg_loss_prob >= 0 && cfg.msg_loss_prob <= 1);
+  COLCOM_EXPECT(cfg.degrade_factor > 0 && cfg.degrade_factor <= 1);
+  COLCOM_EXPECT(cfg.straggler_factor >= 1);
+  COLCOM_EXPECT(cfg.ack_timeout_s > 0 && cfg.backoff >= 1);
+  COLCOM_EXPECT(cfg.max_retries >= 0);
+  // One generator, fixed draw order: the event list is a pure function of
+  // (config, machine shape).
+  Prng rng(cfg.seed);
+  for (int i = 0; i < cfg.degraded_links && n_links > 0; ++i) {
+    events_.push_back(ChaosEvent{
+        Kind::link_degraded,
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_links))),
+        rng.next_double(0, cfg.horizon_s), cfg.degrade_duration_s,
+        cfg.degrade_factor});
+  }
+  for (int i = 0; i < cfg.stragglers; ++i) {
+    events_.push_back(ChaosEvent{
+        Kind::straggler,
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nprocs))),
+        rng.next_double(0, cfg.horizon_s), cfg.straggler_duration_s,
+        cfg.straggler_factor});
+  }
+  for (int i = 0; i < cfg.aggregator_crashes; ++i) {
+    events_.push_back(ChaosEvent{
+        Kind::aggregator_crash,
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nprocs))),
+        rng.next_double(0, cfg.horizon_s), 0, 0});
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+double ChaosSchedule::link_factor(int link_id, des::SimTime t) const {
+  double factor = 1.0;
+  for (const ChaosEvent& ev : events_) {
+    if (ev.kind != Kind::link_degraded || ev.subject != link_id) continue;
+    if (t >= ev.at && t < ev.at + ev.duration) {
+      factor = std::min(factor, ev.magnitude);
+    }
+  }
+  return factor;
+}
+
+double ChaosSchedule::cpu_factor(int rank, des::SimTime t) const {
+  double factor = 1.0;
+  for (const ChaosEvent& ev : events_) {
+    if (ev.kind != Kind::straggler || ev.subject != rank) continue;
+    if (t >= ev.at && t < ev.at + ev.duration) {
+      factor = std::max(factor, ev.magnitude);
+    }
+  }
+  return factor;
+}
+
+bool ChaosSchedule::aggregator_crashed(int rank, des::SimTime t) const {
+  for (const ChaosEvent& ev : events_) {
+    if (ev.kind == Kind::aggregator_crash && ev.subject == rank &&
+        ev.at <= t) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChaosSchedule::drop_transfer(int src_rank, int dst_rank,
+                                  std::uint64_t seq, int salt,
+                                  int attempt) const {
+  if (cfg_.msg_loss_prob <= 0) return false;
+  // Mix every key through distinct odd multipliers so (src, dst, seq, salt,
+  // attempt) tuples land on independent rolls; SplitMix64 scrambles the sum.
+  SplitMix64 sm(cfg_.seed ^
+                (seq * 0x9e3779b97f4a7c15ull +
+                 static_cast<std::uint64_t>(src_rank) * 0xbf58476d1ce4e5b9ull +
+                 static_cast<std::uint64_t>(dst_rank) * 0x94d049bb133111ebull +
+                 static_cast<std::uint64_t>(salt) * 1099511628211ull +
+                 static_cast<std::uint64_t>(attempt) * 40503ull));
+  const double roll = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return roll < cfg_.msg_loss_prob;
+}
+
+bool ChaosSchedule::has_aggregator_crashes() const {
+  return std::any_of(events_.begin(), events_.end(), [](const ChaosEvent& e) {
+    return e.kind == Kind::aggregator_crash;
+  });
+}
+
+bool ChaosSchedule::has_stragglers() const {
+  return std::any_of(events_.begin(), events_.end(), [](const ChaosEvent& e) {
+    return e.kind == Kind::straggler;
+  });
+}
+
+bool ChaosSchedule::has_degraded_links() const {
+  return std::any_of(events_.begin(), events_.end(), [](const ChaosEvent& e) {
+    return e.kind == Kind::link_degraded;
+  });
+}
+
+namespace {
+void bump(const char* name) {
+  if (trace::Tracer* tr = trace::Tracer::current()) {
+    tr->metrics().counter(name).add(1);
+  }
+}
+}  // namespace
+
+void Injector::note_drop() {
+  ++stats_.msgs_dropped;
+  bump("fault.net.msgs_dropped");
+}
+void Injector::note_net_retry() {
+  ++stats_.net_retries;
+  bump("fault.net.retries");
+}
+void Injector::note_net_failure() {
+  ++stats_.net_failures;
+  bump("fault.net.failures");
+}
+void Injector::note_degraded_transfer() {
+  ++stats_.degraded_transfers;
+  bump("fault.net.degraded_transfers");
+}
+void Injector::note_straggler_hit() {
+  ++stats_.straggler_hits;
+  bump("fault.cpu.straggler_hits");
+}
+void Injector::note_replan() {
+  ++stats_.replans;
+  bump("fault.agg.replans");
+}
+void Injector::note_absorbed_chunk() {
+  ++stats_.absorbed_chunks;
+  bump("fault.agg.absorbed_chunks");
+}
+void Injector::note_io_fallback() {
+  ++stats_.io_fallbacks;
+  bump("fault.pfs.io_fallbacks");
+}
+void Injector::note_checkpoint() {
+  ++stats_.checkpoints;
+  bump("fault.ckpt.checkpoints");
+}
+void Injector::note_restore() {
+  ++stats_.restores;
+  bump("fault.ckpt.restores");
+}
+
+}  // namespace colcom::fault

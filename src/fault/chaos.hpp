@@ -1,0 +1,172 @@
+// ChaosSchedule: a deterministic, seeded event list driving fault injection
+// at every layer below the analysis — which link degrades, which rank
+// straggles, which aggregator crashes, when, and for how long — all in
+// virtual time, so a chaos run is exactly as reproducible as a clean one.
+//
+// The schedule is pure data (queries are const and side-effect-free); the
+// Injector wraps one schedule with the mutable side: fault statistics and
+// `fault.*` metric emission through colcom::trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/time.hpp"
+#include "fault/fault.hpp"
+
+namespace colcom::trace {
+class Tracer;
+}
+
+namespace colcom::fault {
+
+/// Declarative chaos knobs expanded into a ChaosSchedule. All probabilities
+/// and counts are interpreted deterministically from `seed`; the default
+/// config injects nothing and leaves every fast path untouched.
+struct ChaosConfig {
+  std::uint64_t seed = 0xc4a05;
+  double horizon_s = 10.0;  ///< random event times are drawn in [0, horizon)
+
+  /// Network message loss: each internode transfer attempt is independently
+  /// dropped with this probability (0 disables the MPI retransmit path).
+  double msg_loss_prob = 0;
+
+  /// Link degradation events: `degraded_links` random links each run at
+  /// `degrade_factor` of nominal bandwidth for `degrade_duration_s`.
+  int degraded_links = 0;
+  double degrade_factor = 0.25;
+  double degrade_duration_s = 1.0;
+
+  /// Straggler events: `stragglers` random ranks burn CPU at
+  /// 1/straggler_factor speed for `straggler_duration_s`.
+  int stragglers = 0;
+  double straggler_factor = 4.0;
+  double straggler_duration_s = 1.0;
+
+  /// Aggregator crash events: `aggregator_crashes` random ranks permanently
+  /// stop serving as aggregators at a random time. (Ranks that are not
+  /// aggregators when the event fires crash harmlessly.)
+  int aggregator_crashes = 0;
+
+  /// MPI retransmit protocol (used when msg_loss_prob > 0): the sender arms
+  /// an ack timeout per attempt — `ack_timeout_s` plus the expected wire
+  /// time — backed off by `backoff` per retry, up to `max_retries`
+  /// retransmits before the transfer fails with fault::Error.
+  double ack_timeout_s = 2e-3;
+  double backoff = 2.0;
+  int max_retries = 6;
+
+  bool any() const {
+    return msg_loss_prob > 0 || degraded_links > 0 || stragglers > 0 ||
+           aggregator_crashes > 0;
+  }
+};
+
+/// One scheduled fault: `kind` strikes `subject` (link id or rank) at `at`
+/// for `duration` seconds; `magnitude` is the bandwidth/speed factor where
+/// applicable. Crashes are permanent (duration ignored).
+struct ChaosEvent {
+  Kind kind = Kind::link_degraded;
+  int subject = 0;
+  des::SimTime at = 0;
+  des::SimTime duration = 0;
+  double magnitude = 1.0;
+};
+
+/// The expanded, seeded event list plus the per-transfer loss model.
+/// Queries are pure functions of (schedule, arguments): two schedules built
+/// from the same config and machine shape answer identically.
+class ChaosSchedule {
+ public:
+  ChaosSchedule() = default;
+
+  /// Expands `cfg` into events for a machine with `n_nodes` nodes,
+  /// `nprocs` ranks and `n_links` directed mesh links.
+  ChaosSchedule(const ChaosConfig& cfg, int n_nodes, int nprocs, int n_links);
+
+  /// Appends an explicit event (tests/benches that must hit a known
+  /// subject, e.g. crash a specific aggregator rank).
+  void add(const ChaosEvent& ev) { events_.push_back(ev); }
+
+  const ChaosConfig& config() const { return cfg_; }
+  const std::vector<ChaosEvent>& events() const { return events_; }
+
+  /// Bandwidth factor of `link_id` at time `t` (1.0 when healthy; the worst
+  /// overlapping degradation otherwise).
+  double link_factor(int link_id, des::SimTime t) const;
+
+  /// CPU speed divisor of `rank` at time `t` (1.0 when healthy).
+  double cpu_factor(int rank, des::SimTime t) const;
+
+  /// True when `rank` has a (permanent) aggregator-crash event at or before
+  /// `t`.
+  bool aggregator_crashed(int rank, des::SimTime t) const;
+
+  /// Deterministic per-attempt loss roll for one transfer, keyed by the
+  /// (src, dst) rank pair, the channel sequence number, a protocol salt
+  /// (eager payload / RTS / rendezvous payload) and the attempt index.
+  bool drop_transfer(int src_rank, int dst_rank, std::uint64_t seq, int salt,
+                     int attempt) const;
+
+  bool has_msg_loss() const { return cfg_.msg_loss_prob > 0; }
+  bool has_aggregator_crashes() const;
+  bool has_stragglers() const;
+  bool has_degraded_links() const;
+
+ private:
+  ChaosConfig cfg_;
+  std::vector<ChaosEvent> events_;
+};
+
+/// Counters bumped by every injection/detection/recovery. Kept as plain
+/// fields (always on) and mirrored into `fault.*` trace metrics when a
+/// tracer is attached, so benches get numbers without tracing overhead.
+struct FaultStats {
+  std::uint64_t msgs_dropped = 0;      ///< transfer attempts lost in flight
+  std::uint64_t net_retries = 0;       ///< retransmits after ack timeout
+  std::uint64_t net_failures = 0;      ///< transfers past max_retries
+  std::uint64_t degraded_transfers = 0;  ///< transfers through a slow link
+  std::uint64_t straggler_hits = 0;    ///< compute charges slowed down
+  std::uint64_t replans = 0;           ///< aggregator-failure re-plans
+  std::uint64_t absorbed_chunks = 0;   ///< chunks served for a dead aggregator
+  std::uint64_t io_fallbacks = 0;      ///< extents recovered independently
+  std::uint64_t checkpoints = 0;       ///< IterativeComputer checkpoints
+  std::uint64_t restores = 0;          ///< IterativeComputer restores
+};
+
+/// The mutable face of a schedule: owns the FaultStats and forwards every
+/// injection/detection to the trace metrics registry (`fault.*`) when a
+/// tracer is installed.
+class Injector {
+ public:
+  explicit Injector(ChaosSchedule schedule) : schedule_(std::move(schedule)) {}
+
+  const ChaosSchedule& schedule() const { return schedule_; }
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+  bool net_loss_enabled() const { return schedule_.has_msg_loss(); }
+  bool watch_aggregators() const {
+    return schedule_.has_aggregator_crashes();
+  }
+  bool has_stragglers() const { return schedule_.has_stragglers(); }
+  bool has_degraded_links() const { return schedule_.has_degraded_links(); }
+
+  // Each note_* bumps the stat and the matching fault.* metric.
+  void note_drop();
+  void note_net_retry();
+  void note_net_failure();
+  void note_degraded_transfer();
+  void note_straggler_hit();
+  void note_replan();
+  void note_absorbed_chunk();
+  void note_io_fallback();
+  void note_checkpoint();
+  void note_restore();
+
+ private:
+  ChaosSchedule schedule_;
+  FaultStats stats_;
+};
+
+}  // namespace colcom::fault

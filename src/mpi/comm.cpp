@@ -1,8 +1,11 @@
 #include "mpi/comm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
+#include "des/timer.hpp"
+#include "fault/fault.hpp"
 #include "mpi/world.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -16,11 +19,21 @@ struct Request::State {
   des::Completion completion;
   const PostedRecv* recv = nullptr;        // for irecv info()
   std::shared_ptr<PostedRecv> recv_own;    // keeps the posted recv alive
+  std::shared_ptr<Msg> sent_msg;           // chaos sends: failure flag lives here
 };
 
 void Request::wait() {
   COLCOM_EXPECT(valid());
   state_->completion.wait();
+  if (state_->recv != nullptr && state_->recv->failed) {
+    throw fault::Error(fault::Layer::mpi, fault::Kind::retry_exhausted,
+                       "receive matched a message whose sender exhausted its "
+                       "retransmit budget");
+  }
+  if (state_->sent_msg != nullptr && state_->sent_msg->failed) {
+    throw fault::Error(fault::Layer::mpi, fault::Kind::retry_exhausted,
+                       "send failed after max_retries retransmits");
+  }
 }
 
 bool Request::done() const {
@@ -43,6 +56,9 @@ void wait_all(std::span<Request> reqs) {
 
 void World::deliver(int dst, std::shared_ptr<Msg> msg) {
   PairChannel& ch = chan(msg->src, dst);
+  if (msg->seq < ch.next_deliver_seq || ch.holdback.count(msg->seq) != 0) {
+    return;  // duplicate copy from a retransmission that raced its ack
+  }
   ch.holdback.emplace(msg->seq, std::move(msg));
   // Release in send order (MPI non-overtaking even if the network reorders).
   while (!ch.holdback.empty() &&
@@ -54,9 +70,124 @@ void World::deliver(int dst, std::shared_ptr<Msg> msg) {
   }
 }
 
+namespace {
+
+// Sender-side state of one retransmitted transfer. try_once references this
+// state and is stored inside it; ship_finish clears the closures to break
+// the cycle once a terminal callback has run.
+struct ShipState {
+  explicit ShipState(des::Engine& eng) : timer(eng) {}
+  des::Timer timer;
+  int attempt = 0;
+  bool delivered = false;
+  bool acked = false;
+  std::function<void()> on_delivered;
+  std::function<void()> on_acked;
+  std::function<void()> on_failed;
+  std::function<void()> try_once;
+};
+
+void ship_finish(const std::shared_ptr<ShipState>& st, bool ok) {
+  st->timer.cancel();
+  std::function<void()> terminal =
+      ok ? std::move(st->on_acked) : std::move(st->on_failed);
+  st->on_delivered = nullptr;
+  st->on_acked = nullptr;
+  st->on_failed = nullptr;
+  st->try_once = nullptr;
+  if (terminal) terminal();
+}
+
+}  // namespace
+
+void World::ship_with_retry(int src_rank, int dst_rank,
+                            std::uint64_t wire_bytes, std::uint64_t seq,
+                            int salt, std::function<void()> on_delivered,
+                            std::function<void()> on_acked,
+                            std::function<void()> on_failed) {
+  fault::Injector* fi = rt->chaos();
+  COLCOM_EXPECT(fi != nullptr && fi->net_loss_enabled());
+  const int src_node = rt->node_of(src_rank);
+  const int dst_node = rt->node_of(dst_rank);
+  auto st = std::make_shared<ShipState>(rt->engine());
+  st->on_delivered = std::move(on_delivered);
+  st->on_acked = std::move(on_acked);
+  st->on_failed = std::move(on_failed);
+  World* w = this;
+  // Points into the injector (stable for the runtime's lifetime); this
+  // stack frame is long gone when retries fire.
+  const fault::ChaosConfig* nc = &fi->schedule().config();
+  st->try_once = [w, st, fi, nc, src_rank, dst_rank, src_node, dst_node,
+                  wire_bytes, seq, salt] {
+    des::Engine& eng = w->rt->engine();
+    const bool dropped =
+        fi->schedule().drop_transfer(src_rank, dst_rank, seq, salt,
+                                     st->attempt);
+    // The wire is charged either way: a lost message still occupied links.
+    auto transfer =
+        w->rt->network().transfer_async(src_node, dst_node, wire_bytes);
+    if (dropped) {
+      fi->note_drop();
+    } else {
+      transfer.on_done([w, st, src_node, dst_node] {
+        if (st->try_once == nullptr) return;  // already terminal
+        if (!st->delivered) {
+          st->delivered = true;
+          if (st->on_delivered) st->on_delivered();
+        }
+        // Acks ride the reliable control plane (header-sized, loss-free
+        // like CTS).
+        auto ack = w->rt->network().transfer_async(dst_node, src_node,
+                                                   kMsgHeaderBytes);
+        ack.on_done([st] {
+          if (st->try_once == nullptr) return;
+          st->acked = true;
+          ship_finish(st, true);
+        });
+      });
+    }
+    // Ack deadline: base timeout plus round-trip wire time, backed off
+    // exponentially per retry.
+    const double wire_s =
+        2.0 * static_cast<double>(wire_bytes + kMsgHeaderBytes) /
+        w->rt->config().net.nic_bw;
+    const double deadline =
+        (nc->ack_timeout_s + wire_s) *
+        std::pow(nc->backoff, static_cast<double>(st->attempt));
+    st->timer.arm(eng.now() + deadline, [st, fi, nc] {
+      if (st->try_once == nullptr) return;
+      if (st->acked) return;
+      // Delivered with the ack still in flight: the ack is reliable, let
+      // it land rather than retransmitting.
+      if (st->delivered) return;
+      if (st->attempt >= nc->max_retries) {
+        fi->note_net_failure();
+        ship_finish(st, false);
+        return;
+      }
+      ++st->attempt;
+      fi->note_net_retry();
+      st->try_once();
+    });
+  };
+  st->try_once();
+}
+
 void World::complete_match(int dst, std::shared_ptr<Msg> msg,
                            std::shared_ptr<PostedRecv> pr) {
   des::Engine& eng = rt->engine();
+  if (msg->failed) {
+    // Poisoned delivery: the sender exhausted its retransmit budget. Both
+    // endpoints complete and their wait() throws fault::Error.
+    pr->failed = true;
+    pr->matched = true;
+    pr->info = MsgInfo{msg->src, msg->tag, 0};
+    if (msg->send_done != nullptr && !msg->send_done->fired()) {
+      msg->send_done->fire();
+    }
+    pr->cs->fire();
+    return;
+  }
   auto finish = [&eng, dst](Msg& m, PostedRecv& r) {
     COLCOM_EXPECT_MSG(m.payload.size() <= r.dst.size(),
                       "message longer than receive buffer");
@@ -88,7 +219,31 @@ void World::complete_match(int dst, std::shared_ptr<Msg> msg,
   }
   auto cts = net.transfer_async(dst_node, src_node, kMsgHeaderBytes);
   World* w = this;
-  cts.on_done([w, src_node, dst_node, msg, pr, finish] {
+  cts.on_done([w, src_node, dst_node, dst, msg, pr, finish] {
+    fault::Injector* fi = w->rt->chaos();
+    if (fi != nullptr && fi->net_loss_enabled() && src_node != dst_node) {
+      // The rendezvous payload is retransmittable too: ship it under the
+      // ack/timeout protocol and poison both endpoints past the budget.
+      w->ship_with_retry(
+          msg->src, dst, msg->payload.size() + kMsgHeaderBytes, msg->seq,
+          kSaltPayload,
+          /*on_delivered=*/
+          [msg, pr, finish] {
+            finish(*msg, *pr);
+            msg->send_done->fire();
+          },
+          /*on_acked=*/nullptr,
+          /*on_failed=*/
+          [msg, pr] {
+            msg->failed = true;
+            pr->failed = true;
+            pr->matched = true;
+            pr->info = MsgInfo{msg->src, msg->tag, 0};
+            pr->cs->fire();
+            msg->send_done->fire();
+          });
+      return;
+    }
     auto data = w->rt->network().transfer_async(
         src_node, dst_node, msg->payload.size() + kMsgHeaderBytes);
     data.on_done([msg, pr, finish] {
@@ -119,12 +274,21 @@ int Comm::node() const { return world_->rt->node_of(rank_); }
 int Comm::node_of(int rank) const { return world_->rt->node_of(rank); }
 double Comm::wtime() const { return engine().now(); }
 
+double Comm::scale_cpu(double seconds) const {
+  fault::Injector* fi = world_->rt->chaos();
+  if (fi == nullptr || !fi->has_stragglers() || seconds <= 0) return seconds;
+  const double f = fi->schedule().cpu_factor(rank_, engine().now());
+  if (f <= 1.0) return seconds;
+  fi->note_straggler_hit();
+  return seconds * f;
+}
+
 void Comm::compute(double seconds) {
-  engine().advance(seconds, des::CpuKind::user);
+  engine().advance(scale_cpu(seconds), des::CpuKind::user);
 }
 
 void Comm::overhead(double seconds) {
-  engine().advance(seconds, des::CpuKind::sys);
+  engine().advance(scale_cpu(seconds), des::CpuKind::sys);
 }
 
 Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
@@ -154,9 +318,31 @@ Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
   }
 
   World* w = world_;
+  fault::Injector* fi = world_->rt->chaos();
+  // Intra-node transfers never traverse the lossy wire.
+  const bool lossy_wire =
+      fi != nullptr && fi->net_loss_enabled() && node() != node_of(dst);
   Request req;
   req.state_ = std::make_shared<Request::State>();
   if (eager) {
+    if (lossy_wire) {
+      // Under chaos the eager send completes on the ack (the sender must
+      // know whether its retransmit budget sufficed).
+      auto cs = std::make_shared<des::CompletionSource>(engine());
+      req.state_->completion = cs->completion();
+      req.state_->sent_msg = msg;
+      world_->ship_with_retry(
+          rank_, dst, data.size() + kMsgHeaderBytes, msg->seq, kSaltEager,
+          /*on_delivered=*/[w, dst, msg] { w->deliver(dst, msg); },
+          /*on_acked=*/[cs] { cs->fire(); },
+          /*on_failed=*/
+          [w, dst, msg, cs] {
+            msg->failed = true;
+            w->deliver(dst, msg);  // poison the receiver too
+            cs->fire();
+          });
+      return req;
+    }
     // Eager: the payload travels immediately; the send completes on
     // delivery regardless of the receiver.
     auto transfer = world_->rt->network().transfer_async(
@@ -168,10 +354,23 @@ Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
     // receiver matches, and this request completes with the payload.
     msg->rendezvous = true;
     msg->send_done = std::make_shared<des::CompletionSource>(engine());
+    req.state_->completion = msg->send_done->completion();
+    if (lossy_wire) {
+      req.state_->sent_msg = msg;
+      world_->ship_with_retry(
+          rank_, dst, kMsgHeaderBytes, msg->seq, kSaltRts,
+          /*on_delivered=*/[w, dst, msg] { w->deliver(dst, msg); },
+          /*on_acked=*/nullptr,
+          /*on_failed=*/
+          [w, dst, msg] {
+            msg->failed = true;
+            w->deliver(dst, msg);  // complete_match fires send_done
+          });
+      return req;
+    }
     auto rts = world_->rt->network().transfer_async(node(), node_of(dst),
                                                     kMsgHeaderBytes);
     rts.on_done([w, dst, msg] { w->deliver(dst, msg); });
-    req.state_->completion = msg->send_done->completion();
   }
   return req;
 }

@@ -135,6 +135,9 @@ class Comm {
   friend struct World;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
+  /// Applies the chaos straggler factor (1.0 on a fault-free machine).
+  double scale_cpu(double seconds) const;
+
   World* world_ = nullptr;
   int rank_ = -1;
 };

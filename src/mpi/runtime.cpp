@@ -15,6 +15,11 @@ Runtime::Runtime(MachineConfig cfg, int nprocs) : cfg_(cfg), nprocs_(nprocs) {
   const auto topo = net::MeshTopology::square_for(n_nodes_, cfg.torus);
   network_ = std::make_unique<net::Network>(*engine_, topo, cfg.net);
   pfs_ = std::make_unique<pfs::Pfs>(*engine_, cfg.pfs);
+  if (cfg.chaos.any()) {
+    install_chaos(fault::ChaosSchedule(
+        cfg.chaos, n_nodes_, nprocs,
+        static_cast<int>(topo.max_link_id())));
+  }
   world_ = std::make_unique<World>();
   world_->rt = this;
   world_->nprocs = nprocs;
@@ -26,6 +31,12 @@ Runtime::Runtime(MachineConfig cfg, int nprocs) : cfg_(cfg), nprocs_(nprocs) {
 }
 
 Runtime::~Runtime() = default;
+
+void Runtime::install_chaos(fault::ChaosSchedule schedule) {
+  COLCOM_EXPECT_MSG(!ran_, "install_chaos must precede run()");
+  chaos_ = std::make_unique<fault::Injector>(std::move(schedule));
+  network_->set_chaos(chaos_.get());
+}
 
 int Runtime::node_of(int rank) const {
   COLCOM_EXPECT(rank >= 0 && rank < nprocs_);

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "des/engine.hpp"
+#include "fault/chaos.hpp"
 #include "mpi/comm.hpp"
 #include "net/network.hpp"
 #include "pfs/pfs.hpp"
@@ -27,6 +28,10 @@ struct MachineConfig {
   /// senders to receiver progress, a first-order effect in shuffle phases.
   std::uint64_t eager_threshold = 8ull << 10;
   std::size_t fiber_stack_bytes = 256 * 1024;
+  /// Seeded fault injection (defaults to none). When chaos.any(), the
+  /// Runtime expands it into a ChaosSchedule for this machine shape and
+  /// installs an Injector across net/mpi/romio/core.
+  fault::ChaosConfig chaos{};
 };
 
 /// Owns the DES engine, network, PFS and world state; runs a program on
@@ -48,6 +53,15 @@ class Runtime {
   pfs::Pfs& fs() { return *pfs_; }
   const MachineConfig& config() const { return cfg_; }
 
+  /// Installs an explicit chaos schedule (tests/benches that must fault a
+  /// known subject), replacing any schedule built from cfg.chaos. Must be
+  /// called before run().
+  void install_chaos(fault::ChaosSchedule schedule);
+
+  /// The fault injector, or nullptr for a fault-free machine. A null
+  /// injector guarantees the bit-exact fault-free cost model.
+  fault::Injector* chaos() { return chaos_.get(); }
+
   int nprocs() const { return nprocs_; }
   int n_nodes() const { return n_nodes_; }
   /// Block placement: rank r lives on node r / cores_per_node.
@@ -63,6 +77,7 @@ class Runtime {
   std::unique_ptr<des::Engine> engine_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<pfs::Pfs> pfs_;
+  std::unique_ptr<fault::Injector> chaos_;
   std::unique_ptr<World> world_;
   des::SimTime elapsed_ = 0;
   bool ran_ = false;

@@ -21,6 +21,12 @@ constexpr std::uint64_t kMsgHeaderBytes = 64;
 /// Tags below this are reserved for internal collective algorithms.
 constexpr int kCollectiveTagBase = -1000;
 
+/// Loss-roll salts separating the three retransmittable wire legs of one
+/// message (fault::ChaosSchedule::drop_transfer).
+constexpr int kSaltEager = 0;
+constexpr int kSaltRts = 1;
+constexpr int kSaltPayload = 2;
+
 struct Msg {
   int src = -1;
   int tag = 0;
@@ -32,6 +38,9 @@ struct Msg {
   bool rendezvous = false;
   std::shared_ptr<des::CompletionSource> send_done;  // rendezvous only
   std::uint64_t trace_flow = 0;  ///< flow-arrow id, 0 when tracing is off
+  /// Set when the chaos retransmit budget ran out: the message is delivered
+  /// poisoned so both endpoints observe fault::Error instead of deadlocking.
+  bool failed = false;
 };
 
 struct PostedRecv {
@@ -39,6 +48,7 @@ struct PostedRecv {
   int tag = kAnyTag;
   std::span<std::byte> dst;
   bool matched = false;
+  bool failed = false;  ///< matched a poisoned message; wait() throws
   MsgInfo info;
   std::unique_ptr<des::CompletionSource> cs;
 };
@@ -73,8 +83,22 @@ struct World {
   }
 
   /// Called in event context when a message's transfer (or its RTS)
-  /// completes; enforces per-pair FIFO then matches or enqueues.
+  /// completes; enforces per-pair FIFO then matches or enqueues. Duplicate
+  /// seqs (late-ack retransmissions under chaos) are dropped here.
   void deliver(int dst, std::shared_ptr<Msg> msg);
+
+  /// Chaos path: ships `wire_bytes` from `src_rank` to `dst_rank` under the
+  /// ack/timeout/backoff retransmit protocol. Each attempt rolls a
+  /// deterministic loss decision; the sender arms an ack deadline (backed
+  /// off per retry) and retransmits until the ack arrives or max_retries is
+  /// spent. Exactly one terminal callback runs (event context, must not
+  /// block): `on_acked` after delivery + ack, or `on_failed` past the
+  /// budget. `on_delivered` runs once at first arrival (before the ack).
+  void ship_with_retry(int src_rank, int dst_rank, std::uint64_t wire_bytes,
+                       std::uint64_t seq, int salt,
+                       std::function<void()> on_delivered,
+                       std::function<void()> on_acked,
+                       std::function<void()> on_failed);
 
   /// Completes a matched pair: eager messages copy out immediately;
   /// rendezvous messages run CTS + payload transfer first.

@@ -83,6 +83,21 @@ des::Completion Network::transfer_async(int src_node, int dst_node,
     head = std::max(head, hop.ch->next_free) + cfg_.link_latency;
   }
   min_bw = std::min(min_bw, cfg_.link_bw);
+  // Chaos: a degraded link on the route drags the whole wormhole down to
+  // the degraded serialization rate (min over hops, as for healthy links).
+  if (chaos_ != nullptr && chaos_->has_degraded_links()) {
+    double factor = 1.0;
+    for (const Hop& hop : channels) {
+      if (hop.tid < nic_out_base) {
+        factor = std::min(factor,
+                          chaos_->schedule().link_factor(hop.tid, now));
+      }
+    }
+    if (factor < 1.0) {
+      min_bw = std::min(min_bw, cfg_.link_bw * factor);
+      chaos_->note_degraded_transfer();
+    }
+  }
   const des::SimTime serialization = static_cast<double>(bytes) / min_bw;
   const des::SimTime done = head + serialization;
   for (const Hop& hop : channels) {

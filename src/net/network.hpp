@@ -17,6 +17,7 @@
 #include "des/completion.hpp"
 #include "des/engine.hpp"
 #include "des/time.hpp"
+#include "fault/chaos.hpp"
 #include "net/topology.hpp"
 
 namespace colcom::net {
@@ -59,6 +60,12 @@ class Network {
   const MeshTopology& topology() const { return topo_; }
   const NetConfig& config() const { return cfg_; }
 
+  /// Installs chaos injection: transfers crossing a degraded link serialize
+  /// at the degraded rate. nullptr (the default) leaves the fault-free cost
+  /// model bit-identical to a Network without an injector.
+  void set_chaos(fault::Injector* chaos) { chaos_ = chaos; }
+  fault::Injector* chaos() const { return chaos_; }
+
  private:
   // A directed channel (mesh link or NIC port) is just its next-free time.
   struct Channel {
@@ -72,6 +79,7 @@ class Network {
   std::vector<Channel> nic_out_;   // per node
   std::vector<Channel> nic_in_;    // per node
   NetStats stats_;
+  fault::Injector* chaos_ = nullptr;
 };
 
 }  // namespace colcom::net

@@ -44,6 +44,33 @@ FaultyStore::FaultyStore(std::unique_ptr<Store> base, double corrupt_prob,
   COLCOM_EXPECT(corrupt_attempts >= 1);
 }
 
+namespace {
+// Fixed-size exhausted filter: 2^16 bits (8 KiB) with two probe positions.
+constexpr std::size_t kExhaustedBits = 1ull << 16;
+
+std::pair<std::size_t, std::size_t> exhausted_probes(std::uint64_t seed,
+                                                     std::uint64_t offset) {
+  SplitMix64 sm(seed ^ (offset * 0xbf58476d1ce4e5b9ull + 3));
+  const std::size_t a = static_cast<std::size_t>(sm.next()) % kExhaustedBits;
+  const std::size_t b = static_cast<std::size_t>(sm.next()) % kExhaustedBits;
+  return {a, b};
+}
+}  // namespace
+
+bool FaultyStore::exhausted_contains(std::uint64_t offset) const {
+  if (exhausted_bits_.empty()) return false;
+  const auto [a, b] = exhausted_probes(seed_, offset);
+  return (exhausted_bits_[a / 64] >> (a % 64) & 1) != 0 &&
+         (exhausted_bits_[b / 64] >> (b % 64) & 1) != 0;
+}
+
+void FaultyStore::exhausted_insert(std::uint64_t offset) const {
+  if (exhausted_bits_.empty()) exhausted_bits_.resize(kExhaustedBits / 64, 0);
+  const auto [a, b] = exhausted_probes(seed_, offset);
+  exhausted_bits_[a / 64] |= 1ull << (a % 64);
+  exhausted_bits_[b / 64] |= 1ull << (b % 64);
+}
+
 bool FaultyStore::should_corrupt(std::uint64_t offset) const {
   if (corrupt_prob_ <= 0.0) return false;
   // Hash the offset with the seed into a uniform [0,1) decision so the
@@ -53,7 +80,26 @@ bool FaultyStore::should_corrupt(std::uint64_t offset) const {
   const double roll =
       static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
   if (roll >= corrupt_prob_) return false;
-  const int attempt = ++attempts_[offset];
+  // Past its budget the offset reads clean forever; its counter is gone.
+  if (exhausted_contains(offset)) return false;
+  auto [it, inserted] = attempts_.try_emplace(offset, 0);
+  if (inserted) {
+    attempt_order_.push_back(offset);
+    // Drop deque entries whose counters already left the map (exhausted),
+    // then enforce the live-counter bound FIFO.
+    while (attempts_.size() > kMaxTrackedOffsets && !attempt_order_.empty()) {
+      const std::uint64_t victim = attempt_order_.front();
+      attempt_order_.pop_front();
+      if (victim != offset) attempts_.erase(victim);
+    }
+  }
+  const int attempt = ++it->second;
+  if (attempt >= corrupt_attempts_) {
+    // Budget spent with this read: remember it compactly and free the
+    // counter (the deque entry is dropped lazily on a later eviction scan).
+    exhausted_insert(offset);
+    attempts_.erase(it);
+  }
   return attempt <= corrupt_attempts_;
 }
 

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "pfs/store.hpp"
 #include "util/prng.hpp"
@@ -53,16 +55,34 @@ class FaultyStore final : public Store {
 
   std::uint64_t corruptions_served() const { return corruptions_; }
 
+  /// Offsets currently holding a live attempt counter (bounded by
+  /// kMaxTrackedOffsets) — exposed so tests can assert the memory bound.
+  std::size_t tracked_offsets() const { return attempts_.size(); }
+
+  /// Memory bound on live attempt counters. Offsets that exhausted their
+  /// corruption budget leave the map for a fixed-size filter; under pressure
+  /// the oldest live counter is evicted (that offset would restart its
+  /// budget if read again — a deterministic, conservative approximation).
+  static constexpr std::size_t kMaxTrackedOffsets = 4096;
+
  private:
   /// Deterministic per-(offset,attempt) decision.
   bool should_corrupt(std::uint64_t offset) const;
+
+  bool exhausted_contains(std::uint64_t offset) const;
+  void exhausted_insert(std::uint64_t offset) const;
 
   std::unique_ptr<Store> base_;
   double corrupt_prob_;
   std::uint64_t seed_;
   int corrupt_attempts_;
-  // Attempt counters per offset bucket; mutable: read() is logically const.
-  mutable std::map<std::uint64_t, int> attempts_;
+  // Bounded attempt tracking; mutable: read() is logically const. Live
+  // counters are FIFO-evicted at kMaxTrackedOffsets; exhausted offsets move
+  // to a fixed-size two-probe bit filter (a false positive only makes a
+  // corruptible offset read clean — benign and still deterministic).
+  mutable std::unordered_map<std::uint64_t, int> attempts_;
+  mutable std::deque<std::uint64_t> attempt_order_;
+  mutable std::vector<std::uint64_t> exhausted_bits_;
   mutable std::uint64_t corruptions_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/format.hpp"
@@ -133,8 +134,22 @@ des::SimTime Pfs::charge(std::uint64_t offset, std::uint64_t len,
       int tries = 0;
       while (static_cast<double>(sm.next() >> 11) * 0x1.0p-53 <
              cfg_.transient_fail_prob) {
-        COLCOM_EXPECT_MSG(++tries <= cfg_.max_retries,
-                          "OST request exceeded max_retries");
+        if (++tries > cfg_.max_retries) {
+          // Structured failure, not an abort: the caller decides whether to
+          // degrade (independent re-read) or surface the error.
+          ++stats_.retry_exhausted;
+          ++stats_.requests;
+          if (tr != nullptr) {
+            tr->metrics().counter("fault.pfs.retry_exhausted").add(1);
+            tr->instant(trace::Track::pfs, static_cast<int>(o), "pfs",
+                        "fault.retry_exhausted", engine_->now());
+          }
+          throw fault::Error(
+              fault::Layer::pfs, fault::Kind::retry_exhausted,
+              "ost" + std::to_string(o) + " " + op + " at offset " +
+                  std::to_string(offset) + " failed after " +
+                  std::to_string(cfg_.max_retries) + " retries");
+        }
         ++stats_.retries;
         ++retries;
         service += cfg_.retry_delay_s + single_pass;

@@ -33,6 +33,9 @@ struct PfsConfig {
 
   /// Transient OST faults: this fraction of OST requests times out and is
   /// retried after retry_delay_s (deterministic, seeded). 0 disables.
+  /// A request still failing after max_retries retries throws fault::Error
+  /// (Layer::pfs, Kind::retry_exhausted) so callers can degrade — e.g.
+  /// romio::ChunkReader re-reads the extent independently.
   double transient_fail_prob = 0;
   double retry_delay_s = 0.25;
   int max_retries = 4;
@@ -53,6 +56,7 @@ struct PfsStats {
   std::uint64_t ost_requests = 0;
   std::uint64_t seeks = 0;
   std::uint64_t retries = 0;  ///< transient-fault retries served
+  std::uint64_t retry_exhausted = 0;  ///< requests failed past max_retries
 };
 
 class Pfs {

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/chaos.hpp"
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 
@@ -34,10 +36,30 @@ std::vector<std::byte> pack_pieces(std::span<const std::byte> chunk_buf,
 }
 }  // namespace
 
+namespace {
+/// Bounded independent re-read of one extent after the collective read's
+/// PFS retry budget ran out. Each attempt is a fresh request (the PFS
+/// re-rolls its transient-fault decision per request), so a handful of
+/// attempts recovers any transiently failing extent; a persistently failing
+/// one rethrows the last fault::Error.
+des::Completion fallback_read(pfs::Pfs& fs, pfs::FileId file,
+                              std::uint64_t offset, std::span<std::byte> dst) {
+  constexpr int kFallbackAttempts = 4;
+  for (int i = 0;; ++i) {
+    try {
+      return fs.read_async(file, offset, dst);
+    } catch (const fault::Error&) {
+      if (i + 1 >= kFallbackAttempts) throw;
+    }
+  }
+}
+}  // namespace
+
 void ChunkReader::issue(pfs::Pfs& fs, pfs::FileId file,
-                        const TwoPhasePlan& plan, pfs::ByteExtent chunk,
-                        std::vector<std::byte>& buf, std::uint64_t sieve_gap,
-                        double now) {
+                        const std::vector<FlatRequest>& domain_requests,
+                        pfs::ByteExtent chunk, std::vector<std::byte>& buf,
+                        std::uint64_t sieve_gap, double now,
+                        fault::Injector* chaos) {
   chunk_ = chunk;
   pending_.clear();
   extents_.clear();
@@ -47,11 +69,19 @@ void ChunkReader::issue(pfs::Pfs& fs, pfs::FileId file,
   issued_ = true;
   buf.resize(chunk.length);
   if (chunk.length == 0) return;
-  extents_ = chunk_read_extents(plan.domain_requests, chunk, sieve_gap);
+  extents_ = chunk_read_extents(domain_requests, chunk, sieve_gap);
   for (const auto& e : extents_) {
-    pending_.push_back(fs.read_async(
-        file, e.offset,
-        std::span<std::byte>(buf).subspan(e.offset - chunk.offset, e.length)));
+    const auto dst =
+        std::span<std::byte>(buf).subspan(e.offset - chunk.offset, e.length);
+    try {
+      pending_.push_back(fs.read_async(file, e.offset, dst));
+    } catch (const fault::Error&) {
+      // Degrade to independent I/O for this extent instead of aborting the
+      // whole collective read.
+      pending_.push_back(fallback_read(fs, file, e.offset, dst));
+      ++fallbacks_;
+      if (chaos != nullptr) chaos->note_io_fallback();
+    }
     bytes_ += e.length;
   }
 }
@@ -83,8 +113,9 @@ CollectiveStats CollectiveIo::read_all(mpi::Comm& comm, pfs::FileId file,
   std::vector<std::byte> bufs[2];
   ChunkReader reader;
   auto issue_read = [&](int k) {
-    reader.issue(fs, file, plan, plan.chunk(my_agg, k), bufs[k % 2],
-                 hints_.sieve_gap, comm.wtime());
+    reader.issue(fs, file, plan.domain_requests, plan.chunk(my_agg, k),
+                 bufs[k % 2], hints_.sieve_gap, comm.wtime(),
+                 comm.runtime().chaos());
   };
 
   if (my_agg >= 0) {

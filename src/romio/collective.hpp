@@ -17,6 +17,10 @@
 #include "romio/plan.hpp"
 #include "romio/request.hpp"
 
+namespace colcom::fault {
+class Injector;
+}
+
 namespace colcom::romio {
 
 /// Aggregator-side timing of one two-phase iteration.
@@ -43,10 +47,18 @@ struct CollectiveStats {
 /// runtime drive their I/O phase through this.
 class ChunkReader {
  public:
-  /// Issues the async reads for `chunk`; `buf` must outlive wait().
-  void issue(pfs::Pfs& fs, pfs::FileId file, const TwoPhasePlan& plan,
+  /// Issues the async reads for `chunk` over the union of
+  /// `domain_requests` (any rank-indexed request set — the plan's own
+  /// domain, or an absorbed dead-aggregator domain); `buf` must outlive
+  /// wait(). When an extent exhausts its PFS retry budget (fault::Error)
+  /// the reader degrades to a bounded independent re-read of that extent
+  /// instead of aborting the collective; `chaos`, when non-null, records
+  /// the fallback.
+  void issue(pfs::Pfs& fs, pfs::FileId file,
+             const std::vector<FlatRequest>& domain_requests,
              pfs::ByteExtent chunk, std::vector<std::byte>& buf,
-             std::uint64_t sieve_gap, double now);
+             std::uint64_t sieve_gap, double now,
+             fault::Injector* chaos = nullptr);
 
   /// Blocks until every extent of the chunk arrived.
   void wait();
@@ -59,12 +71,16 @@ class ChunkReader {
   /// PFS service time of this chunk (valid after wait()).
   double service_time() const;
   bool issued() const { return issued_; }
+  /// Extents recovered through the independent-read fallback, accumulated
+  /// across every issue() on this reader.
+  std::uint64_t fallbacks() const { return fallbacks_; }
 
  private:
   pfs::ByteExtent chunk_{0, 0};
   std::vector<pfs::ByteExtent> extents_;
   std::vector<des::Completion> pending_;
   std::uint64_t bytes_ = 0;
+  std::uint64_t fallbacks_ = 0;
   double issued_at_ = 0;
   double done_at_ = 0;
   bool issued_ = false;

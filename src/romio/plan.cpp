@@ -11,9 +11,28 @@ namespace colcom::romio {
 
 namespace {
 constexpr int kPlanTag = -2000;
+constexpr int kReplanTag = -2400;
 // Context ids shift internal tags by blocks of 16 so concurrent collectives
 // (distinct contexts) cannot cross-match.
 int plan_tag(const Hints& hints) { return kPlanTag - hints.context * 16; }
+int replan_tag(const Hints& hints) { return kReplanTag - hints.context * 16; }
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& pos) {
+  COLCOM_EXPECT(pos + 8 <= bytes.size());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
 }
 
 std::vector<pfs::ByteExtent> chunk_read_extents(
@@ -67,6 +86,58 @@ TwoPhasePlan TwoPhasePlan::shifted(std::int64_t delta) const {
   return p;
 }
 
+std::vector<std::byte> TwoPhasePlan::serialize() const {
+  std::vector<std::byte> out;
+  put_u64(out, gmin);
+  put_u64(out, gmax);
+  put_u64(out, static_cast<std::uint64_t>(n_iters));
+  put_u64(out, cb);
+  put_u64(out, aggregators.size());
+  for (const int a : aggregators) {
+    put_u64(out, static_cast<std::uint64_t>(a));
+  }
+  for (const std::uint64_t b : fd_begin) put_u64(out, b);
+  for (const std::uint64_t e : fd_end) put_u64(out, e);
+  put_u64(out, domain_requests.size());
+  for (const FlatRequest& req : domain_requests) {
+    const std::vector<std::byte> wire = req.serialize();
+    put_u64(out, wire.size());
+    out.insert(out.end(), wire.begin(), wire.end());
+  }
+  return out;
+}
+
+TwoPhasePlan TwoPhasePlan::deserialize(std::span<const std::byte> bytes) {
+  TwoPhasePlan p;
+  std::size_t pos = 0;
+  p.gmin = get_u64(bytes, pos);
+  p.gmax = get_u64(bytes, pos);
+  p.n_iters = static_cast<int>(get_u64(bytes, pos));
+  p.cb = get_u64(bytes, pos);
+  const std::uint64_t naggs = get_u64(bytes, pos);
+  p.aggregators.reserve(naggs);
+  for (std::uint64_t i = 0; i < naggs; ++i) {
+    p.aggregators.push_back(static_cast<int>(get_u64(bytes, pos)));
+  }
+  for (std::uint64_t i = 0; i < naggs; ++i) {
+    p.fd_begin.push_back(get_u64(bytes, pos));
+  }
+  for (std::uint64_t i = 0; i < naggs; ++i) {
+    p.fd_end.push_back(get_u64(bytes, pos));
+  }
+  const std::uint64_t nreqs = get_u64(bytes, pos);
+  p.domain_requests.reserve(nreqs);
+  for (std::uint64_t i = 0; i < nreqs; ++i) {
+    const std::uint64_t n = get_u64(bytes, pos);
+    COLCOM_EXPECT(pos + n <= bytes.size());
+    p.domain_requests.push_back(
+        FlatRequest::deserialize(bytes.subspan(pos, n)));
+    pos += n;
+  }
+  COLCOM_EXPECT_MSG(pos == bytes.size(), "trailing bytes in plan image");
+  return p;
+}
+
 pfs::ByteExtent TwoPhasePlan::chunk(int a, int k) const {
   const auto ia = static_cast<std::size_t>(a);
   COLCOM_EXPECT(ia < fd_begin.size() && k >= 0);
@@ -110,13 +181,28 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
 
   // Aggregator selection: cb_nodes ranks spread evenly (default: the first
   // rank of each compute node, ROMIO's one-aggregator-per-node default).
+  // Under an installed chaos schedule, ranks already crashed at t=0 are
+  // excluded from the candidate pool.
   const int nprocs = comm.size();
-  int naggs = hints.cb_nodes > 0 ? std::min(hints.cb_nodes, nprocs)
-                                 : comm.runtime().n_nodes();
+  std::vector<int> pool;
+  pool.reserve(static_cast<std::size_t>(nprocs));
+  {
+    fault::Injector* fi = comm.runtime().chaos();
+    const bool watch = fi != nullptr && fi->watch_aggregators();
+    for (int r = 0; r < nprocs; ++r) {
+      if (watch && fi->schedule().aggregator_crashed(r, 0.0)) continue;
+      pool.push_back(r);
+    }
+  }
+  COLCOM_EXPECT_MSG(!pool.empty(), "every rank crashed before t=0");
+  const int npool = static_cast<int>(pool.size());
+  int naggs = hints.cb_nodes > 0 ? std::min(hints.cb_nodes, npool)
+                                 : std::min(comm.runtime().n_nodes(), npool);
   naggs = std::max(1, naggs);
-  const int spacing = std::max(1, nprocs / naggs);
+  const int spacing = std::max(1, npool / naggs);
   for (int a = 0; a < naggs; ++a) {
-    plan.aggregators.push_back(std::min(a * spacing, nprocs - 1));
+    plan.aggregators.push_back(
+        pool[static_cast<std::size_t>(std::min(a * spacing, npool - 1))]);
   }
 
   // Even file-domain partitioning (optionally stripe-aligned).
@@ -175,6 +261,45 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
   }
   mpi::wait_all(sends);
   return plan;
+}
+
+std::vector<FlatRequest> replan_exchange(mpi::Comm& comm,
+                                         const TwoPhasePlan& plan,
+                                         int dead_agg,
+                                         const std::vector<int>& survivors,
+                                         const FlatRequest& mine,
+                                         const Hints& hints) {
+  const auto id = static_cast<std::size_t>(dead_agg);
+  COLCOM_EXPECT(id < plan.fd_begin.size());
+  TRACE_SPAN(comm.engine(), "romio", "replan");
+  // Ship my offset list clipped to the dead domain to every survivor, so
+  // any of them can serve its chunks.
+  std::vector<pfs::ByteExtent> clipped;
+  for (const auto& p : mine.intersect(plan.fd_begin[id], plan.fd_end[id])) {
+    clipped.push_back(pfs::ByteExtent{p.file_off, p.len});
+  }
+  const std::vector<std::byte> wire =
+      FlatRequest(std::move(clipped)).serialize();
+  std::vector<mpi::Request> sends;
+  sends.reserve(survivors.size());
+  for (const int s : survivors) {
+    sends.push_back(comm.isend(s, replan_tag(hints), wire));
+  }
+
+  std::vector<FlatRequest> absorbed;
+  if (std::find(survivors.begin(), survivors.end(), comm.rank()) !=
+      survivors.end()) {
+    const int nprocs = comm.size();
+    absorbed.resize(static_cast<std::size_t>(nprocs));
+    std::vector<std::byte> buf(4 << 20);
+    for (int r = 0; r < nprocs; ++r) {
+      const auto info = comm.recv(r, replan_tag(hints), buf);
+      absorbed[static_cast<std::size_t>(r)] = FlatRequest::deserialize(
+          std::span<const std::byte>(buf.data(), info.bytes));
+    }
+  }
+  mpi::wait_all(sends);
+  return absorbed;
 }
 
 }  // namespace colcom::romio

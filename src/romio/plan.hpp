@@ -68,12 +68,32 @@ struct TwoPhasePlan {
   /// A copy of the plan with every byte offset moved by `delta` — valid for
   /// translation-invariant iterative access (core::IterativeComputer).
   TwoPhasePlan shifted(std::int64_t delta) const;
+
+  /// Flat byte image of the whole plan (including domain_requests) for
+  /// checkpointing; deserialize() inverts it exactly.
+  std::vector<std::byte> serialize() const;
+  static TwoPhasePlan deserialize(std::span<const std::byte> bytes);
 };
 
 /// Builds the plan collectively. Every rank must call with its own request.
 /// Cost model: one allreduce for [gmin,gmax) plus each rank shipping its
-/// clipped offset list to each intersecting aggregator.
+/// clipped offset list to each intersecting aggregator. Ranks already
+/// crashed at t=0 under an installed chaos schedule are never selected as
+/// aggregators.
 TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
                         const Hints& hints);
+
+/// Recovery exchange after aggregator `dead_agg` (an index into
+/// plan.aggregators) fails: every rank ships the part of its offset list
+/// falling in the dead aggregator's file domain to every rank in
+/// `survivors`, so any survivor can serve the dead domain's chunks. All
+/// ranks must call; returns the per-rank clipped requests (indexed by rank)
+/// on ranks in `survivors` and an empty vector elsewhere.
+std::vector<FlatRequest> replan_exchange(mpi::Comm& comm,
+                                         const TwoPhasePlan& plan,
+                                         int dead_agg,
+                                         const std::vector<int>& survivors,
+                                         const FlatRequest& mine,
+                                         const Hints& hints);
 
 }  // namespace colcom::romio

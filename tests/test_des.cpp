@@ -10,6 +10,7 @@
 #include "des/fiber.hpp"
 #include "des/resource.hpp"
 #include "des/sync.hpp"
+#include "des/timer.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::des {
@@ -319,6 +320,64 @@ TEST(Engine, DeterministicAcrossRuns) {
   const auto b = run_once();
   EXPECT_DOUBLE_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Timer, FiresAtArmedTime) {
+  Engine e;
+  Timer t(e);
+  SimTime fired_at = -1;
+  t.arm(0.5, [&] { fired_at = e.now(); });
+  EXPECT_TRUE(t.armed());
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 0.5);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Engine e;
+  Timer t(e);
+  bool fired = false;
+  t.arm(0.5, [&] { fired = true; });
+  e.schedule(0.25, [&] { t.cancel(); });
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(t.armed());
+  // The tombstoned event still advanced the clock to its deadline.
+  EXPECT_DOUBLE_EQ(e.now(), 0.5);
+}
+
+TEST(Timer, RearmReplacesPendingFire) {
+  Engine e;
+  Timer t(e);
+  std::vector<SimTime> fires;
+  t.arm(0.5, [&] { fires.push_back(e.now()); });
+  e.schedule(0.1, [&] { t.arm(0.9, [&] { fires.push_back(e.now()); }); });
+  e.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_DOUBLE_EQ(fires[0], 0.9);
+}
+
+TEST(Timer, DestructorCancels) {
+  Engine e;
+  bool fired = false;
+  {
+    Timer t(e);
+    t.arm(0.5, [&] { fired = true; });
+  }
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, SleepForAdvancesWallClockOnly) {
+  Engine e;
+  SimTime woke = -1;
+  e.spawn("sleeper", 0, [&] {
+    e.sleep_for(0.25);
+    e.sleep_for(0.25);
+    woke = e.now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(woke, 0.5);
 }
 
 }  // namespace

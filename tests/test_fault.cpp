@@ -92,6 +92,43 @@ TEST(FaultyStore, DeterministicPattern) {
   EXPECT_EQ(a->corruptions_served(), b->corruptions_served());
 }
 
+TEST(FaultyStore, AttemptTrackingStaysBounded) {
+  // A long-running corrupting store must not grow its attempt map without
+  // bound: with a large per-offset budget every corrupting offset holds a
+  // live counter, and the FIFO eviction caps them at kMaxTrackedOffsets.
+  auto base = std::make_unique<MemStore>(8192);
+  std::vector<std::uint8_t> data(8192, 7);
+  base->write(0, as_cbytes(data));
+  FaultyStore s(std::move(base), 1.0, 42, /*corrupt_attempts=*/1000);
+  std::vector<std::byte> one(1);
+  const std::uint64_t n = 6000;  // well past the bound
+  for (std::uint64_t off = 0; off < n; ++off) s.read(off, one);
+  EXPECT_EQ(s.corruptions_served(), n);
+  EXPECT_EQ(s.tracked_offsets(), FaultyStore::kMaxTrackedOffsets);
+}
+
+TEST(FaultyStore, ExhaustedOffsetStaysCleanUnderEvictionPressure) {
+  // Once an offset spends its corruption budget it must read clean forever,
+  // even after thousands of other offsets churn the live-counter map: the
+  // exhausted set lives in a separate fixed-size filter, not the map.
+  auto base = std::make_unique<MemStore>(8192);
+  std::vector<std::uint8_t> data(8192, 7);
+  base->write(0, as_cbytes(data));
+  FaultyStore s(std::move(base), 1.0, 42, /*corrupt_attempts=*/2);
+  std::vector<std::byte> buf(1), truth(1);
+  s.pristine().read(0, truth);
+  s.read(0, buf);  // attempt 1: corrupted
+  EXPECT_NE(buf[0], truth[0]);
+  s.read(0, buf);  // attempt 2: budget spent with this read
+  s.read(0, buf);  // exhausted: clean
+  EXPECT_EQ(buf[0], truth[0]);
+  // Churn enough distinct offsets to trigger live-counter evictions.
+  std::vector<std::byte> one(1);
+  for (std::uint64_t off = 1; off <= 5000; ++off) s.read(off, one);
+  s.read(0, buf);
+  EXPECT_EQ(buf[0], truth[0]);
+}
+
 TEST(PfsFaults, TransientRetriesCostTimeNotData) {
   des::Engine e;
   PfsConfig cfg;
