@@ -1,0 +1,469 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "des/engine.hpp"
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace colcom::check {
+
+namespace {
+
+Checker* g_current = nullptr;
+
+std::map<int, std::string>& tag_registry() {
+  static std::map<int, std::string> reg;
+  return reg;
+}
+
+/// check.* metric name for a rule.
+std::string metric_name(Rule r) {
+  switch (r) {
+    case Rule::message_race:
+      return "check.races";
+    case Rule::deadlock:
+      return "check.deadlocks";
+    case Rule::collective_mismatch:
+      return "check.collective_mismatches";
+    case Rule::datatype_overlap:
+      return "check.datatype_overlaps";
+    case Rule::buffer_mutation:
+      return "check.buffer_mutations";
+  }
+  return "check.unknown";
+}
+
+}  // namespace
+
+const char* rule_id(Rule r) {
+  switch (r) {
+    case Rule::message_race:
+      return "CHK-RACE";
+    case Rule::deadlock:
+      return "CHK-DEADLOCK";
+    case Rule::collective_mismatch:
+      return "CHK-COLL";
+    case Rule::datatype_overlap:
+      return "CHK-DTYPE";
+    case Rule::buffer_mutation:
+      return "CHK-BUF";
+  }
+  return "CHK-UNKNOWN";
+}
+
+Violation::Violation(Diagnostic d)
+    : std::runtime_error(std::string(rule_id(d.rule)) + ": " + d.message),
+      diag_(std::move(d)) {}
+
+std::uint64_t checksum(std::span<const std::byte> bytes) {
+  constexpr std::size_t kWindow = 64 * 1024;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::span<const std::byte> s) {
+    for (std::byte x : s) {
+      h ^= std::to_integer<std::uint64_t>(x);
+      h *= kPrime;
+    }
+  };
+  h ^= bytes.size();
+  h *= kPrime;
+  if (bytes.size() <= 2 * kWindow) {
+    mix(bytes);
+  } else {
+    mix(bytes.first(kWindow));
+    mix(bytes.last(kWindow));
+  }
+  return h;
+}
+
+void register_tag(int tag, std::string name) {
+  tag_registry().emplace(tag, std::move(name));
+}
+
+std::string describe_tag(int tag) {
+  const auto& reg = tag_registry();
+  if (auto it = reg.find(tag); it != reg.end()) {
+    return it->second + "(" + std::to_string(tag) + ")";
+  }
+  return std::to_string(tag);
+}
+
+// ---------------------------------------------------------------- Checker
+
+Checker::Checker(Mode mode) : mode_(mode) {}
+
+Checker::~Checker() {
+  if (installed_) uninstall();
+}
+
+Checker* Checker::current() { return g_current; }
+
+void Checker::install() {
+  COLCOM_EXPECT_MSG(!installed_, "checker installed twice");
+  prev_ = g_current;
+  g_current = this;
+  installed_ = true;
+}
+
+void Checker::uninstall() {
+  COLCOM_EXPECT_MSG(g_current == this,
+                    "uninstall order must mirror install order");
+  g_current = prev_;
+  prev_ = nullptr;
+  installed_ = false;
+}
+
+std::size_t Checker::count(Rule r) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings_.begin(), findings_.end(),
+                    [r](const Diagnostic& d) { return d.rule == r; }));
+}
+
+void Checker::begin_world(des::Engine& engine, int nprocs) {
+  COLCOM_EXPECT(nprocs >= 1);
+  engine_ = &engine;
+  nprocs_ = nprocs;
+  inflight_.clear();
+  pending_.clear();
+  coll_seq_.assign(static_cast<std::size_t>(nprocs), 0);
+  colls_.clear();
+  clocks_.clear();
+  clocks_.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    clocks_.push_back(RankClock{
+        std::make_shared<std::vector<std::uint64_t>>(
+            static_cast<std::size_t>(nprocs), 0),
+        0});
+  }
+}
+
+void Checker::end_world() {
+  if (engine_ == nullptr) return;
+  if (!coll_seq_.empty()) {
+    const auto [lo, hi] =
+        std::minmax_element(coll_seq_.begin(), coll_seq_.end());
+    if (*lo != *hi) {
+      const int rlo = static_cast<int>(lo - coll_seq_.begin());
+      const int rhi = static_cast<int>(hi - coll_seq_.begin());
+      Diagnostic d;
+      d.rule = Rule::collective_mismatch;
+      d.ranks = {rlo, rhi};
+      d.message = "ranks completed different numbers of collectives: rank " +
+                  std::to_string(rlo) + " made " + std::to_string(*lo) +
+                  " call(s), rank " + std::to_string(rhi) + " made " +
+                  std::to_string(*hi);
+      // Reset before report(): strict mode throws out of here.
+      engine_ = nullptr;
+      report(std::move(d));
+      return;
+    }
+  }
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    tr->metrics().counter("check.sends_tracked").add(sends_tracked_);
+    tr->metrics().counter("check.wildcard_matches").add(wildcard_matches_);
+    tr->metrics()
+        .counter("check.collectives_verified")
+        .add(collectives_checked_);
+  }
+  sends_tracked_ = 0;
+  wildcard_matches_ = 0;
+  collectives_checked_ = 0;
+  engine_ = nullptr;
+  nprocs_ = 0;
+}
+
+std::uint64_t Checker::on_send_posted(int src, int dst, int tag,
+                                      std::uint64_t bytes, bool rendezvous) {
+  if (engine_ == nullptr) return 0;
+  COLCOM_EXPECT(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  RankClock& c = clocks_[static_cast<std::size_t>(src)];
+  ++c.own;
+  ++sends_tracked_;
+  const std::uint64_t id = ++next_send_id_;
+  SendRec rec;
+  rec.src = src;
+  rec.dst = dst;
+  rec.tag = tag;
+  rec.rendezvous = rendezvous;
+  rec.bytes = bytes;
+  rec.posted_at = engine_->now();
+  rec.vc_base = c.base;
+  rec.vc_own = c.own;
+  inflight_.emplace(std::make_pair(dst, id), std::move(rec));
+  return id;
+}
+
+bool Checker::happens_before(const SendRec& a, const SendRec& b) const {
+  for (int i = 0; i < nprocs_; ++i) {
+    if (vc_at(a, i) > vc_at(b, i)) return false;
+  }
+  return true;
+}
+
+void Checker::on_matched(int dst, std::uint64_t send_id, int want_src,
+                         int want_tag, bool failed) {
+  if (engine_ == nullptr || send_id == 0) return;
+  auto it = inflight_.find(std::make_pair(dst, send_id));
+  if (it == inflight_.end()) return;
+  const SendRec rec = std::move(it->second);
+  inflight_.erase(it);
+
+  const bool any_src = want_src < 0;
+  const bool any_tag = want_tag < 0;
+  if (!failed && (any_src || any_tag)) {
+    ++wildcard_matches_;
+    // Any other in-flight send to this receiver that matches the posted
+    // pattern, comes from a different rank, and is causally concurrent with
+    // the matched one could equally have arrived first: nondeterminism.
+    std::vector<const SendRec*> rivals;
+    const auto lo = inflight_.lower_bound(std::make_pair(dst, std::uint64_t{0}));
+    for (auto jt = lo; jt != inflight_.end() && jt->first.first == dst; ++jt) {
+      const SendRec& r2 = jt->second;
+      if (r2.src == rec.src) continue;  // same-sender FIFO is deterministic
+      if (!any_src && r2.src != want_src) continue;
+      if (!any_tag && r2.tag != want_tag) continue;
+      if (happens_before(rec, r2) || happens_before(r2, rec)) continue;
+      rivals.push_back(&r2);
+    }
+    if (!rivals.empty()) {
+      std::ostringstream os;
+      os << "wildcard receive at rank " << dst << " (src="
+         << (any_src ? std::string("ANY") : std::to_string(want_src))
+         << ", tag="
+         << (any_tag ? std::string("ANY") : describe_tag(want_tag))
+         << ") matched the send from rank " << rec.src << " (tag "
+         << describe_tag(rec.tag) << ", " << format_bytes(rec.bytes)
+         << ", posted t=" << rec.posted_at
+         << "), but concurrent send(s) could equally have matched:";
+      Diagnostic d;
+      d.rule = Rule::message_race;
+      d.ranks = {dst, rec.src};
+      for (const SendRec* r2 : rivals) {
+        os << " rank " << r2->src << " (tag " << describe_tag(r2->tag)
+           << ", posted t=" << r2->posted_at << ")";
+        d.ranks.push_back(r2->src);
+      }
+      os << " — matching order depends on timing";
+      d.message = os.str();
+      report(std::move(d));
+    }
+  }
+
+  // The match publishes the sender's causal history to the receiver.
+  RankClock& c = clocks_[static_cast<std::size_t>(dst)];
+  if (c.base.use_count() > 1) {
+    c.base = std::make_shared<std::vector<std::uint64_t>>(*c.base);
+  }
+  std::vector<std::uint64_t>& b = *c.base;
+  for (int i = 0; i < nprocs_; ++i) {
+    b[static_cast<std::size_t>(i)] =
+        std::max(b[static_cast<std::size_t>(i)], vc_at(rec, i));
+  }
+  ++c.own;
+  b[static_cast<std::size_t>(dst)] = c.own;
+}
+
+void Checker::on_wait_begin(const PendingOp& op) {
+  if (engine_ == nullptr || !engine_->in_actor()) return;
+  const auto actor = static_cast<std::size_t>(engine_->current_actor());
+  if (pending_.size() <= actor) pending_.resize(actor + 1);
+  pending_[actor] = op;
+}
+
+void Checker::on_wait_end() {
+  if (engine_ == nullptr || !engine_->in_actor()) return;
+  const auto actor = static_cast<std::size_t>(engine_->current_actor());
+  if (actor < pending_.size()) pending_[actor] = PendingOp{};
+}
+
+void Checker::verify_send_buffer(const PendingOp& op,
+                                 std::span<const std::byte> buf,
+                                 std::uint64_t posted_sum) {
+  if (checksum(buf) == posted_sum) return;
+  Diagnostic d;
+  d.rule = Rule::buffer_mutation;
+  d.ranks = {op.self};
+  d.message = "send buffer of " + describe(op) +
+              " was modified between post and completion; MPI forbids "
+              "touching a pending send's buffer (the transport may still "
+              "read it)";
+  d.at = engine_ != nullptr ? engine_->now() : 0;
+  report(std::move(d));
+}
+
+std::string Checker::describe(const PendingOp& op) const {
+  std::ostringstream os;
+  switch (op.kind) {
+    case PendingOp::Kind::send:
+      os << (op.rendezvous ? "send" : "eager send") << "(dst=" << op.peer
+         << ", tag=" << describe_tag(op.tag) << ", "
+         << format_bytes(op.bytes) << ") at rank " << op.self;
+      break;
+    case PendingOp::Kind::recv:
+      os << "recv(src="
+         << (op.peer < 0 ? std::string("ANY") : std::to_string(op.peer))
+         << ", tag="
+         << (op.tag_any ? std::string("ANY") : describe_tag(op.tag))
+         << ") at rank " << op.self;
+      break;
+    case PendingOp::Kind::none:
+      os << "untracked wait (pfs I/O, helper-thread join, ...)";
+      break;
+  }
+  return os.str();
+}
+
+std::string Checker::describe(const CollCall& c) const {
+  std::ostringstream os;
+  os << c.name;
+  if (c.compare_shape) {
+    os << "(";
+    bool first = true;
+    auto field = [&](const char* k, auto v) {
+      if (!first) os << ", ";
+      first = false;
+      os << k << "=" << v;
+    };
+    if (c.root >= 0) field("root", c.root);
+    if (c.bytes > 0) field("bytes", c.bytes);
+    if (c.prim >= 0) field("prim", c.prim);
+    if (c.op >= 0) field("op", c.op);
+    if (c.sig != 0) field("sig", c.sig);
+    os << ")";
+  }
+  return os.str();
+}
+
+void Checker::on_collective(int rank, const CollCall& call) {
+  if (engine_ == nullptr) return;
+  COLCOM_EXPECT(rank >= 0 && rank < nprocs_);
+  ++collectives_checked_;
+  const std::uint64_t slot = coll_seq_[static_cast<std::size_t>(rank)]++;
+  if (slot >= colls_.size()) {
+    // First rank to reach this slot defines the reference signature.
+    colls_.push_back(CollSlot{call, rank});
+    return;
+  }
+  const CollSlot& ref = colls_[static_cast<std::size_t>(slot)];
+  const bool kind_ok = call.kind == ref.call.kind;
+  const bool shape_ok =
+      !kind_ok || !call.compare_shape || !ref.call.compare_shape ||
+      (call.root == ref.call.root && call.bytes == ref.call.bytes &&
+       call.prim == ref.call.prim && call.op == ref.call.op &&
+       call.sig == ref.call.sig);
+  if (kind_ok && shape_ok) return;
+  Diagnostic d;
+  d.rule = Rule::collective_mismatch;
+  d.ranks = {rank, ref.first_rank};
+  d.message = "collective #" + std::to_string(slot) + " mismatch: rank " +
+              std::to_string(rank) + " called " + describe(call) + ", rank " +
+              std::to_string(ref.first_rank) + " called " +
+              describe(ref.call);
+  report(std::move(d));
+}
+
+void Checker::on_datatype_overlap(const std::string& what) {
+  Diagnostic d;
+  d.rule = Rule::datatype_overlap;
+  d.message = what;
+  d.at = engine_ != nullptr ? engine_->now() : 0;
+  report(std::move(d));
+}
+
+void Checker::on_stall(const std::vector<int>& blocked) {
+  if (engine_ == nullptr || blocked.empty()) return;
+  std::ostringstream os;
+  os << "event queue drained with " << blocked.size()
+     << " fiber(s) still blocked — nothing can ever wake them:";
+  std::map<int, int> waits_on;
+  for (int a : blocked) {
+    const PendingOp op = static_cast<std::size_t>(a) < pending_.size()
+                             ? pending_[static_cast<std::size_t>(a)]
+                             : PendingOp{};
+    os << "\n  " << engine_->actor_name(a) << ": " << describe(op);
+    if (op.kind != PendingOp::Kind::none && op.peer >= 0) {
+      waits_on[a] = op.peer;  // rank fibers are spawned first: actor == rank
+    }
+  }
+  // Walk successor chains over the blocked set to surface a wait cycle.
+  std::vector<int> cycle;
+  std::map<int, int> state;  // 0 unvisited / 1 on current path / 2 done
+  for (int start : blocked) {
+    std::vector<int> path;
+    int a = start;
+    while (cycle.empty()) {
+      auto st = state.find(a);
+      if (st != state.end() && st->second == 2) break;
+      if (st != state.end() && st->second == 1) {
+        // Found: the cycle is the path suffix starting at `a`.
+        auto from = std::find(path.begin(), path.end(), a);
+        cycle.assign(from, path.end());
+        cycle.push_back(a);
+        break;
+      }
+      state[a] = 1;
+      path.push_back(a);
+      auto next = waits_on.find(a);
+      if (next == waits_on.end()) break;
+      a = next->second;
+    }
+    for (int p : path) state[p] = 2;
+    if (!cycle.empty()) break;
+  }
+  if (!cycle.empty()) {
+    os << "\n  wait cycle:";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      os << (i == 0 ? " " : " -> ") << "rank" << cycle[i];
+    }
+  }
+  Diagnostic d;
+  d.rule = Rule::deadlock;
+  d.ranks = blocked;
+  d.message = os.str();
+  report(std::move(d));
+}
+
+void Checker::report(Diagnostic d) {
+  if (d.at == 0 && engine_ != nullptr) d.at = engine_->now();
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    tr->metrics().counter(metric_name(d.rule)).add(1);
+    const int tid = d.ranks.empty() ? 0 : d.ranks.front();
+    tr->instant(trace::Track::ranks, tid, "check", rule_id(d.rule), d.at);
+  }
+  if (mode_ == Mode::report) {
+    std::cerr << "[check] " << rule_id(d.rule) << " at t=" << d.at << ": "
+              << d.message << "\n";
+  }
+  findings_.push_back(std::move(d));
+  if (mode_ == Mode::strict) throw Violation(findings_.back());
+}
+
+// ---------------------------------------------------------------- env
+
+Mode env_mode() {
+  const char* v = std::getenv("COLCOM_CHECK");
+  if (v == nullptr || *v == '\0' || std::strcmp(v, "0") == 0 ||
+      std::strcmp(v, "off") == 0) {
+    return Mode::off;
+  }
+  if (std::strcmp(v, "report") == 0) return Mode::report;
+  return Mode::strict;
+}
+
+Checker* install_from_env() {
+  if (Checker* c = Checker::current()) return c;
+  const Mode m = env_mode();
+  if (m == Mode::off) return nullptr;
+  static Checker env_checker(m);
+  env_checker.install();
+  return &env_checker;
+}
+
+}  // namespace colcom::check

@@ -1,0 +1,263 @@
+// Opt-in MPI correctness checker (colcom::check).
+//
+// The deterministic DES observes every matching decision the message layer
+// makes, which permits precise dynamic verification in the spirit of
+// MUST/ISP, without the sampling and interposition costs those tools pay on
+// real MPI. Four analyses run behind a single installed `Checker`:
+//
+//   CHK-RACE     message races: a wildcard receive matched one send while a
+//                causally concurrent send (vector-clock comparison) from a
+//                different rank could equally have matched.
+//   CHK-DEADLOCK the engine drained its event queue with fibers still
+//                blocked; the wait-for graph is walked and the cycle (or the
+//                dangling waits) are named rank by rank.
+//   CHK-COLL     collective mismatches: every rank's Nth collective must
+//                agree on kind, root, reduction op, and datatype signature;
+//                ranks must complete the same number of collectives.
+//   CHK-DTYPE    derived-datatype overlap at construction time.
+//   CHK-BUF      send-buffer mutation while the send is pending (sampled
+//                checksum at post time, verified at wait()).
+//
+// The checker is off unless installed — either through the `CheckSession`
+// RAII type or `install_from_env()` (COLCOM_CHECK=1|strict|report). In
+// strict mode a finding throws `check::Violation`; in report mode findings
+// are collected on the checker, counted as `check.*` metrics, and emitted as
+// trace instants when a tracer is active.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace colcom::des {
+class Engine;
+}
+
+namespace colcom::check {
+
+enum class Mode { off, report, strict };
+
+enum class Rule {
+  message_race,
+  deadlock,
+  collective_mismatch,
+  datatype_overlap,
+  buffer_mutation,
+};
+
+/// Stable rule identifier ("CHK-RACE", ...) used in messages, metrics and
+/// docs/CORRECTNESS.md.
+const char* rule_id(Rule r);
+
+/// One finding. `ranks` lists every rank involved (receiver first for
+/// races, all blocked ranks for deadlocks, the two disagreeing ranks for
+/// collective mismatches).
+struct Diagnostic {
+  Rule rule = Rule::message_race;
+  std::vector<int> ranks;
+  std::string message;
+  des::SimTime at = 0;
+};
+
+/// Thrown on any finding in strict mode.
+class Violation : public std::runtime_error {
+ public:
+  explicit Violation(Diagnostic d);
+  const Diagnostic& diagnostic() const { return diag_; }
+
+ private:
+  Diagnostic diag_;
+};
+
+/// A blocking p2p operation registered for the deadlock analysis while its
+/// owning fiber waits. `peer < 0` means a wildcard source.
+struct PendingOp {
+  enum class Kind : std::uint8_t { none, send, recv };
+  Kind kind = Kind::none;
+  int self = -1;
+  int peer = -1;
+  int tag = 0;
+  bool tag_any = false;
+  bool rendezvous = false;
+  std::uint64_t bytes = 0;
+};
+
+/// Signature of one collective call, compared slot-by-slot across ranks.
+/// `kind` is the caller's collective enum (opaque to the checker); fields a
+/// given collective does not use stay at their defaults on every rank and
+/// compare equal. `compare_shape = false` limits the check to the kind
+/// (alltoallv, whose per-peer counts legitimately differ per rank).
+struct CollCall {
+  int kind = 0;
+  const char* name = "";
+  int root = -1;
+  std::uint64_t bytes = 0;
+  int prim = -1;
+  int op = -1;
+  std::uint64_t sig = 0;
+  bool compare_shape = true;
+};
+
+/// Sampled FNV-1a over the buffer: length plus a 64 KiB window from each
+/// end. Deterministic, cheap for multi-MB shuffle payloads, and still
+/// catches realistic reuse patterns (clear-and-refill, realloc).
+std::uint64_t checksum(std::span<const std::byte> bytes);
+
+/// Names an internal (negative) tag for diagnostics. Modules register their
+/// reserved tags once; unknown tags render as the bare number.
+void register_tag(int tag, std::string name);
+std::string describe_tag(int tag);
+
+class Checker {
+ public:
+  explicit Checker(Mode mode = Mode::strict);
+  ~Checker();
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  /// Installed checker, or nullptr. Every hook in des/mpi guards on this
+  /// single pointer load, so an absent checker costs nothing.
+  static Checker* current();
+
+  /// Makes this checker current (stacked: uninstall restores the previous
+  /// one, so a CheckSession nests inside an env-installed checker).
+  void install();
+  void uninstall();
+
+  Mode mode() const { return mode_; }
+  const std::vector<Diagnostic>& findings() const { return findings_; }
+  std::size_t count(Rule r) const;
+  void clear() { findings_.clear(); }
+
+  // --- world lifecycle (called by mpi::Runtime) ---
+
+  /// Resets per-world state. Unconditional: a world whose run() threw never
+  /// reaches end_world(), and the next begin_world must not inherit it.
+  void begin_world(des::Engine& engine, int nprocs);
+  void end_world();
+
+  // --- hooks (called by des/mpi internals; no-ops outside a world) ---
+
+  /// A send was posted. Ticks the sender's vector clock, snapshots it, and
+  /// returns the nonzero id the envelope carries to on_matched().
+  std::uint64_t on_send_posted(int src, int dst, int tag, std::uint64_t bytes,
+                               bool rendezvous);
+
+  /// A send was matched to a receive posted as (want_src, want_tag), with
+  /// -1 as the wildcard. Runs the race analysis for wildcard receives and
+  /// merges the sender's clock into the receiver's. `failed` marks poisoned
+  /// deliveries (retransmit budget exhausted) — bookkeeping only.
+  void on_matched(int dst, std::uint64_t send_id, int want_src, int want_tag,
+                  bool failed);
+
+  /// The current fiber starts/stops blocking on `op` (deadlock registry).
+  void on_wait_begin(const PendingOp& op);
+  void on_wait_end();
+
+  /// Completed send: recompute the buffer checksum and compare with the
+  /// value sampled at post time (CHK-BUF).
+  void verify_send_buffer(const PendingOp& op, std::span<const std::byte> buf,
+                          std::uint64_t posted_sum);
+
+  /// A rank entered a collective (CHK-COLL sequence check).
+  void on_collective(int rank, const CollCall& call);
+
+  /// The datatype layer built an overlapping typemap (CHK-DTYPE).
+  void on_datatype_overlap(const std::string& what);
+
+  /// The engine drained its queue with `blocked` actors still waiting
+  /// (CHK-DEADLOCK).
+  void on_stall(const std::vector<int>& blocked);
+
+  /// Records a finding: collects it, emits check.* metrics/trace events,
+  /// and throws Violation in strict mode.
+  void report(Diagnostic d);
+
+ private:
+  struct SendRec {
+    int src = -1;
+    int dst = -1;
+    int tag = 0;
+    bool rendezvous = false;
+    std::uint64_t bytes = 0;
+    des::SimTime posted_at = 0;
+    // Copy-on-write vector-clock snapshot: `base` is shared with the
+    // sender's live clock until the next merge clones it; the sender's own
+    // component rides separately so posting a send is O(1).
+    std::shared_ptr<const std::vector<std::uint64_t>> vc_base;
+    std::uint64_t vc_own = 0;
+  };
+  struct RankClock {
+    std::shared_ptr<std::vector<std::uint64_t>> base;
+    std::uint64_t own = 0;
+  };
+  struct CollSlot {
+    CollCall call;
+    int first_rank = -1;
+  };
+
+  static std::uint64_t vc_at(const SendRec& r, int i) {
+    return i == r.src ? r.vc_own : (*r.vc_base)[static_cast<std::size_t>(i)];
+  }
+  bool happens_before(const SendRec& a, const SendRec& b) const;
+  std::string describe(const PendingOp& op) const;
+  std::string describe(const CollCall& c) const;
+
+  Mode mode_;
+  Checker* prev_ = nullptr;
+  bool installed_ = false;
+  std::vector<Diagnostic> findings_;
+
+  // Per-world state.
+  des::Engine* engine_ = nullptr;
+  int nprocs_ = 0;
+  std::uint64_t next_send_id_ = 0;
+  std::map<std::pair<int, std::uint64_t>, SendRec> inflight_;  // (dst, id)
+  std::vector<RankClock> clocks_;
+  std::vector<PendingOp> pending_;  // by actor id
+  std::vector<std::uint64_t> coll_seq_;
+  std::vector<CollSlot> colls_;
+
+  // Volume counters surfaced as check.* metrics at end_world.
+  std::uint64_t sends_tracked_ = 0;
+  std::uint64_t wildcard_matches_ = 0;
+  std::uint64_t collectives_checked_ = 0;
+};
+
+/// RAII install/uninstall, for tests and embedded use:
+///   check::CheckSession cs(check::Mode::strict);
+///   mpi::Runtime rt(...); rt.run(...);   // runs under the checker
+class CheckSession {
+ public:
+  explicit CheckSession(Mode mode = Mode::strict) : checker_(mode) {
+    checker_.install();
+  }
+  ~CheckSession() { checker_.uninstall(); }
+
+  CheckSession(const CheckSession&) = delete;
+  CheckSession& operator=(const CheckSession&) = delete;
+
+  Checker& checker() { return checker_; }
+
+ private:
+  Checker checker_;
+};
+
+/// COLCOM_CHECK: unset/"0"/"off" -> off, "report" -> report mode, anything
+/// else ("1", "strict") -> strict mode.
+Mode env_mode();
+
+/// Installs a process-lifetime checker according to COLCOM_CHECK unless a
+/// checker is already current. Returns the current checker (or nullptr when
+/// checking is off). Called by mpi::Runtime's constructor, so every world
+/// in every binary honors the variable without code changes.
+Checker* install_from_env();
+
+}  // namespace colcom::check

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/check.hpp"
 #include "core/logical.hpp"
 #include "fault/chaos.hpp"
 #include "pfs/fault.hpp"
@@ -22,6 +23,13 @@ constexpr int kFinalTag = -2310;
 // survivor: a distinct tag so own-chunk and absorbed-chunk streams from one
 // survivor cannot cross-match.
 constexpr int kAbsorbTag = -2320;
+
+[[maybe_unused]] const bool kTagsRegistered = [] {
+  check::register_tag(kPartialTag, "cc.partial");
+  check::register_tag(kFinalTag, "cc.final");
+  check::register_tag(kAbsorbTag, "cc.absorb");
+  return true;
+}();
 
 // Logical-map construction costs (CPU sys time), per reconstructed run and
 // per byte-range piece. These are the "additional works... summed up as

@@ -84,6 +84,13 @@ void Engine::run() {
       std::rethrow_exception(e);
     }
   }
+  if (stall_handler_ != nullptr) {
+    std::vector<int> blocked;
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      if (actors_[i]->blocked) blocked.push_back(static_cast<int>(i));
+    }
+    if (!blocked.empty()) stall_handler_(blocked);
+  }
 }
 
 Engine::Actor& Engine::self() {

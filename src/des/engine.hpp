@@ -48,6 +48,20 @@ class Engine {
   /// Runs until the event queue drains. Rethrows the first actor exception.
   void run();
 
+  /// Invoked when run() drains the event queue while some actors are still
+  /// blocked — a stall: nothing can ever wake them (today's silent hang).
+  /// Receives the blocked actor ids. Exceptions from the handler propagate
+  /// out of run(). Not called when run() exits by rethrowing an actor
+  /// exception.
+  void set_stall_handler(std::function<void(const std::vector<int>&)> h) {
+    stall_handler_ = std::move(h);
+  }
+
+  /// Virtual time at which a (currently blocked) actor blocked.
+  SimTime actor_blocked_since(int id) const {
+    return actors_[static_cast<std::size_t>(id)]->blocked_since;
+  }
+
   // --- Calls valid only from inside an actor fiber ---
 
   /// Consumes `dt` of CPU, accounted as `kind`; other actors run meanwhile.
@@ -125,6 +139,7 @@ class Engine {
   std::vector<TraceSink*> sinks_;
   TraceSink* legacy_listener_ = nullptr;
   std::exception_ptr pending_exception_;
+  std::function<void(const std::vector<int>&)> stall_handler_;
 };
 
 }  // namespace colcom::des

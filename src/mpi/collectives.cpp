@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "check/check.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/world.hpp"
 #include "trace/trace.hpp"
@@ -20,11 +21,54 @@ constexpr int kTagReduce = kCollectiveTagBase - 2;
 constexpr int kTagGather = kCollectiveTagBase - 3;
 constexpr int kTagScatter = kCollectiveTagBase - 4;
 constexpr int kTagAlltoall = kCollectiveTagBase - 5;
+
+[[maybe_unused]] const bool kTagsRegistered = [] {
+  check::register_tag(kTagBarrier, "coll.barrier");
+  check::register_tag(kTagBcast, "coll.bcast");
+  check::register_tag(kTagReduce, "coll.reduce");
+  check::register_tag(kTagGather, "coll.gather");
+  check::register_tag(kTagScatter, "coll.scatter");
+  check::register_tag(kTagAlltoall, "coll.alltoall");
+  return true;
+}();
+
+// Collective kinds for the CHK-COLL sequence verifier. Composites
+// (allreduce = reduce + bcast, gather -> gatherv, allgatherv = gatherv +
+// bcast) record at every public entry, so the nested records stay
+// rank-consistent whenever the outer calls do.
+enum class Coll : int {
+  barrier,
+  bcast,
+  reduce,
+  allreduce,
+  gatherv,
+  allgatherv,
+  scatter,
+  alltoallv,
+};
+
+void note_coll(int rank, Coll kind, const char* name, int root = -1,
+               std::uint64_t bytes = 0, int prim = -1, int op = -1,
+               std::uint64_t sig = 0, bool compare_shape = true) {
+  check::Checker* ck = check::Checker::current();
+  if (ck == nullptr) return;
+  check::CollCall call;
+  call.kind = static_cast<int>(kind);
+  call.name = name;
+  call.root = root;
+  call.bytes = bytes;
+  call.prim = prim;
+  call.op = op;
+  call.sig = sig;
+  call.compare_shape = compare_shape;
+  ck->on_collective(rank, call);
+}
 }  // namespace
 
 void Comm::barrier() {
   TRACE_SPAN(engine(), "coll", "barrier");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  note_coll(rank_, Coll::barrier, "barrier");
   const int n = size();
   for (int mask = 1; mask < n; mask <<= 1) {
     const int dst = (rank_ + mask) % n;
@@ -37,6 +81,7 @@ void Comm::barrier() {
 void Comm::bcast(std::span<std::byte> data, int root) {
   TRACE_SPAN(engine(), "coll", "bcast");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  note_coll(rank_, Coll::bcast, "bcast", root, data.size());
   const int n = size();
   COLCOM_EXPECT(root >= 0 && root < n);
   if (n == 1) return;
@@ -64,6 +109,8 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
                   Prim p, const Op& op, int root) {
   TRACE_SPAN(engine(), "coll", "reduce");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  note_coll(rank_, Coll::reduce, "reduce", root, count, static_cast<int>(p),
+            static_cast<int>(op.kind()));
   const int n = size();
   COLCOM_EXPECT(root >= 0 && root < n);
   COLCOM_EXPECT(op.valid() && op.commutative());
@@ -100,6 +147,8 @@ void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
                      Prim p, const Op& op) {
   TRACE_SPAN(engine(), "coll", "allreduce");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  note_coll(rank_, Coll::allreduce, "allreduce", -1, count,
+            static_cast<int>(p), static_cast<int>(op.kind()));
   reduce(send_buf, recv_buf, count, p, op, 0);
   bcast(std::span<std::byte>(static_cast<std::byte*>(recv_buf),
                              count * prim_size(p)),
@@ -121,6 +170,10 @@ void Comm::gatherv(std::span<const std::byte> send,
                    std::span<std::byte> recv, int root) {
   TRACE_SPAN(engine(), "coll", "gatherv");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  // Per-rank send sizes differ by design; the (globally identical) counts
+  // array is the comparable signature.
+  note_coll(rank_, Coll::gatherv, "gatherv", root, 0, -1, -1,
+            check::checksum(std::as_bytes(counts)));
   const int n = size();
   COLCOM_EXPECT(static_cast<int>(counts.size()) == n);
   COLCOM_EXPECT(send.size() == counts[static_cast<std::size_t>(rank_)]);
@@ -153,6 +206,8 @@ void Comm::allgatherv(std::span<const std::byte> send,
                       std::span<std::byte> recv) {
   TRACE_SPAN(engine(), "coll", "allgatherv");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  note_coll(rank_, Coll::allgatherv, "allgatherv", -1, 0, -1, -1,
+            check::checksum(std::as_bytes(counts)));
   gatherv(send, counts, recv, 0);
   std::uint64_t total = 0;
   for (auto c : counts) total += c;
@@ -163,6 +218,7 @@ void Comm::scatter(std::span<const std::byte> send, std::span<std::byte> recv,
                    int root) {
   TRACE_SPAN(engine(), "coll", "scatter");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  note_coll(rank_, Coll::scatter, "scatter", root, recv.size());
   const int n = size();
   if (rank_ == root) {
     COLCOM_EXPECT(send.size() >= static_cast<std::size_t>(n) * recv.size());
@@ -190,6 +246,10 @@ void Comm::alltoallv(std::span<const std::byte> send,
                      std::span<const std::uint64_t> recv_displs) {
   TRACE_SPAN(engine(), "coll", "alltoallv");
   TRACE_COUNT(engine(), ::colcom::trace::Track::ranks, "mpi.collectives", 1);
+  // Per-peer counts/displacements legitimately differ per rank: the kind is
+  // the whole comparable signature.
+  note_coll(rank_, Coll::alltoallv, "alltoallv", -1, 0, -1, -1, 0,
+            /*compare_shape=*/false);
   const int n = size();
   COLCOM_EXPECT(static_cast<int>(send_counts.size()) == n &&
                 static_cast<int>(send_displs.size()) == n &&

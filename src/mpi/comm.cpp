@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "check/check.hpp"
 #include "des/timer.hpp"
 #include "fault/fault.hpp"
 #include "mpi/world.hpp"
@@ -20,11 +21,21 @@ struct Request::State {
   const PostedRecv* recv = nullptr;        // for irecv info()
   std::shared_ptr<PostedRecv> recv_own;    // keeps the posted recv alive
   std::shared_ptr<Msg> sent_msg;           // chaos sends: failure flag lives here
+  check::PendingOp check_op;               // deadlock registry entry
+  std::span<const std::byte> check_buf;    // CHK-BUF: app buffer at post time
+  std::uint64_t check_sum = 0;
+  bool check_armed = false;
 };
 
 void Request::wait() {
   COLCOM_EXPECT(valid());
+  check::Checker* ck = check::Checker::current();
+  const bool tracked = ck != nullptr &&
+                       state_->check_op.kind != check::PendingOp::Kind::none &&
+                       !state_->completion.done();
+  if (tracked) ck->on_wait_begin(state_->check_op);
   state_->completion.wait();
+  if (tracked) ck->on_wait_end();
   if (state_->recv != nullptr && state_->recv->failed) {
     throw fault::Error(fault::Layer::mpi, fault::Kind::retry_exhausted,
                        "receive matched a message whose sender exhausted its "
@@ -33,6 +44,11 @@ void Request::wait() {
   if (state_->sent_msg != nullptr && state_->sent_msg->failed) {
     throw fault::Error(fault::Layer::mpi, fault::Kind::retry_exhausted,
                        "send failed after max_retries retransmits");
+  }
+  if (ck != nullptr && state_->check_armed) {
+    state_->check_armed = false;
+    ck->verify_send_buffer(state_->check_op, state_->check_buf,
+                           state_->check_sum);
   }
 }
 
@@ -176,6 +192,12 @@ void World::ship_with_retry(int src_rank, int dst_rank,
 void World::complete_match(int dst, std::shared_ptr<Msg> msg,
                            std::shared_ptr<PostedRecv> pr) {
   des::Engine& eng = rt->engine();
+  // Single funnel for every match decision (posted-recv and unexpected-scan
+  // paths alike): the race analysis and vector-clock merge hook in here.
+  if (check::Checker* ck = check::Checker::current();
+      ck != nullptr && msg->check_id != 0) {
+    ck->on_matched(dst, msg->check_id, pr->src, pr->tag, msg->failed);
+  }
   if (msg->failed) {
     // Poisoned delivery: the sender exhausted its retransmit budget. Both
     // endpoints complete and their wait() throws fault::Error.
@@ -324,6 +346,20 @@ Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
       fi != nullptr && fi->net_loss_enabled() && node() != node_of(dst);
   Request req;
   req.state_ = std::make_shared<Request::State>();
+  if (check::Checker* ck = check::Checker::current(); ck != nullptr) {
+    msg->check_id =
+        ck->on_send_posted(rank_, dst, tag, data.size(), !eager);
+    check::PendingOp& op = req.state_->check_op;
+    op.kind = check::PendingOp::Kind::send;
+    op.self = rank_;
+    op.peer = dst;
+    op.tag = tag;
+    op.rendezvous = !eager;
+    op.bytes = data.size();
+    req.state_->check_buf = data;
+    req.state_->check_sum = check::checksum(data);
+    req.state_->check_armed = true;
+  }
   if (eager) {
     if (lossy_wire) {
       // Under chaos the eager send completes on the ack (the sender must
@@ -385,6 +421,14 @@ Request Comm::irecv(int src, int tag, std::span<std::byte> dst) {
   Mailbox& mb = world_->mailbox[static_cast<std::size_t>(rank_)];
   Request req;
   req.state_ = std::make_shared<Request::State>();
+  if (check::Checker::current() != nullptr) {
+    check::PendingOp& op = req.state_->check_op;
+    op.kind = check::PendingOp::Kind::recv;
+    op.self = rank_;
+    op.peer = src;  // kAnySource (-1) doubles as the checker's wildcard
+    op.tag = tag;
+    op.tag_any = tag == kAnyTag;
+  }
 
   // Unexpected-queue scan first (earliest arrival wins).
   for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {

@@ -3,7 +3,21 @@
 #include <cstring>
 #include <sstream>
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
+
+namespace {
+
+// CHK-DTYPE: under an installed checker an overlapping typemap is reported
+// as a structured diagnostic (thrown as check::Violation in strict mode)
+// before the layer's own contract rejects it.
+void flag_overlap(const std::string& what) {
+  if (colcom::check::Checker* ck = colcom::check::Checker::current()) {
+    ck->on_datatype_overlap(what);
+  }
+}
+
+}  // namespace
 
 namespace colcom::mpi {
 
@@ -77,6 +91,11 @@ Datatype Datatype::contiguous(std::uint64_t count, const Datatype& base) {
 Datatype Datatype::vec(std::uint64_t count, std::uint64_t blocklen,
                        std::uint64_t stride, const Datatype& base) {
   COLCOM_EXPECT(base.valid());
+  if (stride < blocklen) {
+    flag_overlap("vector datatype with stride " + std::to_string(stride) +
+                 " < blocklen " + std::to_string(blocklen) +
+                 ": consecutive blocks overlap");
+  }
   COLCOM_EXPECT_MSG(stride >= blocklen, "overlapping vector blocks");
   auto impl = std::make_shared<Impl>();
   impl->prim = base.prim();
@@ -107,6 +126,13 @@ Datatype Datatype::indexed(std::span<const std::uint64_t> blocklens,
   impl->prim = base.prim();
   std::uint64_t prev_end = 0;
   for (std::size_t b = 0; b < blocklens.size(); ++b) {
+    if (displs[b] * base.extent() < prev_end) {
+      flag_overlap("indexed datatype block " + std::to_string(b) +
+                   " (displ " + std::to_string(displs[b]) +
+                   ") starts before the previous block ends (byte " +
+                   std::to_string(prev_end) + "): blocks overlap or are "
+                   "unsorted");
+    }
     COLCOM_EXPECT_MSG(displs[b] * base.extent() >= prev_end,
                       "indexed blocks must be sorted and disjoint");
     impl->size += blocklens[b] * base.size();

@@ -1,5 +1,6 @@
 #include "mpi/runtime.hpp"
 
+#include "check/check.hpp"
 #include "mpi/world.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -12,6 +13,13 @@ Runtime::Runtime(MachineConfig cfg, int nprocs) : cfg_(cfg), nprocs_(nprocs) {
   n_nodes_ = (nprocs + cfg.cores_per_node - 1) / cfg.cores_per_node;
   engine_ = std::make_unique<des::Engine>();
   if (trace::Tracer* t = trace::auto_attach()) t->attach(*engine_);
+  check::install_from_env();
+  // A drained queue with blocked fibers is a deadlock; the checker (looked
+  // up at stall time, so CheckSession installs after this also count) turns
+  // today's silent hang into a named wait-cycle diagnosis.
+  engine_->set_stall_handler([](const std::vector<int>& blocked) {
+    if (check::Checker* ck = check::Checker::current()) ck->on_stall(blocked);
+  });
   const auto topo = net::MeshTopology::square_for(n_nodes_, cfg.torus);
   network_ = std::make_unique<net::Network>(*engine_, topo, cfg.net);
   pfs_ = std::make_unique<pfs::Pfs>(*engine_, cfg.pfs);
@@ -47,6 +55,9 @@ void Runtime::run(std::function<void(Comm&)> body) {
   COLCOM_EXPECT_MSG(!ran_, "Runtime::run may only be called once");
   COLCOM_EXPECT(body != nullptr);
   ran_ = true;
+  if (check::Checker* ck = check::Checker::current()) {
+    ck->begin_world(*engine_, nprocs_);
+  }
   for (int r = 0; r < nprocs_; ++r) {
     Comm& comm = world_->comms[static_cast<std::size_t>(r)];
     engine_->spawn(
@@ -55,6 +66,7 @@ void Runtime::run(std::function<void(Comm&)> body) {
   }
   engine_->run();
   elapsed_ = engine_->now();
+  if (check::Checker* ck = check::Checker::current()) ck->end_world();
 }
 
 }  // namespace colcom::mpi

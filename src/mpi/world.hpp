@@ -38,6 +38,7 @@ struct Msg {
   bool rendezvous = false;
   std::shared_ptr<des::CompletionSource> send_done;  // rendezvous only
   std::uint64_t trace_flow = 0;  ///< flow-arrow id, 0 when tracing is off
+  std::uint64_t check_id = 0;    ///< checker envelope id, 0 when checking off
   /// Set when the chaos retransmit budget ran out: the message is delivered
   /// poisoned so both endpoints observe fault::Error instead of deadlocking.
   bool failed = false;

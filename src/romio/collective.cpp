@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/check.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault.hpp"
 #include "trace/trace.hpp"
@@ -17,6 +18,15 @@ constexpr int kReadDataTag = -2100;
 constexpr int kWriteDataTag = -2200;
 int read_tag(const Hints& h) { return kReadDataTag - h.context * 16; }
 int write_tag(const Hints& h) { return kWriteDataTag - h.context * 16; }
+
+[[maybe_unused]] const bool kTagsRegistered = [] {
+  for (int ctx = 0; ctx < 8; ++ctx) {
+    const std::string suffix = "(ctx " + std::to_string(ctx) + ")";
+    check::register_tag(kReadDataTag - ctx * 16, "romio.read" + suffix);
+    check::register_tag(kWriteDataTag - ctx * 16, "romio.write" + suffix);
+  }
+  return true;
+}();
 
 /// Packs `pieces` of the chunk buffer (which covers file range starting at
 /// `chunk_lo`) into a contiguous wire buffer.

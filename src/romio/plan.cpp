@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/check.hpp"
 #include "mpi/world.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -16,6 +17,15 @@ constexpr int kReplanTag = -2400;
 // (distinct contexts) cannot cross-match.
 int plan_tag(const Hints& hints) { return kPlanTag - hints.context * 16; }
 int replan_tag(const Hints& hints) { return kReplanTag - hints.context * 16; }
+
+[[maybe_unused]] const bool kTagsRegistered = [] {
+  for (int ctx = 0; ctx < 8; ++ctx) {
+    const std::string suffix = "(ctx " + std::to_string(ctx) + ")";
+    check::register_tag(kPlanTag - ctx * 16, "romio.plan" + suffix);
+    check::register_tag(kReplanTag - ctx * 16, "romio.replan" + suffix);
+  }
+  return true;
+}();
 
 void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
