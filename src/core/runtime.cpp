@@ -223,6 +223,12 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   if (my_agg >= 0 && plan.n_iters > 0) issue_read(0);
 
   std::vector<PartialRecord> batch;        // a2one shuffle payload
+  // Batches whose isends are still in flight. An iteration can run
+  // process_chunk twice (its own chunk plus an absorbed dead domain during
+  // crash recovery); reusing `batch` for the second call would mutate the
+  // first call's pending send buffers (CHK-BUF), so each shuffle parks its
+  // payload here until the iteration's wait_all.
+  std::vector<std::vector<PartialRecord>> shipped;
   std::vector<std::byte> recv_buf;
 
   // Construction + map + shuffle of one aggregated chunk described by
@@ -304,15 +310,17 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     {
       TRACE_SPAN(comm.engine(), "cc", "shuffle");
       if (c.length > 0) {
+        shipped.push_back(std::move(batch));
+        const std::vector<PartialRecord>& out = shipped.back();
         if (a2one) {
           const auto wire =
-              std::as_bytes(std::span<const PartialRecord>(batch));
+              std::as_bytes(std::span<const PartialRecord>(out));
           stats.shuffle_bytes += wire.size();
           TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
                       "cc.shuffle_bytes", wire.size());
           sends.push_back(comm.isend(obj.root, tag, wire));
         } else {
-          for (const auto& rec : batch) {
+          for (const auto& rec : out) {
             stats.shuffle_bytes += sizeof(PartialRecord);
             TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
                         "cc.shuffle_bytes", sizeof(PartialRecord));
@@ -495,6 +503,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     }
     if (my_agg < 0) stats.shuffle_s += comm.wtime() - r0;
     mpi::wait_all(sends);
+    shipped.clear();
   }
   stats.io_fallbacks += reader.fallbacks();
 

@@ -137,24 +137,29 @@ TEST(Comm, TagSelectsAmongMessages) {
 }
 
 TEST(Comm, AnySourceAnyTagWildcards) {
+  // Rank 2 holds its send until rank 0 has consumed rank 1's message (token
+  // through rank 0), so both wildcard receives are exercised without the two
+  // sends ever racing for one — the original both-send-at-once version was a
+  // genuine CHK-RACE message race.
   Runtime rt(small_machine(), 3);
   std::vector<int> sources;
   rt.run([&](Comm& c) {
+    std::int32_t v;
+    const auto vbytes = std::as_writable_bytes(std::span<std::int32_t>(&v, 1));
     if (c.rank() == 0) {
       for (int i = 0; i < 2; ++i) {
-        std::int32_t v;
-        const auto info = c.recv(kAnySource, kAnyTag,
-                                 std::as_writable_bytes(
-                                     std::span<std::int32_t>(&v, 1)));
+        const auto info = c.recv(kAnySource, kAnyTag, vbytes);
         sources.push_back(info.source);
+        EXPECT_EQ(info.tag, info.source);
         EXPECT_EQ(v, info.source * 100);
+        if (i == 0) c.send(2, 9, {});  // token: rank 2 may send now
       }
     } else {
-      std::int32_t v = c.rank() * 100;
+      if (c.rank() == 2) c.recv(0, 9, {});
+      v = c.rank() * 100;
       c.send(0, c.rank(), std::as_bytes(std::span<const std::int32_t>(&v, 1)));
     }
   });
-  std::sort(sources.begin(), sources.end());
   EXPECT_EQ(sources, (std::vector<int>{1, 2}));
 }
 
