@@ -191,11 +191,12 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   fault::Injector* const fi = comm.runtime().chaos();
   const bool watch = fi != nullptr && fi->watch_aggregators();
   const int naggs = plan.aggregator_count();
-  if (watch) {
-    COLCOM_EXPECT_MSG(
-        naggs <= 63,
-        "crash detection uses an i64 bitmask (<= 63 aggregators)");
-  }
+  // Crash reports travel as a bitset of 63-bit words (the sign bit stays
+  // clear), so any aggregator count works; each bit has a single owner, so
+  // a sum-allreduce over the words equals a bitwise OR with no carries.
+  constexpr int kCrashBitsPerWord = 63;
+  const int crash_words =
+      std::max(1, (naggs + kCrashBitsPerWord - 1) / kCrashBitsPerWord);
   std::vector<char> agg_dead(static_cast<std::size_t>(naggs), 0);
   // Per dead aggregator index: every rank's request clipped to the dead
   // file domain (populated on surviving aggregators by replan_exchange).
@@ -337,18 +338,25 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   for (int k = 0; k < plan.n_iters; ++k) {
     if (watch) {
       // Crash watch: each aggregator self-reports its own death as one bit
-      // of an i64 sum-allreduce (one owner per bit, so sum == OR). A
-      // crashed rank stays a communicator member — only its I/O-server
-      // role dies (the paper's aggregators are an I/O-path service).
-      std::int64_t my_bits = 0;
+      // of a multi-word i64 sum-allreduce. A crashed rank stays a
+      // communicator member — only its I/O-server role dies (the paper's
+      // aggregators are an I/O-path service).
+      std::vector<std::int64_t> my_bits(
+          static_cast<std::size_t>(crash_words), 0);
       if (my_agg >= 0 && agg_dead[static_cast<std::size_t>(my_agg)] == 0 &&
           fi->schedule().aggregator_crashed(comm.rank(), comm.wtime())) {
-        my_bits = std::int64_t{1} << my_agg;
+        my_bits[static_cast<std::size_t>(my_agg / kCrashBitsPerWord)] =
+            std::int64_t{1} << (my_agg % kCrashBitsPerWord);
       }
-      std::int64_t dead_bits = 0;
-      comm.allreduce(&my_bits, &dead_bits, 1, mpi::Prim::i64, mpi::Op::sum());
+      std::vector<std::int64_t> dead_bits(
+          static_cast<std::size_t>(crash_words), 0);
+      comm.allreduce(my_bits.data(), dead_bits.data(),
+                     static_cast<std::size_t>(crash_words), mpi::Prim::i64,
+                     mpi::Op::sum());
       for (int d = 0; d < naggs; ++d) {
-        if ((dead_bits >> d & 1) == 0 ||
+        if ((dead_bits[static_cast<std::size_t>(d / kCrashBitsPerWord)] >>
+                 (d % kCrashBitsPerWord) &
+             1) == 0 ||
             agg_dead[static_cast<std::size_t>(d)] != 0) {
           continue;
         }

@@ -294,6 +294,70 @@ TEST(CcChaos, PreRunCrashExcludesAggregatorFromSelection) {
   EXPECT_EQ(r.faults.absorbed_chunks, 0u);
 }
 
+/// 128 ranks, one per node: one aggregator per node means the crash watch
+/// must carry 128 bits (three 63-bit words). Regression for the multi-word
+/// bitset — the seed's single-i64 mask capped aggregator counts at 63.
+CcRun run_cc_wide(const std::vector<fault::ChaosEvent>& events) {
+  constexpr int np = 128;
+  mpi::MachineConfig machine;
+  machine.cores_per_node = 1;
+  machine.pfs.n_osts = 4;
+  machine.pfs.stripe_size = 4096;
+  mpi::Runtime rt(machine, np);
+  if (!events.empty()) {
+    fault::ChaosConfig chaos;
+    chaos.seed = chaos_seed();
+    fault::ChaosSchedule sched(chaos, rt.n_nodes(), np, 8);
+    for (const auto& ev : events) sched.add(ev);
+    rt.install_chaos(std::move(sched));
+  }
+  auto ds = ncio::DatasetBuilder(rt.fs(), "wide.nc")
+                .add_generated_var<float>(
+                    "v", {16, 128, 4},
+                    [](std::span<const std::uint64_t> c) {
+                      double v = 1.0;
+                      for (auto x : c) v = v * 3.7 + static_cast<double>(x);
+                      return static_cast<float>(v * 1e-3);
+                    })
+                .finish();
+  CcRun res;
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("v");
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    io.start = {0, r, 0};
+    io.count = {16, 1, 4};
+    io.op = mpi::Op::sum();
+    io.hints.cb_buffer_size = 4096;
+    core::CcOutput out;
+    const auto st = core::collective_compute(comm, ds, io, out);
+    if (comm.rank() == 0) {
+      res.value = out.global_as<float>();
+      res.stats = st;
+    }
+  });
+  res.elapsed = rt.elapsed();
+  if (rt.chaos() != nullptr) res.faults = rt.chaos()->stats();
+  return res;
+}
+
+TEST(CcChaos, CrashAmong128AggregatorsUsesMultiWordBitset) {
+  const CcRun clean = run_cc_wide({});
+  // Rank 100 is aggregator index 100: its report lands in word 1, bit 37 —
+  // unreachable for a single-i64 mask.
+  fault::ChaosEvent crash;
+  crash.kind = fault::Kind::aggregator_crash;
+  crash.subject = 100;
+  crash.at = 1e-6;
+  const CcRun a = run_cc_wide({crash});
+  EXPECT_EQ(std::memcmp(&a.value, &clean.value, sizeof(float)), 0);
+  EXPECT_EQ(a.faults.replans, 1u);
+  EXPECT_GT(a.faults.absorbed_chunks, 0u);
+  const CcRun b = run_cc_wide({crash});
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.faults.absorbed_chunks, b.faults.absorbed_chunks);
+}
+
 TEST(CcChaos, MessageLossKeepsAnalysisExact) {
   const CcRun clean = run_cc(fault::ChaosConfig{});
   fault::ChaosConfig cfg;
