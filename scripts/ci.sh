@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI driver: configure -> build -> test inside a wall-clock budget, then an
+# CI driver: project lint -> configure -> build -> clang-tidy (when
+# available) -> test inside a wall-clock budget -> the same suite again
+# under the MPI correctness checker (COLCOM_CHECK=1 strict), then an
 # optional -Werror + ASan/UBSan pass over the trace/prof tests, then a chaos
-# stage running the fault suites under the sanitizers with several seeds.
+# stage running the fault suites under the sanitizers with several seeds —
+# also under the correctness checker.
 #
 # Usage: scripts/ci.sh [--fast] [--no-sanitize] [--no-chaos] [chaos]
 #   --fast         skip tests labeled `slow` (ctest -LE slow)
@@ -55,15 +58,17 @@ chaos_stage() {
   cmake --build "$BUILD_DIR-asan" -j "$(nproc)" \
     --target test_fault test_fault_net
   sanitizer_env
+  # COLCOM_CHECK=1: the correctness checker must stay silent across every
+  # chaos seed — retransmissions, failovers and replans are not races.
   for seed in $CHAOS_SEEDS; do
-    step "chaos run (COLCOM_CHAOS_SEED=$seed)"
-    COLCOM_CHAOS_SEED="$seed" timeout "$BUDGET" \
+    step "chaos run (COLCOM_CHAOS_SEED=$seed, COLCOM_CHECK=1)"
+    COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
       "$BUILD_DIR-asan/tests/test_fault_net"
   done
   # test_fault is seed-independent (storage faults roll from pfs.fault_seed);
   # one sanitizer pass suffices.
   step "chaos run (storage fault suite)"
-  timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_fault"
+  COLCOM_CHECK=1 timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_fault"
 }
 
 if [[ $ONLY_CHAOS -eq 1 ]]; then
@@ -74,11 +79,24 @@ if [[ $ONLY_CHAOS -eq 1 ]]; then
   exit 0
 fi
 
+step "lint (scripts/lint.py)"
+python3 scripts/lint.py
+
 step "configure ($BUILD_DIR)"
 cmake -B "$BUILD_DIR" -S . -DCOLCOM_WERROR=ON
+# Keep tooling (clang-tidy, editors) pointed at the CI compile commands.
+ln -sf "$BUILD_DIR/compile_commands.json" compile_commands.json
 
 step "build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy (src/)"
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 8 -P "$(nproc)" clang-tidy -p "$BUILD_DIR" --quiet
+else
+  step "clang-tidy: not on PATH, stage skipped"
+fi
 
 step "ctest (budget ${BUDGET}s)"
 CTEST_ARGS=(--output-on-failure -j "$(nproc)")
@@ -87,6 +105,9 @@ if STOP_AT="$(date -d "+${BUDGET} seconds" '+%H:%M:%S' 2>/dev/null)"; then
 fi
 if [[ $FAST -eq 1 ]]; then CTEST_ARGS+=(-LE slow); fi
 timeout "$BUDGET" ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
+
+step "ctest under the MPI correctness checker (COLCOM_CHECK=1 strict)"
+COLCOM_CHECK=1 timeout "$BUDGET" ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 
 if [[ $SANITIZE -eq 1 ]]; then
   configure_asan

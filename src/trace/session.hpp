@@ -9,7 +9,6 @@
 // results are bit-identical either way.
 #pragma once
 
-#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -41,13 +40,13 @@ class Session {
     set_auto_attach(nullptr);
     tracer_->detach();
     if (write_chrome_trace_file(*tracer_, path_)) {
-      std::printf("\n[trace] wrote %s (%zu events)\n", path_.c_str(),
-                  tracer_->events().size());
+      std::cout << "\n[trace] wrote " << path_ << " ("
+                << tracer_->events().size() << " events)\n";
     } else {
-      std::fprintf(stderr, "[trace] FAILED to write %s\n", path_.c_str());
+      std::cerr << "[trace] FAILED to write " << path_ << "\n";
     }
     if (!tracer_->metrics().empty()) {
-      std::printf("\n[trace] metrics\n");
+      std::cout << "\n[trace] metrics\n";
       tracer_->metrics().report(std::cout);
     }
   }
