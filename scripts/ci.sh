@@ -109,6 +109,15 @@ timeout "$BUDGET" ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 step "ctest under the MPI correctness checker (COLCOM_CHECK=1 strict)"
 COLCOM_CHECK=1 timeout "$BUDGET" ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 
+step "staging bench smoke (ext_staging shape checks)"
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target ext_staging
+STAGING_OUT="$(timeout "$BUDGET" "$BUILD_DIR/bench/ext_staging")"
+echo "$STAGING_OUT"
+if grep -q "shape MISS" <<<"$STAGING_OUT"; then
+  echo "ext_staging shape check failed" >&2
+  exit 1
+fi
+
 if [[ $SANITIZE -eq 1 ]]; then
   configure_asan
   step "sanitizer build (-Werror + ASan/UBSan)"

@@ -36,6 +36,8 @@ std::string metric_name(Rule r) {
       return "check.datatype_overlaps";
     case Rule::buffer_mutation:
       return "check.buffer_mutations";
+    case Rule::io_overlap:
+      return "check.io_overlaps";
   }
   return "check.unknown";
 }
@@ -54,6 +56,8 @@ const char* rule_id(Rule r) {
       return "CHK-DTYPE";
     case Rule::buffer_mutation:
       return "CHK-BUF";
+    case Rule::io_overlap:
+      return "CHK-IO";
   }
   return "CHK-UNKNOWN";
 }
@@ -132,6 +136,7 @@ void Checker::begin_world(des::Engine& engine, int nprocs) {
   nprocs_ = nprocs;
   inflight_.clear();
   pending_.clear();
+  staged_dirty_.clear();
   coll_seq_.assign(static_cast<std::size_t>(nprocs), 0);
   colls_.clear();
   clocks_.clear();
@@ -428,6 +433,43 @@ void Checker::on_stall(const std::vector<int>& blocked) {
   d.ranks = blocked;
   d.message = os.str();
   report(std::move(d));
+}
+
+void Checker::on_stage_write(int rank, int file, std::uint64_t offset,
+                             std::uint64_t length) {
+  if (engine_ == nullptr || length == 0) return;
+  staged_dirty_.push_back(StagedWrite{rank, file, offset, length});
+}
+
+void Checker::on_stage_flush(int rank) {
+  if (engine_ == nullptr) return;
+  std::erase_if(staged_dirty_,
+                [rank](const StagedWrite& w) { return w.rank == rank; });
+}
+
+void Checker::on_stage_read(int rank, int file, std::uint64_t offset,
+                            std::uint64_t length) {
+  if (engine_ == nullptr || length == 0) return;
+  for (const StagedWrite& w : staged_dirty_) {
+    if (w.file != file || w.offset >= offset + length ||
+        w.offset + w.length <= offset) {
+      continue;
+    }
+    std::ostringstream os;
+    os << "rank " << rank << " reads file " << file << " extent [" << offset
+       << ", " << offset + length << ") overlapping a staged write-behind "
+       << "extent [" << w.offset << ", " << w.offset + w.length
+       << ") by rank " << w.rank
+       << " with no flush epoch in between — the read may observe pre- or "
+       << "post-write bytes depending on drain timing";
+    Diagnostic d;
+    d.rule = Rule::io_overlap;
+    d.ranks = rank == w.rank ? std::vector<int>{rank}
+                             : std::vector<int>{rank, w.rank};
+    d.message = os.str();
+    report(std::move(d));
+    return;  // one finding per read is enough
+  }
 }
 
 void Checker::report(Diagnostic d) {

@@ -17,6 +17,12 @@
 //   CHK-DTYPE    derived-datatype overlap at construction time.
 //   CHK-BUF      send-buffer mutation while the send is pending (sampled
 //                checksum at post time, verified at wait()).
+//   CHK-IO       MPI-IO epoch discipline over the staging layer: a demand
+//                read of a file extent that overlaps a staged (write-behind)
+//                dirty extent not yet separated by a flush epoch — the read
+//                may observe pre- or post-write bytes depending on drain
+//                timing, exactly the overlap MPI-IO consistency semantics
+//                forbid without an intervening sync.
 //
 // The checker is off unless installed — either through the `CheckSession`
 // RAII type or `install_from_env()` (COLCOM_CHECK=1|strict|report). In
@@ -49,6 +55,7 @@ enum class Rule {
   collective_mismatch,
   datatype_overlap,
   buffer_mutation,
+  io_overlap,
 };
 
 /// Stable rule identifier ("CHK-RACE", ...) used in messages, metrics and
@@ -176,6 +183,21 @@ class Checker {
   /// (CHK-DEADLOCK).
   void on_stall(const std::vector<int>& blocked);
 
+  // --- staging epoch markers (called by colcom::stage; CHK-IO) ---
+
+  /// `rank` staged a write-behind extent [offset, offset+length) of `file`;
+  /// it is dirty until that rank's next flush epoch marker.
+  void on_stage_write(int rank, int file, std::uint64_t offset,
+                      std::uint64_t length);
+  /// Flush epoch marker: `rank`'s staged extents are now persistent and
+  /// ordered before any later read.
+  void on_stage_flush(int rank);
+  /// `rank` acquires [offset, offset+length) of `file` through the staging
+  /// layer (cache probe or demand read). Overlap with any unflushed staged
+  /// extent is reported as CHK-IO.
+  void on_stage_read(int rank, int file, std::uint64_t offset,
+                     std::uint64_t length);
+
   /// Records a finding: collects it, emits check.* metrics/trace events,
   /// and throws Violation in strict mode.
   void report(Diagnostic d);
@@ -202,6 +224,12 @@ class Checker {
     CollCall call;
     int first_rank = -1;
   };
+  struct StagedWrite {
+    int rank = -1;
+    int file = -1;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+  };
 
   static std::uint64_t vc_at(const SendRec& r, int i) {
     return i == r.src ? r.vc_own : (*r.vc_base)[static_cast<std::size_t>(i)];
@@ -224,6 +252,7 @@ class Checker {
   std::vector<PendingOp> pending_;  // by actor id
   std::vector<std::uint64_t> coll_seq_;
   std::vector<CollSlot> colls_;
+  std::vector<StagedWrite> staged_dirty_;  // unflushed write-behind extents
 
   // Volume counters surfaced as check.* metrics at end_world.
   std::uint64_t sends_tracked_ = 0;

@@ -5,6 +5,7 @@
 
 #include "fault/chaos.hpp"
 #include "mpi/runtime.hpp"
+#include "stage/stage.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::core {
@@ -86,6 +87,17 @@ IterativeComputer::IterativeComputer(mpi::Comm& comm,
   COLCOM_EXPECT(pos + plan_len <= bytes.size());
   plan0_ = romio::TwoPhasePlan::deserialize(bytes.subspan(pos, plan_len));
   pos += plan_len;
+  // Mid-analysis state of an interrupted step (absent in whole-step
+  // checkpoints).
+  if (get_u64(bytes, pos) != 0) {
+    mid_t_ = get_u64(bytes, pos);
+    mid_upto_ = static_cast<int>(get_u64(bytes, pos));
+    const std::uint64_t mid_len = get_u64(bytes, pos);
+    COLCOM_EXPECT(pos + mid_len <= bytes.size());
+    mid_state_.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(pos + mid_len));
+    pos += mid_len;
+  }
   COLCOM_EXPECT_MSG(pos == bytes.size(), "trailing bytes in checkpoint");
 
   // Charge the deserialization as a memory-bandwidth scan of the image.
@@ -110,6 +122,13 @@ IterativeComputer::Checkpoint IterativeComputer::checkpoint() {
   const std::vector<std::byte> plan_wire = plan0_.serialize();
   put_u64(ck.bytes, plan_wire.size());
   ck.bytes.insert(ck.bytes.end(), plan_wire.begin(), plan_wire.end());
+  put_u64(ck.bytes, mid_upto_ >= 0 ? 1 : 0);
+  if (mid_upto_ >= 0) {
+    put_u64(ck.bytes, mid_t_);
+    put_u64(ck.bytes, static_cast<std::uint64_t>(mid_upto_));
+    put_u64(ck.bytes, mid_state_.size());
+    ck.bytes.insert(ck.bytes.end(), mid_state_.begin(), mid_state_.end());
+  }
 
   // Charge the serialization as a memory-bandwidth scan of the image.
   comm_->overhead(static_cast<double>(ck.bytes.size()) /
@@ -118,7 +137,8 @@ IterativeComputer::Checkpoint IterativeComputer::checkpoint() {
   return ck;
 }
 
-CcStats IterativeComputer::step(std::uint64_t t, CcOutput& out) {
+CcStats IterativeComputer::run_window(std::uint64_t t, int begin, int upto,
+                                      CcOutput& out) {
   const auto& var = ds_->info(base_.var);
   COLCOM_EXPECT_MSG(t + base_.count[0] <= var.dims[0],
                     "shifted window exceeds the variable");
@@ -129,10 +149,75 @@ CcStats IterativeComputer::step(std::uint64_t t, CcOutput& out) {
        static_cast<std::int64_t>(base_.start[0])) *
       static_cast<std::int64_t>(slice_bytes_);
   const romio::TwoPhasePlan plan = plan0_.shifted(delta);
+  RunOptions ropt;
+  ropt.staging = staging_;
+  ropt.begin_iter = begin;
+  ropt.end_iter = upto;
+  ropt.mid = &mid_state_;
+  return collective_compute_with_plan(*comm_, *ds_, obj, plan, out, ropt);
+}
+
+CcStats IterativeComputer::step(std::uint64_t t, CcOutput& out) {
+  int begin = 0;
+  if (mid_upto_ >= 0) {
+    COLCOM_EXPECT_MSG(t == mid_t_,
+                      "resuming step must use the interrupted step's t");
+    begin = mid_upto_;
+  }
+  CcStats stats = run_window(t, begin, -1, out);
+  mid_upto_ = -1;
+  mid_t_ = 0;
+  mid_state_.clear();
   ++steps_;
-  CcStats stats = collective_compute_with_plan(*comm_, *ds_, obj, plan, out);
   if (out.has_global) running_.combine_value(out.global);
   return stats;
+}
+
+CcStats IterativeComputer::step_prefix(std::uint64_t t, int upto,
+                                       CcOutput& out) {
+  COLCOM_EXPECT_MSG(mid_upto_ < 0,
+                    "step_prefix with a mid-analysis cut already parked");
+  COLCOM_EXPECT(upto >= 0);
+  CcStats stats = run_window(t, 0, upto, out);
+  if (upto < plan0_.n_iters) {
+    mid_t_ = t;
+    mid_upto_ = upto;
+  } else {
+    // The cut landed at (or past) the end: the step completed normally.
+    mid_state_.clear();
+    ++steps_;
+    if (out.has_global) running_.combine_value(out.global);
+  }
+  return stats;
+}
+
+std::uint64_t IterativeComputer::persist_checkpoint(pfs::FileId file,
+                                                    std::uint64_t offset) {
+  const Checkpoint ck = checkpoint();
+  std::vector<std::byte> image;
+  image.reserve(8 + ck.bytes.size());
+  put_u64(image, ck.bytes.size());
+  image.insert(image.end(), ck.bytes.begin(), ck.bytes.end());
+  if (staging_ != nullptr) {
+    staging_->wb_write(file, offset, image);
+  } else {
+    pfs::Pfs& fs = comm_->runtime().fs();
+    fs.write_async(file, offset, image).wait();
+  }
+  return image.size();
+}
+
+IterativeComputer::Checkpoint IterativeComputer::load_checkpoint(
+    mpi::Comm& comm, pfs::FileId file, std::uint64_t offset) {
+  pfs::Pfs& fs = comm.runtime().fs();
+  std::vector<std::byte> head(8);
+  fs.read_async(file, offset, head).wait();
+  std::size_t pos = 0;
+  const std::uint64_t len = get_u64(head, pos);
+  Checkpoint ck;
+  ck.bytes.resize(len);
+  fs.read_async(file, offset + 8, ck.bytes).wait();
+  return ck;
 }
 
 }  // namespace colcom::core

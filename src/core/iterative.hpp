@@ -14,7 +14,12 @@
 #include "core/object_io.hpp"
 #include "core/reduce.hpp"
 #include "core/runtime.hpp"
+#include "pfs/pfs.hpp"
 #include "romio/plan.hpp"
+
+namespace colcom::stage {
+class StagingArea;
+}
 
 namespace colcom::core {
 
@@ -37,15 +42,40 @@ class IterativeComputer {
   IterativeComputer(mpi::Comm& comm, const ncio::Dataset& ds, ObjectIO base,
                     const Checkpoint& ckpt);
 
+  /// Attaches a per-rank staging area (src/stage/) used by every subsequent
+  /// step: warm chunks come from its cache, prefetches overlap the map, and
+  /// persist_checkpoint() goes through its write-behind. nullptr detaches.
+  void attach_staging(stage::StagingArea* sa) { staging_ = sa; }
+
   /// Runs the analysis with the window moved to start[0] = t, reusing the
   /// cached plan (collective; all ranks must pass the same t). The shifted
   /// window must stay inside the variable. Each step's global result (when
-  /// present) is folded into the running accumulator.
+  /// present) is folded into the running accumulator. After step_prefix
+  /// (here or on the checkpoint this computer was restored from), the same
+  /// t resumes mid-chunk and completes the interrupted step.
   CcStats step(std::uint64_t t, CcOutput& out);
 
+  /// Mid-analysis cut: runs only aggregation iterations [0, upto) of step
+  /// t, parking the per-chunk accumulator state instead of reducing
+  /// (collective; all ranks must pass the same t and upto). A following
+  /// step(t) — or checkpoint() + restart + step(t) — finishes the step
+  /// bit-identically to an uninterrupted run.
+  CcStats step_prefix(std::uint64_t t, int upto, CcOutput& out);
+
   /// Lightweight checkpoint of this rank's state (local, no collectives);
-  /// charges the serialization as sys time.
+  /// charges the serialization as sys time. Includes any parked
+  /// mid-analysis state, so a checkpoint may be taken mid-step.
   Checkpoint checkpoint();
+
+  /// Persists checkpoint() through the simulated PFS at (file, offset):
+  /// length-prefixed, written via the attached staging area's write-behind
+  /// when present (fsync'd by its flush) or a charged direct write
+  /// otherwise. Returns bytes written.
+  std::uint64_t persist_checkpoint(pfs::FileId file, std::uint64_t offset);
+
+  /// Reads a checkpoint image persisted at (file, offset); charges the I/O.
+  static Checkpoint load_checkpoint(mpi::Comm& comm, pfs::FileId file,
+                                    std::uint64_t offset);
 
   /// Cross-step running reduction over every step's global result.
   const Accumulator& running() const { return running_; }
@@ -56,6 +86,10 @@ class IterativeComputer {
   int steps_run() const { return steps_; }
 
  private:
+  /// Shared step body: runs iterations [begin, upto or end-of-plan) of the
+  /// window at t.
+  CcStats run_window(std::uint64_t t, int begin, int upto, CcOutput& out);
+
   mpi::Comm* comm_;
   const ncio::Dataset* ds_;
   ObjectIO base_;
@@ -64,6 +98,12 @@ class IterativeComputer {
   Accumulator running_;
   double plan_cost_s_ = 0;
   int steps_ = 0;
+  stage::StagingArea* staging_ = nullptr;
+
+  // Parked mid-analysis state of an interrupted step (mid_upto_ < 0: none).
+  std::uint64_t mid_t_ = 0;
+  int mid_upto_ = -1;
+  std::vector<std::byte> mid_state_;
 };
 
 }  // namespace colcom::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
+#include <span>
 
 #include "check/check.hpp"
 #include "core/logical.hpp"
@@ -10,6 +12,7 @@
 #include "mpi/runtime.hpp"
 #include "romio/collective.hpp"
 #include "romio/independent.hpp"
+#include "stage/stage.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 
@@ -61,6 +64,80 @@ struct FinalRecord {
   std::uint8_t has_value = 0;
   unsigned char value[8] = {};
 };
+
+// --- mid-analysis state wire helpers (little-endian u64 stream) ---
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& pos) {
+  COLCOM_EXPECT(pos + 8 <= bytes.size());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+std::uint64_t acc_bits(const Accumulator& acc) {
+  std::uint64_t bits = 0;
+  if (!acc.empty()) {
+    std::memcpy(&bits, acc.value(), mpi::prim_size(acc.prim()));
+  }
+  return bits;
+}
+
+/// Serializes the per-chunk accumulator state a partial run parks: this
+/// rank's own-subset accumulator plus (root, all_to_one only) the per-rank
+/// reconstruction arrays.
+std::vector<std::byte> encode_mid(const Accumulator& my_acc,
+                                  const std::vector<Accumulator>& per_rank,
+                                  const std::vector<std::uint64_t>& elems) {
+  std::vector<std::byte> out;
+  put_u64(out, my_acc.empty() ? 0 : 1);
+  put_u64(out, acc_bits(my_acc));
+  put_u64(out, per_rank.size());
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    put_u64(out, per_rank[r].empty() ? 0 : 1);
+    put_u64(out, acc_bits(per_rank[r]));
+    put_u64(out, elems[r]);
+  }
+  return out;
+}
+
+/// Inverse of encode_mid onto freshly seeded accumulators (combine_value,
+/// the same restore idiom IterativeComputer uses for its running value).
+void decode_mid(std::span<const std::byte> bytes, Accumulator& my_acc,
+                std::vector<Accumulator>& per_rank,
+                std::vector<std::uint64_t>& elems) {
+  std::size_t pos = 0;
+  const bool has_mine = get_u64(bytes, pos) != 0;
+  const std::uint64_t mine_bits = get_u64(bytes, pos);
+  if (has_mine) {
+    unsigned char value[8];
+    std::memcpy(value, &mine_bits, 8);
+    my_acc.combine_value(value);
+  }
+  const std::uint64_t nper = get_u64(bytes, pos);
+  COLCOM_EXPECT_MSG(nper == per_rank.size(),
+                    "mid-analysis state shape does not match this run");
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const bool has = get_u64(bytes, pos) != 0;
+    const std::uint64_t bits = get_u64(bytes, pos);
+    elems[r] = get_u64(bytes, pos);
+    if (has) {
+      unsigned char value[8];
+      std::memcpy(value, &bits, 8);
+      per_rank[r].combine_value(value);
+    }
+  }
+  COLCOM_EXPECT_MSG(pos == bytes.size(), "trailing bytes in mid-state");
+}
 
 void fold_final(mpi::Comm& comm, const ObjectIO& obj, mpi::Prim prim,
                 const Accumulator& mine, CcOutput& out, CcStats& stats) {
@@ -155,9 +232,25 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
                                      const ObjectIO& obj,
                                      const romio::TwoPhasePlan& plan,
                                      CcOutput& out) {
+  return collective_compute_with_plan(comm, ds, obj, plan, out, RunOptions{});
+}
+
+CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
+                                     const ObjectIO& obj,
+                                     const romio::TwoPhasePlan& plan,
+                                     CcOutput& out, const RunOptions& ropt) {
   COLCOM_EXPECT(obj.op.valid());
   COLCOM_EXPECT_MSG(!obj.blocking && obj.collective,
                     "plan-based execution is the collective-computing path");
+  const int begin_iter = ropt.begin_iter;
+  const int end_iter =
+      ropt.end_iter < 0 ? plan.n_iters : std::min(ropt.end_iter, plan.n_iters);
+  COLCOM_EXPECT(begin_iter >= 0 && begin_iter <= end_iter);
+  // A partial run ends before the plan does: it parks the per-chunk
+  // accumulator state in ropt.mid instead of reducing.
+  const bool partial = end_iter < plan.n_iters;
+  COLCOM_EXPECT_MSG(!(partial || begin_iter > 0) || ropt.mid != nullptr,
+                    "a mid-analysis window needs a RunOptions::mid buffer");
   CcStats stats;
   const double t_begin = comm.wtime();
   const ncio::VarInfo& var = ds.info(obj.var);
@@ -187,6 +280,12 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   std::vector<std::uint64_t> per_rank_elems(
       a2one && i_am_root ? static_cast<std::size_t>(comm.size()) : 0, 0);
 
+  // Resuming mid-analysis: re-seed the accumulators from the parked state so
+  // iterations [begin_iter, ...) continue bit-identically.
+  if (begin_iter > 0) {
+    decode_mid(*ropt.mid, my_acc, per_rank_acc, per_rank_elems);
+  }
+
   // ---- fault machinery: aggregator-crash detection and absorption ----
   fault::Injector* const fi = comm.runtime().chaos();
   const bool watch = fi != nullptr && fi->watch_aggregators();
@@ -215,13 +314,29 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   };
 
   // ---- aggregator-side pipelined I/O state (Fig. 7: the I/O thread) ----
+  // With a staging area attached, chunk acquisition goes through its cache
+  // + prefetch pipeline instead of the bare ChunkReader; warm chunks skip
+  // the PFS entirely and prefetch failures degrade to demand reads.
   std::vector<std::byte> bufs[2];
   romio::ChunkReader reader;
-  auto issue_read = [&](int k) {
-    reader.issue(fs, ds.file(), plan.domain_requests, plan.chunk(my_agg, k),
-                 bufs[k % 2], hints.sieve_gap, comm.wtime(), fi);
+  std::optional<stage::StagedReader> sreader;
+  if (ropt.staging != nullptr && my_agg >= 0) {
+    sreader.emplace(*ropt.staging, fs, ds.file(), hints.sieve_gap, fi);
+  }
+  auto issue_read = [&](int k, bool speculative) {
+    if (sreader.has_value()) {
+      sreader->begin(plan.chunk(my_agg, k), plan.domain_requests, speculative);
+    } else {
+      reader.issue(fs, ds.file(), plan.domain_requests, plan.chunk(my_agg, k),
+                   bufs[k % 2], hints.sieve_gap, comm.wtime(), fi);
+    }
   };
-  if (my_agg >= 0 && plan.n_iters > 0) issue_read(0);
+  // The staging config can veto the speculative overlap (the benches' worst
+  // case) even when the hints ask for pipelining.
+  const bool pipelined =
+      hints.pipelined &&
+      (ropt.staging == nullptr || ropt.staging->config().prefetch);
+  if (my_agg >= 0 && begin_iter < end_iter) issue_read(begin_iter, false);
 
   std::vector<PartialRecord> batch;        // a2one shuffle payload
   // Batches whose isends are still in flight. An iteration can run
@@ -335,7 +450,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     stats.shuffle_s += comm.wtime() - s0;
   };
 
-  for (int k = 0; k < plan.n_iters; ++k) {
+  for (int k = begin_iter; k < end_iter; ++k) {
     if (watch) {
       // Crash watch: each aggregator self-reports its own death as one bit
       // of a multi-word i64 sum-allreduce. A crashed rank stays a
@@ -371,6 +486,14 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         COLCOM_EXPECT_MSG(!survivors.empty(), "every aggregator crashed");
         absorbed[static_cast<std::size_t>(d)] =
             romio::replan_exchange(comm, plan, d, survivors, mine_req, hints);
+        if (ropt.staging != nullptr) {
+          // Replan-aware invalidation: chunks of the dead file domain may
+          // sit in this rank's cache (including a prefetch raced against
+          // the crash) — the absorbing re-read must never hit them.
+          ropt.staging->invalidate(ds.file(),
+                                   plan.fd_begin[static_cast<std::size_t>(d)],
+                                   plan.fd_end[static_cast<std::size_t>(d)]);
+        }
         ++stats.replans;
         if (comm.rank() == 0) fi->note_replan();
         if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
@@ -385,25 +508,41 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
 
     std::vector<mpi::Request> sends;
     if (serving_own) {
-      const pfs::ByteExtent c = reader.chunk();
+      const pfs::ByteExtent c = plan.chunk(my_agg, k);
       TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
                   "cc.aggregation_rounds", 1);
       const double wait0 = comm.wtime();
+      stage::StagedReader::Chunk sc;
+      double read_service = 0;
+      std::span<std::byte> chunk_mut;
+      std::span<const pfs::ByteExtent> read_extents;
       {
         TRACE_SPAN(comm.engine(), "cc", "io");
-        reader.wait();
+        if (sreader.has_value()) {
+          sc = sreader->take();
+          read_service = sc.service_s;
+          stats.bytes_read += sc.bytes_read;
+          stats.io_fallbacks += sc.fallbacks;
+          chunk_mut = sc.data;
+          read_extents = sc.extents;
+        } else {
+          reader.wait();
+          read_service = reader.service_time();
+          stats.bytes_read += reader.bytes_read();
+          chunk_mut = std::span<std::byte>(bufs[k % 2]);
+          read_extents = reader.extents();
+        }
       }
-      const double read_service = reader.service_time();
       stats.io_s += comm.wtime() - wait0;  // stall only; overlap is free
-      stats.bytes_read += reader.bytes_read();
       if (obj.verify.verify_chunks && c.length > 0) {
         // End-to-end verification: checksum every read extent against the
-        // pristine content; re-read (charged) until it matches.
+        // pristine content; re-read (charged) until it matches. Under
+        // staging the repaired bytes land in the cached entry, so a warm
+        // hit re-serves the verified copy.
         const auto& truth = fs.store(ds.file()).pristine();
         const double memcpy_bw = comm.runtime().config().memcpy_bw;
-        for (const auto& e : reader.extents()) {
-          auto slice = std::span<std::byte>(bufs[k % 2])
-                           .subspan(e.offset - c.offset, e.length);
+        for (const auto& e : read_extents) {
+          auto slice = chunk_mut.subspan(e.offset - c.offset, e.length);
           const std::uint64_t want =
               pfs::store_checksum(truth, e.offset, e.length);
           comm.overhead(static_cast<double>(e.length) / memcpy_bw);
@@ -418,14 +557,17 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           ++stats.chunks_verified;
         }
       }
-      const std::span<const std::byte> chunk(bufs[k % 2]);
-      if (hints.pipelined && k + 1 < plan.n_iters) issue_read(k + 1);
+      const std::span<const std::byte> chunk(chunk_mut);
+      // The overlapped prefetch of chunk k+1 (speculative: under staging a
+      // fault here degrades to a demand read at the next take()).
+      if (pipelined && k + 1 < end_iter) issue_read(k + 1, true);
 
       process_chunk(c, chunk, plan.domain_requests, read_service,
                     kPartialTag, sends);
+      if (sreader.has_value()) sreader->release();
       // Blocking two-phase: only start the next read after this chunk is
       // fully processed.
-      if (!hints.pipelined && k + 1 < plan.n_iters) issue_read(k + 1);
+      if (!pipelined && k + 1 < end_iter) issue_read(k + 1, false);
     }
 
     // Serve this iteration's chunks of every dead aggregator assigned to
@@ -440,22 +582,45 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         if (serving_index(d, k) != my_agg) continue;
         const pfs::ByteExtent c = plan.chunk(d, k);
         if (c.length == 0) continue;
-        romio::ChunkReader ar;
-        std::vector<std::byte> abuf;
-        ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
-                 abuf, hints.sieve_gap, comm.wtime(), fi);
-        const double w0 = comm.wtime();
-        {
-          TRACE_SPAN(comm.engine(), "cc", "absorb");
-          ar.wait();
+        if (ropt.staging != nullptr) {
+          // Staged absorb: the re-read enters this survivor's cache keyed
+          // by the dead domain's window with the absorbed request union —
+          // the extent re-validation keeps it from ever serving a key
+          // collision.
+          stage::StagedReader ar(*ropt.staging, fs, ds.file(),
+                                 hints.sieve_gap, fi);
+          ar.begin(c, absorbed[static_cast<std::size_t>(d)], false);
+          const double w0 = comm.wtime();
+          stage::StagedReader::Chunk ac;
+          {
+            TRACE_SPAN(comm.engine(), "cc", "absorb");
+            ac = ar.take();
+          }
+          stats.io_s += comm.wtime() - w0;
+          stats.bytes_read += ac.bytes_read;
+          stats.io_fallbacks += ac.fallbacks;
+          ++stats.absorbed_chunks;
+          fi->note_absorbed_chunk();
+          process_chunk(c, ac.data, absorbed[static_cast<std::size_t>(d)],
+                        ac.service_s, kAbsorbTag, sends);
+        } else {
+          romio::ChunkReader ar;
+          std::vector<std::byte> abuf;
+          ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
+                   abuf, hints.sieve_gap, comm.wtime(), fi);
+          const double w0 = comm.wtime();
+          {
+            TRACE_SPAN(comm.engine(), "cc", "absorb");
+            ar.wait();
+          }
+          stats.io_s += comm.wtime() - w0;
+          stats.bytes_read += ar.bytes_read();
+          stats.io_fallbacks += ar.fallbacks();
+          ++stats.absorbed_chunks;
+          fi->note_absorbed_chunk();
+          process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
+                        ar.service_time(), kAbsorbTag, sends);
         }
-        stats.io_s += comm.wtime() - w0;
-        stats.bytes_read += ar.bytes_read();
-        stats.io_fallbacks += ar.fallbacks();
-        ++stats.absorbed_chunks;
-        fi->note_absorbed_chunk();
-        process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
-                      ar.service_time(), kAbsorbTag, sends);
       }
     }
 
@@ -514,6 +679,15 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     shipped.clear();
   }
   stats.io_fallbacks += reader.fallbacks();
+
+  if (partial) {
+    // Mid-analysis checkpoint window: park the per-chunk accumulator state
+    // for the resuming run and skip the final reduce (out stays empty — no
+    // rank has a meaningful result yet).
+    *ropt.mid = encode_mid(my_acc, per_rank_acc, per_rank_elems);
+    stats.total_s = comm.wtime() - t_begin;
+    return stats;
+  }
 
   // ---- final reduce ----
   if (a2one) {

@@ -17,6 +17,10 @@
 #include "mpi/comm.hpp"
 #include "ncio/dataset.hpp"
 
+namespace colcom::stage {
+class StagingArea;
+}
+
 namespace colcom::core {
 
 /// Reduction results of an analysis run.
@@ -66,6 +70,28 @@ CcStats collective_compute(mpi::Comm& comm, const ncio::Dataset& ds,
 CcStats traditional_compute(mpi::Comm& comm, const ncio::Dataset& ds,
                             const ObjectIO& obj, CcOutput& out);
 
+/// Execution options of a plan-based run: burst-buffer staging attachment
+/// and the mid-analysis iteration window used by checkpoint/restart.
+struct RunOptions {
+  /// Per-rank staging area (see src/stage/): aggregator chunk reads go
+  /// through its cache + prefetch pipeline, and replans invalidate the dead
+  /// domain. nullptr runs the unstaged path bit-identically to before.
+  stage::StagingArea* staging = nullptr;
+
+  /// First aggregation iteration (chunk index) to execute. > 0 resumes a
+  /// partial run and requires the matching `mid` state.
+  int begin_iter = 0;
+  /// One past the last iteration to execute; -1 means plan.n_iters. A
+  /// partial run (end_iter < plan.n_iters) skips the final reduce, leaves
+  /// `out` empty and exports the mid-analysis state instead.
+  int end_iter = -1;
+
+  /// Mid-analysis accumulator state (per-rank, opaque bytes): read when
+  /// begin_iter > 0, written when end_iter cuts the run short. Must be
+  /// non-null for any partial run.
+  std::vector<std::byte>* mid = nullptr;
+};
+
 /// Runs collective computing over a caller-provided two-phase plan (built
 /// with detail::cc_hints for an object of the same shape) — the fast path
 /// of IterativeComputer, which shifts one cached plan across time windows.
@@ -73,6 +99,13 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
                                      const ObjectIO& obj,
                                      const romio::TwoPhasePlan& plan,
                                      CcOutput& out);
+
+/// As above with explicit run options (staging and/or a mid-analysis
+/// iteration window). The defaulted-options overload forwards here.
+CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
+                                     const ObjectIO& obj,
+                                     const romio::TwoPhasePlan& plan,
+                                     CcOutput& out, const RunOptions& ropt);
 
 namespace detail {
 /// The element-aligned hints the CC runtime derives from an object.

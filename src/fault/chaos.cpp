@@ -184,5 +184,9 @@ void Injector::note_restore() {
   ++stats_.restores;
   bump("fault.ckpt.restores");
 }
+void Injector::note_stage_invalidation() {
+  ++stats_.stage_invalidations;
+  bump("fault.stage.invalidations");
+}
 
 }  // namespace colcom::fault

@@ -132,6 +132,7 @@ struct FaultStats {
   std::uint64_t io_fallbacks = 0;      ///< extents recovered independently
   std::uint64_t checkpoints = 0;       ///< IterativeComputer checkpoints
   std::uint64_t restores = 0;          ///< IterativeComputer restores
+  std::uint64_t stage_invalidations = 0;  ///< staged chunks dropped on replan
 };
 
 /// The mutable face of a schedule: owns the FaultStats and forwards every
@@ -163,6 +164,7 @@ class Injector {
   void note_io_fallback();
   void note_checkpoint();
   void note_restore();
+  void note_stage_invalidation();
 
  private:
   ChaosSchedule schedule_;

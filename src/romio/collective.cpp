@@ -63,6 +63,21 @@ des::Completion fallback_read(pfs::Pfs& fs, pfs::FileId file,
     }
   }
 }
+
+/// Write-side twin of fallback_read: bounded independent retries of one
+/// extent after the collective write's retry budget ran out.
+des::Completion fallback_write(pfs::Pfs& fs, pfs::FileId file,
+                               std::uint64_t offset,
+                               std::span<const std::byte> src) {
+  constexpr int kFallbackAttempts = 4;
+  for (int i = 0;; ++i) {
+    try {
+      return fs.write_async(file, offset, src);
+    } catch (const fault::Error&) {
+      if (i + 1 >= kFallbackAttempts) throw;
+    }
+  }
+}
 }  // namespace
 
 void ChunkReader::issue(pfs::Pfs& fs, pfs::FileId file,
@@ -311,7 +326,15 @@ CollectiveStats CollectiveIo::write_all(mpi::Comm& comm, pfs::FileId file,
             const double t0 = comm.wtime();
             {
               TRACE_SPAN(comm.engine(), "romio", "io");
-              fs.read(file, c.offset, chunk_buf);
+              try {
+                fs.read(file, c.offset, chunk_buf);
+              } catch (const fault::Error&) {
+                fallback_read(fs, file, c.offset, chunk_buf).wait();
+                ++stats.io_fallbacks;
+                if (auto* chaos = comm.runtime().chaos(); chaos != nullptr) {
+                  chaos->note_io_fallback();
+                }
+              }
             }
             is.read_s += comm.wtime() - t0;
             is.read_bytes += c.length;
@@ -338,7 +361,24 @@ CollectiveStats CollectiveIo::write_all(mpi::Comm& comm, pfs::FileId file,
         const double w0 = comm.wtime();
         {
           TRACE_SPAN(comm.engine(), "romio", "io");
-          fs.write(file, c.offset, chunk_buf);
+          try {
+            fs.write(file, c.offset, chunk_buf);
+          } catch (const fault::Error&) {
+            // Degrade to independent stripe-sized writes instead of failing
+            // the collective: each is a fresh request with fresh retry
+            // budget, so transient OST faults cannot lose the chunk.
+            const std::uint64_t stripe = fs.config().stripe_size;
+            fault::Injector* chaos = comm.runtime().chaos();
+            for (std::uint64_t pos = 0; pos < c.length; pos += stripe) {
+              const std::uint64_t len = std::min(stripe, c.length - pos);
+              fallback_write(
+                  fs, file, c.offset + pos,
+                  std::span<const std::byte>(chunk_buf).subspan(pos, len))
+                  .wait();
+              ++stats.io_fallbacks;
+              if (chaos != nullptr) chaos->note_io_fallback();
+            }
+          }
         }
         is.read_s += comm.wtime() - w0;  // I/O phase time (write side)
         is.read_bytes += c.length;

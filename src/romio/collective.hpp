@@ -37,6 +37,10 @@ struct CollectiveStats {
   double plan_s = 0;   ///< access-info exchange and planning
   double total_s = 0;  ///< whole collective call on this rank
   std::uint64_t bytes_moved = 0;  ///< user payload into (read) / out of (write) this rank
+  /// Extents recovered through independent I/O after the collective path
+  /// surfaced fault::Error (read: ChunkReader re-reads; write: write_all
+  /// re-writes stripe by stripe).
+  std::uint64_t io_fallbacks = 0;
   std::vector<IterStat> iters;    ///< non-empty on aggregators only
 };
 

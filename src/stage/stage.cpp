@@ -1,0 +1,449 @@
+#include "stage/stage.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "check/check.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::stage {
+
+namespace {
+
+/// Bounded independent retry of one staged write after the PFS retry budget
+/// ran out — the write-path twin of romio's fallback_read. Each attempt is a
+/// fresh request (the PFS re-rolls its transient-fault decision per
+/// request); a persistently failing extent rethrows the last fault::Error.
+des::Completion fallback_write(pfs::Pfs& fs, pfs::FileId file,
+                               std::uint64_t offset,
+                               std::span<const std::byte> src) {
+  constexpr int kFallbackAttempts = 4;
+  for (int i = 0;; ++i) {
+    try {
+      return fs.write_async(file, offset, src);
+    } catch (const fault::Error&) {
+      if (i + 1 >= kFallbackAttempts) throw;
+    }
+  }
+}
+
+void stage_instant(mpi::Comm& comm, const char* name) {
+  if (trace::Tracer* t = trace::Tracer::current(); t != nullptr) {
+    t->instant(trace::Track::stage, comm.rank(), "stage", name, comm.wtime());
+  }
+}
+
+}  // namespace
+
+// --- ChunkCache ---
+
+ChunkCache::Entry* ChunkCache::find(const ChunkKey& k) {
+  auto it = map_.find(k);
+  if (it == map_.end() || it->second->doomed) return nullptr;
+  it->second->lru = ++lru_seq_;
+  return it->second.get();
+}
+
+void ChunkCache::evict_to_fit(std::uint64_t incoming, StageStats& stats) {
+  while (bytes_ + incoming > capacity_) {
+    // Deterministic LRU: smallest sequence number among unpinned entries.
+    auto victim = map_.end();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second->pins > 0) continue;
+      if (victim == map_.end() || it->second->lru < victim->second->lru) {
+        victim = it;
+      }
+    }
+    if (victim == map_.end()) return;  // only pinned entries left
+    bytes_ -= victim->second->bytes.size();
+    ++stats.evictions;
+    map_.erase(victim);
+  }
+}
+
+ChunkCache::Entry* ChunkCache::insert(ChunkKey k, std::vector<std::byte> bytes,
+                                      std::vector<pfs::ByteExtent> extents,
+                                      StageStats& stats) {
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    if (it->second->pins > 0) return nullptr;  // key held; serve transiently
+    bytes_ -= it->second->bytes.size();
+    map_.erase(it);
+  }
+  evict_to_fit(bytes.size(), stats);
+  auto e = std::make_unique<Entry>();
+  e->key = k;
+  e->bytes = std::move(bytes);
+  e->extents = std::move(extents);
+  e->lru = ++lru_seq_;
+  bytes_ += e->bytes.size();
+  Entry* raw = e.get();
+  map_.emplace(k, std::move(e));
+  return raw;
+}
+
+void ChunkCache::unpin(Entry& e, StageStats& stats) {
+  COLCOM_EXPECT(e.pins > 0);
+  if (--e.pins == 0 && e.doomed) {
+    erase(e.key);
+    return;
+  }
+  // A pinned insert may have pushed occupancy over budget; settle now.
+  if (bytes_ > capacity_) evict_to_fit(0, stats);
+}
+
+std::size_t ChunkCache::invalidate(int file, std::uint64_t lo,
+                                   std::uint64_t hi, StageStats& stats) {
+  std::size_t n = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    Entry& e = *it->second;
+    const bool overlaps = e.key.file == file && e.key.offset < hi &&
+                          e.key.offset + e.key.length > lo;
+    if (!overlaps || e.doomed) {
+      ++it;
+      continue;
+    }
+    ++n;
+    ++stats.invalidations;
+    if (e.pins > 0) {
+      // In-flight consumers keep their bytes; no future lookup may hit.
+      e.doomed = true;
+      ++it;
+    } else {
+      bytes_ -= e.bytes.size();
+      it = map_.erase(it);
+    }
+  }
+  return n;
+}
+
+void ChunkCache::erase(const ChunkKey& k) {
+  auto it = map_.find(k);
+  if (it == map_.end()) return;
+  bytes_ -= it->second->bytes.size();
+  map_.erase(it);
+}
+
+// --- StagingArea ---
+
+StagingArea::StagingArea(mpi::Comm& comm, StageConfig cfg)
+    : comm_(&comm), cfg_(cfg), cache_(cfg.capacity_bytes) {
+  COLCOM_EXPECT(cfg_.bb_bw > 0);
+}
+
+StagingArea::~StagingArea() {
+  // Staged writes already moved their bytes into the Store at issue time;
+  // dropping the completions only forgoes the fsync accounting.
+}
+
+fault::Injector* StagingArea::injector() const {
+  return comm_->runtime().chaos();
+}
+
+void StagingArea::sample_occupancy() {
+  if (trace::Tracer* t = trace::Tracer::current(); t != nullptr) {
+    const double occ = static_cast<double>(cache_.occupancy());
+    t->metrics().gauge("stage.occupancy_bytes").set(occ);
+    t->counter_sample(trace::Track::stage, "stage.occupancy_bytes", occ,
+                      comm_->wtime());
+  }
+}
+
+std::size_t StagingArea::invalidate(pfs::FileId file, std::uint64_t lo,
+                                    std::uint64_t hi) {
+  const std::size_t n = cache_.invalidate(file.index, lo, hi, stats_);
+  if (n > 0) {
+    if (fault::Injector* inj = injector(); inj != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) inj->note_stage_invalidation();
+    }
+    stage_instant(*comm_, "stage.invalidate");
+    sample_occupancy();
+  }
+  return n;
+}
+
+des::Completion StagingArea::wb_issue(const pfs::FileId& file,
+                                      const pfs::ByteExtent& e,
+                                      std::span<const std::byte> src) {
+  auto& fs = comm_->runtime().fs();
+  try {
+    return fs.write_async(file, e.offset, src);
+  } catch (const fault::Error&) {
+    // Degrade to a bounded independent retry instead of losing the extent.
+    des::Completion c = fallback_write(fs, file, e.offset, src);
+    ++stats_.wb_fallback_extents;
+    if (fault::Injector* inj = injector(); inj != nullptr) {
+      inj->note_io_fallback();
+    }
+    return c;
+  }
+}
+
+void StagingArea::wb_write(pfs::FileId file, std::uint64_t offset,
+                           std::span<const std::byte> src) {
+  COLCOM_EXPECT(file.valid());
+  if (src.empty()) return;
+  // Staging copy into the burst buffer (sys time at bb bandwidth).
+  comm_->overhead(static_cast<double>(src.size()) / cfg_.bb_bw);
+  ++stats_.wb_writes;
+  stats_.wb_bytes += src.size();
+  // The extent is dirty until the next flush epoch; cached chunks of it are
+  // stale from this rank's perspective the moment the bytes are staged.
+  invalidate(file, offset, offset + src.size());
+  if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
+    chk->on_stage_write(comm_->rank(), file.index, offset, src.size());
+  }
+  stage_instant(*comm_, "stage.wb_write");
+
+  const pfs::ByteExtent ext{offset, src.size()};
+  if (cfg_.wb_collective_flush) {
+    wb_buffered_.push_back(
+        WbDirty{file, ext, std::vector<std::byte>(src.begin(), src.end())});
+    wb_buffered_bytes_ += src.size();
+    // Over budget: write the oldest dirty extents through independently so
+    // the buffer stays bounded even when the collective flush is far away.
+    while (wb_buffered_bytes_ > cfg_.write_behind_budget_bytes &&
+           wb_buffered_.size() > 1) {
+      ++stats_.wb_stalls;
+      WbDirty d = std::move(wb_buffered_.front());
+      wb_buffered_.pop_front();
+      wb_buffered_bytes_ -= d.bytes.size();
+      wb_issue(d.file, d.ext, d.bytes).wait();
+    }
+  } else {
+    wb_inflight_.push_back(WbInflight{file, ext, wb_issue(file, ext, src)});
+    wb_inflight_bytes_ += src.size();
+    // Bounded dirty budget: block on the oldest outstanding write.
+    while (wb_inflight_bytes_ > cfg_.write_behind_budget_bytes &&
+           wb_inflight_.size() > 1) {
+      ++stats_.wb_stalls;
+      wb_inflight_.front().done.wait();
+      wb_inflight_bytes_ -= wb_inflight_.front().ext.length;
+      wb_inflight_.pop_front();
+    }
+  }
+}
+
+double StagingArea::wb_flush() {
+  const double t0 = comm_->wtime();
+  while (!wb_inflight_.empty()) {
+    wb_inflight_.front().done.wait();
+    wb_inflight_bytes_ -= wb_inflight_.front().ext.length;
+    wb_inflight_.pop_front();
+  }
+  // Collective-mode leftovers with no collective partner drain independently.
+  while (!wb_buffered_.empty()) {
+    WbDirty d = std::move(wb_buffered_.front());
+    wb_buffered_.pop_front();
+    wb_buffered_bytes_ -= d.bytes.size();
+    wb_issue(d.file, d.ext, d.bytes).wait();
+  }
+  ++stats_.wb_flushes;
+  if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
+    chk->on_stage_flush(comm_->rank());
+  }
+  stage_instant(*comm_, "stage.wb_flush");
+  return comm_->wtime() - t0;
+}
+
+romio::CollectiveStats StagingArea::wb_flush_collective(
+    pfs::FileId file, const romio::Hints& hints) {
+  // Async writes of this file must not race the collective rewrite.
+  const double t0 = comm_->wtime();
+  while (!wb_inflight_.empty()) {
+    wb_inflight_.front().done.wait();
+    wb_inflight_bytes_ -= wb_inflight_.front().ext.length;
+    wb_inflight_.pop_front();
+  }
+  (void)t0;
+
+  // Collect this rank's dirty extents of `file`, sorted, with their bytes
+  // packed in extent order — the shape write_all expects.
+  std::vector<WbDirty> mine;
+  for (auto it = wb_buffered_.begin(); it != wb_buffered_.end();) {
+    if (it->file.index == file.index) {
+      wb_buffered_bytes_ -= it->bytes.size();
+      mine.push_back(std::move(*it));
+      it = wb_buffered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(mine.begin(), mine.end(), [](const WbDirty& a, const WbDirty& b) {
+    return a.ext.offset < b.ext.offset;
+  });
+  std::vector<pfs::ByteExtent> extents;
+  std::vector<std::byte> packed;
+  for (const auto& d : mine) {
+    extents.push_back(d.ext);
+    packed.insert(packed.end(), d.bytes.begin(), d.bytes.end());
+  }
+  const romio::FlatRequest req(std::move(extents));
+  romio::CollectiveIo io(hints);
+  romio::CollectiveStats stats = io.write_all(*comm_, file, req, packed);
+  ++stats_.wb_flushes;
+  if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
+    chk->on_stage_flush(comm_->rank());
+  }
+  stage_instant(*comm_, "stage.wb_flush");
+  return stats;
+}
+
+// --- StagedReader ---
+
+StagedReader::StagedReader(StagingArea& area, pfs::Pfs& fs, pfs::FileId file,
+                           std::uint64_t sieve_gap, fault::Injector* chaos)
+    : area_(&area),
+      fs_(&fs),
+      file_(file),
+      sieve_gap_(sieve_gap),
+      chaos_(chaos) {
+  COLCOM_EXPECT(file.valid());
+}
+
+StagedReader::~StagedReader() {
+  if (holding_) release();
+  StageStats& st = area_->stats_;
+  for (Fetch& f : inflight_) {
+    if (f.speculative) ++st.prefetch_wasted;
+    if (f.hit) area_->cache_.unpin(*f.entry, st);
+    // Missed fetches already moved their bytes at issue time; dropping the
+    // completions is safe (they only mark timing).
+  }
+  area_->sample_occupancy();
+}
+
+void StagedReader::issue_demand(Fetch& f) {
+  f.reader.issue(*fs_, file_, *f.dreqs, f.chunk, f.buf, sieve_gap_,
+                 area_->comm_->wtime(), chaos_);
+}
+
+void StagedReader::begin(pfs::ByteExtent chunk,
+                         const std::vector<romio::FlatRequest>& dreqs,
+                         bool speculative) {
+  mpi::Comm& comm = *area_->comm_;
+  StageStats& st = area_->stats_;
+  Fetch f;
+  f.key = ChunkKey{file_.index, chunk.offset, chunk.length};
+  f.chunk = chunk;
+  f.dreqs = &dreqs;
+  f.speculative = speculative;
+  f.issued_at = comm.wtime();
+  if (chunk.length == 0) {
+    inflight_.push_back(std::move(f));
+    return;
+  }
+  if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
+    chk->on_stage_read(comm.rank(), file_.index, chunk.offset, chunk.length);
+  }
+  f.extents = chunk_read_extents(dreqs, chunk, sieve_gap_);
+  if (ChunkCache::Entry* e = area_->cache_.find(f.key); e != nullptr) {
+    if (e->extents == f.extents) {
+      // Warm hit: re-validated against the requested extent union for free.
+      area_->cache_.pin(*e);
+      f.entry = e;
+      f.hit = true;
+      ++st.hits;
+      st.hit_bytes += pfs::total_bytes(f.extents);
+      stage_instant(comm, "stage.hit");
+      inflight_.push_back(std::move(f));
+      return;
+    }
+    // Same window, different request union — the cached bytes cover the
+    // wrong extents. Never serve them; drop the entry and read fresh.
+    area_->cache_.erase(f.key);
+  }
+  ++st.misses;
+  if (speculative) ++st.prefetch_issued;
+  try {
+    issue_demand(f);
+  } catch (const fault::Error&) {
+    if (!speculative) throw;
+    // A failed prefetch degrades to a demand read at take() — it may cost
+    // time, never correctness.
+    f.issue_failed = true;
+  }
+  inflight_.push_back(std::move(f));
+}
+
+StagedReader::Chunk StagedReader::take() {
+  COLCOM_EXPECT_MSG(!holding_, "take() without release() of the previous chunk");
+  COLCOM_EXPECT_MSG(!inflight_.empty(), "take() with no begun fetch");
+  mpi::Comm& comm = *area_->comm_;
+  StageStats& st = area_->stats_;
+  Fetch f = std::move(inflight_.front());
+  inflight_.pop_front();
+  holding_ = true;
+
+  Chunk out;
+  if (f.chunk.length == 0) return out;
+
+  if (f.hit) {
+    // Burst-buffer read: charged at bb bandwidth instead of PFS service.
+    comm.overhead(static_cast<double>(pfs::total_bytes(f.entry->extents)) /
+                  area_->cfg_.bb_bw);
+    held_entry_ = f.entry;
+    out.data = std::span<std::byte>(f.entry->bytes);
+    out.extents = std::span<const pfs::ByteExtent>(f.entry->extents);
+    out.hit = true;
+    return out;
+  }
+
+  if (f.issue_failed) {
+    ++st.prefetch_fallbacks;
+    issue_demand(f);  // demand retry; a second fault::Error propagates
+  }
+  {
+    TRACE_SPAN(comm.engine(), "stage", "fetch");
+    f.reader.wait();
+  }
+  if (trace::Tracer* t = trace::Tracer::current(); t != nullptr) {
+    t->complete(trace::Track::stage, comm.rank(), "stage",
+                f.speculative ? "prefetch" : "demand", f.issued_at,
+                comm.wtime());
+  }
+  out.service_s = f.reader.service_time();
+  out.bytes_read = f.reader.bytes_read();
+  out.fallbacks = f.reader.fallbacks();
+  st.read_bytes += out.bytes_read;
+
+  // Enter the cache pinned; the consumer's span must survive eviction
+  // pressure from concurrent prefetches.
+  ChunkCache::Entry* e = area_->cache_.insert(
+      f.key, std::move(f.buf), std::move(f.extents), st);
+  if (e != nullptr) {
+    area_->cache_.pin(*e);
+    held_entry_ = e;
+    out.data = std::span<std::byte>(e->bytes);
+    out.extents = std::span<const pfs::ByteExtent>(e->extents);
+  } else {
+    // The key is held by a doomed in-flight entry; serve this buffer
+    // transiently without caching it.
+    ++st.uncacheable;
+    held_buf_ = std::move(f.buf);
+    held_extents_ = std::move(f.extents);
+    out.data = std::span<std::byte>(held_buf_);
+    out.extents = std::span<const pfs::ByteExtent>(held_extents_);
+  }
+  area_->sample_occupancy();
+  return out;
+}
+
+void StagedReader::release() {
+  COLCOM_EXPECT_MSG(holding_, "release() without take()");
+  holding_ = false;
+  if (held_entry_ != nullptr) {
+    area_->cache_.unpin(*held_entry_, area_->stats_);
+    held_entry_ = nullptr;
+    area_->sample_occupancy();
+  }
+  held_buf_.clear();
+  held_extents_.clear();
+}
+
+}  // namespace colcom::stage

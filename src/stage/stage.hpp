@@ -1,0 +1,305 @@
+// colcom::stage — aggregator-side burst-buffer staging between the PFS and
+// the analysis runtime (cf. Wozniak et al., "Big Data Staging with MPI-IO
+// for Interactive X-ray Science").
+//
+// Three pieces behind one per-rank StagingArea:
+//   * a chunk cache keyed by (file, offset, length) with a budgeted
+//     capacity, deterministic LRU eviction, pinning for in-flight chunks,
+//     and crash/replan-aware invalidation so a survivor absorbing a dead
+//     aggregator's file domain never serves stale bytes;
+//   * an asynchronous prefetch pipeline (StagedReader): while iteration i
+//     maps/shuffles chunk k the staging layer issues the collective read
+//     for chunk k+1, and warm re-reads of a cached chunk skip the PFS
+//     entirely (re-validated against the requested extent union for free);
+//   * write-behind: dirty extents staged at burst-buffer bandwidth and
+//     drained to the PFS asynchronously under a bounded dirty budget,
+//     fsync'd by wb_flush() at iteration barriers — or flushed through the
+//     two-phase collective write (wb_flush_collective), which exercises
+//     CollectiveIo::write_all's independent-write fallback under faults.
+//
+// Everything is deterministic: the cache is per-rank, LRU order is a
+// sequence counter, and all costs are charged in virtual time (cache hits
+// and staging copies at burst-buffer bandwidth, demand reads and flushes
+// through the simulated PFS). A failed prefetch degrades to a demand read
+// — it can change timing, never results. All paths emit stage.* metrics
+// and spans on the dedicated trace::Track::stage track, and staging reads/
+// flushes carry CHK-IO epoch markers for the correctness checker (see
+// docs/STAGING.md and docs/CORRECTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "pfs/extent.hpp"
+#include "pfs/pfs.hpp"
+#include "romio/collective.hpp"
+#include "romio/plan.hpp"
+#include "romio/request.hpp"
+
+namespace colcom::fault {
+class Injector;
+}
+
+namespace colcom::stage {
+
+/// Knobs of one staging area. Defaults give a modest per-aggregator burst
+/// buffer; capacity_bytes = 0 disables retention (every chunk is dropped
+/// when unpinned), which is the "cold" configuration of the benches.
+struct StageConfig {
+  std::uint64_t capacity_bytes = 64ull << 20;  ///< chunk-cache budget
+  /// Unflushed write-behind bytes allowed before wb_write blocks (async
+  /// drain) or writes through (collective mode).
+  std::uint64_t write_behind_budget_bytes = 16ull << 20;
+  /// Issue the read of chunk k+1 while chunk k is processed.
+  bool prefetch = true;
+  /// Buffer dirty extents for a collective flush (wb_flush_collective)
+  /// instead of draining them asynchronously as they are staged.
+  bool wb_collective_flush = false;
+  /// Burst-buffer bandwidth: cache hits and staging copies are charged at
+  /// this rate (node-local NVRAM/DRAM, well above the PFS).
+  double bb_bw = 12e9;
+};
+
+/// Counters of one staging area, mirrored into stage.* trace metrics.
+struct StageStats {
+  // Chunk cache / prefetch pipeline.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;   ///< entries dropped by invalidate()
+  std::uint64_t hit_bytes = 0;       ///< bytes served from the cache
+  std::uint64_t read_bytes = 0;      ///< bytes pulled from the PFS
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_wasted = 0;    ///< issued but never consumed
+  std::uint64_t prefetch_fallbacks = 0; ///< failed prefetch -> demand read
+  std::uint64_t uncacheable = 0;     ///< chunks served transiently (key clash)
+  // Write-behind.
+  std::uint64_t wb_writes = 0;
+  std::uint64_t wb_bytes = 0;
+  std::uint64_t wb_flushes = 0;
+  std::uint64_t wb_stalls = 0;       ///< dirty budget forced a wait/drain
+  std::uint64_t wb_fallback_extents = 0;  ///< independent-write recoveries
+};
+
+/// Cache key: one aggregation-chunk window of one file.
+struct ChunkKey {
+  int file = -1;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  friend auto operator<=>(const ChunkKey&, const ChunkKey&) = default;
+};
+
+/// Budgeted chunk cache with deterministic LRU eviction and pinning.
+/// Entries are window-addressed chunk buffers plus the extent union they
+/// were filled from; a lookup whose required extents differ is a miss (the
+/// entry is dropped), so a key can never serve bytes read for a different
+/// request set.
+class ChunkCache {
+ public:
+  explicit ChunkCache(std::uint64_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    ChunkKey key;
+    std::vector<std::byte> bytes;          ///< buf[o - key.offset] = file[o]
+    std::vector<pfs::ByteExtent> extents;  ///< ranges actually filled
+    int pins = 0;
+    std::uint64_t lru = 0;
+    bool doomed = false;  ///< invalidated while pinned; erased on unpin
+  };
+
+  /// Lookup; bumps the LRU clock. Doomed entries never match.
+  Entry* find(const ChunkKey& k);
+
+  /// Inserts a filled entry (unpinned), evicting unpinned LRU entries until
+  /// the budget holds. Replaces an existing unpinned entry under the same
+  /// key; returns nullptr if the key is held by a pinned entry (the caller
+  /// serves its transient buffer instead).
+  Entry* insert(ChunkKey k, std::vector<std::byte> bytes,
+                std::vector<pfs::ByteExtent> extents, StageStats& stats);
+
+  void pin(Entry& e) { ++e.pins; }
+  /// Unpins; erases the entry if doomed, and trims back under budget.
+  void unpin(Entry& e, StageStats& stats);
+
+  /// Drops every entry of `file` overlapping [lo, hi). Pinned entries are
+  /// doomed instead (freed on unpin) so in-flight consumers stay valid, but
+  /// no future lookup can hit them. Returns entries affected.
+  std::size_t invalidate(int file, std::uint64_t lo, std::uint64_t hi,
+                         StageStats& stats);
+
+  void erase(const ChunkKey& k);
+  std::uint64_t occupancy() const { return bytes_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t entries() const { return map_.size(); }
+
+ private:
+  /// Evicts unpinned LRU entries until occupancy + incoming fits the
+  /// budget (or only pinned entries remain).
+  void evict_to_fit(std::uint64_t incoming, StageStats& stats);
+
+  std::uint64_t capacity_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t lru_seq_ = 0;
+  std::map<ChunkKey, std::unique_ptr<Entry>> map_;
+};
+
+/// One rank's staging area: the chunk cache plus the write-behind state.
+/// Construct inside the rank body (per-rank, like any user buffer) and keep
+/// it alive across iterations/steps — that persistence is what turns warm
+/// iterations into PFS-free runs.
+class StagingArea {
+ public:
+  explicit StagingArea(mpi::Comm& comm, StageConfig cfg = {});
+  ~StagingArea();
+
+  StagingArea(const StagingArea&) = delete;
+  StagingArea& operator=(const StagingArea&) = delete;
+
+  const StageConfig& config() const { return cfg_; }
+  const StageStats& stats() const { return stats_; }
+  ChunkCache& cache() { return cache_; }
+  mpi::Comm& comm() { return *comm_; }
+
+  /// Crash/replan hook: drops every cached chunk of `file` overlapping
+  /// [lo, hi) — called by the runtime when a survivor absorbs a dead
+  /// aggregator's file domain, and by wb_write for self-overlap. Returns
+  /// entries invalidated.
+  std::size_t invalidate(pfs::FileId file, std::uint64_t lo,
+                         std::uint64_t hi);
+
+  // --- write-behind ---
+
+  /// Stages `src` for writing at (file, offset): charges the copy at
+  /// burst-buffer bandwidth, invalidates overlapping cached chunks, and —
+  /// unless wb_collective_flush — issues the PFS write asynchronously.
+  /// Blocks (async) or writes through (collective) when the dirty budget
+  /// is exceeded. Emits a CHK-IO dirty marker.
+  void wb_write(pfs::FileId file, std::uint64_t offset,
+                std::span<const std::byte> src);
+
+  /// fsync at an iteration barrier: waits out every outstanding async
+  /// write and drains collective-mode dirty extents through independent
+  /// writes. Returns the seconds stalled. Emits the CHK-IO epoch marker.
+  double wb_flush();
+
+  /// Collective flush: every rank contributes its dirty extents of `file`
+  /// to one two-phase collective write (all ranks must call, including
+  /// ranks with nothing dirty). Exercises CollectiveIo::write_all's
+  /// independent-write fallback under injected storage faults. Emits the
+  /// CHK-IO epoch marker.
+  romio::CollectiveStats wb_flush_collective(pfs::FileId file,
+                                             const romio::Hints& hints = {});
+
+  std::uint64_t wb_dirty_bytes() const {
+    return wb_inflight_bytes_ + wb_buffered_bytes_;
+  }
+
+ private:
+  friend class StagedReader;
+
+  /// Samples the occupancy gauge / counter track after a cache mutation.
+  void sample_occupancy();
+  fault::Injector* injector() const;
+
+  struct WbInflight {
+    pfs::FileId file;
+    pfs::ByteExtent ext;
+    des::Completion done;
+  };
+  struct WbDirty {
+    pfs::FileId file;
+    pfs::ByteExtent ext;
+    std::vector<std::byte> bytes;
+  };
+
+  /// Writes one dirty extent independently with a bounded fault fallback.
+  des::Completion wb_issue(const pfs::FileId& file, const pfs::ByteExtent& e,
+                           std::span<const std::byte> src);
+
+  mpi::Comm* comm_;
+  StageConfig cfg_;
+  StageStats stats_;
+  ChunkCache cache_;
+  std::deque<WbInflight> wb_inflight_;
+  std::uint64_t wb_inflight_bytes_ = 0;
+  std::deque<WbDirty> wb_buffered_;  ///< collective mode only
+  std::uint64_t wb_buffered_bytes_ = 0;
+};
+
+/// The prefetch pipeline over one file: begin() starts acquiring a chunk
+/// (cache probe, else an async demand read through romio::ChunkReader);
+/// take() completes the oldest begun fetch and pins its bytes until
+/// release(). Multiple begins may be outstanding — that is the overlap.
+class StagedReader {
+ public:
+  StagedReader(StagingArea& area, pfs::Pfs& fs, pfs::FileId file,
+               std::uint64_t sieve_gap, fault::Injector* chaos);
+  /// Unpins held entries; speculative fetches never taken count as
+  /// prefetch_wasted.
+  ~StagedReader();
+
+  StagedReader(const StagedReader&) = delete;
+  StagedReader& operator=(const StagedReader&) = delete;
+
+  /// Starts acquiring `chunk` over the union of `dreqs` (the plan's own
+  /// domain requests, or an absorbed dead-aggregator domain). `speculative`
+  /// marks prefetches: a fault::Error during a speculative issue is
+  /// swallowed and the fetch degrades to a demand read at take().
+  void begin(pfs::ByteExtent chunk,
+             const std::vector<romio::FlatRequest>& dreqs, bool speculative);
+
+  struct Chunk {
+    /// Window-addressed chunk bytes; mutable so chunk verification can
+    /// repair corrupted extents in place (the repaired copy stays cached).
+    /// Valid until release().
+    std::span<std::byte> data;
+    std::span<const pfs::ByteExtent> extents;  ///< ranges actually read
+    double service_s = 0;          ///< PFS service time (0 on a hit)
+    std::uint64_t bytes_read = 0;  ///< bytes pulled from the PFS
+    std::uint64_t fallbacks = 0;   ///< extent-level independent recoveries
+    bool hit = false;
+  };
+
+  /// Completes the oldest begun fetch. The previous take must have been
+  /// released.
+  Chunk take();
+
+  /// Releases the bytes of the last take (unpins / frees the buffer).
+  void release();
+
+ private:
+  struct Fetch {
+    ChunkKey key;
+    pfs::ByteExtent chunk;
+    const std::vector<romio::FlatRequest>* dreqs = nullptr;
+    ChunkCache::Entry* entry = nullptr;  ///< pinned cache hit
+    romio::ChunkReader reader;           ///< demand read (miss)
+    std::vector<std::byte> buf;          ///< miss landing buffer
+    std::vector<pfs::ByteExtent> extents;
+    double issued_at = 0;
+    bool speculative = false;
+    bool hit = false;
+    bool issue_failed = false;  ///< speculative issue hit fault::Error
+  };
+
+  void issue_demand(Fetch& f);
+
+  StagingArea* area_;
+  pfs::Pfs* fs_;
+  pfs::FileId file_;
+  std::uint64_t sieve_gap_;
+  fault::Injector* chaos_;
+  std::deque<Fetch> inflight_;
+  // State of the last take(), held until release().
+  ChunkCache::Entry* held_entry_ = nullptr;
+  std::vector<std::byte> held_buf_;
+  std::vector<pfs::ByteExtent> held_extents_;
+  bool holding_ = false;
+};
+
+}  // namespace colcom::stage

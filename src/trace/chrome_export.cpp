@@ -17,6 +17,7 @@ const char* process_name(Track t) {
     case Track::ranks: return "ranks";
     case Track::net: return "network";
     case Track::pfs: return "pfs";
+    case Track::stage: return "stage";
   }
   return "?";
 }
@@ -95,14 +96,14 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
 
   // Metadata: process names for every track group in use, thread names for
   // every named track.
-  bool seen_track[4] = {false, false, false, false};
+  bool seen_track[5] = {};
   for (const auto& ev : events) {
     seen_track[static_cast<int>(ev.track)] = true;
   }
   for (const auto& [key, name] : tracer.track_names()) {
     seen_track[key.first] = true;
   }
-  for (int p = 1; p <= 3; ++p) {
+  for (int p = 1; p <= 4; ++p) {
     if (!seen_track[p]) continue;
     std::string line = "{\"ph\":\"M\",\"pid\":";
     line += std::to_string(p);

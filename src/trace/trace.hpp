@@ -10,7 +10,11 @@
 //   Track::net   — one track per interconnect channel (mesh link, NIC port):
 //                  per-message occupancy slices, so contention is visible;
 //   Track::pfs   — one track per OST plus the shared storage-network pipe:
-//                  per-request service slices and fault-retry instants.
+//                  per-request service slices and fault-retry instants;
+//   Track::stage — one track per rank with a staging area: prefetch/demand
+//                  fetch slices (the compute/I-O overlap), cache hit /
+//                  eviction / invalidation / flush instants, and the
+//                  occupancy counter series (see docs/STAGING.md).
 //
 // Zero overhead when disabled: every instrumentation site starts with
 // `Tracer::current()`, a single pointer load; when no tracer is installed
@@ -38,7 +42,7 @@
 namespace colcom::trace {
 
 /// Top-level track group ("process" in the exported trace).
-enum class Track : std::uint8_t { ranks = 1, net = 2, pfs = 3 };
+enum class Track : std::uint8_t { ranks = 1, net = 2, pfs = 3, stage = 4 };
 
 struct TraceEvent {
   enum class Ph : std::uint8_t {
