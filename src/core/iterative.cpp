@@ -3,6 +3,7 @@
 #include <cstring>
 #include <span>
 
+#include "check/check.hpp"
 #include "fault/chaos.hpp"
 #include "mpi/runtime.hpp"
 #include "stage/stage.hpp"
@@ -210,12 +211,22 @@ std::uint64_t IterativeComputer::persist_checkpoint(pfs::FileId file,
 IterativeComputer::Checkpoint IterativeComputer::load_checkpoint(
     mpi::Comm& comm, pfs::FileId file, std::uint64_t offset) {
   pfs::Pfs& fs = comm.runtime().fs();
+  // One-shot restore: no staging cache involved, but both reads carry the
+  // CHK-IO marker so a load racing the write-behind drain of
+  // persist_checkpoint is surfaced, not silently reordered.
+  check::Checker* chk = check::Checker::current();
   std::vector<std::byte> head(8);
+  if (chk != nullptr) {
+    chk->on_stage_read(comm.rank(), file.index, offset, head.size());
+  }
   fs.read_async(file, offset, head).wait();
   std::size_t pos = 0;
   const std::uint64_t len = get_u64(head, pos);
   Checkpoint ck;
   ck.bytes.resize(len);
+  if (chk != nullptr) {
+    chk->on_stage_read(comm.rank(), file.index, offset + 8, len);
+  }
   fs.read_async(file, offset + 8, ck.bytes).wait();
   return ck;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <utility>
 
 #include "check/check.hpp"
@@ -157,6 +158,17 @@ void StagingArea::sample_occupancy() {
 std::size_t StagingArea::invalidate(pfs::FileId file, std::uint64_t lo,
                                     std::uint64_t hi) {
   const std::size_t n = cache_.invalidate(file.index, lo, hi, stats_);
+  // A miss fetch issued before this point copied pre-invalidation bytes at
+  // issue time; mark it stale so take() serves it transiently instead of
+  // inserting it into the cache, where it would outlive flush epochs.
+  for (StagedReader* r : readers_) {
+    if (r->file_.index != file.index) continue;
+    for (StagedReader::Fetch& f : r->inflight_) {
+      if (!f.hit && f.key.offset < hi && f.key.offset + f.key.length > lo) {
+        f.stale = true;
+      }
+    }
+  }
   if (n > 0) {
     if (fault::Injector* inj = injector(); inj != nullptr) {
       for (std::size_t i = 0; i < n; ++i) inj->note_stage_invalidation();
@@ -262,8 +274,7 @@ romio::CollectiveStats StagingArea::wb_flush_collective(
   }
   (void)t0;
 
-  // Collect this rank's dirty extents of `file`, sorted, with their bytes
-  // packed in extent order — the shape write_all expects.
+  // Collect this rank's dirty extents of `file` in staging order.
   std::vector<WbDirty> mine;
   for (auto it = wb_buffered_.begin(); it != wb_buffered_.end();) {
     if (it->file.index == file.index) {
@@ -274,21 +285,60 @@ romio::CollectiveStats StagingArea::wb_flush_collective(
       ++it;
     }
   }
-  std::sort(mine.begin(), mine.end(), [](const WbDirty& a, const WbDirty& b) {
-    return a.ext.offset < b.ext.offset;
-  });
+  // Coalesce newest-wins into sorted, non-overlapping extents: staged
+  // writes may duplicate or overlap (e.g. persist_checkpoint to the same
+  // slot twice between flushes), while FlatRequest requires disjoint
+  // sorted extents — and the packed bytes must reflect the last write.
+  std::map<std::uint64_t, std::vector<std::byte>> merged;
+  for (auto& d : mine) {
+    const std::uint64_t lo = d.ext.offset;
+    const std::uint64_t hi = d.ext.offset + d.ext.length;
+    auto it = merged.lower_bound(lo);
+    if (it != merged.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second.size() > lo) it = prev;
+    }
+    while (it != merged.end() && it->first < hi) {
+      const std::uint64_t a = it->first;
+      std::vector<std::byte> old = std::move(it->second);
+      const std::uint64_t b = a + old.size();
+      it = merged.erase(it);
+      if (a < lo) {
+        merged.emplace(
+            a, std::vector<std::byte>(
+                   old.begin(),
+                   old.begin() + static_cast<std::ptrdiff_t>(lo - a)));
+      }
+      if (b > hi) {
+        it = merged
+                 .emplace(hi, std::vector<std::byte>(
+                                  old.begin() +
+                                      static_cast<std::ptrdiff_t>(hi - a),
+                                  old.end()))
+                 .first;
+      }
+    }
+    merged.emplace(lo, std::move(d.bytes));
+  }
   std::vector<pfs::ByteExtent> extents;
   std::vector<std::byte> packed;
-  for (const auto& d : mine) {
-    extents.push_back(d.ext);
-    packed.insert(packed.end(), d.bytes.begin(), d.bytes.end());
+  for (auto& [off, bytes] : merged) {
+    extents.push_back(pfs::ByteExtent{off, bytes.size()});
+    packed.insert(packed.end(), bytes.begin(), bytes.end());
   }
   const romio::FlatRequest req(std::move(extents));
   romio::CollectiveIo io(hints);
   romio::CollectiveStats stats = io.write_all(*comm_, file, req, packed);
   ++stats_.wb_flushes;
   if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
+    // The drains above persisted every async write and `file`'s buffered
+    // extents; exactly the still-buffered extents of other files remain
+    // dirty, so close the rank's epoch and re-mark them.
     chk->on_stage_flush(comm_->rank());
+    for (const WbDirty& d : wb_buffered_) {
+      chk->on_stage_write(comm_->rank(), d.file.index, d.ext.offset,
+                          d.ext.length);
+    }
   }
   stage_instant(*comm_, "stage.wb_flush");
   return stats;
@@ -304,9 +354,11 @@ StagedReader::StagedReader(StagingArea& area, pfs::Pfs& fs, pfs::FileId file,
       sieve_gap_(sieve_gap),
       chaos_(chaos) {
   COLCOM_EXPECT(file.valid());
+  area_->readers_.push_back(this);
 }
 
 StagedReader::~StagedReader() {
+  std::erase(area_->readers_, this);
   if (holding_) release();
   StageStats& st = area_->stats_;
   for (Fetch& f : inflight_) {
@@ -413,18 +465,25 @@ StagedReader::Chunk StagedReader::take() {
   st.read_bytes += out.bytes_read;
 
   // Enter the cache pinned; the consumer's span must survive eviction
-  // pressure from concurrent prefetches.
-  ChunkCache::Entry* e = area_->cache_.insert(
-      f.key, std::move(f.buf), std::move(f.extents), st);
+  // pressure from concurrent prefetches. A fetch invalidated mid-flight
+  // carries pre-invalidation bytes and must never enter the cache.
+  ChunkCache::Entry* e =
+      f.stale ? nullptr
+              : area_->cache_.insert(f.key, std::move(f.buf),
+                                     std::move(f.extents), st);
   if (e != nullptr) {
     area_->cache_.pin(*e);
     held_entry_ = e;
     out.data = std::span<std::byte>(e->bytes);
     out.extents = std::span<const pfs::ByteExtent>(e->extents);
   } else {
-    // The key is held by a doomed in-flight entry; serve this buffer
-    // transiently without caching it.
-    ++st.uncacheable;
+    // Stale, or the key is held by a doomed in-flight entry; serve this
+    // buffer transiently without caching it.
+    if (f.stale) {
+      ++st.stale_fetches;
+    } else {
+      ++st.uncacheable;
+    }
     held_buf_ = std::move(f.buf);
     held_extents_ = std::move(f.extents);
     out.data = std::span<std::byte>(held_buf_);

@@ -47,6 +47,8 @@ class Injector;
 
 namespace colcom::stage {
 
+class StagedReader;
+
 /// Knobs of one staging area. Defaults give a modest per-aggregator burst
 /// buffer; capacity_bytes = 0 disables retention (every chunk is dropped
 /// when unpinned), which is the "cold" configuration of the benches.
@@ -78,6 +80,7 @@ struct StageStats {
   std::uint64_t prefetch_wasted = 0;    ///< issued but never consumed
   std::uint64_t prefetch_fallbacks = 0; ///< failed prefetch -> demand read
   std::uint64_t uncacheable = 0;     ///< chunks served transiently (key clash)
+  std::uint64_t stale_fetches = 0;   ///< fetches invalidated mid-flight
   // Write-behind.
   std::uint64_t wb_writes = 0;
   std::uint64_t wb_bytes = 0;
@@ -167,8 +170,10 @@ class StagingArea {
 
   /// Crash/replan hook: drops every cached chunk of `file` overlapping
   /// [lo, hi) — called by the runtime when a survivor absorbs a dead
-  /// aggregator's file domain, and by wb_write for self-overlap. Returns
-  /// entries invalidated.
+  /// aggregator's file domain, and by wb_write for self-overlap. Also
+  /// marks overlapping in-flight StagedReader fetches stale: their bytes
+  /// were copied before the invalidation, so they are served transiently
+  /// at take() and never enter the cache. Returns entries invalidated.
   std::size_t invalidate(pfs::FileId file, std::uint64_t lo,
                          std::uint64_t hi);
 
@@ -187,11 +192,12 @@ class StagingArea {
   /// writes. Returns the seconds stalled. Emits the CHK-IO epoch marker.
   double wb_flush();
 
-  /// Collective flush: every rank contributes its dirty extents of `file`
-  /// to one two-phase collective write (all ranks must call, including
-  /// ranks with nothing dirty). Exercises CollectiveIo::write_all's
-  /// independent-write fallback under injected storage faults. Emits the
-  /// CHK-IO epoch marker.
+  /// Collective flush: every rank contributes its dirty extents of `file`,
+  /// coalesced newest-wins into disjoint sorted extents, to one two-phase
+  /// collective write (all ranks must call, including ranks with nothing
+  /// dirty). Exercises CollectiveIo::write_all's independent-write
+  /// fallback under injected storage faults. Emits the CHK-IO epoch
+  /// marker; dirty extents of other files stay marked.
   romio::CollectiveStats wb_flush_collective(pfs::FileId file,
                                              const romio::Hints& hints = {});
 
@@ -229,6 +235,7 @@ class StagingArea {
   std::uint64_t wb_inflight_bytes_ = 0;
   std::deque<WbDirty> wb_buffered_;  ///< collective mode only
   std::uint64_t wb_buffered_bytes_ = 0;
+  std::vector<StagedReader*> readers_;  ///< live readers (invalidation hook)
 };
 
 /// The prefetch pipeline over one file: begin() starts acquiring a chunk
@@ -273,6 +280,8 @@ class StagedReader {
   void release();
 
  private:
+  friend class StagingArea;
+
   struct Fetch {
     ChunkKey key;
     pfs::ByteExtent chunk;
@@ -285,6 +294,7 @@ class StagedReader {
     bool speculative = false;
     bool hit = false;
     bool issue_failed = false;  ///< speculative issue hit fault::Error
+    bool stale = false;  ///< invalidated mid-flight; never enters the cache
   };
 
   void issue_demand(Fetch& f);

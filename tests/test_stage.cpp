@@ -451,6 +451,70 @@ TEST(StageWriteBehind, CollectiveFlushRecoversThroughWriteAllFallback) {
   EXPECT_GT(fallbacks, 0u);
 }
 
+TEST(StageWriteBehind, CollectiveFlushCoalescesOverlappingExtentsNewestWins) {
+  mpi::Runtime rt(small_machine(), 2);
+  auto file = rt.fs().create("wb", std::make_unique<pfs::MemStore>(1 << 16));
+  bool ok = false;
+  rt.run([&](mpi::Comm& c) {
+    stage::StageConfig scfg;
+    scfg.wb_collective_flush = true;
+    stage::StagingArea sa(c, scfg);
+    const auto a = filled(1024, 1);
+    const auto b = filled(512, 2);
+    const auto d = filled(256, 3);
+    if (c.rank() == 0) {
+      // Three overlapping stages of the same region between flushes: b
+      // splits a, d replaces a's head exactly. The flush must pack
+      // disjoint sorted extents whose bytes reflect the last write.
+      sa.wb_write(file, 0, a);
+      sa.wb_write(file, 256, b);
+      sa.wb_write(file, 0, d);
+    }
+    sa.wb_flush_collective(file);
+    if (c.rank() == 0) {
+      std::vector<std::byte> expect = a;
+      std::memcpy(expect.data() + 256, b.data(), b.size());
+      std::memcpy(expect.data(), d.data(), d.size());
+      std::vector<std::byte> got(1024);
+      rt.fs().store(file).read(0, got);
+      ok = got == expect;
+      EXPECT_EQ(sa.wb_dirty_bytes(), 0u);
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(Staging, OverlappingWriteDuringInFlightFetchIsNotCached) {
+  mpi::Runtime rt(small_machine(), 2);
+  auto file = rt.fs().create("f", std::make_unique<pfs::MemStore>(1 << 16));
+  rt.run([&](mpi::Comm& c) {
+    if (c.rank() != 0) return;
+    stage::StageConfig scfg;
+    scfg.wb_collective_flush = true;  // staged bytes reach the store at flush
+    stage::StagingArea sa(c, scfg);
+    std::vector<romio::FlatRequest> dreqs;
+    dreqs.push_back(romio::FlatRequest({{0, 1024}}));
+    stage::StagedReader sr(sa, rt.fs(), file, 0, nullptr);
+    sr.begin(pfs::ByteExtent{0, 1024}, dreqs, false);
+    // The overlapping staged write lands while the fetch is in flight; the
+    // fetch copied pre-write bytes at issue time.
+    const auto fresh = filled(1024, 9);
+    sa.wb_write(file, 0, fresh);
+    const auto pre = sr.take();
+    EXPECT_FALSE(pre.hit);
+    sr.release();
+    sa.wb_flush();  // persists the staged bytes, closes the epoch
+    // The pre-write bytes must not have entered the cache: a new fetch is
+    // a miss and sees the staged bytes.
+    sr.begin(pfs::ByteExtent{0, 1024}, dreqs, false);
+    const auto post = sr.take();
+    EXPECT_FALSE(post.hit);
+    EXPECT_EQ(std::memcmp(post.data.data(), fresh.data(), fresh.size()), 0);
+    sr.release();
+    EXPECT_EQ(sa.stats().stale_fetches, 1u);
+  });
+}
+
 // ---------------- CHK-IO: staged write-behind vs demand reads ------------
 
 TEST(CheckIo, UnflushedStagedWriteOverlappingReadIsFlagged) {
@@ -493,6 +557,53 @@ TEST(CheckIo, FlushEpochSilencesTheOverlapRule) {
     sr.release();
   });
   EXPECT_EQ(cs.checker().count(check::Rule::io_overlap), 0u);
+}
+
+TEST(CheckIo, CollectiveFlushOfOneFileKeepsOtherFilesDirty) {
+  check::CheckSession cs(check::Mode::report);
+  mpi::Runtime rt(small_machine(), 2);
+  auto fa = rt.fs().create("a", std::make_unique<pfs::MemStore>(1 << 16));
+  auto fb = rt.fs().create("b", std::make_unique<pfs::MemStore>(1 << 16));
+  rt.run([&](mpi::Comm& c) {
+    stage::StageConfig scfg;
+    scfg.wb_collective_flush = true;
+    stage::StagingArea sa(c, scfg);
+    if (c.rank() == 0) {
+      sa.wb_write(fa, 0, filled(512, 1));
+      sa.wb_write(fb, 0, filled(512, 2));
+    }
+    // The collective flush closes the epoch for fa only; fb's staged
+    // extent is still unflushed, so the demand read below must be flagged.
+    sa.wb_flush_collective(fa);
+    if (c.rank() == 0) {
+      stage::StagedReader sr(sa, rt.fs(), fb, 0, nullptr);
+      std::vector<romio::FlatRequest> dreqs;
+      dreqs.push_back(romio::FlatRequest({{0, 512}}));
+      sr.begin(pfs::ByteExtent{0, 512}, dreqs, false);
+      (void)sr.take();
+      sr.release();
+    }
+    sa.wb_flush();
+  });
+  EXPECT_GE(cs.checker().count(check::Rule::io_overlap), 1u);
+}
+
+TEST(CheckIo, CheckpointLoadRacingWriteBehindIsFlagged) {
+  check::CheckSession cs(check::Mode::report);
+  mpi::Runtime rt(small_machine(), 2);
+  auto file = rt.fs().create("ckpt", std::make_unique<pfs::MemStore>(1 << 16));
+  rt.run([&](mpi::Comm& c) {
+    if (c.rank() != 0) return;
+    stage::StagingArea sa(c, {});
+    // A length-prefixed checkpoint image staged through the write-behind...
+    std::vector<std::byte> image(8 + 32);
+    image[0] = static_cast<std::byte>(32);  // little-endian length prefix
+    sa.wb_write(file, 0, image);
+    // ...and loaded back with no flush epoch in between races the drain.
+    (void)core::IterativeComputer::load_checkpoint(c, file, 0);
+    sa.wb_flush();
+  });
+  EXPECT_GE(cs.checker().count(check::Rule::io_overlap), 1u);
 }
 
 }  // namespace
