@@ -15,6 +15,12 @@
 // re-plans, fallbacks > 0); the same configuration reproduces the same
 // virtual time. Each configuration also emits one machine-readable JSON
 // line (prefix "RESULT ") for downstream tooling.
+//
+// A second, fig10-style study scales the ack/retransmit protocol: a
+// loss-rate x rank-count sweep (256 and 1024 processes, weak-scaled) that
+// locates where retransmission overhead becomes visible in makespan. The
+// RESULT lines of both studies are snapshotted in BENCH_fault.json.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -127,6 +133,62 @@ std::uint64_t recovery_events(const Run& r) {
          r.faults.absorbed_chunks;
 }
 
+// --- fig10-style retransmit scaling study --------------------------------
+
+struct ScaleRun {
+  double elapsed = 0;
+  float value = 0;
+  fault::FaultStats faults{};
+};
+
+// Weak scaling as in fig10: the y dimension grows with nprocs so every rank
+// always owns 2 finely interleaved rows; aggregators default to one per
+// node, so the metadata exchange and shuffle grow with rank count while the
+// per-process request stays fixed. `loss` drives the ack/retransmit
+// protocol on every message.
+ScaleRun run_scale(int nprocs, double loss) {
+  auto machine = bench::paper_machine();
+  machine.chaos.msg_loss_prob = loss;
+  // The ack deadline models wire time but not queueing: at 1024 ranks the
+  // exchange runs deep into network contention, and an aggressive timeout
+  // (the 1e-4 the small sweep uses) fires spuriously until the retry budget
+  // exhausts. Size the timeout for contention instead — this is exactly the
+  // protocol cost the study measures.
+  machine.chaos.ack_timeout_s = 2e-2;
+  machine.chaos.max_retries = 10;
+  mpi::Runtime rt(machine, nprocs);
+  auto ds = bench::make_climate_dataset(
+      rt.fs(), {64, static_cast<std::uint64_t>(2 * nprocs), 512});
+  ScaleRun res;
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("temperature");
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    io.start = {0, 2 * r, 0};
+    io.count = {64, 2, 512};
+    io.op = mpi::Op::sum();
+    io.hints.cb_buffer_size = 4ull << 20;
+    core::CcOutput out;
+    core::collective_compute(comm, ds, io, out);
+    if (comm.rank() == 0) res.value = out.global_as<float>();
+  });
+  res.elapsed = rt.elapsed();
+  if (rt.chaos() != nullptr) res.faults = rt.chaos()->stats();
+  return res;
+}
+
+void print_scale_json(int nprocs, double loss, const ScaleRun& r, bool exact,
+                      double base_elapsed) {
+  std::printf(
+      "RESULT {\"bench\":\"ext_fault_tolerance\",\"config\":\"scale\","
+      "\"procs\":%d,\"loss\":%g,\"exact\":%s,\"elapsed_s\":%.9f,"
+      "\"overhead_x\":%.4f,\"msgs_dropped\":%llu,\"net_retries\":%llu}\n",
+      nprocs, loss, exact ? "true" : "false", r.elapsed,
+      r.elapsed / base_elapsed,
+      static_cast<unsigned long long>(r.faults.msgs_dropped),
+      static_cast<unsigned long long>(r.faults.net_retries));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,5 +292,43 @@ int main(int argc, char** argv) {
   for (const auto& [cls, n] : class_recovery) all_recovered &= n > 0;
   bench::shape_check(all_recovered,
                      "every fault class exercised its recovery path");
+
+  // Retransmit protocol at scale: where does ack/retransmit overhead become
+  // visible in makespan? (ROADMAP open item; fig10-style weak scaling.)
+  std::printf("\nretransmit protocol at scale (loss rate x rank count):\n");
+  TablePrinter ts;
+  ts.set_header({"procs", "loss", "time (s)", "overhead", "dropped",
+                 "retries", "result exact"});
+  bool scale_exact = true;
+  bool scale_retried = false;
+  double worst_overhead = 0;
+  for (int n : {256, 1024}) {
+    const ScaleRun base = run_scale(n, 0.0);
+    for (double loss : {0.0, 1e-3, 1e-2}) {
+      const ScaleRun r = loss == 0.0 ? base : run_scale(n, loss);
+      const bool exact =
+          std::memcmp(&r.value, &base.value, sizeof(float)) == 0;
+      scale_exact &= exact;
+      scale_retried |= r.faults.net_retries > 0;
+      const double overhead = r.elapsed / base.elapsed;
+      worst_overhead = std::max(worst_overhead, overhead);
+      ts.add_row({std::to_string(n), format_fixed(loss, 3),
+                  format_fixed(r.elapsed, 3),
+                  format_fixed(overhead, 2) + "x",
+                  std::to_string(r.faults.msgs_dropped),
+                  std::to_string(r.faults.net_retries),
+                  exact ? "yes" : "NO"});
+      print_scale_json(n, loss, r, exact, base.elapsed);
+    }
+  }
+  ts.print(std::cout);
+  std::printf("\n");
+  bench::shape_check(scale_exact,
+                     "result bit-identical across the loss x rank sweep");
+  bench::shape_check(scale_retried,
+                     "retransmit protocol exercised at 256+ ranks");
+  bench::shape_check(worst_overhead > 1.0,
+                     "ack/retransmit overhead visible in makespan at the "
+                     "highest loss rate");
   return 0;
 }

@@ -56,14 +56,19 @@ configure_asan() {
 chaos_stage() {
   step "chaos build (fault suites under ASan/UBSan)"
   cmake --build "$BUILD_DIR-asan" -j "$(nproc)" \
-    --target test_fault test_fault_net
+    --target test_fault test_fault_net test_ft
   sanitizer_env
   # COLCOM_CHECK=1: the correctness checker must stay silent across every
   # chaos seed — retransmissions, failovers and replans are not races.
+  # test_ft carries the metadata-exchange crash points (plan exchange,
+  # crash-watch, collective flush, mid-map) plus the ULFM shrink/agree
+  # primitives; sweeping its seeds exercises recovery at shifted timestamps.
   for seed in $CHAOS_SEEDS; do
     step "chaos run (COLCOM_CHAOS_SEED=$seed, COLCOM_CHECK=1)"
     COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
       "$BUILD_DIR-asan/tests/test_fault_net"
+    COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
+      "$BUILD_DIR-asan/tests/test_ft"
   done
   # test_fault is seed-independent (storage faults roll from pfs.fault_seed);
   # one sanitizer pass suffices.

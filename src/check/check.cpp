@@ -38,6 +38,8 @@ std::string metric_name(Rule r) {
       return "check.buffer_mutations";
     case Rule::io_overlap:
       return "check.io_overlaps";
+    case Rule::hint_mismatch:
+      return "check.hint_mismatches";
   }
   return "check.unknown";
 }
@@ -58,6 +60,8 @@ const char* rule_id(Rule r) {
       return "CHK-BUF";
     case Rule::io_overlap:
       return "CHK-IO";
+    case Rule::hint_mismatch:
+      return "CHK-HINT";
   }
   return "CHK-UNKNOWN";
 }
@@ -139,6 +143,9 @@ void Checker::begin_world(des::Engine& engine, int nprocs) {
   staged_dirty_.clear();
   coll_seq_.assign(static_cast<std::size_t>(nprocs), 0);
   colls_.clear();
+  open_seq_.assign(static_cast<std::size_t>(nprocs), 0);
+  opens_.clear();
+  rank_dead_.assign(static_cast<std::size_t>(nprocs), 0);
   clocks_.clear();
   clocks_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
@@ -152,11 +159,23 @@ void Checker::begin_world(des::Engine& engine, int nprocs) {
 void Checker::end_world() {
   if (engine_ == nullptr) return;
   if (!coll_seq_.empty()) {
-    const auto [lo, hi] =
-        std::minmax_element(coll_seq_.begin(), coll_seq_.end());
-    if (*lo != *hi) {
-      const int rlo = static_cast<int>(lo - coll_seq_.begin());
-      const int rhi = static_cast<int>(hi - coll_seq_.begin());
+    // Ranks whose process died mid-run legitimately completed fewer
+    // collectives; the equality check covers survivors only.
+    int rlo = -1, rhi = -1;
+    for (int r = 0; r < nprocs_; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (i < rank_dead_.size() && rank_dead_[i] != 0) continue;
+      if (rlo < 0 || coll_seq_[i] < coll_seq_[static_cast<std::size_t>(rlo)]) {
+        rlo = r;
+      }
+      if (rhi < 0 || coll_seq_[i] > coll_seq_[static_cast<std::size_t>(rhi)]) {
+        rhi = r;
+      }
+    }
+    if (rlo >= 0 && coll_seq_[static_cast<std::size_t>(rlo)] !=
+                        coll_seq_[static_cast<std::size_t>(rhi)]) {
+      const std::uint64_t* lo = &coll_seq_[static_cast<std::size_t>(rlo)];
+      const std::uint64_t* hi = &coll_seq_[static_cast<std::size_t>(rhi)];
       Diagnostic d;
       d.rule = Rule::collective_mismatch;
       d.ranks = {rlo, rhi};
@@ -372,6 +391,35 @@ void Checker::on_collective(int rank, const CollCall& call) {
               std::to_string(ref.first_rank) + " called " +
               describe(ref.call);
   report(std::move(d));
+}
+
+void Checker::on_collective_open(int rank, std::uint64_t sig,
+                                 const std::string& desc) {
+  if (engine_ == nullptr) return;
+  COLCOM_EXPECT(rank >= 0 && rank < nprocs_);
+  const std::uint64_t slot = open_seq_[static_cast<std::size_t>(rank)]++;
+  if (slot >= opens_.size()) {
+    opens_.push_back(OpenSlot{sig, desc, rank});
+    return;
+  }
+  const OpenSlot& ref = opens_[static_cast<std::size_t>(slot)];
+  if (sig == ref.sig) return;
+  Diagnostic d;
+  d.rule = Rule::hint_mismatch;
+  d.ranks = {rank, ref.first_rank};
+  d.message = "collective open #" + std::to_string(slot) +
+              ": MPI-IO hints differ across ranks — rank " +
+              std::to_string(rank) + " passed " + desc + ", rank " +
+              std::to_string(ref.first_rank) + " passed " + ref.desc +
+              "; MPI requires identical hints on every rank of one open "
+              "(the two-phase plan silently follows one rank's values)";
+  report(std::move(d));
+}
+
+void Checker::on_rank_dead(int rank) {
+  if (engine_ == nullptr) return;
+  COLCOM_EXPECT(rank >= 0 && rank < nprocs_);
+  rank_dead_[static_cast<std::size_t>(rank)] = 1;
 }
 
 void Checker::on_datatype_overlap(const std::string& what) {

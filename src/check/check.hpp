@@ -56,6 +56,7 @@ enum class Rule {
   datatype_overlap,
   buffer_mutation,
   io_overlap,
+  hint_mismatch,
 };
 
 /// Stable rule identifier ("CHK-RACE", ...) used in messages, metrics and
@@ -176,6 +177,20 @@ class Checker {
   /// A rank entered a collective (CHK-COLL sequence check).
   void on_collective(int rank, const CollCall& call);
 
+  /// A rank opened a file collectively with MPI-IO hints whose signature is
+  /// `sig` (CHK-HINT). Hints must be identical across all ranks of one
+  /// collective open — MPI leaves divergent hints undefined, and ROMIO's
+  /// two-phase plan (cb_buffer_size, cb_nodes, alignment) silently follows
+  /// whichever rank's values reach the aggregators. `desc` renders the
+  /// offending rank's hint values in the finding.
+  void on_collective_open(int rank, std::uint64_t sig,
+                          const std::string& desc);
+
+  /// `rank`'s process died mid-run (mpi::World::kill_rank). A dead rank is
+  /// exempt from the end-of-world "same number of collectives" check — it
+  /// legitimately completed fewer.
+  void on_rank_dead(int rank);
+
   /// The datatype layer built an overlapping typemap (CHK-DTYPE).
   void on_datatype_overlap(const std::string& what);
 
@@ -224,6 +239,11 @@ class Checker {
     CollCall call;
     int first_rank = -1;
   };
+  struct OpenSlot {
+    std::uint64_t sig = 0;
+    std::string desc;
+    int first_rank = -1;
+  };
   struct StagedWrite {
     int rank = -1;
     int file = -1;
@@ -252,6 +272,9 @@ class Checker {
   std::vector<PendingOp> pending_;  // by actor id
   std::vector<std::uint64_t> coll_seq_;
   std::vector<CollSlot> colls_;
+  std::vector<std::uint64_t> open_seq_;
+  std::vector<OpenSlot> opens_;
+  std::vector<char> rank_dead_;  // exempt from the collective-count check
   std::vector<StagedWrite> staged_dirty_;  // unflushed write-behind extents
 
   // Volume counters surfaced as check.* metrics at end_world.

@@ -93,6 +93,8 @@ struct CcStats {
   std::uint64_t replans = 0;         ///< aggregator deaths re-planned around
   std::uint64_t absorbed_chunks = 0; ///< dead-domain chunks this rank served
   std::uint64_t io_fallbacks = 0;    ///< extents recovered via independent I/O
+  std::uint64_t warm_chunks = 0;     ///< missed slots recovered from parked
+                                     ///< partials (no PFS re-read)
 };
 
 }  // namespace colcom::core

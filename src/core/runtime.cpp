@@ -9,6 +9,7 @@
 #include "core/logical.hpp"
 #include "fault/chaos.hpp"
 #include "pfs/fault.hpp"
+#include "mpi/ft.hpp"
 #include "mpi/runtime.hpp"
 #include "romio/collective.hpp"
 #include "romio/independent.hpp"
@@ -26,11 +27,20 @@ constexpr int kFinalTag = -2310;
 // survivor: a distinct tag so own-chunk and absorbed-chunk streams from one
 // survivor cannot cross-match.
 constexpr int kAbsorbTag = -2320;
+// Warm-partial recovery: a role-crashed aggregator ships the records it
+// computed but never shuffled to the absorbing survivor (kWarmRepTag); the
+// survivor re-serves the missed slot to the receivers under kRecoverTag
+// (whether warm-forwarded or cold re-read), again distinct from its own
+// streams.
+constexpr int kWarmRepTag = -2340;
+constexpr int kRecoverTag = -2350;
 
 [[maybe_unused]] const bool kTagsRegistered = [] {
   check::register_tag(kPartialTag, "cc.partial");
   check::register_tag(kFinalTag, "cc.final");
   check::register_tag(kAbsorbTag, "cc.absorb");
+  check::register_tag(kWarmRepTag, "cc.warm_partials");
+  check::register_tag(kRecoverTag, "cc.recover");
   return true;
 }();
 
@@ -288,7 +298,13 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
 
   // ---- fault machinery: aggregator-crash detection and absorption ----
   fault::Injector* const fi = comm.runtime().chaos();
-  const bool watch = fi != nullptr && fi->watch_aggregators();
+  // ft mode: the chaos schedule carries control-plane crash points, so
+  // ranks can die as *processes* mid-collective. Detection then runs over
+  // the fault-tolerant agreement protocol instead of an allreduce (which
+  // would hang on a dead member), and replans are the message-free
+  // replan_local (the metadata was replicated at plan time).
+  const bool ftmode = fi != nullptr && fi->schedule().has_crash_points();
+  const bool watch = (fi != nullptr && fi->watch_aggregators()) || ftmode;
   const int naggs = plan.aggregator_count();
   // Crash reports travel as a bitset of 63-bit words (the sign bit stays
   // clear), so any aggregator count works; each bit has a single owner, so
@@ -297,6 +313,13 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   const int crash_words =
       std::max(1, (naggs + kCrashBitsPerWord - 1) / kCrashBitsPerWord);
   std::vector<char> agg_dead(static_cast<std::size_t>(naggs), 0);
+  // Process deaths (fiber gone, by world rank) as agreed by the watch
+  // verdicts — a superset distinction from agg_dead, whose role deaths
+  // leave the process alive and participating.
+  std::vector<char> proc_dead(static_cast<std::size_t>(comm.size()), 0);
+  // Iteration whose slot aggregator d never shipped (-1: none), as agreed
+  // at the latest watch; the make-up protocol re-serves exactly that slot.
+  std::vector<int> miss_iter(static_cast<std::size_t>(naggs), -1);
   // Per dead aggregator index: every rank's request clipped to the dead
   // file domain (populated on surviving aggregators by replan_exchange).
   std::vector<std::vector<romio::FlatRequest>> absorbed(
@@ -311,6 +334,148 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     COLCOM_EXPECT_MSG(!alive.empty(), "every aggregator crashed");
     return alive[static_cast<std::size_t>(
         (d + k) % static_cast<int>(alive.size()))];
+  };
+  // A role crash that interrupts an iteration this aggregator already
+  // mapped parks the computed records here; once the next watch announces
+  // the death they ship to the absorbing survivor (warm-partial recovery)
+  // instead of the survivor re-reading the chunk from the PFS.
+  struct Wreck {
+    int k = -1;
+    std::vector<PartialRecord> batch;
+  };
+  std::optional<Wreck> wreck;
+  // Receiver-side shuffle log: once an expected slot goes missing (1-byte
+  // death notice or a detected process death), that slot and every later
+  // one of the iteration are deferred so the make-up records can be folded
+  // in the exact fault-free (iteration, aggregator) order — preserving the
+  // FP combine order is what keeps recovered results bit-identical.
+  struct SlotEntry {
+    int a = -1;
+    int k = -1;
+    bool miss = false;
+    std::vector<PartialRecord> recs;
+  };
+  std::vector<SlotEntry> slot_log;
+  bool deferring = false;
+  // Stable 1-byte death-notice payload (real shuffle batches are multiples
+  // of 32 bytes, and fault-free empty batches are 0 bytes); must outlive
+  // the iteration's wait_all.
+  const std::byte death_note{};
+
+  // One crash watch: agree on role deaths (self-reported), process deaths
+  // (the agreement verdict's registry snapshot) and missed slots, then
+  // replan every newly dead aggregator's file domain. Watch `k` announces
+  // misses from iteration k-1. All ranks leave with identical agg_dead /
+  // proc_dead / miss_iter — every recovery decision below derives from
+  // them, never from local timing.
+  auto do_watch = [&](int k, int epoch) {
+    if (ftmode) mpi::ft::crash_point(comm, fault::Phase::crash_watch);
+    // Mask layout: words [0, crash_words) carry role-death bits, words
+    // [crash_words, 2*crash_words) carry miss bits. In legacy (allreduce)
+    // mode each bit has a single owner — the dying rank itself — so the
+    // sum stays carry-free; agreement mode ORs, so receivers report
+    // process-death misses too.
+    const std::size_t words = 2 * static_cast<std::size_t>(crash_words);
+    std::vector<std::uint64_t> my_bits(words, 0);
+    if (my_agg >= 0 && agg_dead[static_cast<std::size_t>(my_agg)] == 0 &&
+        fi->schedule().aggregator_crashed(comm.rank(), comm.wtime())) {
+      my_bits[static_cast<std::size_t>(my_agg / kCrashBitsPerWord)] |=
+          1ull << (my_agg % kCrashBitsPerWord);
+      if (wreck.has_value()) {
+        my_bits[static_cast<std::size_t>(crash_words +
+                                         my_agg / kCrashBitsPerWord)] |=
+            1ull << (my_agg % kCrashBitsPerWord);
+      }
+    }
+    if (ftmode) {
+      for (const SlotEntry& e : slot_log) {
+        if (!e.miss) continue;
+        my_bits[static_cast<std::size_t>(crash_words +
+                                         e.a / kCrashBitsPerWord)] |=
+            1ull << (e.a % kCrashBitsPerWord);
+      }
+    }
+    std::vector<std::uint64_t> bits(words, 0);
+    if (ftmode) {
+      const mpi::ft::Verdict v = mpi::ft::agree(comm, my_bits, epoch);
+      bits = v.mask;
+      for (int r = 0; r < comm.size(); ++r) {
+        if (v.dead_bit(r)) proc_dead[static_cast<std::size_t>(r)] = 1;
+      }
+    } else {
+      std::vector<std::int64_t> in(words, 0), folded(words, 0);
+      for (std::size_t i = 0; i < words; ++i) {
+        in[i] = static_cast<std::int64_t>(my_bits[i]);
+      }
+      comm.allreduce(in.data(), folded.data(), words, mpi::Prim::i64,
+                     mpi::Op::sum());
+      for (std::size_t i = 0; i < words; ++i) {
+        bits[i] = static_cast<std::uint64_t>(folded[i]);
+      }
+    }
+    // Agreed miss bits first: the invalidation below narrows by them. A
+    // miss may name an aggregator already dead in an earlier watch (its
+    // absorber died mid-serve).
+    for (int d = 0; d < naggs; ++d) miss_iter[static_cast<std::size_t>(d)] = -1;
+    for (int d = 0; d < naggs; ++d) {
+      if ((bits[static_cast<std::size_t>(crash_words +
+                                         d / kCrashBitsPerWord)] >>
+               (d % kCrashBitsPerWord) &
+           1) != 0) {
+        miss_iter[static_cast<std::size_t>(d)] = k - 1;
+      }
+    }
+    for (int d = 0; d < naggs; ++d) {
+      const bool role_bit =
+          (bits[static_cast<std::size_t>(d / kCrashBitsPerWord)] >>
+               (d % kCrashBitsPerWord) &
+           1) != 0;
+      const bool process_bit =
+          proc_dead[static_cast<std::size_t>(
+              plan.aggregators[static_cast<std::size_t>(d)])] != 0;
+      if ((!role_bit && !process_bit) ||
+          agg_dead[static_cast<std::size_t>(d)] != 0) {
+        continue;
+      }
+      agg_dead[static_cast<std::size_t>(d)] = 1;
+      if (!plan.all_requests.empty()) {
+        absorbed[static_cast<std::size_t>(d)] =
+            romio::replan_local(comm, plan, d);
+      } else {
+        std::vector<int> survivors;
+        for (int b = 0; b < naggs; ++b) {
+          if (agg_dead[static_cast<std::size_t>(b)] == 0) {
+            survivors.push_back(plan.aggregators[static_cast<std::size_t>(b)]);
+          }
+        }
+        COLCOM_EXPECT_MSG(!survivors.empty(), "every aggregator crashed");
+        absorbed[static_cast<std::size_t>(d)] =
+            romio::replan_exchange(comm, plan, d, survivors, mine_req, hints);
+      }
+      if (ropt.staging != nullptr) {
+        // Replan-aware invalidation, narrowed to the truly lost extents:
+        // chunks the dead aggregator already shipped stay warm wherever
+        // they are cached; only [first unserved chunk, domain end) may
+        // hold bytes whose shuffle never happened.
+        const int first_unserved =
+            miss_iter[static_cast<std::size_t>(d)] >= 0
+                ? miss_iter[static_cast<std::size_t>(d)]
+                : k;
+        const std::uint64_t lo =
+            plan.fd_begin[static_cast<std::size_t>(d)] +
+            static_cast<std::uint64_t>(std::max(first_unserved, 0)) * plan.cb;
+        if (lo < plan.fd_end[static_cast<std::size_t>(d)]) {
+          ropt.staging->invalidate(ds.file(), lo,
+                                   plan.fd_end[static_cast<std::size_t>(d)]);
+        }
+      }
+      ++stats.replans;
+      if (comm.rank() == 0) fi->note_replan();
+      if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+        tr->instant(trace::Track::ranks, comm.rank(), "fault",
+                    "agg_crash_detected", comm.wtime());
+      }
+    }
   };
 
   // ---- aggregator-side pipelined I/O state (Fig. 7: the I/O thread) ----
@@ -348,14 +513,17 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   std::vector<std::byte> recv_buf;
 
   // Construction + map + shuffle of one aggregated chunk described by
-  // `dreqs` — the plan's own domain requests under kPartialTag, or an
-  // absorbed dead domain under kAbsorbTag. Identical arithmetic either
-  // way, so recovery preserves the fault-free reduction order bit for bit.
+  // `dreqs` — the plan's own domain requests under kPartialTag, an
+  // absorbed dead domain under kAbsorbTag, or a make-up re-serve under
+  // kRecoverTag. Identical arithmetic either way, so recovery preserves
+  // the fault-free reduction order bit for bit. `ship = false` computes
+  // the records but leaves them in `batch` (the role-crash interrupt
+  // parks them as a wreck instead of shuffling).
   auto process_chunk = [&](const pfs::ByteExtent& c,
                            std::span<const std::byte> chunk,
                            const std::vector<romio::FlatRequest>& dreqs,
                            double read_service, int tag,
-                           std::vector<mpi::Request>& sends) {
+                           std::vector<mpi::Request>& sends, bool ship) {
     batch.clear();
     double construct_charge = 0;
     std::uint64_t mapped_bytes = 0;
@@ -423,7 +591,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
 
     // ---- shuffle phase: ship partial results, not raw data ----
     const double s0 = comm.wtime();
-    {
+    if (ship) {
       TRACE_SPAN(comm.engine(), "cc", "shuffle");
       if (c.length > 0) {
         shipped.push_back(std::move(batch));
@@ -450,63 +618,167 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     stats.shuffle_s += comm.wtime() - s0;
   };
 
-  for (int k = begin_iter; k < end_iter; ++k) {
-    if (watch) {
-      // Crash watch: each aggregator self-reports its own death as one bit
-      // of a multi-word i64 sum-allreduce. A crashed rank stays a
-      // communicator member — only its I/O-server role dies (the paper's
-      // aggregators are an I/O-path service).
-      std::vector<std::int64_t> my_bits(
-          static_cast<std::size_t>(crash_words), 0);
-      if (my_agg >= 0 && agg_dead[static_cast<std::size_t>(my_agg)] == 0 &&
-          fi->schedule().aggregator_crashed(comm.rank(), comm.wtime())) {
-        my_bits[static_cast<std::size_t>(my_agg / kCrashBitsPerWord)] =
-            std::int64_t{1} << (my_agg % kCrashBitsPerWord);
+  // Fold one slot's records at an a2one root, in record order.
+  auto fold_records = [&](std::span<const PartialRecord> recs) {
+    for (const PartialRecord& rec : recs) {
+      if (rec.has_value == 0) continue;
+      per_rank_acc[static_cast<std::size_t>(rec.origin)].combine_value(
+          rec.value);
+      per_rank_elems[static_cast<std::size_t>(rec.origin)] += rec.elements;
+    }
+  };
+
+  // Post-watch recovery, sender side. Two symmetric roles, both derived
+  // from the agreed miss_iter state: a role-dead aggregator ships its
+  // parked wreck to the absorbing survivor; that survivor re-serves the
+  // missed slot to the receivers under kRecoverTag — warm (forwarding the
+  // wreck records, no PFS traffic) when the dead rank's process is alive
+  // and warm_partials allows it, cold (re-reading the chunk) otherwise.
+  auto post_watch = [&](std::vector<mpi::Request>& sends) {
+    if (wreck.has_value() && my_agg >= 0 &&
+        agg_dead[static_cast<std::size_t>(my_agg)] != 0) {
+      if (fi->schedule().config().warm_partials) {
+        const int dst = plan.aggregators[static_cast<std::size_t>(
+            serving_index(my_agg, wreck->k))];
+        shipped.push_back(std::move(wreck->batch));
+        const std::vector<PartialRecord>& b = shipped.back();
+        sends.push_back(comm.isend(
+            dst, kWarmRepTag, std::as_bytes(std::span<const PartialRecord>(b))));
       }
-      std::vector<std::int64_t> dead_bits(
-          static_cast<std::size_t>(crash_words), 0);
-      comm.allreduce(my_bits.data(), dead_bits.data(),
-                     static_cast<std::size_t>(crash_words), mpi::Prim::i64,
-                     mpi::Op::sum());
-      for (int d = 0; d < naggs; ++d) {
-        if ((dead_bits[static_cast<std::size_t>(d / kCrashBitsPerWord)] >>
-                 (d % kCrashBitsPerWord) &
-             1) == 0 ||
-            agg_dead[static_cast<std::size_t>(d)] != 0) {
-          continue;
+      wreck.reset();
+    }
+    if (my_agg < 0 || agg_dead[static_cast<std::size_t>(my_agg)] != 0) return;
+    for (int d = 0; d < naggs; ++d) {
+      if (agg_dead[static_cast<std::size_t>(d)] == 0 ||
+          miss_iter[static_cast<std::size_t>(d)] < 0) {
+        continue;
+      }
+      const int mk = miss_iter[static_cast<std::size_t>(d)];
+      if (serving_index(d, mk) != my_agg) continue;
+      const pfs::ByteExtent c = plan.chunk(d, mk);
+      if (c.length == 0) continue;
+      const bool warm =
+          proc_dead[static_cast<std::size_t>(
+              plan.aggregators[static_cast<std::size_t>(d)])] == 0 &&
+          fi->schedule().config().warm_partials;
+      if (warm) {
+        // Warm-partial make-up: the records the dead role already computed,
+        // forwarded in their original order. The PFS never sees the chunk
+        // again — account the read it would have cost as saved bytes.
+        recv_buf.resize(static_cast<std::size_t>(comm.size()) *
+                        sizeof(PartialRecord));
+        const auto info = comm.recv_ft(
+            plan.aggregators[static_cast<std::size_t>(d)], kWarmRepTag,
+            recv_buf);
+        const auto nrec = info.bytes / sizeof(PartialRecord);
+        std::vector<PartialRecord> recs(nrec);
+        std::memcpy(recs.data(), recv_buf.data(), info.bytes);
+        std::uint64_t saved = 0;
+        for (const auto& e : romio::chunk_read_extents(
+                 absorbed[static_cast<std::size_t>(d)], c, hints.sieve_gap)) {
+          saved += e.length;
         }
-        agg_dead[static_cast<std::size_t>(d)] = 1;
-        std::vector<int> survivors;
-        for (int b = 0; b < naggs; ++b) {
-          if (agg_dead[static_cast<std::size_t>(b)] == 0) {
-            survivors.push_back(
-                plan.aggregators[static_cast<std::size_t>(b)]);
+        ++stats.warm_chunks;
+        fi->note_warm_chunk(nrec, saved);
+        shipped.push_back(std::move(recs));
+        const std::vector<PartialRecord>& b = shipped.back();
+        if (a2one) {
+          stats.shuffle_bytes += b.size() * sizeof(PartialRecord);
+          sends.push_back(comm.isend(
+              obj.root, kRecoverTag,
+              std::as_bytes(std::span<const PartialRecord>(b))));
+        } else {
+          for (const PartialRecord& rec : b) {
+            stats.shuffle_bytes += sizeof(PartialRecord);
+            sends.push_back(comm.isend(
+                rec.origin, kRecoverTag,
+                std::as_bytes(std::span<const PartialRecord>(&rec, 1))));
           }
         }
-        COLCOM_EXPECT_MSG(!survivors.empty(), "every aggregator crashed");
-        absorbed[static_cast<std::size_t>(d)] =
-            romio::replan_exchange(comm, plan, d, survivors, mine_req, hints);
-        if (ropt.staging != nullptr) {
-          // Replan-aware invalidation: chunks of the dead file domain may
-          // sit in this rank's cache (including a prefetch raced against
-          // the crash) — the absorbing re-read must never hit them.
-          ropt.staging->invalidate(ds.file(),
-                                   plan.fd_begin[static_cast<std::size_t>(d)],
-                                   plan.fd_end[static_cast<std::size_t>(d)]);
+      } else {
+        // Cold make-up: re-read the lost chunk and rebuild its records —
+        // the arithmetic and record order match the fault-free serve.
+        romio::ChunkReader ar;
+        std::vector<std::byte> abuf;
+        ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
+                 abuf, hints.sieve_gap, comm.wtime(), fi);
+        const double w0 = comm.wtime();
+        {
+          TRACE_SPAN(comm.engine(), "cc", "makeup");
+          ar.wait();
         }
-        ++stats.replans;
-        if (comm.rank() == 0) fi->note_replan();
-        if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
-          tr->instant(trace::Track::ranks, comm.rank(), "fault",
-                      "agg_crash_detected", comm.wtime());
+        stats.io_s += comm.wtime() - w0;
+        stats.bytes_read += ar.bytes_read();
+        stats.io_fallbacks += ar.fallbacks();
+        ++stats.absorbed_chunks;
+        fi->note_absorbed_chunk();
+        process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
+                      ar.service_time(), kRecoverTag, sends, true);
+      }
+    }
+  };
+
+  // Post-watch recovery, receiver side: replay the deferred slot log in its
+  // original order — a missed slot folds the make-up records arriving under
+  // kRecoverTag from the agreed absorbing survivor, a deferred slot folds
+  // its stored records — so the FP combine sequence is exactly the
+  // fault-free one.
+  auto recover_slots = [&](int wk) {
+    if (slot_log.empty()) {
+      deferring = false;
+      return;
+    }
+    for (SlotEntry& e : slot_log) {
+      if (e.miss) {
+        COLCOM_EXPECT_MSG(e.k == wk - 1,
+                          "make-up recovery is single-level: the absorbing "
+                          "survivor of a missed slot died before re-serving "
+                          "it");
+        const int src =
+            plan.aggregators[static_cast<std::size_t>(serving_index(e.a, e.k))];
+        if (a2one) {
+          recv_buf.resize(static_cast<std::size_t>(comm.size()) *
+                          sizeof(PartialRecord));
+          const auto info = comm.recv_ft(src, kRecoverTag, recv_buf);
+          const auto nrec = info.bytes / sizeof(PartialRecord);
+          std::vector<PartialRecord> recs(nrec);
+          std::memcpy(recs.data(), recv_buf.data(), info.bytes);
+          fold_records(recs);
+        } else {
+          PartialRecord rec;
+          comm.recv_ft(
+              src, kRecoverTag,
+              std::as_writable_bytes(std::span<PartialRecord>(&rec, 1)));
+          if (rec.has_value != 0) my_acc.combine_value(rec.value);
+        }
+      } else if (a2one) {
+        fold_records(e.recs);
+      } else {
+        for (const PartialRecord& rec : e.recs) {
+          if (rec.has_value != 0) my_acc.combine_value(rec.value);
         }
       }
+    }
+    slot_log.clear();
+    deferring = false;
+  };
+
+  for (int k = begin_iter; k < end_iter; ++k) {
+    std::vector<mpi::Request> sends;
+    if (watch) {
+      // Crash watch: role deaths are self-reported, process deaths come
+      // from the agreement verdict. A role-crashed rank stays a
+      // communicator member — only its I/O-server role dies (the paper's
+      // aggregators are an I/O-path service). Even watch epochs belong to
+      // the in-loop watches, odd to the final watch, so adjacent
+      // agreements never share a tag block.
+      do_watch(k, 2 * k);
+      post_watch(sends);
     }
     const bool serving_own =
         my_agg >= 0 && agg_dead[static_cast<std::size_t>(
                            std::max(my_agg, 0))] == 0;
 
-    std::vector<mpi::Request> sends;
     if (serving_own) {
       const pfs::ByteExtent c = plan.chunk(my_agg, k);
       TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
@@ -558,16 +830,46 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         }
       }
       const std::span<const std::byte> chunk(chunk_mut);
-      // The overlapped prefetch of chunk k+1 (speculative: under staging a
-      // fault here degrades to a demand read at the next take()).
-      if (pipelined && k + 1 < end_iter) issue_read(k + 1, true);
-
-      process_chunk(c, chunk, plan.domain_requests, read_service,
-                    kPartialTag, sends);
+      // Mid-map process death: after the chunk read, before any of its
+      // records ship — the canonical "late in the iteration" crash. Placed
+      // before the k+1 prefetch so the dying fiber unwinds with no I/O in
+      // flight.
+      if (ftmode) mpi::ft::crash_point(comm, fault::Phase::mid_map);
+      // A timed role crash landing inside the iteration (not at a watch
+      // boundary) interrupts after the map: the records exist but never
+      // ship. Receivers get a 1-byte death notice and log the miss; the
+      // next watch announces it and the make-up protocol re-serves the
+      // slot — warm from the parked wreck, or cold from the PFS.
+      const bool interrupted =
+          watch &&
+          fi->schedule().aggregator_crashed(comm.rank(), comm.wtime());
+      if (!interrupted && pipelined && k + 1 < end_iter) {
+        issue_read(k + 1, true);
+      }
+      if (interrupted) {
+        process_chunk(c, chunk, plan.domain_requests, read_service,
+                      kPartialTag, sends, false);
+        if (c.length > 0) {
+          wreck = Wreck{k, std::move(batch)};
+          const std::span<const std::byte> note(&death_note, 1);
+          if (a2one) {
+            sends.push_back(comm.isend(obj.root, kPartialTag, note));
+          } else {
+            for (const PartialRecord& rec : wreck->batch) {
+              sends.push_back(comm.isend(rec.origin, kPartialTag, note));
+            }
+          }
+        }
+      } else {
+        process_chunk(c, chunk, plan.domain_requests, read_service,
+                      kPartialTag, sends, true);
+      }
       if (sreader.has_value()) sreader->release();
       // Blocking two-phase: only start the next read after this chunk is
       // fully processed.
-      if (!pipelined && k + 1 < end_iter) issue_read(k + 1, false);
+      if (!interrupted && !pipelined && k + 1 < end_iter) {
+        issue_read(k + 1, false);
+      }
     }
 
     // Serve this iteration's chunks of every dead aggregator assigned to
@@ -602,7 +904,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           ++stats.absorbed_chunks;
           fi->note_absorbed_chunk();
           process_chunk(c, ac.data, absorbed[static_cast<std::size_t>(d)],
-                        ac.service_s, kAbsorbTag, sends);
+                        ac.service_s, kAbsorbTag, sends, true);
         } else {
           romio::ChunkReader ar;
           std::vector<std::byte> abuf;
@@ -619,7 +921,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           ++stats.absorbed_chunks;
           fi->note_absorbed_chunk();
           process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
-                        ar.service_time(), kAbsorbTag, sends);
+                        ar.service_time(), kAbsorbTag, sends, true);
         }
       }
     }
@@ -640,6 +942,9 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       return std::pair<int, int>(
           plan.aggregators[static_cast<std::size_t>(a)], kPartialTag);
     };
+    // Before this iteration's slots, settle the previous one: replay the
+    // deferred log so any missed slot folds its make-up records first.
+    if (watch) recover_slots(k);
     if (a2one) {
       if (i_am_root) {
         for (int a = 0; a < plan.aggregator_count(); ++a) {
@@ -647,18 +952,34 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           recv_buf.resize(static_cast<std::size_t>(comm.size()) *
                           sizeof(PartialRecord));
           const auto [src, tag] = shuffle_source(a, k);
-          const auto info = comm.recv(src, tag, recv_buf);
-          const auto nrec = info.bytes / sizeof(PartialRecord);
-          for (std::uint64_t i = 0; i < nrec; ++i) {
-            PartialRecord rec;
-            std::memcpy(&rec, recv_buf.data() + i * sizeof(PartialRecord),
-                        sizeof(PartialRecord));
-            if (rec.has_value) {
-              per_rank_acc[static_cast<std::size_t>(rec.origin)].combine_value(
-                  rec.value);
-              per_rank_elems[static_cast<std::size_t>(rec.origin)] +=
-                  rec.elements;
+          bool miss = false;
+          std::uint64_t nbytes = 0;
+          if (watch) {
+            try {
+              nbytes = comm.recv_ft(src, tag, recv_buf).bytes;
+              // A 1-byte payload is a role-death notice (real batches are
+              // multiples of 32 bytes, empty ones are 0 bytes).
+              if (nbytes == 1) miss = true;
+            } catch (const fault::Error& e) {
+              if (e.kind() != fault::Kind::rank_failed) throw;
+              miss = true;  // the serving process died before shipping
             }
+          } else {
+            nbytes = comm.recv(src, tag, recv_buf).bytes;
+          }
+          if (miss) {
+            slot_log.push_back(SlotEntry{a, k, true, {}});
+            deferring = true;
+            continue;
+          }
+          const auto nrec = nbytes / sizeof(PartialRecord);
+          std::vector<PartialRecord> recs(nrec);
+          std::memcpy(recs.data(), recv_buf.data(),
+                      nrec * sizeof(PartialRecord));
+          if (deferring) {
+            slot_log.push_back(SlotEntry{a, k, false, std::move(recs)});
+          } else {
+            fold_records(recs);
           }
         }
       }
@@ -669,9 +990,31 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         if (mine_req.bytes_in(c.offset, c.offset + c.length) == 0) continue;
         const auto [src, tag] = shuffle_source(a, k);
         PartialRecord rec;
-        comm.recv(src, tag,
-                  std::as_writable_bytes(std::span<PartialRecord>(&rec, 1)));
-        if (rec.has_value) my_acc.combine_value(rec.value);
+        bool miss = false;
+        if (watch) {
+          try {
+            const auto info = comm.recv_ft(
+                src, tag,
+                std::as_writable_bytes(std::span<PartialRecord>(&rec, 1)));
+            if (info.bytes == 1) miss = true;
+          } catch (const fault::Error& e) {
+            if (e.kind() != fault::Kind::rank_failed) throw;
+            miss = true;
+          }
+        } else {
+          comm.recv(src, tag,
+                    std::as_writable_bytes(std::span<PartialRecord>(&rec, 1)));
+        }
+        if (miss) {
+          slot_log.push_back(SlotEntry{a, k, true, {}});
+          deferring = true;
+          continue;
+        }
+        if (deferring) {
+          slot_log.push_back(SlotEntry{a, k, false, {rec}});
+        } else if (rec.has_value != 0) {
+          my_acc.combine_value(rec.value);
+        }
       }
     }
     if (my_agg < 0) stats.shuffle_s += comm.wtime() - r0;
@@ -679,6 +1022,20 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     shipped.clear();
   }
   stats.io_fallbacks += reader.fallbacks();
+
+  // Final watch: a death (or interrupted slot) in the last iteration has no
+  // following in-loop watch to announce it, so every rank settles here —
+  // the same agree/replan/make-up/replay sequence, at the odd epoch. This
+  // runs before a partial window parks its mid-state: the parked
+  // accumulators must already contain every recovered slot.
+  if (watch) {
+    std::vector<mpi::Request> sends;
+    do_watch(end_iter, 2 * end_iter + 1);
+    post_watch(sends);
+    recover_slots(end_iter);
+    mpi::wait_all(sends);
+    shipped.clear();
+  }
 
   if (partial) {
     // Mid-analysis checkpoint window: park the per-chunk accumulator state
@@ -690,6 +1047,9 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   }
 
   // ---- final reduce ----
+  const bool any_proc_dead =
+      std::any_of(proc_dead.begin(), proc_dead.end(),
+                  [](char c) { return c != 0; });
   if (a2one) {
     const double t0 = comm.wtime();
     if (i_am_root) {
@@ -714,15 +1074,40 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     }
     if (obj.broadcast_result) {
       std::uint8_t flag = out.has_global ? 1 : 0;
-      comm.bcast(std::as_writable_bytes(std::span<std::uint8_t>(&flag, 1)),
-                 obj.root);
-      comm.bcast(
-          std::span<std::byte>(reinterpret_cast<std::byte*>(out.global), 8),
-          obj.root);
+      if (any_proc_dead) {
+        // A world bcast would hang on the dead members: broadcast over the
+        // verdict-derived survivor group instead (every alive rank holds
+        // the same proc_dead registry, so the groups match).
+        std::vector<int> members;
+        for (int r = 0; r < comm.size(); ++r) {
+          if (proc_dead[static_cast<std::size_t>(r)] == 0) members.push_back(r);
+        }
+        mpi::ft::Group g(comm, std::move(members), end_iter);
+        COLCOM_EXPECT_MSG(g.member(obj.root),
+                          "the reduction root process died");
+        int root_index = 0;
+        for (std::size_t i = 0; i < g.members().size(); ++i) {
+          if (g.members()[i] == obj.root) root_index = static_cast<int>(i);
+        }
+        g.bcast(std::as_writable_bytes(std::span<std::uint8_t>(&flag, 1)),
+                root_index);
+        g.bcast(
+            std::span<std::byte>(reinterpret_cast<std::byte*>(out.global), 8),
+            root_index);
+      } else {
+        comm.bcast(std::as_writable_bytes(std::span<std::uint8_t>(&flag, 1)),
+                   obj.root);
+        comm.bcast(
+            std::span<std::byte>(reinterpret_cast<std::byte*>(out.global), 8),
+            obj.root);
+      }
       out.has_global = flag != 0;
     }
     stats.reduce_s += comm.wtime() - t0;
   } else {
+    COLCOM_EXPECT_MSG(!any_proc_dead,
+                      "all_to_all reduction requires every process alive "
+                      "(use all_to_one under process-crash chaos)");
     if (!my_acc.empty() && stats.elements > 0) {
       out.has_mine = true;
       std::memcpy(out.mine, my_acc.value(), esize);

@@ -1,6 +1,7 @@
 #include "fault/chaos.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -28,6 +29,18 @@ const char* to_string(Kind kind) {
     case Kind::aggregator_crash: return "aggregator_crash";
     case Kind::ost_timeout: return "ost_timeout";
     case Kind::retry_exhausted: return "retry_exhausted";
+    case Kind::rank_failed: return "rank_failed";
+  }
+  return "?";
+}
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::plan_exchange: return "plan_exchange";
+    case Phase::crash_watch: return "crash_watch";
+    case Phase::flush_collective: return "flush_collective";
+    case Phase::mid_map: return "mid_map";
+    case Phase::replan: return "replan";
   }
   return "?";
 }
@@ -118,6 +131,15 @@ bool ChaosSchedule::drop_transfer(int src_rank, int dst_rank,
   return roll < cfg_.msg_loss_prob;
 }
 
+bool ChaosSchedule::crash_at(Phase phase, int rank, int entry_no) const {
+  for (const CrashPoint& cp : crash_points_) {
+    if (cp.phase == phase && cp.rank == rank && cp.hit == entry_no) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool ChaosSchedule::has_aggregator_crashes() const {
   return std::any_of(events_.begin(), events_.end(), [](const ChaosEvent& e) {
     return e.kind == Kind::aggregator_crash;
@@ -144,13 +166,32 @@ void bump(const char* name) {
 }
 }  // namespace
 
+void Injector::per_rank(const char* base, const char* hist, int rank) {
+  if (rank < 0) return;
+  trace::Tracer* tr = trace::Tracer::current();
+  if (tr == nullptr) return;
+  if (nprocs_ > 0 && nprocs_ <= kPerRankMetricCap) {
+    tr->metrics()
+        .counter(std::string(base) + ".rank" + std::to_string(rank))
+        .add(1);
+  } else {
+    // Fixed power-of-two rank buckets: cardinality is O(log nprocs)
+    // regardless of world size.
+    tr->metrics()
+        .histogram(hist, {0, 1, 3, 7, 15, 31, 63, 127, 255, 511, 1023, 2047,
+                          4095})
+        .observe(static_cast<double>(rank));
+  }
+}
+
 void Injector::note_drop() {
   ++stats_.msgs_dropped;
   bump("fault.net.msgs_dropped");
 }
-void Injector::note_net_retry() {
+void Injector::note_net_retry(int src_rank) {
   ++stats_.net_retries;
   bump("fault.net.retries");
+  per_rank("fault.net.retries", "fault.net.retries_by_rank", src_rank);
 }
 void Injector::note_net_failure() {
   ++stats_.net_failures;
@@ -187,6 +228,32 @@ void Injector::note_restore() {
 void Injector::note_stage_invalidation() {
   ++stats_.stage_invalidations;
   bump("fault.stage.invalidations");
+}
+void Injector::note_rank_crash(int rank) {
+  ++stats_.rank_crashes;
+  bump("fault.rank.crashes");
+  per_rank("fault.rank.crashes", "fault.rank.crashes_by_rank", rank);
+}
+void Injector::note_crash_detected(int rank) {
+  ++stats_.crash_detections;
+  bump("fault.rank.crash_detections");
+  per_rank("fault.rank.crash_detections",
+           "fault.rank.crash_detections_by_rank", rank);
+}
+void Injector::note_agreement_round() {
+  ++stats_.agreement_rounds;
+  bump("fault.agree.rounds");
+}
+void Injector::note_warm_chunk(std::uint64_t records,
+                               std::uint64_t bytes_saved) {
+  ++stats_.warm_chunks;
+  stats_.warm_records += records;
+  stats_.warm_bytes_saved += bytes_saved;
+  bump("fault.agg.warm_chunks");
+  if (trace::Tracer* tr = trace::Tracer::current()) {
+    tr->metrics().counter("fault.agg.warm_records").add(records);
+    tr->metrics().counter("fault.agg.warm_bytes_saved").add(bytes_saved);
+  }
 }
 
 }  // namespace colcom::fault

@@ -56,6 +56,18 @@ struct ChaosConfig {
   double backoff = 2.0;
   int max_retries = 6;
 
+  /// ULFM-flavored failure detection: `Comm::recv_ft` polls the world's
+  /// death registry every `crash_detect_timeout_s` of virtual time while a
+  /// receive is pending, so a crash inside a collective surfaces as
+  /// `fault::Error{rank_failed}` instead of a hang.
+  double crash_detect_timeout_s = 1e-3;
+
+  /// When an aggregator's role crash interrupts an iteration it already
+  /// mapped, ship the parked partial records to the absorbing survivor
+  /// (warm-partial recovery) instead of re-reading the chunk from the PFS.
+  /// Off forces the cold re-read path (the A/B for the recovery study).
+  bool warm_partials = true;
+
   bool any() const {
     return msg_loss_prob > 0 || degraded_links > 0 || stragglers > 0 ||
            aggregator_crashes > 0;
@@ -73,6 +85,27 @@ struct ChaosEvent {
   double magnitude = 1.0;
 };
 
+/// Named control-plane phases where a crash point can fire. Unlike timed
+/// `aggregator_crash` events (role death, polled at watch boundaries), a
+/// crash point kills the *process*: the rank's fiber unwinds via
+/// `mpi::RankStop` the `hit`-th time it enters the phase, mid-collective.
+enum class Phase {
+  plan_exchange,     ///< inside romio::build_plan's offset-list exchange
+  crash_watch,       ///< inside the per-iteration crash-watch agreement
+  flush_collective,  ///< inside stage::Area::wb_flush_collective
+  mid_map,           ///< after a chunk read, before its shuffle
+  replan,            ///< inside the post-death replan metadata recovery
+};
+
+const char* to_string(Phase phase);
+
+/// Kill `rank` the `hit`-th time (1-based) it enters `phase`.
+struct CrashPoint {
+  Phase phase = Phase::plan_exchange;
+  int rank = 0;
+  int hit = 1;
+};
+
 /// The expanded, seeded event list plus the per-transfer loss model.
 /// Queries are pure functions of (schedule, arguments): two schedules built
 /// from the same config and machine shape answer identically.
@@ -87,6 +120,9 @@ class ChaosSchedule {
   /// Appends an explicit event (tests/benches that must hit a known
   /// subject, e.g. crash a specific aggregator rank).
   void add(const ChaosEvent& ev) { events_.push_back(ev); }
+
+  /// Appends a control-plane crash point (process death inside a phase).
+  void add_crash_point(const CrashPoint& cp) { crash_points_.push_back(cp); }
 
   const ChaosConfig& config() const { return cfg_; }
   const std::vector<ChaosEvent>& events() const { return events_; }
@@ -113,9 +149,16 @@ class ChaosSchedule {
   bool has_stragglers() const;
   bool has_degraded_links() const;
 
+  /// True when `rank`'s `entry_no`-th entry (1-based) into `phase` matches
+  /// a registered crash point.
+  bool crash_at(Phase phase, int rank, int entry_no) const;
+  bool has_crash_points() const { return !crash_points_.empty(); }
+  const std::vector<CrashPoint>& crash_points() const { return crash_points_; }
+
  private:
   ChaosConfig cfg_;
   std::vector<ChaosEvent> events_;
+  std::vector<CrashPoint> crash_points_;
 };
 
 /// Counters bumped by every injection/detection/recovery. Kept as plain
@@ -133,6 +176,12 @@ struct FaultStats {
   std::uint64_t checkpoints = 0;       ///< IterativeComputer checkpoints
   std::uint64_t restores = 0;          ///< IterativeComputer restores
   std::uint64_t stage_invalidations = 0;  ///< staged chunks dropped on replan
+  std::uint64_t rank_crashes = 0;      ///< process deaths at crash points
+  std::uint64_t crash_detections = 0;  ///< recv_ft timeouts that found a death
+  std::uint64_t agreement_rounds = 0;  ///< crash-watch agreement rounds run
+  std::uint64_t warm_chunks = 0;       ///< chunks recovered from parked partials
+  std::uint64_t warm_records = 0;      ///< partial records shipped warm
+  std::uint64_t warm_bytes_saved = 0;  ///< PFS bytes the warm path avoided
 };
 
 /// The mutable face of a schedule: owns the FaultStats and forwards every
@@ -153,9 +202,16 @@ class Injector {
   bool has_stragglers() const { return schedule_.has_stragglers(); }
   bool has_degraded_links() const { return schedule_.has_degraded_links(); }
 
+  /// Bounds per-rank metric cardinality: worlds up to this many ranks get
+  /// per-rank detail counters (`fault.*.rank<r>`); larger worlds aggregate
+  /// the same observations into one `*_by_rank` histogram so 1024-rank
+  /// sweeps don't bloat trace exports. Set by Runtime at install time.
+  static constexpr int kPerRankMetricCap = 64;
+  void set_world_size(int nprocs) { nprocs_ = nprocs; }
+
   // Each note_* bumps the stat and the matching fault.* metric.
   void note_drop();
-  void note_net_retry();
+  void note_net_retry(int src_rank = -1);
   void note_net_failure();
   void note_degraded_transfer();
   void note_straggler_hit();
@@ -165,10 +221,17 @@ class Injector {
   void note_checkpoint();
   void note_restore();
   void note_stage_invalidation();
+  void note_rank_crash(int rank);
+  void note_crash_detected(int rank);
+  void note_agreement_round();
+  void note_warm_chunk(std::uint64_t records, std::uint64_t bytes_saved);
 
  private:
+  void per_rank(const char* base, const char* hist, int rank);
+
   ChaosSchedule schedule_;
   FaultStats stats_;
+  int nprocs_ = 0;
 };
 
 }  // namespace colcom::fault

@@ -24,6 +24,7 @@ enum class Kind {
   aggregator_crash,  ///< an aggregator stopped serving its file domain
   ost_timeout,       ///< an OST request timed out
   retry_exhausted,   ///< a retry budget ran out
+  rank_failed,       ///< a peer process died mid-operation (ULFM-style)
 };
 
 const char* to_string(Layer layer);
@@ -40,12 +41,21 @@ class Error : public std::runtime_error {
         layer_(layer),
         kind_(kind) {}
 
+  /// `rank_failed` errors carry the rank that died so callers can shrink
+  /// around it.
+  Error(Layer layer, Kind kind, int rank, const std::string& what)
+      : Error(layer, kind, what) {
+    rank_ = rank;
+  }
+
   Layer layer() const { return layer_; }
   Kind kind() const { return kind_; }
+  int rank() const { return rank_; }
 
  private:
   Layer layer_;
   Kind kind_;
+  int rank_ = -1;
 };
 
 }  // namespace colcom::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <string>
 
 #include "check/check.hpp"
 #include "des/timer.hpp"
@@ -69,6 +70,22 @@ void wait_all(std::span<Request> reqs) {
 }
 
 // ---------------------------------------------------------------- World
+
+void World::kill_rank(int rank) {
+  char& d = dead[static_cast<std::size_t>(rank)];
+  if (d != 0) return;
+  d = 1;
+  if (fault::Injector* fi = rt->chaos(); fi != nullptr) {
+    fi->note_rank_crash(rank);
+  }
+  if (check::Checker* ck = check::Checker::current(); ck != nullptr) {
+    ck->on_rank_dead(rank);
+  }
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    tr->instant(trace::Track::ranks, rank, "fault", "rank_crashed",
+                rt->engine().now());
+  }
+}
 
 void World::deliver(int dst, std::shared_ptr<Msg> msg) {
   PairChannel& ch = chan(msg->src, dst);
@@ -170,7 +187,7 @@ void World::ship_with_retry(int src_rank, int dst_rank,
     const double deadline =
         (nc->ack_timeout_s + wire_s) *
         std::pow(nc->backoff, static_cast<double>(st->attempt));
-    st->timer.arm(eng.now() + deadline, [st, fi, nc] {
+    st->timer.arm(eng.now() + deadline, [st, fi, nc, src_rank] {
       if (st->try_once == nullptr) return;
       if (st->acked) return;
       // Delivered with the ack still in flight: the ack is reliable, let
@@ -182,7 +199,7 @@ void World::ship_with_retry(int src_rank, int dst_rank,
         return;
       }
       ++st->attempt;
-      fi->note_net_retry();
+      fi->note_net_retry(src_rank);
       st->try_once();
     });
   };
@@ -360,6 +377,16 @@ Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
     req.state_->check_sum = check::checksum(data);
     req.state_->check_armed = true;
   }
+  if (!world_->dead.empty() &&
+      world_->dead[static_cast<std::size_t>(dst)] != 0) {
+    // ULFM semantics: a send to a dead process completes locally and the
+    // payload is dropped — nobody will ever match it, and a rendezvous
+    // handshake with a dead receiver would otherwise hang the sender.
+    auto cs = std::make_shared<des::CompletionSource>(engine());
+    req.state_->completion = cs->completion();
+    cs->fire();
+    return req;
+  }
   if (eager) {
     if (lossy_wire) {
       // Under chaos the eager send completes on the ack (the sender must
@@ -467,6 +494,83 @@ MsgInfo Comm::recv(int src, int tag, std::span<std::byte> dst) {
   r.wait();
   const MsgInfo info = r.info();
   // Model the receive-side copy-out as sys time.
+  if (info.bytes > 0) {
+    overhead(static_cast<double>(info.bytes) /
+             world_->rt->config().memcpy_bw);
+  }
+  return info;
+}
+
+bool Comm::alive(int rank) const {
+  COLCOM_EXPECT(rank >= 0 && rank < size());
+  return world_->dead.empty() ||
+         world_->dead[static_cast<std::size_t>(rank)] == 0;
+}
+
+MsgInfo Comm::recv_ft(int src, int tag, std::span<std::byte> dst) {
+  COLCOM_EXPECT(src >= 0 && src < size());
+  fault::Injector* fi = world_->rt->chaos();
+  if (fi == nullptr) return recv(src, tag, dst);
+  TRACE_SPAN(engine(), "mpi", "recv_ft");
+  Request r = irecv(src, tag, dst);
+  std::shared_ptr<PostedRecv> pr = r.state_->recv_own;
+  if (!pr->matched) {
+    // Failure detector: poll the death registry on a timer while the
+    // receive pends. Declaring the peer dead takes two consecutive polls
+    // with dead[src] set and nothing matched — one full timeout of grace
+    // for in-flight messages the peer sent before dying (their wire times
+    // are orders of magnitude below crash_detect_timeout_s).
+    World* w = world_;
+    const int me = rank_;
+    const double dt = fi->schedule().config().crash_detect_timeout_s;
+    auto timer = std::make_shared<des::Timer>(engine());
+    auto poll = std::make_shared<std::function<void()>>();
+    auto suspected = std::make_shared<bool>(false);
+    *poll = [w, pr, timer, poll, suspected, dt, src, me, fi] {
+      if (pr->matched) return;
+      if (w->dead[static_cast<std::size_t>(src)] != 0) {
+        if (*suspected) {
+          Mailbox& mb = w->mailbox[static_cast<std::size_t>(me)];
+          for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+            if (it->get() == pr.get()) {
+              mb.posted.erase(it);
+              break;
+            }
+          }
+          pr->dead_peer = true;
+          pr->matched = true;
+          pr->info = MsgInfo{src, 0, 0};
+          fi->note_crash_detected(src);
+          pr->cs->fire();
+          return;
+        }
+        *suspected = true;
+      }
+      timer->arm(w->rt->engine().now() + dt, [poll] {
+        if (*poll) (*poll)();
+      });
+    };
+    timer->arm(engine().now() + dt, [poll] {
+      if (*poll) (*poll)();
+    });
+    try {
+      r.wait();
+    } catch (...) {
+      timer->cancel();
+      *poll = nullptr;  // break the self-referential cycle
+      throw;
+    }
+    timer->cancel();
+    *poll = nullptr;
+  } else {
+    r.wait();
+  }
+  if (pr->dead_peer) {
+    throw fault::Error(fault::Layer::mpi, fault::Kind::rank_failed, src,
+                       "rank " + std::to_string(src) +
+                           " died during a fault-tolerant receive");
+  }
+  const MsgInfo info = r.info();
   if (info.bytes > 0) {
     overhead(static_cast<double>(info.bytes) /
              world_->rt->config().memcpy_bw);

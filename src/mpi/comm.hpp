@@ -22,13 +22,29 @@
 #include "mpi/datatype.hpp"
 #include "mpi/op.hpp"
 
+namespace colcom::fault {
+enum class Phase;
+}
+
 namespace colcom::mpi {
 
 class Runtime;
 struct World;
+class Comm;
 
 constexpr int kAnySource = -1;
 constexpr int kAnyTag = -1;
+
+/// Thrown by ft::crash_point to unwind a crashed rank's fiber mid-phase;
+/// Runtime::run's rank wrapper absorbs it (the process is simply gone).
+struct RankStop {};
+
+namespace ft {
+class Group;
+struct Verdict;
+void crash_point(Comm& comm, fault::Phase phase);
+Verdict agree(Comm& comm, std::span<const std::uint64_t> mask, int epoch);
+}  // namespace ft
 
 /// Envelope information returned by receives.
 struct MsgInfo {
@@ -71,6 +87,27 @@ class Comm {
   /// Combined exchange — deadlock-free even when all ranks call it at once.
   void sendrecv(int dst, int send_tag, std::span<const std::byte> send_data,
                 int src, int recv_tag, std::span<std::byte> recv_buf);
+
+  // --- ULFM-flavored fault tolerance ---
+
+  /// True while `rank`'s process has not died at a control-plane crash
+  /// point (liveness query against the world's death registry).
+  bool alive(int rank) const;
+
+  /// Fault-tolerant receive: like recv(), but while the receive pends a
+  /// des::Timer polls the death registry every
+  /// `chaos.crash_detect_timeout_s`. A source that stays dead over two
+  /// consecutive polls with nothing matched makes the receive fail with
+  /// `fault::Error{rank_failed}` instead of hanging — the double
+  /// confirmation gives pre-death in-flight messages (wire times orders of
+  /// magnitude below the timeout) room to land first. Falls back to plain
+  /// recv() when no injector is installed.
+  MsgInfo recv_ft(int src, int tag, std::span<std::byte> dst);
+
+  /// ULFM shrink: survivor group over the currently-alive ranks, with
+  /// crash-aware collectives (see mpi/ft.hpp). `epoch` namespaces the
+  /// group's internal tags so successive shrinks don't cross-match.
+  ft::Group shrink(int epoch = 0);
 
   // --- typed conveniences ---
   template <typename T>
@@ -133,6 +170,8 @@ class Comm {
  private:
   friend class Runtime;
   friend struct World;
+  friend void ft::crash_point(Comm&, fault::Phase);
+  friend ft::Verdict ft::agree(Comm&, std::span<const std::uint64_t>, int);
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
   /// Applies the chaos straggler factor (1.0 on a fault-free machine).

@@ -1,0 +1,189 @@
+#include "mpi/ft.hpp"
+
+#include <algorithm>
+
+#include "check/check.hpp"
+#include "fault/chaos.hpp"
+#include "mpi/runtime.hpp"
+#include "mpi/world.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::mpi::ft {
+
+namespace {
+
+int agree_tag(int epoch, int round, int which) {
+  COLCOM_EXPECT_MSG(round < 64, "agreement exceeded 64 coordinator restarts");
+  return kAgreeTagBase - (epoch * 64 + round) * 2 - which;
+}
+
+}  // namespace
+
+void crash_point(Comm& comm, fault::Phase phase) {
+  fault::Injector* fi = comm.runtime().chaos();
+  if (fi == nullptr || !fi->schedule().has_crash_points()) return;
+  World* w = comm.world_;
+  const int r = comm.rank();
+  if (w->dead[static_cast<std::size_t>(r)] != 0) throw RankStop{};
+  const auto p = static_cast<std::size_t>(phase);
+  const int entry = ++w->phase_hits[static_cast<std::size_t>(r)][p];
+  if (!fi->schedule().crash_at(phase, r, entry)) return;
+  w->kill_rank(r);
+  throw RankStop{};
+}
+
+Verdict agree(Comm& comm, std::span<const std::uint64_t> mask, int epoch) {
+  World* w = comm.world_;
+  fault::Injector* fi = w->rt->chaos();
+  const int n = comm.size();
+  const int me = comm.rank();
+  const std::size_t mw = mask.size();
+  const std::size_t dw = static_cast<std::size_t>(n + 63) / 64;
+  // Masks must travel eagerly: a rendezvous payload addressed to a dead
+  // coordinator candidate would never get its clear-to-send.
+  COLCOM_EXPECT(mw * 8 <= w->rt->config().eager_threshold);
+  Verdict v;
+  for (int round = 0; round < n; ++round) {
+    if (fi != nullptr) fi->note_agreement_round();
+    const int mask_tag = agree_tag(epoch, round, 0);
+    const int verdict_tag = agree_tag(epoch, round, 1);
+    if (epoch < 4 && round < 2) {
+      check::register_tag(mask_tag, "ft.agree.mask");
+      check::register_tag(verdict_tag, "ft.agree.verdict");
+    }
+    if (me == round) {
+      // Coordinator: fold every participant's mask. A participant that died
+      // before offering one is detected by recv_ft and contributes nothing.
+      std::vector<std::uint64_t> agg(mask.begin(), mask.end());
+      std::vector<std::uint64_t> got(mw);
+      for (int src = 0; src < n; ++src) {
+        if (src == me) continue;
+        try {
+          comm.recv_ft(src, mask_tag,
+                       std::as_writable_bytes(std::span(got)));
+          for (std::size_t i = 0; i < mw; ++i) agg[i] |= got[i];
+        } catch (const fault::Error& e) {
+          if (e.kind() != fault::Kind::rank_failed) throw;
+        }
+      }
+      // Decide. The verdict — mask OR plus the death registry frozen at
+      // this instant — is what every survivor will act on; unanimity holds
+      // because exactly one coordinator decides per agreement.
+      v.mask = std::move(agg);
+      v.dead.assign(dw, 0);
+      for (int r2 = 0; r2 < n; ++r2) {
+        if (w->dead[static_cast<std::size_t>(r2)] != 0) {
+          v.dead[static_cast<std::size_t>(r2) / 64] |=
+              1ull << (static_cast<std::size_t>(r2) % 64);
+        }
+      }
+      v.rounds = round + 1;
+      std::vector<std::uint64_t> wire;
+      wire.reserve(mw + dw);
+      wire.insert(wire.end(), v.mask.begin(), v.mask.end());
+      wire.insert(wire.end(), v.dead.begin(), v.dead.end());
+      std::vector<Request> sends;
+      for (int dst = 0; dst < n; ++dst) {
+        if (dst == me || w->dead[static_cast<std::size_t>(dst)] != 0) {
+          continue;
+        }
+        sends.push_back(
+            comm.isend(dst, verdict_tag, std::as_bytes(std::span(wire))));
+      }
+      wait_all(sends);
+      return v;
+    }
+    // Participant: offer my mask (eager — lands harmlessly in a dead
+    // candidate's mailbox), then wait for this candidate's verdict.
+    comm.send(round, mask_tag, std::as_bytes(mask));
+    std::vector<std::uint64_t> wire(mw + dw);
+    try {
+      comm.recv_ft(round, verdict_tag,
+                   std::as_writable_bytes(std::span(wire)));
+    } catch (const fault::Error& e) {
+      if (e.kind() != fault::Kind::rank_failed) throw;
+      continue;  // candidate died mid-round: restart with the next one
+    }
+    v.mask.assign(wire.begin(),
+                  wire.begin() + static_cast<std::ptrdiff_t>(mw));
+    v.dead.assign(wire.begin() + static_cast<std::ptrdiff_t>(mw), wire.end());
+    v.rounds = round + 1;
+    return v;
+  }
+  COLCOM_EXPECT_MSG(false, "agreement found no live coordinator");
+  return v;
+}
+
+// ---------------------------------------------------------------- Group
+
+Group::Group(Comm& comm, std::vector<int> members, int epoch)
+    : comm_(&comm), epoch_(epoch), members_(std::move(members)) {
+  COLCOM_EXPECT(!members_.empty());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == comm.rank()) me_ = static_cast<int>(i);
+  }
+  COLCOM_EXPECT_MSG(me_ >= 0, "shrunk group must contain the caller");
+  if (epoch_ >= 0 && epoch_ < 4) {
+    check::register_tag(tag(0), "ft.group.token");
+    check::register_tag(tag(1), "ft.group.release");
+    check::register_tag(tag(2), "ft.group.bcast");
+  }
+}
+
+bool Group::full() const { return size() == comm_->size(); }
+
+bool Group::member(int world_rank) const {
+  return std::binary_search(members_.begin(), members_.end(), world_rank);
+}
+
+int Group::tag(int step) const { return kGroupTagBase - epoch_ * 64 - step; }
+
+void Group::barrier() {
+  const int lead = members_[0];
+  std::byte token{};
+  const std::span<std::byte> tok(&token, 1);
+  if (comm_->rank() == lead) {
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+      comm_->recv_ft(members_[i], tag(0), tok);
+    }
+    std::vector<Request> sends;
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+      sends.push_back(comm_->isend(members_[i], tag(1), tok));
+    }
+    wait_all(sends);
+  } else {
+    comm_->send(lead, tag(0), tok);
+    comm_->recv_ft(lead, tag(1), tok);
+  }
+}
+
+void Group::bcast(std::span<std::byte> data, int root_index) {
+  COLCOM_EXPECT(root_index >= 0 && root_index < size());
+  const int root = members_[static_cast<std::size_t>(root_index)];
+  if (comm_->rank() == root) {
+    std::vector<Request> sends;
+    for (int m : members_) {
+      if (m == root) continue;
+      sends.push_back(comm_->isend(m, tag(2), data));
+    }
+    wait_all(sends);
+  } else {
+    comm_->recv_ft(root, tag(2), data);
+  }
+}
+
+}  // namespace colcom::mpi::ft
+
+namespace colcom::mpi {
+
+ft::Group Comm::shrink(int epoch) {
+  const ft::Verdict v = ft::agree(*this, {}, epoch);
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    if (!v.dead_bit(r)) members.push_back(r);
+  }
+  return ft::Group(*this, std::move(members), epoch);
+}
+
+}  // namespace colcom::mpi

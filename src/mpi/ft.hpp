@@ -1,0 +1,100 @@
+// ULFM-flavored fault tolerance over the rank world (colcom::mpi::ft).
+//
+// Three primitives, layered on recv_ft (failure detection by des::Timer
+// polling of the world's death registry):
+//
+//   crash_point  control-plane chaos: kills the calling rank's process the
+//                N-th time it enters a named fault::Phase (plan exchange,
+//                crash watch, collective flush, mid-map, replan), unwinding
+//                its fiber via mpi::RankStop. Recovery paths are thereby
+//                exercised *under* failure, not only around it.
+//   agree        coordinator-based agreement: all alive ranks OR their local
+//                death masks and receive one coordinator's single verdict —
+//                unanimity by construction. The coordinator of round r is
+//                world rank r; a dead candidate is detected by recv_ft and
+//                every survivor independently restarts with candidate r+1
+//                (ERA-style), so the protocol terminates as long as one rank
+//                lives. The verdict also carries the coordinator's snapshot
+//                of the process-death registry, so survivors agree on *who
+//                is dead*, not just on the application mask.
+//   Group        survivor communicator produced by Comm::shrink() (which is
+//                agree() on an empty mask): crash-aware barrier and
+//                broadcast over an explicit, verdict-derived member list.
+//                Flat fan-in/fan-out topologies — any interior node of a
+//                tree may die mid-collective, and the payloads here are
+//                header-sized, so robustness beats log-depth.
+//
+// Tag discipline: agreements use kAgreeTagBase namespaced by (epoch, round);
+// groups use kGroupTagBase namespaced by (epoch, step). Epochs are chosen by
+// the caller (iteration number for the crash watch, a separate counter for
+// collective flushes). A message addressed to a dead coordinator candidate
+// is the only kind that can linger, and it lingers in a dead mailbox nobody
+// will ever read.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace colcom::fault {
+enum class Phase;
+}
+
+namespace colcom::mpi::ft {
+
+/// Internal tag blocks (far below every other reserved range).
+constexpr int kAgreeTagBase = -3000000;
+constexpr int kGroupTagBase = -4000000;
+
+/// Outcome of one agreement: the OR of every participant's mask plus the
+/// deciding coordinator's snapshot of the process-death registry (one bit
+/// per world rank).
+struct Verdict {
+  std::vector<std::uint64_t> mask;
+  std::vector<std::uint64_t> dead;
+  int rounds = 1;  ///< coordinator candidates tried (1 == no restart)
+
+  bool dead_bit(int rank) const {
+    return ((dead[static_cast<std::size_t>(rank) / 64] >>
+             (static_cast<std::size_t>(rank) % 64)) &
+            1u) != 0;
+  }
+};
+
+/// Survivor communicator: an explicit member list (ascending world ranks)
+/// plus crash-aware collectives. Build one with Comm::shrink() so every
+/// member derives the same list from the same agreement verdict — local
+/// reads of the death registry at different virtual times would diverge.
+class Group {
+ public:
+  Group(Comm& comm, std::vector<int> members, int epoch);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  const std::vector<int>& members() const { return members_; }
+  /// My position in the member list (contract error if not a member).
+  int index() const { return me_; }
+  bool full() const;
+  bool member(int world_rank) const;
+
+  /// Flat fan-in/fan-out barrier over the members. Throws
+  /// fault::Error{rank_failed} if a member died since the verdict.
+  void barrier();
+
+  /// Flat broadcast from members()[root_index] to every other member.
+  void bcast(std::span<std::byte> data, int root_index);
+
+ private:
+  int tag(int step) const;
+
+  Comm* comm_;
+  int epoch_;
+  std::vector<int> members_;
+  int me_ = -1;
+};
+
+// crash_point() and agree() are declared in mpi/comm.hpp (they are friends
+// of Comm); this header completes the types they mention.
+
+}  // namespace colcom::mpi::ft

@@ -32,6 +32,8 @@ Runtime::Runtime(MachineConfig cfg, int nprocs) : cfg_(cfg), nprocs_(nprocs) {
   world_->rt = this;
   world_->nprocs = nprocs;
   world_->mailbox.resize(static_cast<std::size_t>(nprocs));
+  world_->dead.assign(static_cast<std::size_t>(nprocs), 0);
+  world_->phase_hits.assign(static_cast<std::size_t>(nprocs), {});
   world_->comms.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
     world_->comms.push_back(Comm(world_.get(), r));
@@ -43,6 +45,7 @@ Runtime::~Runtime() = default;
 void Runtime::install_chaos(fault::ChaosSchedule schedule) {
   COLCOM_EXPECT_MSG(!ran_, "install_chaos must precede run()");
   chaos_ = std::make_unique<fault::Injector>(std::move(schedule));
+  chaos_->set_world_size(nprocs_);
   network_->set_chaos(chaos_.get());
 }
 
@@ -61,7 +64,15 @@ void Runtime::run(std::function<void(Comm&)> body) {
   for (int r = 0; r < nprocs_; ++r) {
     Comm& comm = world_->comms[static_cast<std::size_t>(r)];
     engine_->spawn(
-        "rank" + std::to_string(r), node_of(r), [body, &comm] { body(comm); },
+        "rank" + std::to_string(r), node_of(r),
+        [body, &comm] {
+          try {
+            body(comm);
+          } catch (const RankStop&) {
+            // The rank died at a control-plane crash point; the fiber
+            // simply ends. Survivors detect the death via recv_ft.
+          }
+        },
         cfg_.fiber_stack_bytes);
   }
   engine_->run();

@@ -2,6 +2,7 @@
 // Not part of the public API.
 #pragma once
 
+#include <array>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -50,6 +51,7 @@ struct PostedRecv {
   std::span<std::byte> dst;
   bool matched = false;
   bool failed = false;  ///< matched a poisoned message; wait() throws
+  bool dead_peer = false;  ///< recv_ft declared the source process dead
   MsgInfo info;
   std::unique_ptr<des::CompletionSource> cs;
 };
@@ -71,6 +73,18 @@ struct World {
   std::vector<Mailbox> mailbox;                       // per dst rank
   std::unordered_map<std::uint64_t, PairChannel> chans;  // key src*n+dst
   std::vector<Comm> comms;                            // per rank
+
+  /// ULFM-style death registry: dead[r] != 0 once rank r's process crashed
+  /// at a control-plane crash point. Written synchronously by kill_rank(),
+  /// read by Comm::recv_ft's failure-detection timer and by Comm::alive().
+  std::vector<char> dead;
+  /// Per-rank, per-fault::Phase entry counters driving crash points
+  /// (indexed by static_cast<int>(Phase)).
+  std::vector<std::array<int, 5>> phase_hits;
+
+  /// Marks `rank` dead, bumps fault.rank.* metrics and emits a trace
+  /// instant. Idempotent.
+  void kill_rank(int rank);
 
   PairChannel& chan(int src, int dst) {
     return chans[static_cast<std::uint64_t>(src) *

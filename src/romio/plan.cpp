@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "check/check.hpp"
+#include "fault/chaos.hpp"
+#include "mpi/ft.hpp"
 #include "mpi/world.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -13,19 +15,55 @@ namespace colcom::romio {
 namespace {
 constexpr int kPlanTag = -2000;
 constexpr int kReplanTag = -2400;
+constexpr int kReplicaTag = -2500;
 // Context ids shift internal tags by blocks of 16 so concurrent collectives
 // (distinct contexts) cannot cross-match.
 int plan_tag(const Hints& hints) { return kPlanTag - hints.context * 16; }
 int replan_tag(const Hints& hints) { return kReplanTag - hints.context * 16; }
+int replica_tag(const Hints& hints) { return kReplicaTag - hints.context * 16; }
 
 [[maybe_unused]] const bool kTagsRegistered = [] {
   for (int ctx = 0; ctx < 8; ++ctx) {
     const std::string suffix = "(ctx " + std::to_string(ctx) + ")";
     check::register_tag(kPlanTag - ctx * 16, "romio.plan" + suffix);
     check::register_tag(kReplanTag - ctx * 16, "romio.replan" + suffix);
+    check::register_tag(kReplicaTag - ctx * 16, "romio.replica" + suffix);
   }
   return true;
 }();
+
+// FNV-1a over every hint field the two-phase plan consumes; the CHK-HINT
+// open signature. Hints that diverge across ranks of one collective open
+// hash differently and trip the checker.
+std::uint64_t hint_signature(const Hints& h) {
+  std::uint64_t s = 1469598103934665603ull;
+  auto mix = [&s](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      s ^= (v >> (8 * i)) & 0xff;
+      s *= 1099511628211ull;
+    }
+  };
+  mix(h.cb_buffer_size);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(h.cb_nodes)));
+  mix(h.pipelined ? 1 : 0);
+  mix(h.stripe_aligned_fd ? 1 : 0);
+  mix(h.stripe_size);
+  mix(h.fd_alignment);
+  mix(h.sieve_gap);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(h.context)));
+  return s;
+}
+
+std::string hint_describe(const Hints& h) {
+  return "cb_buffer_size=" + std::to_string(h.cb_buffer_size) +
+         " cb_nodes=" + std::to_string(h.cb_nodes) +
+         " pipelined=" + std::to_string(h.pipelined ? 1 : 0) +
+         " stripe_aligned_fd=" + std::to_string(h.stripe_aligned_fd ? 1 : 0) +
+         " stripe_size=" + std::to_string(h.stripe_size) +
+         " fd_alignment=" + std::to_string(h.fd_alignment) +
+         " sieve_gap=" + std::to_string(h.sieve_gap) +
+         " context=" + std::to_string(h.context);
+}
 
 void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -93,6 +131,7 @@ TwoPhasePlan TwoPhasePlan::shifted(std::int64_t delta) const {
   for (auto& b : p.fd_begin) b = move(b);
   for (auto& e : p.fd_end) e = move(e);
   for (auto& req : p.domain_requests) req = req.shifted(delta);
+  for (auto& req : p.all_requests) req = req.shifted(delta);
   return p;
 }
 
@@ -110,6 +149,12 @@ std::vector<std::byte> TwoPhasePlan::serialize() const {
   for (const std::uint64_t e : fd_end) put_u64(out, e);
   put_u64(out, domain_requests.size());
   for (const FlatRequest& req : domain_requests) {
+    const std::vector<std::byte> wire = req.serialize();
+    put_u64(out, wire.size());
+    out.insert(out.end(), wire.begin(), wire.end());
+  }
+  put_u64(out, all_requests.size());
+  for (const FlatRequest& req : all_requests) {
     const std::vector<std::byte> wire = req.serialize();
     put_u64(out, wire.size());
     out.insert(out.end(), wire.begin(), wire.end());
@@ -144,6 +189,14 @@ TwoPhasePlan TwoPhasePlan::deserialize(std::span<const std::byte> bytes) {
         FlatRequest::deserialize(bytes.subspan(pos, n)));
     pos += n;
   }
+  const std::uint64_t nall = get_u64(bytes, pos);
+  p.all_requests.reserve(nall);
+  for (std::uint64_t i = 0; i < nall; ++i) {
+    const std::uint64_t n = get_u64(bytes, pos);
+    COLCOM_EXPECT(pos + n <= bytes.size());
+    p.all_requests.push_back(FlatRequest::deserialize(bytes.subspan(pos, n)));
+    pos += n;
+  }
   COLCOM_EXPECT_MSG(pos == bytes.size(), "trailing bytes in plan image");
   return p;
 }
@@ -162,6 +215,10 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
                         const Hints& hints) {
   COLCOM_EXPECT(hints.cb_buffer_size >= 1);
   TRACE_SPAN(comm.engine(), "romio", "plan");
+  if (check::Checker* ck = check::Checker::current()) {
+    ck->on_collective_open(comm.rank(), hint_signature(hints),
+                           hint_describe(hints));
+  }
   TwoPhasePlan plan;
   plan.cb = hints.cb_buffer_size;
 
@@ -260,16 +317,52 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
     // Receive every rank's clipped list (deterministic rank order).
     // The sender's clipped-list size is unknown a priori; recv() enforces
     // fit, so use a staging buffer large enough for any realistic offset
-    // list (256k extents).
+    // list (256k extents). recv_ft degrades to recv() without an injector
+    // and turns a mid-exchange peer death into a structured fault instead
+    // of a hang.
     std::vector<std::byte> buf(4 << 20);
     for (int r = 0; r < nprocs; ++r) {
-      const auto info = comm.recv(r, plan_tag(hints), buf);
+      const auto info = comm.recv_ft(r, plan_tag(hints), buf);
       plan.domain_requests[static_cast<std::size_t>(r)] =
           FlatRequest::deserialize(
               std::span<const std::byte>(buf.data(), info.bytes));
     }
   }
   mpi::wait_all(sends);
+
+  // Under a chaos schedule with control-plane crash points, replicate every
+  // rank's full offset list to every rank. The O(P^2) wire cost buys a
+  // crucial property: once build_plan returns, recovering any aggregator's
+  // file domain (replan_local) needs no further messages, so recovery
+  // survives cascading deaths during the recovery itself. The plan-exchange
+  // crash point deliberately fires only after replication — a rank dying
+  // here has already contributed its metadata (and data) everywhere.
+  {
+    fault::Injector* fi = comm.runtime().chaos();
+    if (fi != nullptr && fi->schedule().has_crash_points()) {
+      const std::vector<std::byte> wire = mine.serialize();
+      std::vector<mpi::Request> rsends;
+      rsends.reserve(static_cast<std::size_t>(nprocs));
+      for (int r = 0; r < nprocs; ++r) {
+        if (r == comm.rank()) continue;
+        rsends.push_back(comm.isend(r, replica_tag(hints), wire));
+      }
+      plan.all_requests.resize(static_cast<std::size_t>(nprocs));
+      std::vector<std::byte> buf(4 << 20);
+      for (int r = 0; r < nprocs; ++r) {
+        if (r == comm.rank()) {
+          plan.all_requests[static_cast<std::size_t>(r)] = mine;
+          continue;
+        }
+        const auto info = comm.recv_ft(r, replica_tag(hints), buf);
+        plan.all_requests[static_cast<std::size_t>(r)] =
+            FlatRequest::deserialize(
+                std::span<const std::byte>(buf.data(), info.bytes));
+      }
+      mpi::wait_all(rsends);
+      mpi::ft::crash_point(comm, fault::Phase::plan_exchange);
+    }
+  }
   return plan;
 }
 
@@ -309,6 +402,29 @@ std::vector<FlatRequest> replan_exchange(mpi::Comm& comm,
     }
   }
   mpi::wait_all(sends);
+  return absorbed;
+}
+
+std::vector<FlatRequest> replan_local(mpi::Comm& comm,
+                                      const TwoPhasePlan& plan,
+                                      int dead_agg) {
+  mpi::ft::crash_point(comm, fault::Phase::replan);
+  const auto id = static_cast<std::size_t>(dead_agg);
+  COLCOM_EXPECT(id < plan.fd_begin.size());
+  COLCOM_EXPECT_MSG(!plan.all_requests.empty(),
+                    "replan_local needs the access metadata replicated at "
+                    "plan time (chaos crash points installed before "
+                    "build_plan)");
+  TRACE_SPAN(comm.engine(), "romio", "replan_local");
+  std::vector<FlatRequest> absorbed;
+  absorbed.reserve(plan.all_requests.size());
+  for (const FlatRequest& req : plan.all_requests) {
+    std::vector<pfs::ByteExtent> clipped;
+    for (const auto& p : req.intersect(plan.fd_begin[id], plan.fd_end[id])) {
+      clipped.push_back(pfs::ByteExtent{p.file_off, p.len});
+    }
+    absorbed.push_back(FlatRequest(std::move(clipped)));
+  }
   return absorbed;
 }
 

@@ -57,6 +57,14 @@ struct TwoPhasePlan {
   /// only, indexed by rank.
   std::vector<FlatRequest> domain_requests;
 
+  /// Full (unclipped) request of every rank, replicated to all ranks at
+  /// plan time — populated only when the installed chaos schedule carries
+  /// control-plane crash points. With the access metadata everywhere,
+  /// recovering a dead aggregator's file domain is a pure local computation
+  /// (replan_local) that survives cascading failures: no survivor ever
+  /// needs to re-ask a rank that may itself die mid-exchange.
+  std::vector<FlatRequest> all_requests;
+
   int aggregator_count() const { return static_cast<int>(aggregators.size()); }
   /// Index of `rank` among aggregators, or -1.
   int aggregator_index(int rank) const;
@@ -95,5 +103,15 @@ std::vector<FlatRequest> replan_exchange(mpi::Comm& comm,
                                          const std::vector<int>& survivors,
                                          const FlatRequest& mine,
                                          const Hints& hints);
+
+/// Message-free variant of replan_exchange for plans carrying replicated
+/// access metadata (plan.all_requests): every caller clips every rank's
+/// request to the dead aggregator's file domain locally. Because nothing is
+/// exchanged, the result is identical on every survivor even when further
+/// ranks die concurrently — the property the fault-tolerant control plane
+/// relies on for cascading-failure recovery. Contains the `replan` chaos
+/// crash point.
+std::vector<FlatRequest> replan_local(mpi::Comm& comm,
+                                      const TwoPhasePlan& plan, int dead_agg);
 
 }  // namespace colcom::romio

@@ -8,6 +8,7 @@
 #include "check/check.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault.hpp"
+#include "mpi/ft.hpp"
 #include "mpi/runtime.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -265,6 +266,10 @@ double StagingArea::wb_flush() {
 
 romio::CollectiveStats StagingArea::wb_flush_collective(
     pfs::FileId file, const romio::Hints& hints) {
+  // Control-plane chaos: a rank scheduled to die inside the collective
+  // flush unwinds here, before it drains anything — survivors detect it in
+  // the shrink agreement below and degrade to an independent drain.
+  mpi::ft::crash_point(*comm_, fault::Phase::flush_collective);
   // Async writes of this file must not race the collective rewrite.
   const double t0 = comm_->wtime();
   while (!wb_inflight_.empty()) {
@@ -326,9 +331,42 @@ romio::CollectiveStats StagingArea::wb_flush_collective(
     extents.push_back(pfs::ByteExtent{off, bytes.size()});
     packed.insert(packed.end(), bytes.begin(), bytes.end());
   }
-  const romio::FlatRequest req(std::move(extents));
-  romio::CollectiveIo io(hints);
-  romio::CollectiveStats stats = io.write_all(*comm_, file, req, packed);
+  romio::CollectiveStats stats;
+  fault::Injector* fi = injector();
+  const bool ftmode = fi != nullptr && fi->schedule().has_crash_points();
+  // Shrink-agreement epoch range for flushes: disjoint from the runtime's
+  // crash-watch epochs (iteration-numbered, far below this base) so a flush
+  // agreement can never share a tag block with an adjacent watch agreement.
+  constexpr int kFlushEpochBase = 1 << 20;
+  bool degraded = false;
+  if (ftmode) {
+    mpi::ft::Group g = comm_->shrink(kFlushEpochBase + wb_flush_seq_++);
+    if (!g.full()) {
+      // A member died: the two-phase write_all would hang waiting on its
+      // contribution. Survivors drain their own extents independently —
+      // slower, but every staged byte still reaches the PFS.
+      degraded = true;
+      ++stats_.wb_degraded_flushes;
+      const double td = comm_->wtime();
+      std::size_t pos = 0;
+      for (const pfs::ByteExtent& e : extents) {
+        wb_issue(file, e,
+                 std::span<const std::byte>(packed.data() + pos, e.length))
+            .wait();
+        pos += e.length;
+        ++stats.io_fallbacks;
+      }
+      stats.bytes_moved = packed.size();
+      stats.total_s = comm_->wtime() - td;
+      // Survivors leave the flush together, as the collective would.
+      g.barrier();
+    }
+  }
+  if (!degraded) {
+    const romio::FlatRequest req(std::move(extents));
+    romio::CollectiveIo io(hints);
+    stats = io.write_all(*comm_, file, req, packed);
+  }
   ++stats_.wb_flushes;
   if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
     // The drains above persisted every async write and `file`'s buffered

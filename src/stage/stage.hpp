@@ -87,6 +87,9 @@ struct StageStats {
   std::uint64_t wb_flushes = 0;
   std::uint64_t wb_stalls = 0;       ///< dirty budget forced a wait/drain
   std::uint64_t wb_fallback_extents = 0;  ///< independent-write recoveries
+  /// Collective flushes that found a dead member via Comm::shrink and
+  /// degraded to an independent per-extent drain on the survivors.
+  std::uint64_t wb_degraded_flushes = 0;
 };
 
 /// Cache key: one aggregation-chunk window of one file.
@@ -235,6 +238,9 @@ class StagingArea {
   std::uint64_t wb_inflight_bytes_ = 0;
   std::deque<WbDirty> wb_buffered_;  ///< collective mode only
   std::uint64_t wb_buffered_bytes_ = 0;
+  /// Collective-flush sequence number: selects the shrink-agreement epoch
+  /// (in a range disjoint from the runtime's crash-watch epochs).
+  int wb_flush_seq_ = 0;
   std::vector<StagedReader*> readers_;  ///< live readers (invalidation hook)
 };
 

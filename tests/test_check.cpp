@@ -19,6 +19,7 @@
 #include "mpi/op.hpp"
 #include "mpi/runtime.hpp"
 #include "ncio/dataset.hpp"
+#include "romio/plan.hpp"
 #include "util/assert.hpp"
 
 namespace colcom {
@@ -343,6 +344,53 @@ TEST(CheckClean, ChaosRetransmissionsAreNotFalsePositives) {
   ASSERT_NE(rt.chaos(), nullptr);
   EXPECT_GT(rt.chaos()->stats().msgs_dropped, 0u);
   EXPECT_GT(rt.chaos()->stats().net_retries, 0u);
+}
+
+// ---------------- CHK-HINT ----------------
+
+TEST(CheckHint, DivergentHintsAcrossOneCollectiveOpenAreFlagged) {
+  check::CheckSession cs(check::Mode::report);
+  mpi::Runtime rt(small_machine(), 4);
+  rt.run([](mpi::Comm& c) {
+    romio::FlatRequest mine(
+        {{static_cast<std::uint64_t>(c.rank()) * 4096, 4096}});
+    romio::Hints hints;
+    // Seeded bug: one rank passes a different cb_buffer_size to the same
+    // collective open — MPI leaves this undefined, and the two-phase plan
+    // silently follows whichever value reaches the aggregators.
+    hints.cb_buffer_size = c.rank() == 2 ? 8192 : 4096;
+    (void)romio::build_plan(c, mine, hints);
+  });
+  const check::Checker& ck = cs.checker();
+  ASSERT_GE(ck.count(check::Rule::hint_mismatch), 1u);
+  const auto it =
+      std::find_if(ck.findings().begin(), ck.findings().end(),
+                   [](const check::Diagnostic& d) {
+                     return d.rule == check::Rule::hint_mismatch;
+                   });
+  ASSERT_NE(it, ck.findings().end());
+  EXPECT_TRUE(contains(it->message, "hints differ"));
+  EXPECT_TRUE(contains(it->message, "cb_buffer_size"));
+  // The offender and the reference rank are both named.
+  EXPECT_EQ(it->ranks.size(), 2u);
+}
+
+TEST(CheckHint, IdenticalHintsStaySilent) {
+  check::CheckSession cs(check::Mode::strict);
+  mpi::Runtime rt(small_machine(), 4);
+  rt.run([](mpi::Comm& c) {
+    romio::FlatRequest mine(
+        {{static_cast<std::uint64_t>(c.rank()) * 4096, 4096}});
+    romio::Hints hints;
+    hints.cb_buffer_size = 8192;
+    (void)romio::build_plan(c, mine, hints);
+    // A second open with different (but still rank-uniform) hints must not
+    // trip the slot matching either.
+    hints.cb_buffer_size = 16384;
+    hints.context = 1;
+    (void)romio::build_plan(c, mine, hints);
+  });
+  EXPECT_EQ(cs.checker().count(check::Rule::hint_mismatch), 0u);
 }
 
 TEST(CheckSessionNesting, SessionStacksOverEnvChecker) {
