@@ -123,6 +123,22 @@ if grep -q "shape MISS" <<<"$STAGING_OUT"; then
   exit 1
 fi
 
+step "service bench smoke (ext_service shape checks)"
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target ext_service
+SERVICE_OUT="$(timeout "$BUDGET" "$BUILD_DIR/bench/ext_service")"
+echo "$SERVICE_OUT"
+if grep -q "shape MISS" <<<"$SERVICE_OUT"; then
+  echo "ext_service shape check failed" >&2
+  exit 1
+fi
+
+# The multi-tenant suite under the correctness checker and a shifted chaos
+# seed: tenant aborts and mid-service role crashes at moved timestamps must
+# neither trip CHK-* rules nor change any tenant's bits.
+step "service suite under COLCOM_CHECK=1 and a chaos seed"
+COLCOM_CHAOS_SEED=7 COLCOM_CHECK=1 timeout "$BUDGET" \
+  "$BUILD_DIR/tests/test_svc"
+
 if [[ $SANITIZE -eq 1 ]]; then
   configure_asan
   step "sanitizer build (-Werror + ASan/UBSan)"

@@ -484,19 +484,25 @@ void Checker::on_stall(const std::vector<int>& blocked) {
 }
 
 void Checker::on_stage_write(int rank, int file, std::uint64_t offset,
-                             std::uint64_t length) {
+                             std::uint64_t length, int ctx) {
   if (engine_ == nullptr || length == 0) return;
-  staged_dirty_.push_back(StagedWrite{rank, file, offset, length});
+  staged_dirty_.push_back(StagedWrite{rank, file, offset, length, ctx});
 }
 
-void Checker::on_stage_flush(int rank) {
+void Checker::on_stage_flush(int rank, int ctx) {
   if (engine_ == nullptr) return;
-  std::erase_if(staged_dirty_,
-                [rank](const StagedWrite& w) { return w.rank == rank; });
+  // A flush is an epoch marker of one staging context: extents staged by
+  // the same rank under a *different* context (another communicator's
+  // staging area on this process) stay dirty — clearing them here was the
+  // false-negative the cross-communicator check closes. ctx = -1 keeps the
+  // old process-wide semantics for single-area callers.
+  std::erase_if(staged_dirty_, [rank, ctx](const StagedWrite& w) {
+    return w.rank == rank && (ctx < 0 || w.ctx == ctx);
+  });
 }
 
 void Checker::on_stage_read(int rank, int file, std::uint64_t offset,
-                            std::uint64_t length) {
+                            std::uint64_t length, int ctx) {
   if (engine_ == nullptr || length == 0) return;
   for (const StagedWrite& w : staged_dirty_) {
     if (w.file != file || w.offset >= offset + length ||
@@ -510,6 +516,11 @@ void Checker::on_stage_read(int rank, int file, std::uint64_t offset,
        << ") by rank " << w.rank
        << " with no flush epoch in between — the read may observe pre- or "
        << "post-write bytes depending on drain timing";
+    if (w.ctx != ctx) {
+      os << " (accesses span different communicators: read context " << ctx
+         << " vs staged context " << w.ctx
+         << " — no flush of either context orders them)";
+    }
     Diagnostic d;
     d.rule = Rule::io_overlap;
     d.ranks = rank == w.rank ? std::vector<int>{rank}

@@ -199,19 +199,29 @@ class Checker {
   void on_stall(const std::vector<int>& blocked);
 
   // --- staging epoch markers (called by colcom::stage; CHK-IO) ---
+  //
+  // `ctx` scopes a marker to one communicator/staging context (cf.
+  // romio::Hints::context, stage::StageConfig::check_ctx): two staging
+  // areas on one rank driven by different communicators carry different
+  // contexts, and a flush of one context must not silence the other's
+  // dirty extents — MPI-IO's sync-barrier-sync discipline is per file
+  // handle, not per process.
 
-  /// `rank` staged a write-behind extent [offset, offset+length) of `file`;
-  /// it is dirty until that rank's next flush epoch marker.
+  /// `rank` staged a write-behind extent [offset, offset+length) of `file`
+  /// under context `ctx`; it is dirty until that rank's next flush epoch
+  /// marker covering `ctx`.
   void on_stage_write(int rank, int file, std::uint64_t offset,
-                      std::uint64_t length);
-  /// Flush epoch marker: `rank`'s staged extents are now persistent and
-  /// ordered before any later read.
-  void on_stage_flush(int rank);
+                      std::uint64_t length, int ctx = 0);
+  /// Flush epoch marker: `rank`'s staged extents of context `ctx` are now
+  /// persistent and ordered before any later read. `ctx = -1` closes every
+  /// context of the rank (a process-wide fsync).
+  void on_stage_flush(int rank, int ctx = -1);
   /// `rank` acquires [offset, offset+length) of `file` through the staging
-  /// layer (cache probe or demand read). Overlap with any unflushed staged
-  /// extent is reported as CHK-IO.
+  /// layer (cache probe or demand read) under context `ctx`. Overlap with
+  /// any unflushed staged extent — of this context or another — is reported
+  /// as CHK-IO; cross-context overlaps name the offending communicators.
   void on_stage_read(int rank, int file, std::uint64_t offset,
-                     std::uint64_t length);
+                     std::uint64_t length, int ctx = 0);
 
   /// Records a finding: collects it, emits check.* metrics/trace events,
   /// and throws Violation in strict mode.
@@ -249,6 +259,7 @@ class Checker {
     int file = -1;
     std::uint64_t offset = 0;
     std::uint64_t length = 0;
+    int ctx = 0;  ///< staging/communicator context the write belongs to
   };
 
   static std::uint64_t vc_at(const SendRec& r, int i) {

@@ -33,11 +33,13 @@ std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& pos) {
 }  // namespace
 
 IterativeComputer::IterativeComputer(mpi::Comm& comm,
-                                     const ncio::Dataset& ds, ObjectIO base)
+                                     const ncio::Dataset& ds, ObjectIO base,
+                                     stage::StagingArea* staging)
     : comm_(&comm),
       ds_(&ds),
       base_(std::move(base)),
-      running_(base_.op, ds.info(base_.var).prim) {
+      running_(base_.op, ds.info(base_.var).prim),
+      staging_(staging) {
   COLCOM_EXPECT(base_.op.valid());
   COLCOM_EXPECT_MSG(!base_.blocking && base_.collective,
                     "iterative mode is a collective-computing feature");
@@ -49,8 +51,14 @@ IterativeComputer::IterativeComputer(mpi::Comm& comm,
 
   const double t0 = comm.wtime();
   const auto req = ds.slab_request(base_.var, base_.start, base_.count);
+  // Staging-aware placement consults the attached area's residency of the
+  // dataset file; without an area (or with the hint off) the score is 0 on
+  // every rank and selection is the spaced default.
+  const std::uint64_t residency =
+      staging_ != nullptr ? staging_->residency_bytes(ds.file()) : 0;
   plan0_ = romio::build_plan(comm, req,
-                             detail::cc_hints(base_, mpi::prim_size(var.prim)));
+                             detail::cc_hints(base_, mpi::prim_size(var.prim)),
+                             residency);
   plan_cost_s_ = comm.wtime() - t0;
 }
 

@@ -33,8 +33,13 @@ class IterativeComputer {
 
   /// Builds the plan for `base` (all ranks must construct collectively with
   /// identical `base.count` shape). `base.start[0]` defines the reference
-  /// window.
-  IterativeComputer(mpi::Comm& comm, const ncio::Dataset& ds, ObjectIO base);
+  /// window. Passing `staging` both attaches it (as attach_staging would)
+  /// and — under base.hints.staging_aware_placement — feeds the rank's
+  /// burst-buffer residency of the dataset file into aggregator selection,
+  /// so a computer rebuilt after a crash lands its aggregators on ranks
+  /// whose staged chunks survived.
+  IterativeComputer(mpi::Comm& comm, const ncio::Dataset& ds, ObjectIO base,
+                    stage::StagingArea* staging = nullptr);
 
   /// Restart: resumes from a checkpoint taken on this rank with the same
   /// `base`, skipping the plan-building collectives entirely (the saved

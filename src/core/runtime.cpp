@@ -488,20 +488,34 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   if (ropt.staging != nullptr && my_agg >= 0) {
     sreader.emplace(*ropt.staging, fs, ds.file(), hints.sieve_gap, fi);
   }
-  auto issue_read = [&](int k, bool speculative) {
+  auto issue_read = [&](int k, bool speculative) -> bool {
     if (sreader.has_value()) {
-      sreader->begin(plan.chunk(my_agg, k), plan.domain_requests, speculative);
-    } else {
-      reader.issue(fs, ds.file(), plan.domain_requests, plan.chunk(my_agg, k),
-                   bufs[k % 2], hints.sieve_gap, comm.wtime(), fi);
+      return sreader->begin(plan.chunk(my_agg, k), plan.domain_requests,
+                            speculative);
     }
+    reader.issue(fs, ds.file(), plan.domain_requests, plan.chunk(my_agg, k),
+                 bufs[k % 2], hints.sieve_gap, comm.wtime(), fi);
+    return true;
   };
   // The staging config can veto the speculative overlap (the benches' worst
   // case) even when the hints ask for pipelining.
   const bool pipelined =
       hints.pipelined &&
       (ropt.staging == nullptr || ropt.staging->config().prefetch);
-  if (my_agg >= 0 && begin_iter < end_iter) issue_read(begin_iter, false);
+  // Readahead depth: how many chunks beyond the one in service may be in
+  // flight. Only the staging pipeline can queue more than one (the bare
+  // ChunkReader double-buffers), and depths > 1 are additionally subject
+  // to the area's readahead budget — a denied speculative issue leaves
+  // `next_issue` in place and the chunk is demand-read when its turn comes.
+  const int depth =
+      sreader.has_value()
+          ? std::max(1, ropt.staging->config().prefetch_depth)
+          : 1;
+  int next_issue = begin_iter;
+  if (my_agg >= 0 && begin_iter < end_iter) {
+    issue_read(begin_iter, false);
+    next_issue = begin_iter + 1;
+  }
 
   std::vector<PartialRecord> batch;        // a2one shuffle payload
   // Batches whose isends are still in flight. An iteration can run
@@ -788,6 +802,12 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       double read_service = 0;
       std::span<std::byte> chunk_mut;
       std::span<const pfs::ByteExtent> read_extents;
+      // A readahead-budget denial earlier left this chunk unissued: fetch
+      // it on demand now (never denied), keeping the take() order intact.
+      if (next_issue <= k) {
+        issue_read(k, false);
+        next_issue = k + 1;
+      }
       {
         TRACE_SPAN(comm.engine(), "cc", "io");
         if (sreader.has_value()) {
@@ -843,8 +863,11 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       const bool interrupted =
           watch &&
           fi->schedule().aggregator_crashed(comm.rank(), comm.wtime());
-      if (!interrupted && pipelined && k + 1 < end_iter) {
-        issue_read(k + 1, true);
+      if (!interrupted && pipelined) {
+        while (next_issue < end_iter && next_issue <= k + depth &&
+               issue_read(next_issue, true)) {
+          ++next_issue;
+        }
       }
       if (interrupted) {
         process_chunk(c, chunk, plan.domain_requests, read_service,
@@ -867,8 +890,10 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       if (sreader.has_value()) sreader->release();
       // Blocking two-phase: only start the next read after this chunk is
       // fully processed.
-      if (!interrupted && !pipelined && k + 1 < end_iter) {
-        issue_read(k + 1, false);
+      if (!interrupted && !pipelined && next_issue == k + 1 &&
+          next_issue < end_iter) {
+        issue_read(next_issue, false);
+        ++next_issue;
       }
     }
 

@@ -71,7 +71,10 @@ CcStats traditional_compute(mpi::Comm& comm, const ncio::Dataset& ds,
                             const ObjectIO& obj, CcOutput& out);
 
 /// Execution options of a plan-based run: burst-buffer staging attachment
-/// and the mid-analysis iteration window used by checkpoint/restart.
+/// and the mid-analysis iteration window used by checkpoint/restart — and,
+/// through colcom::svc, by the multi-tenant scheduler, whose time slices
+/// are exactly these windows (each slice parks its accumulator state in
+/// `mid`, so interleaving jobs never changes any job's combine order).
 struct RunOptions {
   /// Per-rank staging area (see src/stage/): aggregator chunk reads go
   /// through its cache + prefetch pipeline, and replans invalidate the dead

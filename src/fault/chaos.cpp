@@ -256,4 +256,9 @@ void Injector::note_warm_chunk(std::uint64_t records,
   }
 }
 
+void Injector::note_job_abort() {
+  ++stats_.job_aborts;
+  bump("fault.svc.job_aborts");
+}
+
 }  // namespace colcom::fault

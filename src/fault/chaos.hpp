@@ -68,6 +68,14 @@ struct ChaosConfig {
   /// Off forces the cold re-read path (the A/B for the recovery study).
   bool warm_partials = true;
 
+  /// Multi-tenant service chaos (colcom::svc): abort the first job of
+  /// tenant `svc_abort_tenant` that is about to run its
+  /// `svc_abort_slice`-th scheduler slice (1-based; 0 disables). The abort
+  /// is tenant-local — the scheduler drops the job between collective
+  /// slices, so every other tenant's queries proceed untouched.
+  int svc_abort_tenant = -1;
+  int svc_abort_slice = 0;
+
   bool any() const {
     return msg_loss_prob > 0 || degraded_links > 0 || stragglers > 0 ||
            aggregator_crashes > 0;
@@ -149,6 +157,15 @@ class ChaosSchedule {
   bool has_stragglers() const;
   bool has_degraded_links() const;
 
+  /// True when the scheduler should abort a job of `tenant` that is about
+  /// to run its `slice_no`-th slice (1-based) — the svc tenant-local fault
+  /// (ChaosConfig::svc_abort_tenant/svc_abort_slice). Pure data like every
+  /// other query; the service fires it at most once per run.
+  bool svc_abort_at(int tenant, int slice_no) const {
+    return cfg_.svc_abort_slice > 0 && cfg_.svc_abort_tenant == tenant &&
+           cfg_.svc_abort_slice == slice_no;
+  }
+
   /// True when `rank`'s `entry_no`-th entry (1-based) into `phase` matches
   /// a registered crash point.
   bool crash_at(Phase phase, int rank, int entry_no) const;
@@ -182,6 +199,7 @@ struct FaultStats {
   std::uint64_t warm_chunks = 0;       ///< chunks recovered from parked partials
   std::uint64_t warm_records = 0;      ///< partial records shipped warm
   std::uint64_t warm_bytes_saved = 0;  ///< PFS bytes the warm path avoided
+  std::uint64_t job_aborts = 0;        ///< svc jobs killed tenant-locally
 };
 
 /// The mutable face of a schedule: owns the FaultStats and forwards every
@@ -225,6 +243,7 @@ class Injector {
   void note_crash_detected(int rank);
   void note_agreement_round();
   void note_warm_chunk(std::uint64_t records, std::uint64_t bytes_saved);
+  void note_job_abort();
 
  private:
   void per_rank(const char* base, const char* hist, int rank);

@@ -51,6 +51,7 @@ std::uint64_t hint_signature(const Hints& h) {
   mix(h.fd_alignment);
   mix(h.sieve_gap);
   mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(h.context)));
+  mix(h.staging_aware_placement ? 1 : 0);
   return s;
 }
 
@@ -212,7 +213,7 @@ pfs::ByteExtent TwoPhasePlan::chunk(int a, int k) const {
 }
 
 TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
-                        const Hints& hints) {
+                        const Hints& hints, std::uint64_t my_residency) {
   COLCOM_EXPECT(hints.cb_buffer_size >= 1);
   TRACE_SPAN(comm.engine(), "romio", "plan");
   if (check::Checker* ck = check::Checker::current()) {
@@ -267,9 +268,59 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
                                  : std::min(comm.runtime().n_nodes(), npool);
   naggs = std::max(1, naggs);
   const int spacing = std::max(1, npool / naggs);
+  std::vector<int> spaced;
+  spaced.reserve(static_cast<std::size_t>(naggs));
   for (int a = 0; a < naggs; ++a) {
-    plan.aggregators.push_back(
+    spaced.push_back(
         pool[static_cast<std::size_t>(std::min(a * spacing, npool - 1))]);
+  }
+  if (hints.staging_aware_placement) {
+    // Staging-aware placement: every rank shares its burst-buffer residency
+    // score for the target file; warm ranks (score > 0) are selected first,
+    // highest score wins, rank id breaks ties — deterministic, so every
+    // rank derives the identical aggregator list. Cold slots fall back to
+    // the spaced default, and an all-cold exchange reproduces it exactly.
+    std::vector<std::uint64_t> scores(static_cast<std::size_t>(nprocs), 0);
+    {
+      const std::vector<std::uint64_t> counts(
+          static_cast<std::size_t>(nprocs), sizeof(std::uint64_t));
+      comm.allgatherv(
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(&my_residency),
+              sizeof(my_residency)),
+          counts,
+          std::span<std::byte>(reinterpret_cast<std::byte*>(scores.data()),
+                               scores.size() * sizeof(std::uint64_t)));
+    }
+    std::vector<int> warm;
+    for (int r : pool) {
+      if (scores[static_cast<std::size_t>(r)] > 0) warm.push_back(r);
+    }
+    std::stable_sort(warm.begin(), warm.end(), [&scores](int a, int b) {
+      return scores[static_cast<std::size_t>(a)] >
+             scores[static_cast<std::size_t>(b)];
+    });
+    if (static_cast<int>(warm.size()) > naggs) warm.resize(
+        static_cast<std::size_t>(naggs));
+    plan.aggregators = warm;
+    for (int r : spaced) {
+      if (static_cast<int>(plan.aggregators.size()) >= naggs) break;
+      if (std::find(plan.aggregators.begin(), plan.aggregators.end(), r) ==
+          plan.aggregators.end()) {
+        plan.aggregators.push_back(r);
+      }
+    }
+    // Backstop when the spaced defaults collide with warm picks: fill from
+    // the pool front.
+    for (int r : pool) {
+      if (static_cast<int>(plan.aggregators.size()) >= naggs) break;
+      if (std::find(plan.aggregators.begin(), plan.aggregators.end(), r) ==
+          plan.aggregators.end()) {
+        plan.aggregators.push_back(r);
+      }
+    }
+  } else {
+    plan.aggregators = std::move(spaced);
   }
 
   // Even file-domain partitioning (optionally stripe-aligned).

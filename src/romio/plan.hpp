@@ -34,6 +34,15 @@ struct Hints {
   /// operations on one communicator must use distinct contexts so their
   /// internal tags cannot cross-match. 0 is the default blocking context.
   int context = 0;
+  /// Staging-aware aggregator placement: rank candidates by the staged
+  /// bytes of the target file resident in their burst-buffer caches
+  /// (build_plan's `my_residency`), so replans and follow-up queries land
+  /// on ranks whose warm chunks survive. Warm ranks are taken score-first;
+  /// the remainder falls back to the spaced default, and an all-cold world
+  /// selects exactly the default placement. Off by default: the extra
+  /// allgather costs a little plan time and placement is bit-stable
+  /// without it.
+  bool staging_aware_placement = false;
 };
 
 /// The byte extents an aggregator actually reads for one chunk: the union
@@ -87,9 +96,12 @@ struct TwoPhasePlan {
 /// Cost model: one allreduce for [gmin,gmax) plus each rank shipping its
 /// clipped offset list to each intersecting aggregator. Ranks already
 /// crashed at t=0 under an installed chaos schedule are never selected as
-/// aggregators.
+/// aggregators. `my_residency` is this rank's staging-residency score
+/// (stage::StagingArea::residency_bytes of the target file), consulted only
+/// under hints.staging_aware_placement — which adds one allgather to share
+/// the scores.
 TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
-                        const Hints& hints);
+                        const Hints& hints, std::uint64_t my_residency = 0);
 
 /// Recovery exchange after aggregator `dead_agg` (an index into
 /// plan.aggregators) fails: every rank ships the part of its offset list

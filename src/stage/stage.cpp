@@ -131,6 +131,14 @@ void ChunkCache::erase(const ChunkKey& k) {
   map_.erase(it);
 }
 
+std::uint64_t ChunkCache::file_bytes(int file) const {
+  std::uint64_t total = 0;
+  for (const auto& [k, e] : map_) {
+    if (k.file == file && !e->doomed) total += e->bytes.size();
+  }
+  return total;
+}
+
 // --- StagingArea ---
 
 StagingArea::StagingArea(mpi::Comm& comm, StageConfig cfg)
@@ -145,6 +153,15 @@ StagingArea::~StagingArea() {
 
 fault::Injector* StagingArea::injector() const {
   return comm_->runtime().chaos();
+}
+
+bool StagingArea::readahead_admit(std::uint64_t bytes) const {
+  // The first speculative fetch is always admitted so prefetch_depth = 1
+  // behaves exactly as before (including the capacity-0 "cold" config);
+  // deeper readahead shares the cache budget with resident entries.
+  if (spec_inflight_ == 0) return true;
+  return cache_.occupancy() + spec_inflight_bytes_ + bytes <=
+         cfg_.capacity_bytes;
 }
 
 void StagingArea::sample_occupancy() {
@@ -209,7 +226,8 @@ void StagingArea::wb_write(pfs::FileId file, std::uint64_t offset,
   // stale from this rank's perspective the moment the bytes are staged.
   invalidate(file, offset, offset + src.size());
   if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
-    chk->on_stage_write(comm_->rank(), file.index, offset, src.size());
+    chk->on_stage_write(comm_->rank(), file.index, offset, src.size(),
+                        cfg_.check_ctx);
   }
   stage_instant(*comm_, "stage.wb_write");
 
@@ -258,7 +276,7 @@ double StagingArea::wb_flush() {
   }
   ++stats_.wb_flushes;
   if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
-    chk->on_stage_flush(comm_->rank());
+    chk->on_stage_flush(comm_->rank(), cfg_.check_ctx);
   }
   stage_instant(*comm_, "stage.wb_flush");
   return comm_->wtime() - t0;
@@ -371,11 +389,11 @@ romio::CollectiveStats StagingArea::wb_flush_collective(
   if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
     // The drains above persisted every async write and `file`'s buffered
     // extents; exactly the still-buffered extents of other files remain
-    // dirty, so close the rank's epoch and re-mark them.
-    chk->on_stage_flush(comm_->rank());
+    // dirty, so close this area's epoch and re-mark them.
+    chk->on_stage_flush(comm_->rank(), cfg_.check_ctx);
     for (const WbDirty& d : wb_buffered_) {
       chk->on_stage_write(comm_->rank(), d.file.index, d.ext.offset,
-                          d.ext.length);
+                          d.ext.length, cfg_.check_ctx);
     }
   }
   stage_instant(*comm_, "stage.wb_flush");
@@ -402,6 +420,10 @@ StagedReader::~StagedReader() {
   for (Fetch& f : inflight_) {
     if (f.speculative) ++st.prefetch_wasted;
     if (f.hit) area_->cache_.unpin(*f.entry, st);
+    if (f.spec_bytes > 0) {
+      area_->spec_inflight_bytes_ -= f.spec_bytes;
+      --area_->spec_inflight_;
+    }
     // Missed fetches already moved their bytes at issue time; dropping the
     // completions is safe (they only mark timing).
   }
@@ -413,7 +435,7 @@ void StagedReader::issue_demand(Fetch& f) {
                  area_->comm_->wtime(), chaos_);
 }
 
-void StagedReader::begin(pfs::ByteExtent chunk,
+bool StagedReader::begin(pfs::ByteExtent chunk,
                          const std::vector<romio::FlatRequest>& dreqs,
                          bool speculative) {
   mpi::Comm& comm = *area_->comm_;
@@ -426,30 +448,55 @@ void StagedReader::begin(pfs::ByteExtent chunk,
   f.issued_at = comm.wtime();
   if (chunk.length == 0) {
     inflight_.push_back(std::move(f));
-    return;
-  }
-  if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
-    chk->on_stage_read(comm.rank(), file_.index, chunk.offset, chunk.length);
+    return true;
   }
   f.extents = chunk_read_extents(dreqs, chunk, sieve_gap_);
   if (ChunkCache::Entry* e = area_->cache_.find(f.key); e != nullptr) {
     if (e->extents == f.extents) {
+      if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
+        chk->on_stage_read(comm.rank(), file_.index, chunk.offset,
+                           chunk.length, area_->cfg_.check_ctx);
+      }
       // Warm hit: re-validated against the requested extent union for free.
       area_->cache_.pin(*e);
       f.entry = e;
       f.hit = true;
       ++st.hits;
       st.hit_bytes += pfs::total_bytes(f.extents);
+      if (e->owner != area_->tenant_) {
+        // The chunk was staged by another tenant's query — the sharing
+        // colcom::svc banks on (docs/SERVICE.md).
+        ++st.cross_query_hits;
+        st.cross_query_hit_bytes += pfs::total_bytes(f.extents);
+        stage_instant(comm, "stage.cross_query_hit");
+      }
       stage_instant(comm, "stage.hit");
       inflight_.push_back(std::move(f));
-      return;
+      return true;
     }
     // Same window, different request union — the cached bytes cover the
     // wrong extents. Never serve them; drop the entry and read fresh.
     area_->cache_.erase(f.key);
   }
+  const std::uint64_t want = pfs::total_bytes(f.extents);
+  if (speculative && !area_->readahead_admit(want)) {
+    // Over the readahead budget: refuse to deepen the pipeline. Nothing is
+    // enqueued, so the caller's cursor stays put and the chunk is fetched
+    // on demand when its turn comes.
+    ++st.readahead_denied;
+    return false;
+  }
+  if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
+    chk->on_stage_read(comm.rank(), file_.index, chunk.offset, chunk.length,
+                       area_->cfg_.check_ctx);
+  }
   ++st.misses;
-  if (speculative) ++st.prefetch_issued;
+  if (speculative) {
+    ++st.prefetch_issued;
+    f.spec_bytes = want;
+    area_->spec_inflight_bytes_ += want;
+    ++area_->spec_inflight_;
+  }
   try {
     issue_demand(f);
   } catch (const fault::Error&) {
@@ -459,6 +506,7 @@ void StagedReader::begin(pfs::ByteExtent chunk,
     f.issue_failed = true;
   }
   inflight_.push_back(std::move(f));
+  return true;
 }
 
 StagedReader::Chunk StagedReader::take() {
@@ -469,6 +517,10 @@ StagedReader::Chunk StagedReader::take() {
   Fetch f = std::move(inflight_.front());
   inflight_.pop_front();
   holding_ = true;
+  if (f.spec_bytes > 0) {
+    area_->spec_inflight_bytes_ -= f.spec_bytes;
+    --area_->spec_inflight_;
+  }
 
   Chunk out;
   if (f.chunk.length == 0) return out;
@@ -510,6 +562,7 @@ StagedReader::Chunk StagedReader::take() {
               : area_->cache_.insert(f.key, std::move(f.buf),
                                      std::move(f.extents), st);
   if (e != nullptr) {
+    e->owner = area_->tenant_;
     area_->cache_.pin(*e);
     held_entry_ = e;
     out.data = std::span<std::byte>(e->bytes);

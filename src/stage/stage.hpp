@@ -59,12 +59,24 @@ struct StageConfig {
   std::uint64_t write_behind_budget_bytes = 16ull << 20;
   /// Issue the read of chunk k+1 while chunk k is processed.
   bool prefetch = true;
+  /// How many chunks ahead of the one being processed the runtime may keep
+  /// in flight (1 = the classic k+1 overlap). Depths beyond the first
+  /// speculative fetch are admitted only while the readahead budget holds:
+  /// cache occupancy plus speculative in-flight bytes must fit
+  /// capacity_bytes, so deep readahead can never thrash the cache it is
+  /// trying to warm (denials count as readahead_denied).
+  int prefetch_depth = 1;
   /// Buffer dirty extents for a collective flush (wb_flush_collective)
   /// instead of draining them asynchronously as they are staged.
   bool wb_collective_flush = false;
   /// Burst-buffer bandwidth: cache hits and staging copies are charged at
   /// this rate (node-local NVRAM/DRAM, well above the PFS).
   double bb_bw = 12e9;
+  /// CHK-IO context of this area's staged accesses (cf.
+  /// romio::Hints::context): two areas on one rank driven by different
+  /// communicators should carry distinct contexts so the checker can tell
+  /// a flush of one from a flush of the other.
+  int check_ctx = 0;
 };
 
 /// Counters of one staging area, mirrored into stage.* trace metrics.
@@ -81,6 +93,11 @@ struct StageStats {
   std::uint64_t prefetch_fallbacks = 0; ///< failed prefetch -> demand read
   std::uint64_t uncacheable = 0;     ///< chunks served transiently (key clash)
   std::uint64_t stale_fetches = 0;   ///< fetches invalidated mid-flight
+  std::uint64_t readahead_denied = 0;  ///< deep prefetches over the budget
+  /// Hits where the cached chunk was populated by a different tenant's
+  /// query (multi-tenant sharing through colcom::svc; see docs/SERVICE.md).
+  std::uint64_t cross_query_hits = 0;
+  std::uint64_t cross_query_hit_bytes = 0;
   // Write-behind.
   std::uint64_t wb_writes = 0;
   std::uint64_t wb_bytes = 0;
@@ -116,6 +133,7 @@ class ChunkCache {
     int pins = 0;
     std::uint64_t lru = 0;
     bool doomed = false;  ///< invalidated while pinned; erased on unpin
+    int owner = 0;  ///< tenant whose query populated the entry (svc sharing)
   };
 
   /// Lookup; bumps the LRU clock. Doomed entries never match.
@@ -139,6 +157,9 @@ class ChunkCache {
                          StageStats& stats);
 
   void erase(const ChunkKey& k);
+  /// Bytes of live (non-doomed) entries of `file` — the residency score the
+  /// staging-aware aggregator placement ranks candidates by.
+  std::uint64_t file_bytes(int file) const;
   std::uint64_t occupancy() const { return bytes_; }
   std::uint64_t capacity() const { return capacity_; }
   std::size_t entries() const { return map_.size(); }
@@ -170,6 +191,26 @@ class StagingArea {
   const StageStats& stats() const { return stats_; }
   ChunkCache& cache() { return cache_; }
   mpi::Comm& comm() { return *comm_; }
+
+  /// Tenant whose query is currently driving this area (colcom::svc sets it
+  /// before every scheduler slice; standalone use stays at 0). Cache
+  /// entries remember the tenant that populated them, and a hit served to a
+  /// different tenant counts as a cross-query hit.
+  void set_tenant(int tenant) { tenant_ = tenant; }
+  int tenant() const { return tenant_; }
+
+  /// Cached bytes of `file` resident in this rank's chunk cache — the
+  /// placement score of staging-aware aggregator selection
+  /// (romio::Hints::staging_aware_placement).
+  std::uint64_t residency_bytes(pfs::FileId file) const {
+    return cache_.file_bytes(file.index);
+  }
+
+  /// True when a new speculative fetch of `bytes` fits the readahead
+  /// budget: the first speculative fetch is always admitted (the classic
+  /// k+1 overlap), deeper ones only while occupancy + speculative
+  /// in-flight bytes stay inside the cache budget.
+  bool readahead_admit(std::uint64_t bytes) const;
 
   /// Crash/replan hook: drops every cached chunk of `file` overlapping
   /// [lo, hi) — called by the runtime when a survivor absorbs a dead
@@ -234,6 +275,11 @@ class StagingArea {
   StageConfig cfg_;
   StageStats stats_;
   ChunkCache cache_;
+  int tenant_ = 0;
+  /// Bytes of speculative fetches currently in flight across this area's
+  /// readers (readahead budget accounting).
+  std::uint64_t spec_inflight_bytes_ = 0;
+  int spec_inflight_ = 0;
   std::deque<WbInflight> wb_inflight_;
   std::uint64_t wb_inflight_bytes_ = 0;
   std::deque<WbDirty> wb_buffered_;  ///< collective mode only
@@ -262,8 +308,11 @@ class StagedReader {
   /// Starts acquiring `chunk` over the union of `dreqs` (the plan's own
   /// domain requests, or an absorbed dead-aggregator domain). `speculative`
   /// marks prefetches: a fault::Error during a speculative issue is
-  /// swallowed and the fetch degrades to a demand read at take().
-  void begin(pfs::ByteExtent chunk,
+  /// swallowed and the fetch degrades to a demand read at take(). Returns
+  /// false — with nothing begun — when a speculative fetch would overrun
+  /// the readahead budget; the caller retries it as a demand read when the
+  /// chunk's turn comes (StageStats::readahead_denied).
+  bool begin(pfs::ByteExtent chunk,
              const std::vector<romio::FlatRequest>& dreqs, bool speculative);
 
   struct Chunk {
@@ -297,6 +346,7 @@ class StagedReader {
     std::vector<std::byte> buf;          ///< miss landing buffer
     std::vector<pfs::ByteExtent> extents;
     double issued_at = 0;
+    std::uint64_t spec_bytes = 0;  ///< readahead budget held until take()
     bool speculative = false;
     bool hit = false;
     bool issue_failed = false;  ///< speculative issue hit fault::Error

@@ -1,0 +1,319 @@
+#include "svc/svc.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "fault/chaos.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::svc {
+
+namespace {
+
+/// Stride-scheduling scale: pass advances by slice_cost * kPassScale /
+/// weight, so integer division keeps useful resolution for weights well
+/// beyond any realistic tenant count.
+constexpr std::uint64_t kPassScale = 1ull << 16;
+
+/// Latency histogram buckets (virtual seconds) of the per-tenant
+/// svc.latency_s.tenant<k> metrics.
+std::vector<double> latency_bounds() {
+  return {0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64};
+}
+
+void accumulate(core::CcStats& into, const core::CcStats& s) {
+  into.plan_s += s.plan_s;
+  into.io_s += s.io_s;
+  into.map_s += s.map_s;
+  into.construct_s += s.construct_s;
+  into.shuffle_s += s.shuffle_s;
+  into.reduce_s += s.reduce_s;
+  into.total_s += s.total_s;
+  into.bytes_read += s.bytes_read;
+  into.shuffle_bytes += s.shuffle_bytes;
+  into.metadata_bytes += s.metadata_bytes;
+  into.partial_count += s.partial_count;
+  into.logical_runs += s.logical_runs;
+  // `elements` describes the rank's subset, not work done — identical every
+  // slice, so keep the last value instead of summing.
+  into.elements = s.elements;
+  into.chunks_verified += s.chunks_verified;
+  into.verify_rereads += s.verify_rereads;
+  into.replans += s.replans;
+  into.absorbed_chunks += s.absorbed_chunks;
+  into.io_fallbacks += s.io_fallbacks;
+  into.warm_chunks += s.warm_chunks;
+}
+
+}  // namespace
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::fifo: return "fifo";
+    case Policy::priority: return "priority";
+    case Policy::weighted_fair: return "weighted_fair";
+  }
+  return "?";
+}
+
+ServiceContext::ServiceContext(mpi::Comm& comm, ServiceConfig cfg)
+    : comm_(&comm), cfg_(std::move(cfg)) {
+  COLCOM_EXPECT(cfg_.slice_iters >= 1);
+  COLCOM_EXPECT(cfg_.max_concurrent >= 1);
+  staging_ = std::make_unique<stage::StagingArea>(comm, cfg_.stage);
+}
+
+ServiceContext::~ServiceContext() = default;
+
+int ServiceContext::register_dataset(const ncio::Dataset& ds) {
+  datasets_.push_back(&ds);
+  return static_cast<int>(datasets_.size()) - 1;
+}
+
+void ServiceContext::bump_metric(const char* name, std::uint64_t delta) {
+  // The metrics registry is process-global across the world's fibers;
+  // rank 0 reports for everyone (the scheduler state is replicated anyway).
+  if (comm_->rank() != 0) return;
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    tr->metrics().counter(name).add(delta);
+  }
+}
+
+JobId ServiceContext::submit(JobSpec spec) {
+  COLCOM_EXPECT(spec.io.op.valid());
+  COLCOM_EXPECT_MSG(!spec.io.blocking && spec.io.collective,
+                    "the service schedules collective-computing jobs");
+  COLCOM_EXPECT(spec.weight >= 1);
+  COLCOM_EXPECT(spec.dataset >= 0 &&
+                spec.dataset < static_cast<int>(datasets_.size()));
+  auto j = std::make_unique<Job>();
+  j->id = static_cast<JobId>(jobs_.size());
+  j->ds = datasets_[static_cast<std::size_t>(spec.dataset)];
+  j->submitted_s = comm_->wtime();
+
+  // Build the job's plan now (collective): scheduling and overlap-affinity
+  // admission need the globally agreed byte range, and staging-aware
+  // placement wants the residency the shared area has *at submit time*.
+  const ncio::Dataset& ds = *j->ds;
+  const auto req = ds.slab_request(spec.io.var, spec.io.start, spec.io.count);
+  const romio::Hints hints =
+      core::detail::cc_hints(spec.io, mpi::prim_size(ds.info(spec.io.var).prim));
+  const double t0 = comm_->wtime();
+  j->plan = romio::build_plan(*comm_, req, hints,
+                              staging_->residency_bytes(ds.file()));
+  j->cc.plan_s = comm_->wtime() - t0;
+
+  j->spec = std::move(spec);
+  const JobId id = j->id;
+  queue_.push_back(id);
+  jobs_.push_back(std::move(j));
+  ++stats_.submitted;
+  bump_metric("svc.jobs_submitted");
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    tr->instant(trace::Track::ranks, comm_->rank(), "svc", "svc.submit",
+                comm_->wtime());
+  }
+  return id;
+}
+
+void ServiceContext::admit() {
+  while (static_cast<int>(admitted_.size()) < cfg_.max_concurrent &&
+         !queue_.empty()) {
+    std::size_t take = 0;  // FIFO default: the oldest queued job
+    if (cfg_.overlap_affinity && !admitted_.empty()) {
+      // Prefer the oldest queued job whose byte range overlaps a job
+      // already in the rotation: overlapping queries admitted together
+      // share staged chunks while they are still resident. Ranges come
+      // from the collectively built plans, so every rank picks the same
+      // job.
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const Job& cand = *jobs_[static_cast<std::size_t>(queue_[i])];
+        const bool overlaps = std::any_of(
+            admitted_.begin(), admitted_.end(), [&](JobId a) {
+              const Job& run = *jobs_[static_cast<std::size_t>(a)];
+              return cand.spec.dataset == run.spec.dataset &&
+                     cand.plan.gmin < run.plan.gmax &&
+                     run.plan.gmin < cand.plan.gmax;
+            });
+        if (overlaps) {
+          take = i;
+          break;
+        }
+      }
+      if (take != 0) {
+        ++stats_.affinity_admissions;
+        bump_metric("svc.affinity_admissions");
+      }
+    }
+    const JobId id = queue_[take];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    Job& j = *jobs_[static_cast<std::size_t>(id)];
+    j.st = JobState::admitted;
+    j.admitted_s = comm_->wtime();
+    // A job entering the WFQ rotation starts at the minimum pass of the
+    // running set so it cannot starve nor monopolize.
+    std::uint64_t floor_pass = 0;
+    bool first = true;
+    for (JobId a : admitted_) {
+      const Job& run = *jobs_[static_cast<std::size_t>(a)];
+      floor_pass = first ? run.pass : std::min(floor_pass, run.pass);
+      first = false;
+    }
+    j.pass = floor_pass;
+    admitted_.push_back(id);
+    bump_metric("svc.admissions");
+  }
+}
+
+ServiceContext::Job* ServiceContext::pick_next() {
+  COLCOM_EXPECT(!admitted_.empty());
+  JobId best = admitted_.front();
+  for (JobId id : admitted_) {
+    const Job& j = *jobs_[static_cast<std::size_t>(id)];
+    const Job& b = *jobs_[static_cast<std::size_t>(best)];
+    switch (cfg_.policy) {
+      case Policy::fifo:
+        if (id < best) best = id;
+        break;
+      case Policy::priority:
+        if (j.spec.priority > b.spec.priority ||
+            (j.spec.priority == b.spec.priority && id < best)) {
+          best = id;
+        }
+        break;
+      case Policy::weighted_fair:
+        if (j.pass < b.pass || (j.pass == b.pass && id < best)) best = id;
+        break;
+    }
+  }
+  return jobs_[static_cast<std::size_t>(best)].get();
+}
+
+bool ServiceContext::chaos_abort(const Job& j) {
+  if (abort_fired_) return false;
+  fault::Injector* fi = comm_->runtime().chaos();
+  if (fi == nullptr) return false;
+  return fi->schedule().config().svc_abort_slice > 0 &&
+         fi->schedule().svc_abort_at(j.spec.tenant, j.slices + 1);
+}
+
+void ServiceContext::finish(Job& j, bool aborted) {
+  j.st = aborted ? JobState::aborted : JobState::done;
+  j.finished_s = comm_->wtime();
+  j.mid.clear();
+  std::erase(admitted_, j.id);
+  if (aborted) {
+    ++stats_.aborted;
+    bump_metric("svc.jobs_aborted");
+    if (fault::Injector* fi = comm_->runtime().chaos();
+        fi != nullptr && comm_->rank() == 0) {
+      fi->note_job_abort();
+    }
+    return;
+  }
+  ++stats_.completed;
+  bump_metric("svc.jobs_completed");
+  const double lat = j.finished_s - j.submitted_s;
+  tenant_lat_[j.spec.tenant].add(lat);
+  if (trace::Tracer* tr = trace::Tracer::current();
+      tr != nullptr && comm_->rank() == 0) {
+    tr->metrics()
+        .histogram("svc.latency_s.tenant" + std::to_string(j.spec.tenant),
+                   latency_bounds())
+        .observe(lat);
+  }
+}
+
+void ServiceContext::run_slice(Job& j) {
+  // The shared area attributes this slice's cache traffic to the tenant:
+  // hits on chunks another tenant staged count as cross-query sharing.
+  staging_->set_tenant(j.spec.tenant);
+  core::RunOptions ropt;
+  ropt.staging = staging_.get();
+  ropt.begin_iter = j.next_iter;
+  const int upto = std::min(j.next_iter + cfg_.slice_iters, j.plan.n_iters);
+  ropt.end_iter = upto;
+  ropt.mid = &j.mid;
+  core::CcOutput out;
+  const core::CcStats s = core::collective_compute_with_plan(
+      *comm_, *j.ds, j.spec.io, j.plan, out, ropt);
+  accumulate(j.cc, s);
+  j.next_iter = upto;
+  ++j.slices;
+  ++stats_.slices;
+  bump_metric("svc.slices");
+  if (upto >= j.plan.n_iters) {
+    // The closing slice ran the final reduce; this is the job's output.
+    j.out = out;
+    finish(j, /*aborted=*/false);
+  } else if (cfg_.policy == Policy::weighted_fair) {
+    const auto cost = static_cast<std::uint64_t>(upto - ropt.begin_iter);
+    j.pass += std::max<std::uint64_t>(cost, 1) * kPassScale /
+              static_cast<std::uint64_t>(j.spec.weight);
+  }
+}
+
+void ServiceContext::run_all() {
+  while (!queue_.empty() || !admitted_.empty()) {
+    admit();
+    Job* j = pick_next();
+    if (chaos_abort(*j)) {
+      // Tenant-local fault: the job dies between slices, where no
+      // collective is in flight — every rank agrees (the schedule is pure
+      // seeded data), so the remaining jobs' collective sequences stay
+      // aligned and nobody else even stalls.
+      abort_fired_ = true;
+      finish(*j, /*aborted=*/true);
+      continue;
+    }
+    if (j->id != last_run_) {
+      if (last_run_ >= 0) ++stats_.switches;
+      last_run_ = j->id;
+    }
+    run_slice(*j);
+  }
+}
+
+JobState ServiceContext::state(JobId id) const { return job_at(id).st; }
+
+const core::CcOutput& ServiceContext::output(JobId id) const {
+  const Job& j = job_at(id);
+  COLCOM_EXPECT_MSG(j.st == JobState::done, "output of an unfinished job");
+  return j.out;
+}
+
+const core::CcStats& ServiceContext::job_stats(JobId id) const {
+  return job_at(id).cc;
+}
+
+double ServiceContext::latency_s(JobId id) const {
+  const Job& j = job_at(id);
+  COLCOM_EXPECT(j.st == JobState::done || j.st == JobState::aborted);
+  return j.finished_s - j.submitted_s;
+}
+
+int ServiceContext::slices_run(JobId id) const { return job_at(id).slices; }
+
+const ServiceContext::Job& ServiceContext::job_at(JobId id) const {
+  COLCOM_EXPECT(id >= 0 && id < static_cast<JobId>(jobs_.size()));
+  return *jobs_[static_cast<std::size_t>(id)];
+}
+
+core::CcStats run_query(mpi::Comm& comm, const ncio::Dataset& ds,
+                        const core::ObjectIO& io, core::CcOutput& out,
+                        ServiceConfig cfg) {
+  ServiceContext ctx(comm, std::move(cfg));
+  JobSpec spec;
+  spec.name = "query";
+  spec.dataset = ctx.register_dataset(ds);
+  spec.io = io;
+  const JobId id = ctx.submit(std::move(spec));
+  ctx.run_all();
+  out = ctx.output(id);
+  return ctx.job_stats(id);
+}
+
+}  // namespace colcom::svc

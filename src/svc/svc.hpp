@@ -1,0 +1,212 @@
+// colcom::svc — the multi-tenant analysis service: a query frontend and
+// scheduler that admits N concurrent analysis jobs (different variables,
+// hyperslabs, kernels, priorities) over the same store inside one DES
+// world (cf. Wozniak et al., "Big Data Staging with MPI-IO for Interactive
+// X-ray Science": many interactive users sharing staged beam-line data).
+//
+// The execution model is deterministic cooperative time-slicing. A
+// svc::Job wraps the core runtime's partial-window machinery
+// (core::RunOptions{begin_iter, end_iter, mid}): each scheduler slice runs
+// a bounded number of aggregation iterations of one job and parks its
+// accumulator state, so N jobs interleave at chunk granularity while each
+// job's floating-point combine order — and therefore its result, bit for
+// bit — is exactly that of a solo run. True virtual-time overlap of two
+// collectives on one communicator would scramble message matching; slicing
+// provides the concurrency without touching the data plane.
+//
+// All scheduling decisions derive only from data every rank holds
+// identically (job specs, plans, iteration counts — never local wtime()),
+// so every rank computes the same schedule and the sequential collective
+// calls match by per-pair FIFO ordering.
+//
+// Sharing happens in the staging layer: every job of a ServiceContext runs
+// over one shared stage::StagingArea per rank, so a chunk staged by one
+// tenant's query is a warm hit for an overlapping query of another tenant
+// (stage.cross_query_hits). The scheduler adds admission control on top: at
+// most max_concurrent jobs interleave at a time, and overlap-affinity
+// admission pulls queued jobs whose byte ranges overlap the running set
+// forward so overlapping reads batch in cache-reuse distance.
+//
+// Fault integration: a tenant-local chaos abort
+// (fault::ChaosConfig::svc_abort_*) drops exactly one job between slices —
+// no collective is in flight, so every other job proceeds untouched — and
+// rank faults inside a slice (role crashes, storage faults) are handled by
+// the core runtime's watch/replan machinery with bit-identical recovery.
+// See docs/SERVICE.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/object_io.hpp"
+#include "core/runtime.hpp"
+#include "mpi/comm.hpp"
+#include "ncio/dataset.hpp"
+#include "romio/plan.hpp"
+#include "stage/stage.hpp"
+#include "util/stats.hpp"
+
+namespace colcom::svc {
+
+/// Scheduling policies behind one interface (ServiceConfig::policy).
+enum class Policy {
+  fifo,           ///< strict submission order
+  priority,       ///< highest JobSpec::priority first; FIFO inside a level
+  weighted_fair,  ///< stride scheduling over JobSpec::weight
+};
+
+const char* to_string(Policy p);
+
+/// Knobs of one service instance. Every rank of the communicator must
+/// construct with identical values — the scheduler state machine runs
+/// replicated on all ranks.
+struct ServiceConfig {
+  Policy policy = Policy::fifo;
+  /// Aggregation iterations one scheduler slice runs before the job is
+  /// preempted (the quantum, in chunks).
+  int slice_iters = 2;
+  /// Admission budget: jobs interleaving slices at any moment. Queued jobs
+  /// wait — that is the concurrency bound under PFS/network contention.
+  int max_concurrent = 4;
+  /// When admitting into free budget, prefer queued jobs whose byte range
+  /// overlaps an already-admitted job's range, so overlapping queries run
+  /// close together and share staged chunks (cache-distance batching).
+  /// Never reorders across the completion guarantees of the policy — it
+  /// only picks among jobs that are all eligible for admission.
+  bool overlap_affinity = true;
+  /// Config of the shared per-rank staging area every job runs over.
+  stage::StageConfig stage;
+};
+
+using JobId = int;
+
+/// One tenant query. `io` is this rank's share of the hyperslab (like any
+/// collective_compute call); every field the scheduler reads — tenant,
+/// dataset, priority, weight, name — must be identical on all ranks.
+struct JobSpec {
+  std::string name;
+  int tenant = 0;
+  int dataset = 0;  ///< ServiceContext::register_dataset index
+  core::ObjectIO io;
+  int priority = 0;  ///< larger runs earlier under Policy::priority
+  int weight = 1;    ///< relative share under Policy::weighted_fair
+};
+
+enum class JobState : std::uint8_t { queued, admitted, done, aborted };
+
+/// Aggregate service counters, mirrored into svc.* metrics on rank 0.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;   ///< tenant-local chaos aborts
+  std::uint64_t slices = 0;    ///< scheduler quanta executed
+  std::uint64_t switches = 0;  ///< quanta that changed the running job
+  std::uint64_t affinity_admissions = 0;  ///< overlap-preferred admissions
+};
+
+/// The service frontend. Owns the dataset registry, the shared staging
+/// area, the job table and the scheduler; all methods taking part in
+/// execution are collective over the construction communicator.
+class ServiceContext {
+ public:
+  /// Collective. The shared staging area is created here and lives as long
+  /// as the context, so warm chunks persist across jobs and run_all calls.
+  explicit ServiceContext(mpi::Comm& comm, ServiceConfig cfg = {});
+  ~ServiceContext();
+
+  ServiceContext(const ServiceContext&) = delete;
+  ServiceContext& operator=(const ServiceContext&) = delete;
+
+  /// Registers a dataset and returns its JobSpec::dataset index. Call in
+  /// the same order on every rank; the dataset must outlive the context.
+  int register_dataset(const ncio::Dataset& ds);
+
+  /// Admits a query into the service (collective: the two-phase plan is
+  /// built here, with staging-aware aggregator placement when
+  /// spec.io.hints asks for it). The job starts queued; run_all executes.
+  JobId submit(JobSpec spec);
+
+  /// Runs the scheduler until every submitted job is done or aborted
+  /// (collective). May be called repeatedly: submit more, run again — the
+  /// staging cache stays warm in between.
+  void run_all();
+
+  // --- results & introspection (valid after run_all) ---
+
+  JobState state(JobId id) const;
+  /// Reduction output of a finished job — bit-identical to a solo
+  /// collective_compute of the same spec over the same plan shape.
+  const core::CcOutput& output(JobId id) const;
+  /// Accumulated runtime stats over the job's slices.
+  const core::CcStats& job_stats(JobId id) const;
+  /// Submit-to-finish latency in virtual seconds (this rank's clock).
+  double latency_s(JobId id) const;
+  int slices_run(JobId id) const;
+
+  const ServiceStats& stats() const { return stats_; }
+  stage::StagingArea& staging() { return *staging_; }
+  mpi::Comm& comm() { return *comm_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+  /// Completion-latency samples of one tenant's finished jobs (empty
+  /// SampleStats when the tenant finished nothing). percentile(50/95/99)
+  /// gives the per-tenant P50/P95/P99 the benches report.
+  SampleStats& tenant_latency(int tenant) { return tenant_lat_[tenant]; }
+
+ private:
+  struct Job {
+    JobId id = -1;
+    JobSpec spec;
+    const ncio::Dataset* ds = nullptr;
+    romio::TwoPhasePlan plan;
+    JobState st = JobState::queued;
+    std::vector<std::byte> mid;  ///< parked accumulator state between slices
+    int next_iter = 0;
+    int slices = 0;
+    std::uint64_t pass = 0;  ///< stride-scheduling virtual time (WFQ)
+    core::CcOutput out;
+    core::CcStats cc;
+    double submitted_s = 0;
+    double admitted_s = 0;
+    double finished_s = 0;
+  };
+
+  const Job& job_at(JobId id) const;
+  /// Moves queued jobs into the admitted set while budget remains.
+  void admit();
+  /// The next admitted job to run one slice, per policy. Never null while
+  /// the admitted set is non-empty.
+  Job* pick_next();
+  /// True when chaos schedules a tenant-local abort of `j`'s next slice.
+  bool chaos_abort(const Job& j);
+  void run_slice(Job& j);
+  void finish(Job& j, bool aborted);
+  void bump_metric(const char* name, std::uint64_t delta = 1);
+
+  mpi::Comm* comm_;
+  ServiceConfig cfg_;
+  std::vector<const ncio::Dataset*> datasets_;
+  std::unique_ptr<stage::StagingArea> staging_;
+  std::vector<std::unique_ptr<Job>> jobs_;  ///< by JobId
+  std::deque<JobId> queue_;                 ///< submitted, not yet admitted
+  std::vector<JobId> admitted_;             ///< interleaving slice rotation
+  std::map<int, SampleStats> tenant_lat_;   ///< finished-job latency samples
+  ServiceStats stats_;
+  JobId last_run_ = -1;      ///< switch accounting
+  bool abort_fired_ = false; ///< the chaos abort strikes at most once
+};
+
+/// Single-query convenience: a one-job service — submit, drain, return the
+/// stats. Shows the wrapper relationship the refactor keeps: a solo
+/// core::collective_compute and a one-tenant service run the same
+/// plan-based kernel (collective_compute_with_plan) and produce
+/// bit-identical output.
+core::CcStats run_query(mpi::Comm& comm, const ncio::Dataset& ds,
+                        const core::ObjectIO& io, core::CcOutput& out,
+                        ServiceConfig cfg = {});
+
+}  // namespace colcom::svc

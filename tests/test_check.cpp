@@ -19,7 +19,9 @@
 #include "mpi/op.hpp"
 #include "mpi/runtime.hpp"
 #include "ncio/dataset.hpp"
+#include "pfs/store.hpp"
 #include "romio/plan.hpp"
+#include "stage/stage.hpp"
 #include "util/assert.hpp"
 
 namespace colcom {
@@ -391,6 +393,77 @@ TEST(CheckHint, IdenticalHintsStaySilent) {
     (void)romio::build_plan(c, mine, hints);
   });
   EXPECT_EQ(cs.checker().count(check::Rule::hint_mismatch), 0u);
+}
+
+// ---------------- CHK-IO across communicators ----------------
+
+TEST(CheckIoCtx, FlushOfOneContextKeepsTheOtherContextDirty) {
+  // Seeded bug: two staging areas on one rank, driven by different
+  // communicators (contexts 1 and 2). Flushing context 2 must not act as an
+  // epoch for context 1's staged write — the later overlapping read still
+  // races context 1's drain and is flagged, naming both contexts.
+  check::CheckSession cs(check::Mode::report);
+  check::Checker& ck = cs.checker();
+  mpi::Runtime rt(small_machine(), 1);
+  rt.run([&](mpi::Comm&) {
+    ck.on_stage_write(0, /*file=*/3, 0, 4096, /*ctx=*/1);
+    ck.on_stage_flush(0, /*ctx=*/2);  // the wrong communicator's epoch
+    ck.on_stage_read(0, /*file=*/3, 1024, 512, /*ctx=*/2);
+  });
+  ASSERT_GE(ck.count(check::Rule::io_overlap), 1u);
+  const auto it = std::find_if(ck.findings().begin(), ck.findings().end(),
+                               [](const check::Diagnostic& d) {
+                                 return d.rule == check::Rule::io_overlap;
+                               });
+  ASSERT_NE(it, ck.findings().end());
+  EXPECT_TRUE(contains(it->message, "different communicators"));
+
+  // The matching flush is a real epoch: the re-read stays silent. And a
+  // ctx-less flush (-1) is the conservative all-contexts epoch.
+  ck.clear();
+  mpi::Runtime rt2(small_machine(), 1);
+  rt2.run([&](mpi::Comm&) {
+    ck.on_stage_write(0, 3, 0, 4096, 1);
+    ck.on_stage_flush(0, 1);
+    ck.on_stage_read(0, 3, 1024, 512, 1);
+
+    ck.on_stage_write(0, 3, 0, 4096, 1);
+    ck.on_stage_write(0, 3, 8192, 4096, 2);
+    ck.on_stage_flush(0);
+    ck.on_stage_read(0, 3, 0, 512, 1);
+    ck.on_stage_read(0, 3, 8192, 512, 2);
+  });
+  EXPECT_EQ(ck.count(check::Rule::io_overlap), 0u);
+}
+
+TEST(CheckIoCtx, StagingAreasCarryTheirConfiguredContext) {
+  // The same bug through the real staging plumbing: two areas with distinct
+  // StageConfig::check_ctx on one rank. Area B's flush must not silence
+  // area A's dirty extent.
+  check::CheckSession cs(check::Mode::report);
+  mpi::Runtime rt(small_machine(), 2);
+  auto file = rt.fs().create("f", std::make_unique<pfs::MemStore>(1 << 16));
+  rt.run([&](mpi::Comm& c) {
+    if (c.rank() != 0) return;
+    stage::StageConfig ca, cb;
+    ca.check_ctx = 1;
+    cb.check_ctx = 2;
+    stage::StagingArea a(c, ca);
+    stage::StagingArea b(c, cb);
+    std::vector<std::byte> data(1024, std::byte{0x5a});
+    a.wb_write(file, 0, data);
+    b.wb_flush();  // flushes only context 2 — A's write stays dirty
+    stage::StagedReader sr(b, rt.fs(), file, 0, nullptr);
+    std::vector<romio::FlatRequest> dreqs;
+    dreqs.push_back(romio::FlatRequest({{0, 1024}}));
+    (void)sr.begin(pfs::ByteExtent{0, 1024}, dreqs, false);
+    (void)sr.take();
+    sr.release();
+    a.wb_flush();
+  });
+  ASSERT_GE(cs.checker().count(check::Rule::io_overlap), 1u);
+  EXPECT_TRUE(
+      contains(cs.checker().findings()[0].message, "different communicators"));
 }
 
 TEST(CheckSessionNesting, SessionStacksOverEnvChecker) {

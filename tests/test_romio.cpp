@@ -106,6 +106,42 @@ TEST(Plan, DomainsPartitionGlobalRange) {
   EXPECT_EQ(plan.n_iters, 8);
 }
 
+TEST(Plan, StagingAwarePlacementPicksWarmRanksFirst) {
+  mpi::Runtime rt(small_machine(), 8);
+  TwoPhasePlan warm_plan, cold_plan;
+  rt.run([&](mpi::Comm& c) {
+    FlatRequest mine({{static_cast<std::uint64_t>(c.rank()) * 1000, 500}});
+    Hints h;
+    h.cb_buffer_size = 512;
+    h.staging_aware_placement = true;
+    // Ranks 6 and 2 hold staged bytes of the target file; everyone else is
+    // cold. The warm ranks must be picked over the spaced default {0, 4},
+    // highest residency first.
+    std::uint64_t residency = 0;
+    if (c.rank() == 6) residency = 64 << 10;
+    if (c.rank() == 2) residency = 16 << 10;
+    auto p = build_plan(c, mine, h, residency);
+    if (c.rank() == 0) warm_plan = p;
+    // An all-cold exchange must reproduce the default spaced placement —
+    // same aggregators, same domains, same iteration count.
+    auto q = build_plan(c, mine, h, 0);
+    if (c.rank() == 0) cold_plan = q;
+  });
+  ASSERT_EQ(warm_plan.aggregator_count(), 2);
+  EXPECT_EQ(warm_plan.aggregators[0], 6);
+  EXPECT_EQ(warm_plan.aggregators[1], 2);
+  ASSERT_EQ(cold_plan.aggregator_count(), 2);
+  EXPECT_EQ(cold_plan.aggregators[0], 0);
+  EXPECT_EQ(cold_plan.aggregators[1], 4);
+  // Placement moves the serving ranks, never the work: the domain partition
+  // and the chunking are those of the default plan.
+  EXPECT_EQ(warm_plan.gmin, cold_plan.gmin);
+  EXPECT_EQ(warm_plan.gmax, cold_plan.gmax);
+  EXPECT_EQ(warm_plan.n_iters, cold_plan.n_iters);
+  EXPECT_EQ(warm_plan.fd_begin, cold_plan.fd_begin);
+  EXPECT_EQ(warm_plan.fd_end, cold_plan.fd_end);
+}
+
 TEST(Plan, StripeAlignedDomains) {
   mpi::Runtime rt(small_machine(), 8);
   std::uint64_t boundary = 0;

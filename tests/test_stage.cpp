@@ -216,6 +216,39 @@ TEST(Staging, PrefetchOverlapBeatsPrefetchOff) {
   EXPECT_EQ(std::memcmp(&r_on.value[1], &r_off.value[1], sizeof(float)), 0);
 }
 
+TEST(Staging, DeepPrefetchWithHeadroomIsNoSlowerAndIdentical) {
+  stage::StageConfig deep, shallow;
+  deep.prefetch_depth = 4;
+  const StagedRun r_deep = run_two_steps(deep, true);
+  const StagedRun r_d1 = run_two_steps(shallow, true);
+  EXPECT_GE(r_deep.stats.prefetch_issued, r_d1.stats.prefetch_issued);
+  EXPECT_EQ(r_deep.stats.readahead_denied, 0u);  // ample budget: no vetoes
+  EXPECT_LE(r_deep.elapsed, r_d1.elapsed);
+  EXPECT_EQ(std::memcmp(&r_deep.value[0], &r_d1.value[0], sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(&r_deep.value[1], &r_d1.value[1], sizeof(float)), 0);
+}
+
+TEST(Staging, DeepPrefetchUnderEvictionPressureIsThrottledAndCorrect) {
+  // One-chunk budget with depth 4: the readahead budget (shared with the
+  // cache budget) must deny the deep speculative fetches instead of letting
+  // them evict chunks before their turn. The throttled run does exactly the
+  // PFS work of the depth-1 run — no speculation-induced re-reads — and the
+  // values never change.
+  stage::StageConfig tight;
+  tight.capacity_bytes = 4096;
+  stage::StageConfig tight_deep = tight;
+  tight_deep.prefetch_depth = 4;
+  const StagedRun r_deep = run_two_steps(tight_deep, true);
+  const StagedRun r_d1 = run_two_steps(tight, true);
+  const StagedRun plain = run_two_steps(stage::StageConfig{}, false);
+  EXPECT_GT(r_deep.stats.readahead_denied, 0u);
+  EXPECT_EQ(r_deep.stats.misses, r_d1.stats.misses);
+  EXPECT_EQ(r_deep.stats.read_bytes, r_d1.stats.read_bytes);
+  EXPECT_LE(r_deep.stats.evictions, r_d1.stats.evictions);
+  EXPECT_EQ(std::memcmp(&r_deep.value[0], &plain.value[0], sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(&r_deep.value[1], &plain.value[1], sizeof(float)), 0);
+}
+
 // ---------------- prefetch raced against an aggregator crash -------------
 
 TEST(Staging, CrashReplanInvalidatesStagedChunksBitIdentically) {
