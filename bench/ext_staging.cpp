@@ -89,6 +89,7 @@ Run run_config(const Config& c) {
     res.stats.read_bytes += st.read_bytes;
     res.stats.prefetch_issued += st.prefetch_issued;
     res.stats.prefetch_wasted += st.prefetch_wasted;
+    res.stats.readahead_denied += st.readahead_denied;
   }
   return res;
 }
@@ -100,7 +101,7 @@ void print_json(const Config& c, const Run& r) {
       "\"cold_step_s\":%.9f,\"warm_step_s\":%.9f,\"hits\":%llu,"
       "\"misses\":%llu,\"evictions\":%llu,\"hit_bytes\":%llu,"
       "\"read_bytes\":%llu,\"prefetch_issued\":%llu,"
-      "\"prefetch_wasted\":%llu,\"value\":%.9g}\n",
+      "\"prefetch_wasted\":%llu,\"readahead_denied\":%llu,\"value\":%.9g}\n",
       c.name.c_str(), kSteps, static_cast<unsigned long long>(c.capacity),
       c.prefetch ? "true" : "false", r.elapsed, r.cold_s, r.warm_s,
       static_cast<unsigned long long>(r.stats.hits),
@@ -109,7 +110,8 @@ void print_json(const Config& c, const Run& r) {
       static_cast<unsigned long long>(r.stats.hit_bytes),
       static_cast<unsigned long long>(r.stats.read_bytes),
       static_cast<unsigned long long>(r.stats.prefetch_issued),
-      static_cast<unsigned long long>(r.stats.prefetch_wasted), r.value);
+      static_cast<unsigned long long>(r.stats.prefetch_wasted),
+      static_cast<unsigned long long>(r.stats.readahead_denied), r.value);
 }
 
 }  // namespace

@@ -56,24 +56,43 @@ configure_asan() {
 chaos_stage() {
   step "chaos build (fault suites under ASan/UBSan)"
   cmake --build "$BUILD_DIR-asan" -j "$(nproc)" \
-    --target test_fault test_fault_net test_ft
+    --target test_fault test_fault_net test_ft test_svc_recovery ext_soak
   sanitizer_env
   # COLCOM_CHECK=1: the correctness checker must stay silent across every
   # chaos seed — retransmissions, failovers and replans are not races.
   # test_ft carries the metadata-exchange crash points (plan exchange,
   # crash-watch, collective flush, mid-map) plus the ULFM shrink/agree
-  # primitives; sweeping its seeds exercises recovery at shifted timestamps.
+  # primitives; test_svc_recovery the service-level resubmit-from-mid path
+  # (shrunken worlds, retry budgets, deadlines mid-retry); sweeping seeds
+  # exercises recovery at shifted timestamps.
   for seed in $CHAOS_SEEDS; do
     step "chaos run (COLCOM_CHAOS_SEED=$seed, COLCOM_CHECK=1)"
     COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
       "$BUILD_DIR-asan/tests/test_fault_net"
     COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
       "$BUILD_DIR-asan/tests/test_ft"
+    COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
+      "$BUILD_DIR-asan/tests/test_svc_recovery"
   done
   # test_fault is seed-independent (storage faults roll from pfs.fault_seed);
   # one sanitizer pass suffices.
   step "chaos run (storage fault suite)"
   COLCOM_CHECK=1 timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_fault"
+  # The long-horizon soak: hundreds of jobs against composed faults
+  # (message loss, stragglers, role crashes, process deaths, tenant aborts).
+  # The seed moves the fault weather only — the job mix is fixed — so the
+  # end-state invariants (never lost, bit-identical, structured reasons,
+  # zero leaked extents) must hold at every seed. Two seeds bound the stage.
+  for seed in 1 7; do
+    step "chaos soak (ext_soak, COLCOM_CHAOS_SEED=$seed, COLCOM_CHECK=1)"
+    SOAK_OUT="$(COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
+      "$BUILD_DIR-asan/bench/ext_soak")"
+    echo "$SOAK_OUT"
+    if grep -q "shape MISS" <<<"$SOAK_OUT"; then
+      echo "ext_soak shape check failed (seed $seed)" >&2
+      exit 1
+    fi
+  done
 }
 
 if [[ $ONLY_CHAOS -eq 1 ]]; then

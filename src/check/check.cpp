@@ -23,6 +23,17 @@ std::map<int, std::string>& tag_registry() {
   return reg;
 }
 
+struct TagRange {
+  int lo = 0;
+  int hi = 0;
+  std::string name;
+};
+
+std::vector<TagRange>& tag_range_registry() {
+  static std::vector<TagRange> reg;
+  return reg;
+}
+
 /// check.* metric name for a rule.
 std::string metric_name(Rule r) {
   switch (r) {
@@ -95,10 +106,23 @@ void register_tag(int tag, std::string name) {
   tag_registry().emplace(tag, std::move(name));
 }
 
+void register_tag_range(int lo, int hi, std::string name) {
+  COLCOM_EXPECT(lo < hi);
+  tag_range_registry().push_back(TagRange{lo, hi, std::move(name)});
+}
+
 std::string describe_tag(int tag) {
   const auto& reg = tag_registry();
   if (auto it = reg.find(tag); it != reg.end()) {
     return it->second + "(" + std::to_string(tag) + ")";
+  }
+  // Ranges name families of derived tags (e.g. the per-attempt salted
+  // data-plane tags of resubmitted service slices) that are impractical to
+  // enumerate one by one. First registered match wins.
+  for (const TagRange& r : tag_range_registry()) {
+    if (tag >= r.lo && tag < r.hi) {
+      return r.name + "(" + std::to_string(tag) + ")";
+    }
   }
   return std::to_string(tag);
 }

@@ -120,6 +120,11 @@ std::uint64_t checksum(std::span<const std::byte> bytes);
 /// Names an internal (negative) tag for diagnostics. Modules register their
 /// reserved tags once; unknown tags render as the bare number.
 void register_tag(int tag, std::string name);
+/// Names the half-open tag range [lo, hi) for diagnostics — used by
+/// families of derived tags (per-attempt salted data-plane tags of
+/// resubmitted service slices) too numerous to enumerate. Exact
+/// registrations take precedence over ranges.
+void register_tag_range(int lo, int hi, std::string name);
 std::string describe_tag(int tag);
 
 class Checker {

@@ -41,6 +41,9 @@ constexpr int kRecoverTag = -2350;
   check::register_tag(kAbsorbTag, "cc.absorb");
   check::register_tag(kWarmRepTag, "cc.warm_partials");
   check::register_tag(kRecoverTag, "cc.recover");
+  // Salted attempts (RunOptions::tag_salt != 0) shift every data-plane tag
+  // by -(1e9 + salt * 64); name the whole family for diagnostics.
+  check::register_tag_range(-2'000'000'000, -1'000'000'000, "cc.salted");
   return true;
 }();
 
@@ -150,7 +153,8 @@ void decode_mid(std::span<const std::byte> bytes, Accumulator& my_acc,
 }
 
 void fold_final(mpi::Comm& comm, const ObjectIO& obj, mpi::Prim prim,
-                const Accumulator& mine, CcOutput& out, CcStats& stats) {
+                const Accumulator& mine, CcOutput& out, CcStats& stats,
+                int kFoldTag = kFinalTag) {
   // "The results of each process are sent to one node to perform a final
   // reduce": a binomial combine of (flag, value) records toward the root —
   // the flag handles ranks with empty subsets, so user ops without an
@@ -164,7 +168,6 @@ void fold_final(mpi::Comm& comm, const ObjectIO& obj, mpi::Prim prim,
   }
   const int n = comm.size();
   const int relrank = (comm.rank() - obj.root + n) % n;
-  constexpr int kFoldTag = kFinalTag;
   for (int mask = 1; mask < n; mask <<= 1) {
     if ((relrank & mask) == 0) {
       const int rel_src = relrank | mask;
@@ -305,6 +308,28 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   // replan_local (the metadata was replicated at plan time).
   const bool ftmode = fi != nullptr && fi->schedule().has_crash_points();
   const bool watch = (fi != nullptr && fi->watch_aggregators()) || ftmode;
+  // End-to-end recovery semantics (RunOptions::recover) only matter when
+  // processes can die mid-slice; without crash points the legacy paths
+  // already recover role crashes bit-identically on their own.
+  const bool recover = ropt.recover && ftmode;
+  // Per-attempt data-plane tags: per-pair FIFO would happily match a stale
+  // in-flight message of a failed attempt to a resubmitted slice's receive,
+  // so every attempt salts its tags into a disjoint block far below the
+  // agreement (-3e6) and group (-4e6) tag ranges.
+  const int tag_off =
+      ropt.tag_salt == 0 ? 0 : 1'000'000'000 + ropt.tag_salt * 64;
+  const int partial_tag = kPartialTag - tag_off;
+  const int final_tag = kFinalTag - tag_off;
+  const int absorb_tag = kAbsorbTag - tag_off;
+  const int warm_rep_tag = kWarmRepTag - tag_off;
+  const int recover_tag = kRecoverTag - tag_off;
+  // A rank that cannot finish this attempt (its make-up absorber died, a
+  // re-serve failed under it) turns zombie: it keeps joining the crash
+  // watches but serves and receives nothing, and raises the abort word so
+  // the next agreement converts the local failure into a replicated
+  // slice_aborted throw on every alive rank — the scheduler above rolls the
+  // job back to its parked mid and resubmits with fresh tags and epochs.
+  bool aborting = false;
   const int naggs = plan.aggregator_count();
   // Crash reports travel as a bitset of 63-bit words (the sign bit stays
   // clear), so any aggregator count works; each bit has a single owner, so
@@ -375,8 +400,10 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     // mode each bit has a single owner — the dying rank itself — so the
     // sum stays carry-free; agreement mode ORs, so receivers report
     // process-death misses too.
-    const std::size_t words = 2 * static_cast<std::size_t>(crash_words);
+    const std::size_t words =
+        2 * static_cast<std::size_t>(crash_words) + (recover ? 1 : 0);
     std::vector<std::uint64_t> my_bits(words, 0);
+    if (recover && aborting) my_bits[words - 1] |= 1;
     if (my_agg >= 0 && agg_dead[static_cast<std::size_t>(my_agg)] == 0 &&
         fi->schedule().aggregator_crashed(comm.rank(), comm.wtime())) {
       my_bits[static_cast<std::size_t>(my_agg / kCrashBitsPerWord)] |=
@@ -413,6 +440,13 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         bits[i] = static_cast<std::uint64_t>(folded[i]);
       }
     }
+    if (recover && (bits[words - 1] & 1) != 0) {
+      // Some rank abandoned this attempt: the failure is now replicated, so
+      // every alive rank throws the identical structured error and the
+      // scheduler retries from the parked mid on the shrunken world.
+      throw fault::Error(fault::Layer::core, fault::Kind::slice_aborted,
+                         "a rank abandoned this slice attempt");
+    }
     // Agreed miss bits first: the invalidation below narrows by them. A
     // miss may name an aggregator already dead in an earlier watch (its
     // absorber died mid-serve).
@@ -448,6 +482,10 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
             survivors.push_back(plan.aggregators[static_cast<std::size_t>(b)]);
           }
         }
+        if (recover && survivors.empty()) {
+          throw fault::Error(fault::Layer::core, fault::Kind::unrecoverable,
+                             "every aggregator of this plan crashed");
+        }
         COLCOM_EXPECT_MSG(!survivors.empty(), "every aggregator crashed");
         absorbed[static_cast<std::size_t>(d)] =
             romio::replan_exchange(comm, plan, d, survivors, mine_req, hints);
@@ -474,6 +512,27 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
         tr->instant(trace::Track::ranks, comm.rank(), "fault",
                     "agg_crash_detected", comm.wtime());
+      }
+    }
+    if (recover) {
+      // Structural impossibilities, derived purely from the agreed verdict,
+      // so every alive rank throws the same error at the same watch —
+      // structured failures the service can classify, never diverging
+      // aborts that would hang the survivors at the next agreement.
+      if (std::all_of(agg_dead.begin(), agg_dead.end(),
+                      [](char c) { return c != 0; })) {
+        throw fault::Error(fault::Layer::core, fault::Kind::unrecoverable,
+                           "every aggregator of this plan crashed");
+      }
+      if (a2one && proc_dead[static_cast<std::size_t>(obj.root)] != 0) {
+        throw fault::Error(fault::Layer::core, fault::Kind::root_failed,
+                           obj.root, "the reduction root process died");
+      }
+      if (!a2one && std::any_of(proc_dead.begin(), proc_dead.end(),
+                                [](char c) { return c != 0; })) {
+        throw fault::Error(
+            fault::Layer::core, fault::Kind::unrecoverable,
+            "all_to_all reduction cannot survive a process death");
       }
     }
   };
@@ -649,17 +708,33 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   // wreck records, no PFS traffic) when the dead rank's process is alive
   // and warm_partials allows it, cold (re-reading the chunk) otherwise.
   auto post_watch = [&](std::vector<mpi::Request>& sends) {
-    if (wreck.has_value() && my_agg >= 0 &&
-        agg_dead[static_cast<std::size_t>(my_agg)] != 0) {
-      if (fi->schedule().config().warm_partials) {
+    if (my_agg >= 0 && agg_dead[static_cast<std::size_t>(my_agg)] != 0) {
+      const int mk = miss_iter[static_cast<std::size_t>(my_agg)];
+      if (wreck.has_value()) {
+        if (fi->schedule().config().warm_partials) {
+          const int dst = plan.aggregators[static_cast<std::size_t>(
+              serving_index(my_agg, wreck->k))];
+          shipped.push_back(std::move(wreck->batch));
+          const std::vector<PartialRecord>& b = shipped.back();
+          sends.push_back(comm.isend(
+              dst, warm_rep_tag,
+              std::as_bytes(std::span<const PartialRecord>(b))));
+        }
+        wreck.reset();
+      } else if (fi->schedule().config().warm_partials && mk >= 0 &&
+                 plan.chunk(my_agg, mk).length > 0) {
+        // A miss on this domain was announced, but this role-dead rank has
+        // no wreck to forward — its role died in an earlier slice (or
+        // before serving anything of this one) and the miss really came
+        // from the absorber's process death. The absorber still expects a
+        // warm ship because this process is alive, so send the 1-byte
+        // death note under the same tag: it falls through to the cold
+        // re-read instead of waiting forever.
         const int dst = plan.aggregators[static_cast<std::size_t>(
-            serving_index(my_agg, wreck->k))];
-        shipped.push_back(std::move(wreck->batch));
-        const std::vector<PartialRecord>& b = shipped.back();
+            serving_index(my_agg, mk))];
         sends.push_back(comm.isend(
-            dst, kWarmRepTag, std::as_bytes(std::span<const PartialRecord>(b))));
+            dst, warm_rep_tag, std::span<const std::byte>(&death_note, 1)));
       }
-      wreck.reset();
     }
     if (my_agg < 0 || agg_dead[static_cast<std::size_t>(my_agg)] != 0) return;
     for (int d = 0; d < naggs; ++d) {
@@ -675,59 +750,99 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           proc_dead[static_cast<std::size_t>(
               plan.aggregators[static_cast<std::size_t>(d)])] == 0 &&
           fi->schedule().config().warm_partials;
-      if (warm) {
-        // Warm-partial make-up: the records the dead role already computed,
-        // forwarded in their original order. The PFS never sees the chunk
-        // again — account the read it would have cost as saved bytes.
-        recv_buf.resize(static_cast<std::size_t>(comm.size()) *
-                        sizeof(PartialRecord));
-        const auto info = comm.recv_ft(
-            plan.aggregators[static_cast<std::size_t>(d)], kWarmRepTag,
-            recv_buf);
-        const auto nrec = info.bytes / sizeof(PartialRecord);
-        std::vector<PartialRecord> recs(nrec);
-        std::memcpy(recs.data(), recv_buf.data(), info.bytes);
-        std::uint64_t saved = 0;
-        for (const auto& e : romio::chunk_read_extents(
-                 absorbed[static_cast<std::size_t>(d)], c, hints.sieve_gap)) {
-          saved += e.length;
-        }
-        ++stats.warm_chunks;
-        fi->note_warm_chunk(nrec, saved);
-        shipped.push_back(std::move(recs));
-        const std::vector<PartialRecord>& b = shipped.back();
-        if (a2one) {
-          stats.shuffle_bytes += b.size() * sizeof(PartialRecord);
-          sends.push_back(comm.isend(
-              obj.root, kRecoverTag,
-              std::as_bytes(std::span<const PartialRecord>(b))));
-        } else {
-          for (const PartialRecord& rec : b) {
-            stats.shuffle_bytes += sizeof(PartialRecord);
-            sends.push_back(comm.isend(
-                rec.origin, kRecoverTag,
-                std::as_bytes(std::span<const PartialRecord>(&rec, 1))));
+      try {
+        bool served = false;
+        if (warm) {
+          // Warm-partial make-up: the records the dead role already
+          // computed, forwarded in their original order. The PFS never sees
+          // the chunk again — account the read it would have cost as saved
+          // bytes. The role-dead rank's *process* may still die between the
+          // watch's verdict and its wreck shipping; fall through to the
+          // cold re-read then (warm and cold build identical records).
+          recv_buf.resize(static_cast<std::size_t>(comm.size()) *
+                          sizeof(PartialRecord));
+          std::uint64_t nbytes = 0;
+          bool got = true;
+          try {
+            nbytes = comm.recv_ft(
+                         plan.aggregators[static_cast<std::size_t>(d)],
+                         warm_rep_tag, recv_buf)
+                         .bytes;
+          } catch (const fault::Error& e) {
+            if (e.kind() != fault::Kind::rank_failed) throw;
+            got = false;
+          }
+          // A 1-byte payload is the role-dead rank's "no wreck" death note
+          // (real batches are multiples of 32 bytes, empty ones 0 bytes).
+          if (nbytes == 1) got = false;
+          if (got) {
+            const auto nrec = nbytes / sizeof(PartialRecord);
+            std::vector<PartialRecord> recs(nrec);
+            std::memcpy(recs.data(), recv_buf.data(), nbytes);
+            std::uint64_t saved = 0;
+            for (const auto& e : romio::chunk_read_extents(
+                     absorbed[static_cast<std::size_t>(d)], c,
+                     hints.sieve_gap)) {
+              saved += e.length;
+            }
+            ++stats.warm_chunks;
+            fi->note_warm_chunk(nrec, saved);
+            shipped.push_back(std::move(recs));
+            const std::vector<PartialRecord>& b = shipped.back();
+            if (a2one) {
+              stats.shuffle_bytes += b.size() * sizeof(PartialRecord);
+              sends.push_back(comm.isend(
+                  obj.root, recover_tag,
+                  std::as_bytes(std::span<const PartialRecord>(b))));
+            } else {
+              for (const PartialRecord& rec : b) {
+                stats.shuffle_bytes += sizeof(PartialRecord);
+                sends.push_back(comm.isend(
+                    rec.origin, recover_tag,
+                    std::as_bytes(std::span<const PartialRecord>(&rec, 1))));
+              }
+            }
+            served = true;
           }
         }
-      } else {
-        // Cold make-up: re-read the lost chunk and rebuild its records —
-        // the arithmetic and record order match the fault-free serve.
-        romio::ChunkReader ar;
-        std::vector<std::byte> abuf;
-        ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
-                 abuf, hints.sieve_gap, comm.wtime(), fi);
-        const double w0 = comm.wtime();
-        {
-          TRACE_SPAN(comm.engine(), "cc", "makeup");
-          ar.wait();
+        if (!served) {
+          // Cold make-up: re-read the lost chunk and rebuild its records —
+          // the arithmetic and record order match the fault-free serve.
+          romio::ChunkReader ar;
+          std::vector<std::byte> abuf;
+          ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
+                   abuf, hints.sieve_gap, comm.wtime(), fi);
+          const double w0 = comm.wtime();
+          {
+            TRACE_SPAN(comm.engine(), "cc", "makeup");
+            ar.wait();
+          }
+          stats.io_s += comm.wtime() - w0;
+          stats.bytes_read += ar.bytes_read();
+          stats.io_fallbacks += ar.fallbacks();
+          ++stats.absorbed_chunks;
+          fi->note_absorbed_chunk();
+          process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
+                        ar.service_time(), recover_tag, sends, true);
         }
-        stats.io_s += comm.wtime() - w0;
-        stats.bytes_read += ar.bytes_read();
-        stats.io_fallbacks += ar.fallbacks();
-        ++stats.absorbed_chunks;
-        fi->note_absorbed_chunk();
-        process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
-                      ar.service_time(), kRecoverTag, sends, true);
+      } catch (const fault::Error&) {
+        if (!recover) throw;
+        // This absorber cannot re-serve the slot. Tell every waiting
+        // receiver (a 1-byte note under the make-up tag, unmistakable next
+        // to 32-byte record batches) and turn zombie: the receivers zombie
+        // too, and the next agreement aborts the attempt for everyone.
+        aborting = true;
+        const std::span<const std::byte> note(&death_note, 1);
+        if (a2one) {
+          sends.push_back(comm.isend(obj.root, recover_tag, note));
+        } else {
+          for (int r = 0; r < comm.size(); ++r) {
+            if (plan.domain_requests[static_cast<std::size_t>(r)].bytes_in(
+                    c.offset, c.offset + c.length) > 0) {
+              sends.push_back(comm.isend(r, recover_tag, note));
+            }
+          }
+        }
       }
     }
   };
@@ -738,12 +853,30 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   // its stored records — so the FP combine sequence is exactly the
   // fault-free one.
   auto recover_slots = [&](int wk) {
-    if (slot_log.empty()) {
+    if (aborting || slot_log.empty()) {
+      slot_log.clear();
       deferring = false;
       return;
     }
+    // Local failures below cannot abort the whole world from here — the
+    // other ranks are deep in their own receive sequences and would hang at
+    // the next agreement if this rank just threw. Turn zombie instead
+    // (recover mode): drop the log, stop folding, and let the abort word of
+    // the next watch replicate the failure to everyone.
+    auto go_zombie = [&] {
+      aborting = true;
+      slot_log.clear();
+      deferring = false;
+    };
     for (SlotEntry& e : slot_log) {
       if (e.miss) {
+        if (recover && e.k != wk - 1) {
+          // The absorbing survivor of a missed slot died before re-serving
+          // it — make-up recovery is single-level by design; the resubmit
+          // restarts the slice cleanly from the parked mid instead.
+          go_zombie();
+          return;
+        }
         COLCOM_EXPECT_MSG(e.k == wk - 1,
                           "make-up recovery is single-level: the absorbing "
                           "survivor of a missed slot died before re-serving "
@@ -753,16 +886,39 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         if (a2one) {
           recv_buf.resize(static_cast<std::size_t>(comm.size()) *
                           sizeof(PartialRecord));
-          const auto info = comm.recv_ft(src, kRecoverTag, recv_buf);
-          const auto nrec = info.bytes / sizeof(PartialRecord);
+          std::uint64_t nbytes = 0;
+          try {
+            nbytes = comm.recv_ft(src, recover_tag, recv_buf).bytes;
+          } catch (const fault::Error& err) {
+            if (!recover || err.kind() != fault::Kind::rank_failed) throw;
+            go_zombie();
+            return;
+          }
+          if (recover && nbytes == 1) {
+            go_zombie();  // the absorber failed to re-serve and noted us
+            return;
+          }
+          const auto nrec = nbytes / sizeof(PartialRecord);
           std::vector<PartialRecord> recs(nrec);
-          std::memcpy(recs.data(), recv_buf.data(), info.bytes);
+          std::memcpy(recs.data(), recv_buf.data(), nbytes);
           fold_records(recs);
         } else {
           PartialRecord rec;
-          comm.recv_ft(
-              src, kRecoverTag,
-              std::as_writable_bytes(std::span<PartialRecord>(&rec, 1)));
+          std::uint64_t nbytes = 0;
+          try {
+            nbytes = comm.recv_ft(src, recover_tag,
+                                  std::as_writable_bytes(
+                                      std::span<PartialRecord>(&rec, 1)))
+                         .bytes;
+          } catch (const fault::Error& err) {
+            if (!recover || err.kind() != fault::Kind::rank_failed) throw;
+            go_zombie();
+            return;
+          }
+          if (recover && nbytes == 1) {
+            go_zombie();
+            return;
+          }
           if (rec.has_value != 0) my_acc.combine_value(rec.value);
         }
       } else if (a2one) {
@@ -785,13 +941,15 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       // communicator member — only its I/O-server role dies (the paper's
       // aggregators are an I/O-path service). Even watch epochs belong to
       // the in-loop watches, odd to the final watch, so adjacent
-      // agreements never share a tag block.
-      do_watch(k, 2 * k);
+      // agreements never share a tag block. A scheduler resubmitting
+      // slices shifts the whole block by RunOptions::epoch_base so no two
+      // attempts ever share an agreement epoch.
+      do_watch(k, ropt.epoch_base + 2 * k);
       post_watch(sends);
     }
     const bool serving_own =
-        my_agg >= 0 && agg_dead[static_cast<std::size_t>(
-                           std::max(my_agg, 0))] == 0;
+        !aborting && my_agg >= 0 &&
+        agg_dead[static_cast<std::size_t>(std::max(my_agg, 0))] == 0;
 
     if (serving_own) {
       const pfs::ByteExtent c = plan.chunk(my_agg, k);
@@ -871,21 +1029,21 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       }
       if (interrupted) {
         process_chunk(c, chunk, plan.domain_requests, read_service,
-                      kPartialTag, sends, false);
+                      partial_tag, sends, false);
         if (c.length > 0) {
           wreck = Wreck{k, std::move(batch)};
           const std::span<const std::byte> note(&death_note, 1);
           if (a2one) {
-            sends.push_back(comm.isend(obj.root, kPartialTag, note));
+            sends.push_back(comm.isend(obj.root, partial_tag, note));
           } else {
             for (const PartialRecord& rec : wreck->batch) {
-              sends.push_back(comm.isend(rec.origin, kPartialTag, note));
+              sends.push_back(comm.isend(rec.origin, partial_tag, note));
             }
           }
         }
       } else {
         process_chunk(c, chunk, plan.domain_requests, read_service,
-                      kPartialTag, sends, true);
+                      partial_tag, sends, true);
       }
       if (sreader.has_value()) sreader->release();
       // Blocking two-phase: only start the next read after this chunk is
@@ -929,7 +1087,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           ++stats.absorbed_chunks;
           fi->note_absorbed_chunk();
           process_chunk(c, ac.data, absorbed[static_cast<std::size_t>(d)],
-                        ac.service_s, kAbsorbTag, sends, true);
+                        ac.service_s, absorb_tag, sends, true);
         } else {
           romio::ChunkReader ar;
           std::vector<std::byte> abuf;
@@ -946,7 +1104,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           ++stats.absorbed_chunks;
           fi->note_absorbed_chunk();
           process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
-                        ar.service_time(), kAbsorbTag, sends, true);
+                        ar.service_time(), absorb_tag, sends, true);
         }
       }
     }
@@ -962,16 +1120,20 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         return std::pair<int, int>(
             plan.aggregators[static_cast<std::size_t>(
                 serving_index(a, iter))],
-            kAbsorbTag);
+            absorb_tag);
       }
       return std::pair<int, int>(
-          plan.aggregators[static_cast<std::size_t>(a)], kPartialTag);
+          plan.aggregators[static_cast<std::size_t>(a)], partial_tag);
     };
     // Before this iteration's slots, settle the previous one: replay the
-    // deferred log so any missed slot folds its make-up records first.
+    // deferred log so any missed slot folds its make-up records first. A
+    // zombie rank (aborting) receives nothing more: its accumulators are
+    // doomed anyway, and the next watch aborts the attempt for everyone —
+    // unread messages stay queued under this attempt's tags, which no
+    // resubmit ever reuses.
     if (watch) recover_slots(k);
     if (a2one) {
-      if (i_am_root) {
+      if (i_am_root && !aborting) {
         for (int a = 0; a < plan.aggregator_count(); ++a) {
           if (plan.chunk(a, k).length == 0) continue;
           recv_buf.resize(static_cast<std::size_t>(comm.size()) *
@@ -1008,7 +1170,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
           }
         }
       }
-    } else {
+    } else if (!aborting) {
       for (int a = 0; a < plan.aggregator_count(); ++a) {
         const pfs::ByteExtent c = plan.chunk(a, k);
         if (c.length == 0) continue;
@@ -1055,11 +1217,41 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   // accumulators must already contain every recovered slot.
   if (watch) {
     std::vector<mpi::Request> sends;
-    do_watch(end_iter, 2 * end_iter + 1);
+    do_watch(end_iter, ropt.epoch_base + 2 * end_iter + 1);
     post_watch(sends);
     recover_slots(end_iter);
     mpi::wait_all(sends);
     shipped.clear();
+  }
+
+  if (recover) {
+    if (!partial) {
+      // Settle: a rank that turned zombie *during* the final watch's
+      // recovery (its absorber died re-serving the last slot) has no later
+      // watch to replicate the abort — without this agreement the others
+      // would hang on it in the final reduce. One extra word-wide agree,
+      // only on the recovery path, decides the attempt for everyone.
+      std::vector<std::uint64_t> settle(1, aborting ? 1 : 0);
+      const mpi::ft::Verdict v =
+          mpi::ft::agree(comm, settle, ropt.epoch_base + 2 * end_iter + 2);
+      for (int r = 0; r < comm.size(); ++r) {
+        if (v.dead_bit(r)) proc_dead[static_cast<std::size_t>(r)] = 1;
+      }
+      if ((v.mask[0] & 1) != 0 || aborting) {
+        throw fault::Error(fault::Layer::core, fault::Kind::slice_aborted,
+                           "a rank abandoned this slice attempt");
+      }
+      if (a2one && proc_dead[static_cast<std::size_t>(obj.root)] != 0) {
+        throw fault::Error(fault::Layer::core, fault::Kind::root_failed,
+                           obj.root, "the reduction root process died");
+      }
+    } else if (aborting) {
+      // A partial window runs no further collective: the zombie throws
+      // locally (its accumulators are incomplete and must not be parked)
+      // and the scheduler's outcome agreement replicates the failure.
+      throw fault::Error(fault::Layer::core, fault::Kind::slice_aborted,
+                         "a rank abandoned this slice attempt");
+    }
   }
 
   if (partial) {
@@ -1107,7 +1299,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         for (int r = 0; r < comm.size(); ++r) {
           if (proc_dead[static_cast<std::size_t>(r)] == 0) members.push_back(r);
         }
-        mpi::ft::Group g(comm, std::move(members), end_iter);
+        mpi::ft::Group g(comm, std::move(members), ropt.epoch_base + end_iter);
         COLCOM_EXPECT_MSG(g.member(obj.root),
                           "the reduction root process died");
         int root_index = 0;
@@ -1139,7 +1331,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     }
     Accumulator contribution(obj.op, prim);
     if (stats.elements > 0) contribution.merge(my_acc);
-    fold_final(comm, obj, prim, contribution, out, stats);
+    fold_final(comm, obj, prim, contribution, out, stats, final_tag);
   }
 
   stats.total_s = comm.wtime() - t_begin;

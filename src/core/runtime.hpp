@@ -93,6 +93,23 @@ struct RunOptions {
   /// begin_iter > 0, written when end_iter cuts the run short. Must be
   /// non-null for any partial run.
   std::vector<std::byte>* mid = nullptr;
+
+  /// Base of the agreement-epoch block this run may use (crash watches,
+  /// survivor groups). 0 keeps the legacy in-run numbering; a scheduler
+  /// resubmitting failed slices must hand every attempt a fresh disjoint
+  /// block so no two attempts ever share an agreement tag.
+  int epoch_base = 0;
+  /// Salt folded into the runtime's data-plane tags (shuffle, absorb,
+  /// recover, final fold). 0 keeps the legacy tags; a resubmitted attempt
+  /// must use a fresh salt so stale in-flight messages of the failed
+  /// attempt can never match the retry's receives.
+  int tag_salt = 0;
+  /// Opt into end-to-end recovery semantics: instead of aborting via
+  /// COLCOM_EXPECT, unsatisfiable runs throw structured fault::Error on
+  /// EVERY alive rank (replicated via the crash-watch agreement), so a
+  /// scheduler can roll the job back to its parked mid and resubmit.
+  /// Off preserves the legacy fail-stop behavior bit for bit.
+  bool recover = false;
 };
 
 /// Runs collective computing over a caller-provided two-phase plan (built

@@ -30,6 +30,9 @@ const char* to_string(Kind kind) {
     case Kind::ost_timeout: return "ost_timeout";
     case Kind::retry_exhausted: return "retry_exhausted";
     case Kind::rank_failed: return "rank_failed";
+    case Kind::slice_aborted: return "slice_aborted";
+    case Kind::root_failed: return "root_failed";
+    case Kind::unrecoverable: return "unrecoverable";
   }
   return "?";
 }
@@ -259,6 +262,19 @@ void Injector::note_warm_chunk(std::uint64_t records,
 void Injector::note_job_abort() {
   ++stats_.job_aborts;
   bump("fault.svc.job_aborts");
+}
+
+void Injector::note_svc_retry() {
+  ++stats_.svc_retries;
+  bump("fault.svc.retries");
+}
+void Injector::note_svc_failure() {
+  ++stats_.svc_failures;
+  bump("fault.svc.failures");
+}
+void Injector::note_svc_shed() {
+  ++stats_.svc_shed;
+  bump("fault.svc.shed");
 }
 
 }  // namespace colcom::fault

@@ -200,6 +200,9 @@ struct FaultStats {
   std::uint64_t warm_records = 0;      ///< partial records shipped warm
   std::uint64_t warm_bytes_saved = 0;  ///< PFS bytes the warm path avoided
   std::uint64_t job_aborts = 0;        ///< svc jobs killed tenant-locally
+  std::uint64_t svc_retries = 0;       ///< slices resubmitted from a parked mid
+  std::uint64_t svc_failures = 0;      ///< jobs failed with a structured reason
+  std::uint64_t svc_shed = 0;          ///< jobs shed at admission control
 };
 
 /// The mutable face of a schedule: owns the FaultStats and forwards every
@@ -244,6 +247,9 @@ class Injector {
   void note_agreement_round();
   void note_warm_chunk(std::uint64_t records, std::uint64_t bytes_saved);
   void note_job_abort();
+  void note_svc_retry();
+  void note_svc_failure();
+  void note_svc_shed();
 
  private:
   void per_rank(const char* base, const char* hist, int rank);

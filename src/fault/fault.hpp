@@ -25,6 +25,9 @@ enum class Kind {
   ost_timeout,       ///< an OST request timed out
   retry_exhausted,   ///< a retry budget ran out
   rank_failed,       ///< a peer process died mid-operation (ULFM-style)
+  slice_aborted,     ///< a recoverable slice failed; resubmit from `mid`
+  root_failed,       ///< the reduction root's process died (not retryable)
+  unrecoverable,     ///< no survivor can finish the job (not retryable)
 };
 
 const char* to_string(Layer layer);

@@ -300,8 +300,18 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
       return scores[static_cast<std::size_t>(a)] >
              scores[static_cast<std::size_t>(b)];
     });
-    if (static_cast<int>(warm.size()) > naggs) warm.resize(
-        static_cast<std::size_t>(naggs));
+    if (static_cast<int>(warm.size()) > naggs) {
+      // A warm pool larger than the default aggregator count grows the
+      // set instead of truncating it: dropping a warm rank would re-read
+      // its resident chunks cold. An explicit cb_nodes still caps the
+      // growth (the hint is authoritative), as does the alive pool.
+      const int cap =
+          hints.cb_nodes > 0 ? std::min(hints.cb_nodes, npool) : npool;
+      naggs = std::min(static_cast<int>(warm.size()), cap);
+      if (static_cast<int>(warm.size()) > naggs) {
+        warm.resize(static_cast<std::size_t>(naggs));
+      }
+    }
     plan.aggregators = warm;
     for (int r : spaced) {
       if (static_cast<int>(plan.aggregators.size()) >= naggs) break;

@@ -37,8 +37,11 @@ struct Hints {
   /// Staging-aware aggregator placement: rank candidates by the staged
   /// bytes of the target file resident in their burst-buffer caches
   /// (build_plan's `my_residency`), so replans and follow-up queries land
-  /// on ranks whose warm chunks survive. Warm ranks are taken score-first;
-  /// the remainder falls back to the spaced default, and an all-cold world
+  /// on ranks whose warm chunks survive. Warm ranks are taken score-first,
+  /// and a warm pool larger than the default aggregator count grows the
+  /// set rather than truncating it (up to cb_nodes when set — cb_nodes >
+  /// n_nodes warm pools are honored — or the alive pool otherwise); the
+  /// remainder falls back to the spaced default, and an all-cold world
   /// selects exactly the default placement. Off by default: the extra
   /// allgather costs a little plan time and placement is bit-stable
   /// without it.

@@ -163,6 +163,16 @@ class ChunkCache {
   std::uint64_t occupancy() const { return bytes_; }
   std::uint64_t capacity() const { return capacity_; }
   std::size_t entries() const { return map_.size(); }
+  /// Entries still pinned by an in-flight consumer. A quiesced area must
+  /// report zero — anything else is a leaked pin (a chaos-soak end-state
+  /// invariant: no recovery path may abandon a pinned chunk).
+  std::size_t pinned_entries() const {
+    std::size_t n = 0;
+    for (const auto& [k, e] : map_) {
+      if (e->pins > 0) ++n;
+    }
+    return n;
+  }
 
  private:
   /// Evicts unpinned LRU entries until occupancy + incoming fits the

@@ -1,10 +1,13 @@
 #include "svc/svc.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "des/completion.hpp"
 #include "fault/chaos.hpp"
+#include "mpi/ft.hpp"
 #include "mpi/runtime.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -17,6 +20,22 @@ namespace {
 /// weight, so integer division keeps useful resolution for weights well
 /// beyond any realistic tenant count.
 constexpr std::uint64_t kPassScale = 1ull << 16;
+
+/// Base of the service's agreement-epoch space. The runtime's legacy
+/// in-run epochs are tiny (2 * n_iters + 2) and stage flush groups live at
+/// (1 << 20) + seq, so starting the per-attempt blocks here keeps every
+/// agreement and survivor-group tag namespace disjoint.
+constexpr int kSvcEpochBase = 1 << 22;
+
+/// Outcome-agreement word 0: the attempt's verdict, OR-merged over ranks.
+constexpr std::uint64_t kOutcomeFailed = 1;        ///< some rank failed
+constexpr std::uint64_t kOutcomeNonRetryable = 2;  ///< ... fatally
+constexpr std::uint64_t kOutcomeRootDead = 4;      ///< root_failed verdict
+constexpr std::uint64_t kOutcomeUnrecoverable = 8; ///< unrecoverable verdict
+
+std::uint64_t to_nanos(double s) {
+  return static_cast<std::uint64_t>(s * 1e9);
+}
 
 /// Latency histogram buckets (virtual seconds) of the per-tenant
 /// svc.latency_s.tenant<k> metrics.
@@ -59,10 +78,26 @@ const char* to_string(Policy p) {
   return "?";
 }
 
+const char* to_string(FailReason r) {
+  switch (r) {
+    case FailReason::none: return "none";
+    case FailReason::retry_budget: return "retry_budget";
+    case FailReason::deadline: return "deadline";
+    case FailReason::queue_full: return "queue_full";
+    case FailReason::infeasible: return "infeasible";
+    case FailReason::root_failed: return "root_failed";
+    case FailReason::unrecoverable: return "unrecoverable";
+  }
+  return "?";
+}
+
 ServiceContext::ServiceContext(mpi::Comm& comm, ServiceConfig cfg)
-    : comm_(&comm), cfg_(std::move(cfg)) {
+    : comm_(&comm), cfg_(std::move(cfg)), epoch_cursor_(kSvcEpochBase) {
   COLCOM_EXPECT(cfg_.slice_iters >= 1);
   COLCOM_EXPECT(cfg_.max_concurrent >= 1);
+  COLCOM_EXPECT(cfg_.max_retries >= 0);
+  COLCOM_EXPECT(cfg_.backoff_base_s >= 0 && cfg_.backoff_factor >= 1);
+  COLCOM_EXPECT(cfg_.max_queue >= 0);
   staging_ = std::make_unique<stage::StagingArea>(comm, cfg_.stage);
 }
 
@@ -73,10 +108,18 @@ int ServiceContext::register_dataset(const ncio::Dataset& ds) {
   return static_cast<int>(datasets_.size()) - 1;
 }
 
+bool ServiceContext::metrics_owner() const {
+  for (int r = 0; r < comm_->size(); ++r) {
+    if (comm_->alive(r)) return comm_->rank() == r;
+  }
+  return false;
+}
+
 void ServiceContext::bump_metric(const char* name, std::uint64_t delta) {
-  // The metrics registry is process-global across the world's fibers;
-  // rank 0 reports for everyone (the scheduler state is replicated anyway).
-  if (comm_->rank() != 0) return;
+  // The metrics registry is process-global across the world's fibers; the
+  // lowest alive rank reports for everyone (the scheduler state is
+  // replicated anyway).
+  if (!metrics_owner()) return;
   if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
     tr->metrics().counter(name).add(delta);
   }
@@ -94,6 +137,21 @@ JobId ServiceContext::submit(JobSpec spec) {
   j->ds = datasets_[static_cast<std::size_t>(spec.dataset)];
   j->submitted_s = comm_->wtime();
 
+  if (cfg_.max_queue > 0 &&
+      static_cast<int>(queue_.size()) >= cfg_.max_queue) {
+    // Admission control, queue-depth check: shed *before* the collective
+    // plan build. Queue depth is replicated scheduler state, so every rank
+    // skips the same collectives and the burst degrades into structured
+    // queue_full rejections instead of an unbounded backlog.
+    j->spec = std::move(spec);
+    const JobId id = j->id;
+    shed_job(*j, FailReason::queue_full);
+    jobs_.push_back(std::move(j));
+    ++stats_.submitted;
+    bump_metric("svc.jobs_submitted");
+    return id;
+  }
+
   // Build the job's plan now (collective): scheduling and overlap-affinity
   // admission need the globally agreed byte range, and staging-aware
   // placement wants the residency the shared area has *at submit time*.
@@ -107,6 +165,13 @@ JobId ServiceContext::submit(JobSpec spec) {
   j->cc.plan_s = comm_->wtime() - t0;
 
   j->spec = std::move(spec);
+  if (j->spec.deadline_s > 0) {
+    // Stamp the SLO on the replicated clock: every rank agrees on the
+    // absolute deadline, so a breach is detected identically everywhere.
+    deadline_mode_ = true;
+    sync_clock();
+    j->deadline_abs = agreed_now_ + j->spec.deadline_s;
+  }
   const JobId id = j->id;
   queue_.push_back(id);
   jobs_.push_back(std::move(j));
@@ -151,6 +216,19 @@ void ServiceContext::admit() {
     const JobId id = queue_[take];
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(take));
     Job& j = *jobs_[static_cast<std::size_t>(id)];
+    if (cfg_.shed_infeasible && j.deadline_abs > 0 && ema_iter_s_ > 0) {
+      // Admission control, feasibility check: by the smoothed per-iteration
+      // cost, can this job still make its deadline? A doomed job is shed
+      // here instead of burning slices every other tenant could use. All
+      // inputs (estimate, clock, deadline) are replicated, so every rank
+      // sheds the same jobs.
+      const double est =
+          ema_iter_s_ * static_cast<double>(j.plan.n_iters - j.next_iter);
+      if (agreed_now_ + est > j.deadline_abs) {
+        shed_job(j, FailReason::infeasible);
+        continue;
+      }
+    }
     j.st = JobState::admitted;
     j.admitted_s = comm_->wtime();
     // A job entering the WFQ rotation starts at the minimum pass of the
@@ -170,9 +248,16 @@ void ServiceContext::admit() {
 
 ServiceContext::Job* ServiceContext::pick_next() {
   COLCOM_EXPECT(!admitted_.empty());
-  JobId best = admitted_.front();
+  JobId best = -1;
   for (JobId id : admitted_) {
     const Job& j = *jobs_[static_cast<std::size_t>(id)];
+    // A job backing off after a failed attempt is not schedulable until
+    // the replicated clock passes its gate.
+    if (j.not_before > agreed_now_) continue;
+    if (best < 0) {
+      best = id;
+      continue;
+    }
     const Job& b = *jobs_[static_cast<std::size_t>(best)];
     switch (cfg_.policy) {
       case Policy::fifo:
@@ -189,7 +274,7 @@ ServiceContext::Job* ServiceContext::pick_next() {
         break;
     }
   }
-  return jobs_[static_cast<std::size_t>(best)].get();
+  return best < 0 ? nullptr : jobs_[static_cast<std::size_t>(best)].get();
 }
 
 bool ServiceContext::chaos_abort(const Job& j) {
@@ -204,26 +289,145 @@ void ServiceContext::finish(Job& j, bool aborted) {
   j.st = aborted ? JobState::aborted : JobState::done;
   j.finished_s = comm_->wtime();
   j.mid.clear();
+  j.mid_backup.clear();
   std::erase(admitted_, j.id);
   if (aborted) {
     ++stats_.aborted;
     bump_metric("svc.jobs_aborted");
     if (fault::Injector* fi = comm_->runtime().chaos();
-        fi != nullptr && comm_->rank() == 0) {
+        fi != nullptr && metrics_owner()) {
       fi->note_job_abort();
     }
     return;
   }
   ++stats_.completed;
   bump_metric("svc.jobs_completed");
+  if (j.retries > 0) {
+    // The job finished after at least one resubmit-from-mid: end-to-end
+    // recovery succeeded.
+    ++stats_.recovered;
+    bump_metric("svc.jobs_recovered");
+  }
   const double lat = j.finished_s - j.submitted_s;
   tenant_lat_[j.spec.tenant].add(lat);
   if (trace::Tracer* tr = trace::Tracer::current();
-      tr != nullptr && comm_->rank() == 0) {
+      tr != nullptr && metrics_owner()) {
     tr->metrics()
         .histogram("svc.latency_s.tenant" + std::to_string(j.spec.tenant),
                    latency_bounds())
         .observe(lat);
+  }
+}
+
+bool ServiceContext::recovery_active() const {
+  fault::Injector* fi = comm_->runtime().chaos();
+  return fi != nullptr && fi->schedule().has_crash_points();
+}
+
+void ServiceContext::sync_clock() {
+  // Merge every rank's virtual clock into the replicated agreed_now_.
+  // Collective; monotone (the clock never moves backwards). Under
+  // recovery the agreement protocol stands in for the allreduce so a dead
+  // rank cannot hang the sync.
+  const int nprocs = comm_->size();
+  if (recovery_active()) {
+    std::vector<std::uint64_t> m(static_cast<std::size_t>(nprocs), 0);
+    m[static_cast<std::size_t>(comm_->rank())] = to_nanos(comm_->wtime());
+    const mpi::ft::Verdict v = mpi::ft::agree(*comm_, m, epoch_cursor_++);
+    for (std::uint64_t w : v.mask) {
+      agreed_now_ = std::max(agreed_now_, static_cast<double>(w) * 1e-9);
+    }
+    return;
+  }
+  const double mine = comm_->wtime();
+  double now = 0;
+  comm_->allreduce(&mine, &now, 1, mpi::Prim::f64, mpi::Op::max());
+  agreed_now_ = std::max(agreed_now_, now);
+}
+
+std::uint64_t ServiceContext::park_slot_bytes() const {
+  // encode_mid: a 3-word header plus (on an all_to_one root) three words
+  // per rank, length-prefixed in the slot; rounded to a 64-byte boundary.
+  const std::uint64_t worst =
+      8 + 24 + 24 * static_cast<std::uint64_t>(comm_->size());
+  return (worst + 63) / 64 * 64;
+}
+
+void ServiceContext::persist_mid(const Job& j) {
+  // Checkpoint persistence: each rank overwrites its fixed
+  // per-(job, rank) slot with the length-prefixed parked mid through the
+  // staging area's write-behind, so the park rides the same coalescing and
+  // flush paths as any application checkpoint.
+  const std::uint64_t cap = park_slot_bytes();
+  const std::uint64_t len = j.mid.size();
+  COLCOM_EXPECT_MSG(8 + len <= cap, "parked mid exceeds its park-file slot");
+  std::vector<std::byte> img(cap, std::byte{0});
+  std::memcpy(img.data(), &len, sizeof(len));
+  std::memcpy(img.data() + 8, j.mid.data(), len);
+  const std::uint64_t slot =
+      (static_cast<std::uint64_t>(j.id) *
+           static_cast<std::uint64_t>(comm_->size()) +
+       static_cast<std::uint64_t>(comm_->rank())) *
+      cap;
+  staging_->wb_write(cfg_.park, cfg_.park_offset + slot, img);
+  bump_metric("svc.mid_parks");
+}
+
+void ServiceContext::fail_job(Job& j, FailReason r) {
+  j.st = JobState::failed;
+  j.reason = r;
+  j.finished_s = comm_->wtime();
+  j.mid.clear();
+  j.mid_backup.clear();
+  std::erase(admitted_, j.id);
+  ++stats_.failed;
+  bump_metric("svc.jobs_failed");
+  if (fault::Injector* fi = comm_->runtime().chaos();
+      fi != nullptr && metrics_owner()) {
+    fi->note_svc_failure();
+  }
+}
+
+void ServiceContext::shed_job(Job& j, FailReason r) {
+  j.st = JobState::shed;
+  j.reason = r;
+  j.finished_s = comm_->wtime();
+  ++stats_.shed;
+  bump_metric("svc.shed_jobs");
+  if (fault::Injector* fi = comm_->runtime().chaos();
+      fi != nullptr && metrics_owner()) {
+    fi->note_svc_shed();
+  }
+}
+
+void ServiceContext::handle_slice_failure(Job& j, FailReason why,
+                                          bool retryable) {
+  if (!retryable) {
+    fail_job(j, why);
+    return;
+  }
+  const int budget =
+      j.spec.max_retries >= 0 ? j.spec.max_retries : cfg_.max_retries;
+  if (j.retries >= budget) {
+    fail_job(j, FailReason::retry_budget);
+    return;
+  }
+  ++j.retries;
+  ++stats_.retries;
+  bump_metric("svc.retries");
+  if (fault::Injector* fi = comm_->runtime().chaos();
+      fi != nullptr && metrics_owner()) {
+    fi->note_svc_retry();
+  }
+  // Exponential backoff on the replicated clock: the resubmit is gated,
+  // not slept — other tenants' jobs keep running in between.
+  double backoff = cfg_.backoff_base_s;
+  for (int k = 1; k < j.retries; ++k) backoff *= cfg_.backoff_factor;
+  j.not_before = agreed_now_ + backoff;
+  if (j.deadline_abs > 0 && j.not_before > j.deadline_abs) {
+    // The deadline fires mid-retry: the backoff alone would push the next
+    // attempt past the SLO, so fail now instead of burning the attempt.
+    fail_job(j, FailReason::deadline);
   }
 }
 
@@ -237,9 +441,95 @@ void ServiceContext::run_slice(Job& j) {
   const int upto = std::min(j.next_iter + cfg_.slice_iters, j.plan.n_iters);
   ropt.end_iter = upto;
   ropt.mid = &j.mid;
+  const bool rec = recovery_active();
+  int outcome_epoch = 0;
+  if (rec) {
+    // Every attempt — first or resubmitted — gets a disjoint agreement-
+    // epoch block and a fresh data-plane tag salt, so nothing of a failed
+    // attempt (stale messages, stale agreements) can ever match a retry.
+    ropt.recover = true;
+    ropt.epoch_base = epoch_cursor_;
+    ropt.tag_salt = salt_cursor_++;
+    const int span = 2 * j.plan.n_iters + 8;
+    outcome_epoch = epoch_cursor_ + span - 1;
+    epoch_cursor_ += span;
+    j.mid_backup = j.mid;
+  }
   core::CcOutput out;
-  const core::CcStats s = core::collective_compute_with_plan(
-      *comm_, *j.ds, j.spec.io, j.plan, out, ropt);
+  core::CcStats s;
+  bool local_fail = false;
+  bool retryable = true;
+  FailReason why = FailReason::none;
+  if (!rec) {
+    s = core::collective_compute_with_plan(*comm_, *j.ds, j.spec.io, j.plan,
+                                           out, ropt);
+  } else {
+    try {
+      s = core::collective_compute_with_plan(*comm_, *j.ds, j.spec.io,
+                                             j.plan, out, ropt);
+    } catch (const fault::Error& e) {
+      local_fail = true;
+      switch (e.kind()) {
+        case fault::Kind::root_failed:
+          why = FailReason::root_failed;
+          retryable = false;
+          break;
+        case fault::Kind::unrecoverable:
+          why = FailReason::unrecoverable;
+          retryable = false;
+          break;
+        default:
+          // slice_aborted (and any other recoverable fault): resubmit.
+          break;
+      }
+    }
+    // Outcome agreement: the attempt's last epoch replicates the verdict
+    // (word 0, OR of every rank's flags) and merges every survivor's clock
+    // (one single-owner word per rank), so the retry/deadline decisions
+    // below run on identical state everywhere — a rank that unwound early
+    // and one that finished the partial slice reach the same conclusion.
+    std::vector<std::uint64_t> m(
+        1 + static_cast<std::size_t>(comm_->size()), 0);
+    if (local_fail) {
+      m[0] |= kOutcomeFailed;
+      if (!retryable) m[0] |= kOutcomeNonRetryable;
+      if (why == FailReason::root_failed) m[0] |= kOutcomeRootDead;
+      if (why == FailReason::unrecoverable) m[0] |= kOutcomeUnrecoverable;
+    }
+    m[1 + static_cast<std::size_t>(comm_->rank())] = to_nanos(comm_->wtime());
+    const mpi::ft::Verdict v = mpi::ft::agree(*comm_, m, outcome_epoch);
+    const double prev_now = agreed_now_;
+    for (std::size_t r = 1; r < v.mask.size(); ++r) {
+      agreed_now_ =
+          std::max(agreed_now_, static_cast<double>(v.mask[r]) * 1e-9);
+    }
+    if ((v.mask[0] & kOutcomeFailed) != 0) {
+      // The attempt failed somewhere. Roll every rank back to the parked
+      // mid — ranks that completed the partial slice discard their park,
+      // ranks that unwound never wrote one — and decide the job's fate
+      // from the agreed verdict bits.
+      retryable = (v.mask[0] & kOutcomeNonRetryable) == 0;
+      why = FailReason::retry_budget;  // refined below / by the budget
+      if ((v.mask[0] & kOutcomeRootDead) != 0) {
+        why = FailReason::root_failed;
+      } else if ((v.mask[0] & kOutcomeUnrecoverable) != 0) {
+        why = FailReason::unrecoverable;
+      }
+      j.mid = j.mid_backup;
+      handle_slice_failure(j, why, retryable);
+      return;
+    }
+    // Agreed success: refresh the per-iteration cost estimate feeding
+    // admission-control feasibility (exactly one slice ran since the last
+    // outcome agreement — the scheduler is sequential).
+    const double slice_s = agreed_now_ - prev_now;
+    const int iters = upto - ropt.begin_iter;
+    if (prev_now > 0 && slice_s > 0 && iters > 0) {
+      const double per_iter = slice_s / static_cast<double>(iters);
+      ema_iter_s_ =
+          ema_iter_s_ <= 0 ? per_iter : 0.5 * ema_iter_s_ + 0.5 * per_iter;
+    }
+  }
   accumulate(j.cc, s);
   j.next_iter = upto;
   ++j.slices;
@@ -249,17 +539,49 @@ void ServiceContext::run_slice(Job& j) {
     // The closing slice ran the final reduce; this is the job's output.
     j.out = out;
     finish(j, /*aborted=*/false);
-  } else if (cfg_.policy == Policy::weighted_fair) {
-    const auto cost = static_cast<std::uint64_t>(upto - ropt.begin_iter);
-    j.pass += std::max<std::uint64_t>(cost, 1) * kPassScale /
-              static_cast<std::uint64_t>(j.spec.weight);
+  } else {
+    if (cfg_.park.valid()) persist_mid(j);
+    if (cfg_.policy == Policy::weighted_fair) {
+      const auto cost = static_cast<std::uint64_t>(upto - ropt.begin_iter);
+      j.pass += std::max<std::uint64_t>(cost, 1) * kPassScale /
+                static_cast<std::uint64_t>(j.spec.weight);
+    }
   }
 }
 
 void ServiceContext::run_all() {
   while (!queue_.empty() || !admitted_.empty()) {
+    if (deadline_mode_ && !recovery_active()) {
+      // Without per-slice outcome agreements the replicated clock only
+      // advances here; keep it fresh so deadlines fire promptly.
+      sync_clock();
+    }
     admit();
+    if (admitted_.empty()) continue;  // everything queued was shed
     Job* j = pick_next();
+    if (j == nullptr) {
+      // Every admitted job is backing off. Sleep the whole service to the
+      // earliest retry gate in virtual time — the target is replicated, so
+      // every rank wakes into the same schedule.
+      double target = 0;
+      bool first = true;
+      for (JobId id : admitted_) {
+        const Job& a = *jobs_[static_cast<std::size_t>(id)];
+        target = first ? a.not_before : std::min(target, a.not_before);
+        first = false;
+      }
+      if (target > comm_->wtime()) {
+        des::Completion::at(comm_->engine(), target).wait();
+      }
+      agreed_now_ = std::max(agreed_now_, target);
+      continue;
+    }
+    if (j->deadline_abs > 0 && agreed_now_ > j->deadline_abs) {
+      // SLO breach: the budgeted time is gone — structured failure, and
+      // the remaining slices go to tenants that can still make theirs.
+      fail_job(*j, FailReason::deadline);
+      continue;
+    }
     if (chaos_abort(*j)) {
       // Tenant-local fault: the job dies between slices, where no
       // collective is in flight — every rank agrees (the schedule is pure
@@ -279,6 +601,16 @@ void ServiceContext::run_all() {
 
 JobState ServiceContext::state(JobId id) const { return job_at(id).st; }
 
+JobResult ServiceContext::result(JobId id) const {
+  const Job& j = job_at(id);
+  JobResult r;
+  r.state = j.st;
+  r.failed = j.st == JobState::failed || j.st == JobState::shed;
+  r.reason = j.reason;
+  r.retries = j.retries;
+  return r;
+}
+
 const core::CcOutput& ServiceContext::output(JobId id) const {
   const Job& j = job_at(id);
   COLCOM_EXPECT_MSG(j.st == JobState::done, "output of an unfinished job");
@@ -291,7 +623,7 @@ const core::CcStats& ServiceContext::job_stats(JobId id) const {
 
 double ServiceContext::latency_s(JobId id) const {
   const Job& j = job_at(id);
-  COLCOM_EXPECT(j.st == JobState::done || j.st == JobState::aborted);
+  COLCOM_EXPECT(j.st != JobState::queued && j.st != JobState::admitted);
   return j.finished_s - j.submitted_s;
 }
 

@@ -32,7 +32,21 @@
 // no collective is in flight, so every other job proceeds untouched — and
 // rank faults inside a slice (role crashes, storage faults) are handled by
 // the core runtime's watch/replan machinery with bit-identical recovery.
-// See docs/SERVICE.md.
+//
+// svc::Recovery (end-to-end, process deaths): when chaos crash points are
+// installed, every slice runs with core::RunOptions::recover — a failed
+// attempt surfaces as a replicated fault::Error instead of an abort or a
+// hang. The service snapshots the job's parked `mid` before each attempt,
+// agrees on the attempt's outcome (one extra ft::agree whose mask also
+// merges every survivor's clock into the replicated virtual clock), rolls
+// back to the snapshot on failure and resubmits on the shrunken world with
+// a fresh agreement-epoch block and tag salt — resuming at the iteration
+// boundary, bit-identical to an uninterrupted run. Per-job policy bounds
+// the recovery: a retry budget with exponential backoff, virtual-time
+// deadlines (SLOs), and admission-control shedding (queue depth + deadline
+// feasibility) turn every exhausted budget into a structured JobResult —
+// a job ends done, failed-with-reason, or shed; never lost, never hung.
+// See docs/SERVICE.md and docs/ROBUSTNESS.md.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +60,7 @@
 #include "core/runtime.hpp"
 #include "mpi/comm.hpp"
 #include "ncio/dataset.hpp"
+#include "pfs/pfs.hpp"
 #include "romio/plan.hpp"
 #include "stage/stage.hpp"
 #include "util/stats.hpp"
@@ -80,6 +95,32 @@ struct ServiceConfig {
   bool overlap_affinity = true;
   /// Config of the shared per-rank staging area every job runs over.
   stage::StageConfig stage;
+
+  // --- robustness policy (svc::Recovery) ---
+  /// Default per-job resubmit budget: how many failed slice attempts may
+  /// be retried from the parked mid before the job fails with
+  /// FailReason::retry_budget. JobSpec::max_retries overrides per job.
+  int max_retries = 3;
+  /// Exponential backoff between resubmits, in virtual seconds: retry k
+  /// waits backoff_base_s * backoff_factor^(k-1) on the replicated clock.
+  double backoff_base_s = 0.05;
+  double backoff_factor = 2.0;
+  /// Overload shedding: > 0 bounds the submit queue depth. A submit that
+  /// finds the queue full is shed with FailReason::queue_full *before* the
+  /// collective plan build (queue depth is replicated state, so every rank
+  /// skips the same collectives) instead of deepening the backlog.
+  int max_queue = 0;
+  /// Shed queued jobs whose deadline is already infeasible at admission
+  /// time by the scheduler's smoothed per-iteration cost estimate, so a
+  /// doomed job never consumes slices other tenants could use.
+  bool shed_infeasible = true;
+  /// Checkpoint persistence of parked mids: when `park` is valid, every
+  /// non-closing successful slice writes the job's parked mid through the
+  /// staging area's write-behind into a fixed per-(job, rank) slot of this
+  /// file at `park_offset`. The file must be large enough for
+  /// jobs * ranks slots (see docs/SERVICE.md).
+  pfs::FileId park{};
+  std::uint64_t park_offset = 0;
 };
 
 using JobId = int;
@@ -94,9 +135,49 @@ struct JobSpec {
   core::ObjectIO io;
   int priority = 0;  ///< larger runs earlier under Policy::priority
   int weight = 1;    ///< relative share under Policy::weighted_fair
+
+  /// Virtual-time SLO: > 0 ends the job with FailReason::deadline when it
+  /// cannot finish within this many seconds of submission (measured on the
+  /// service's replicated clock, so every rank agrees on the breach).
+  double deadline_s = 0;
+  /// Per-job retry-budget override; < 0 uses ServiceConfig::max_retries.
+  int max_retries = -1;
 };
 
-enum class JobState : std::uint8_t { queued, admitted, done, aborted };
+enum class JobState : std::uint8_t {
+  queued,
+  admitted,
+  done,
+  aborted,  ///< tenant-local chaos abort (the pre-recovery fault)
+  failed,   ///< ended with a structured FailReason (budget/deadline/fatal)
+  shed,     ///< rejected by admission control (never ran a slice)
+};
+
+/// Why a job ended without an output. Structured so callers distinguish
+/// policy exhaustion (retry_budget, deadline), admission control
+/// (queue_full, infeasible) and fatal runtime verdicts (root_failed,
+/// unrecoverable).
+enum class FailReason : std::uint8_t {
+  none,          ///< the job finished (or was tenant-aborted)
+  retry_budget,  ///< the resubmit budget ran out
+  deadline,      ///< the virtual-time SLO fired
+  queue_full,    ///< shed at submit: queue depth exceeded max_queue
+  infeasible,    ///< shed at admission: deadline unreachable by estimate
+  root_failed,   ///< the reduction root's process died (not retryable)
+  unrecoverable, ///< no survivor set can finish the plan (not retryable)
+};
+
+const char* to_string(FailReason r);
+
+/// The structured end state of a job: done, failed-with-reason, or shed —
+/// never lost, never hung. `retries` counts slice attempts resubmitted
+/// from the parked mid (a finished job with retries > 0 was recovered).
+struct JobResult {
+  JobState state = JobState::queued;
+  bool failed = false;
+  FailReason reason = FailReason::none;
+  int retries = 0;
+};
 
 /// Aggregate service counters, mirrored into svc.* metrics on rank 0.
 struct ServiceStats {
@@ -106,6 +187,10 @@ struct ServiceStats {
   std::uint64_t slices = 0;    ///< scheduler quanta executed
   std::uint64_t switches = 0;  ///< quanta that changed the running job
   std::uint64_t affinity_admissions = 0;  ///< overlap-preferred admissions
+  std::uint64_t failed = 0;     ///< jobs ended with a structured FailReason
+  std::uint64_t shed = 0;       ///< jobs rejected by admission control
+  std::uint64_t retries = 0;    ///< slice attempts resubmitted from a mid
+  std::uint64_t recovered = 0;  ///< jobs that finished after >= 1 resubmit
 };
 
 /// The service frontend. Owns the dataset registry, the shared staging
@@ -138,6 +223,8 @@ class ServiceContext {
   // --- results & introspection (valid after run_all) ---
 
   JobState state(JobId id) const;
+  /// The structured end state of any submitted job (valid once terminal).
+  JobResult result(JobId id) const;
   /// Reduction output of a finished job — bit-identical to a solo
   /// collective_compute of the same spec over the same plan shape.
   const core::CcOutput& output(JobId id) const;
@@ -165,9 +252,16 @@ class ServiceContext {
     romio::TwoPhasePlan plan;
     JobState st = JobState::queued;
     std::vector<std::byte> mid;  ///< parked accumulator state between slices
+    /// Pre-attempt snapshot of `mid`: a failed attempt rolls every rank
+    /// back to it, so a resubmit resumes exactly at the parked boundary.
+    std::vector<std::byte> mid_backup;
     int next_iter = 0;
     int slices = 0;
     std::uint64_t pass = 0;  ///< stride-scheduling virtual time (WFQ)
+    int retries = 0;           ///< slice attempts resubmitted so far
+    double not_before = 0;     ///< backoff gate on the replicated clock
+    double deadline_abs = 0;   ///< replicated absolute SLO; 0 = none
+    FailReason reason = FailReason::none;
     core::CcOutput out;
     core::CcStats cc;
     double submitted_s = 0;
@@ -176,15 +270,35 @@ class ServiceContext {
   };
 
   const Job& job_at(JobId id) const;
-  /// Moves queued jobs into the admitted set while budget remains.
+  /// Moves queued jobs into the admitted set while budget remains,
+  /// shedding deadline-infeasible ones (cfg_.shed_infeasible).
   void admit();
-  /// The next admitted job to run one slice, per policy. Never null while
-  /// the admitted set is non-empty.
+  /// The next admitted job to run one slice, per policy, among jobs whose
+  /// backoff gate has passed. nullptr when every admitted job is backing
+  /// off (the scheduler then sleeps to the earliest gate in virtual time).
   Job* pick_next();
   /// True when chaos schedules a tenant-local abort of `j`'s next slice.
   bool chaos_abort(const Job& j);
   void run_slice(Job& j);
   void finish(Job& j, bool aborted);
+  /// Ends `j` with a structured failure (budget/deadline/fatal verdict).
+  void fail_job(Job& j, FailReason r);
+  /// Rejects `j` at admission control (never ran; queue_full/infeasible).
+  void shed_job(Job& j, FailReason r);
+  /// Agreed-failed attempt: decide retry (backoff) vs structured failure.
+  void handle_slice_failure(Job& j, FailReason why, bool retryable);
+  /// True when chaos crash points are installed: slices run with
+  /// core::RunOptions::recover and every attempt's outcome is agreed.
+  bool recovery_active() const;
+  /// Merges every rank's clock into agreed_now_ (collective).
+  void sync_clock();
+  /// Writes `j`'s parked mid into its per-(job, rank) park-file slot.
+  void persist_mid(const Job& j);
+  std::uint64_t park_slot_bytes() const;
+  /// True on the lowest *alive* rank — the metrics/fault-stats reporter.
+  /// Plain rank 0 would lose every svc.* count the moment the root dies,
+  /// exactly when the recovery counters matter most.
+  bool metrics_owner() const;
   void bump_metric(const char* name, std::uint64_t delta = 1);
 
   mpi::Comm* comm_;
@@ -198,6 +312,23 @@ class ServiceContext {
   ServiceStats stats_;
   JobId last_run_ = -1;      ///< switch accounting
   bool abort_fired_ = false; ///< the chaos abort strikes at most once
+
+  // --- svc::Recovery state (replicated on every rank) ---
+  /// Next free agreement epoch. Every slice attempt under recovery gets a
+  /// disjoint epoch block (and the outcome agreement its last epoch), so
+  /// no two attempts — original or resubmit — ever share an agreement tag.
+  int epoch_cursor_;
+  /// Next data-plane tag salt; one per attempt, so stale in-flight
+  /// messages of a failed attempt can never match a retry's receives.
+  int salt_cursor_ = 1;
+  /// The replicated virtual clock: max of all ranks' wtime() at the last
+  /// agreement/sync. Every deadline and backoff decision reads this, never
+  /// local wtime(), so all ranks schedule identically.
+  double agreed_now_ = 0;
+  /// Smoothed per-iteration virtual cost (EMA over agreed slice times);
+  /// 0 until the first agreed slice. Drives feasibility shedding.
+  double ema_iter_s_ = 0;
+  bool deadline_mode_ = false;  ///< any submitted job carries an SLO
 };
 
 /// Single-query convenience: a one-job service — submit, drain, return the

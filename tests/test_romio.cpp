@@ -142,6 +142,51 @@ TEST(Plan, StagingAwarePlacementPicksWarmRanksFirst) {
   EXPECT_EQ(warm_plan.fd_end, cold_plan.fd_end);
 }
 
+TEST(Plan, WarmPoolLargerThanNodeCountGrowsAggregatorSet) {
+  mpi::Runtime rt(small_machine(), 8);
+  TwoPhasePlan grown, capped, wide;
+  rt.run([&](mpi::Comm& c) {
+    FlatRequest mine({{static_cast<std::uint64_t>(c.rank()) * 1000, 500}});
+    Hints h;
+    h.cb_buffer_size = 512;
+    h.staging_aware_placement = true;
+    // Three warm ranks on a two-node world: the one-per-node default would
+    // truncate the pool; growth keeps every warm rank serving, score first.
+    std::uint64_t residency = 0;
+    if (c.rank() == 6) residency = 64 << 10;
+    if (c.rank() == 2) residency = 16 << 10;
+    if (c.rank() == 5) residency = 8 << 10;
+    auto p = build_plan(c, mine, h, residency);
+    if (c.rank() == 0) grown = p;
+    // An explicit cb_nodes stays an upper bound: the pool truncates back to
+    // the highest-residency ranks.
+    Hints h2 = h;
+    h2.cb_nodes = 2;
+    auto q = build_plan(c, mine, h2, residency);
+    if (c.rank() == 0) capped = q;
+    // cb_nodes beyond the node count is honored: warm ranks first, then the
+    // spaced fill tops the set up to the requested width.
+    Hints h3 = h;
+    h3.cb_nodes = 4;
+    auto w = build_plan(c, mine, h3, residency);
+    if (c.rank() == 0) wide = w;
+  });
+  ASSERT_EQ(grown.aggregator_count(), 3);
+  EXPECT_EQ(grown.aggregators[0], 6);
+  EXPECT_EQ(grown.aggregators[1], 2);
+  EXPECT_EQ(grown.aggregators[2], 5);
+  // The grown set still partitions the full byte range.
+  EXPECT_EQ(grown.fd_begin.front(), grown.gmin);
+  EXPECT_EQ(grown.fd_end.back(), grown.gmax);
+  ASSERT_EQ(capped.aggregator_count(), 2);
+  EXPECT_EQ(capped.aggregators[0], 6);
+  EXPECT_EQ(capped.aggregators[1], 2);
+  ASSERT_EQ(wide.aggregator_count(), 4);
+  EXPECT_EQ(wide.aggregators[0], 6);
+  EXPECT_EQ(wide.aggregators[1], 2);
+  EXPECT_EQ(wide.aggregators[2], 5);
+}
+
 TEST(Plan, StripeAlignedDomains) {
   mpi::Runtime rt(small_machine(), 8);
   std::uint64_t boundary = 0;

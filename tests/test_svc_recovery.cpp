@@ -1,0 +1,462 @@
+// svc::Recovery tests: service-level end-to-end recovery. A process death
+// mid-slice that in-slice replan cannot absorb surfaces as a replicated
+// slice abort; the service rolls back to the parked mid and resubmits on
+// the shrunken world with a fresh epoch block and tag salt, resuming at the
+// iteration boundary bit-identically. Policy bounds the recovery: retry
+// budgets with exponential backoff, virtual-time deadlines (including a
+// deadline firing mid-retry), and admission-control shedding (queue depth,
+// deadline feasibility) — every job ends done, failed-with-reason, or
+// shed; never lost, never hung. CI sweeps COLCOM_CHAOS_SEED and
+// COLCOM_CHECK=1 over this suite (see scripts/ci.sh).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/object_io.hpp"
+#include "core/runtime.hpp"
+#include "fault/chaos.hpp"
+#include "mpi/runtime.hpp"
+#include "ncio/dataset.hpp"
+#include "pfs/store.hpp"
+#include "stage/stage.hpp"
+#include "svc/svc.hpp"
+
+namespace colcom {
+namespace {
+
+constexpr int kProcs = 8;
+
+/// CI sweeps several seeds: COLCOM_CHAOS_SEED overrides the default.
+std::uint64_t chaos_seed() {
+  if (const char* s = std::getenv("COLCOM_CHAOS_SEED")) {
+    return std::strtoull(s, nullptr, 0);
+  }
+  return 0xc4a05;
+}
+
+/// Two ranks per node: 8 ranks -> 4 nodes -> aggregators {0, 2, 4, 6}, so a
+/// non-root aggregator AND its absorber can both die with survivors left.
+mpi::MachineConfig four_node_machine() {
+  mpi::MachineConfig cfg;
+  cfg.cores_per_node = 2;
+  cfg.pfs.n_osts = 4;
+  cfg.pfs.stripe_size = 8192;
+  return cfg;
+}
+
+ncio::Dataset make_ds(pfs::Pfs& fs) {
+  return ncio::DatasetBuilder(fs, "svcrec.nc")
+      .add_generated_var<float>(
+          "u", {64, 16, 16},
+          [](std::span<const std::uint64_t> c) {
+            double v = 2.0;
+            for (auto x : c) v = v * 2.9 + static_cast<double>(x);
+            return static_cast<float>(v * 1e-3);
+          })
+      .add_generated_var<float>(
+          "v", {64, 16, 16},
+          [](std::span<const std::uint64_t> c) {
+            double v = 1.0;
+            for (auto x : c) v = v * 3.7 + static_cast<double>(x);
+            return static_cast<float>(v * 1e-3);
+          })
+      .finish();
+}
+
+struct Slab {
+  const char* var = "v";
+  std::uint64_t t0 = 0;
+  std::uint64_t rows = 64;
+};
+
+core::ObjectIO make_io(const ncio::Dataset& ds, const Slab& q, int rank) {
+  core::ObjectIO io;
+  io.var = ds.var(q.var);
+  io.start = {q.t0, static_cast<std::uint64_t>(2 * rank), 0};
+  io.count = {q.rows, 2, 16};
+  io.op = mpi::Op::sum();
+  io.hints.cb_buffer_size = 4096;
+  return io;
+}
+
+/// Ground truth: the same query run solo through collective_compute in a
+/// fresh fault-free world of the same shape.
+float solo_value(const Slab& q) {
+  mpi::Runtime rt(four_node_machine(), kProcs);
+  auto ds = make_ds(rt.fs());
+  float v = 0;
+  rt.run([&](mpi::Comm& c) {
+    core::CcOutput out;
+    core::collective_compute(c, ds, make_io(ds, q, c.rank()), out);
+    if (c.rank() == 0) v = out.global_as<float>();
+  });
+  return v;
+}
+
+struct JobDef {
+  Slab slab;
+  int tenant = 0;
+  double deadline_s = 0;
+  int max_retries = -1;
+};
+
+struct RecRun {
+  std::vector<svc::JobResult> res;
+  std::vector<svc::JobState> st;
+  std::vector<float> value;  ///< valid where st == done (root's view)
+  std::vector<int> slices;
+  svc::ServiceStats stats;
+  fault::FaultStats faults;
+  double elapsed = 0;
+};
+
+/// Runs a service over `jobs` with `crashes` installed as chaos crash
+/// points; collects results on `collect_rank` (pass a survivor when the
+/// root is among the dead — state/stats are replicated, output is not).
+RecRun run_service(const svc::ServiceConfig& cfg,
+                   const std::vector<JobDef>& jobs,
+                   const std::vector<fault::CrashPoint>& crashes = {},
+                   int collect_rank = 0) {
+  mpi::Runtime rt(four_node_machine(), kProcs);
+  if (!crashes.empty()) {
+    fault::ChaosConfig cc;
+    cc.seed = chaos_seed();
+    fault::ChaosSchedule sched(cc, rt.n_nodes(), kProcs, 8);
+    for (const auto& cp : crashes) sched.add_crash_point(cp);
+    rt.install_chaos(std::move(sched));
+  }
+  auto ds = make_ds(rt.fs());
+  const auto n = jobs.size();
+  RecRun res;
+  res.res.resize(n);
+  res.st.resize(n, svc::JobState::queued);
+  res.value.resize(n, 0.0f);
+  res.slices.resize(n, 0);
+  rt.run([&](mpi::Comm& c) {
+    svc::ServiceContext sc(c, cfg);
+    const int d = sc.register_dataset(ds);
+    std::vector<svc::JobId> ids;
+    for (const auto& jd : jobs) {
+      svc::JobSpec s;
+      s.name = jd.slab.var;
+      s.tenant = jd.tenant;
+      s.dataset = d;
+      s.io = make_io(ds, jd.slab, c.rank());
+      s.deadline_s = jd.deadline_s;
+      s.max_retries = jd.max_retries;
+      ids.push_back(sc.submit(std::move(s)));
+    }
+    sc.run_all();
+    if (c.rank() != collect_rank) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.res[i] = sc.result(ids[i]);
+      res.st[i] = sc.state(ids[i]);
+      res.slices[i] = sc.slices_run(ids[i]);
+      if (res.st[i] == svc::JobState::done && collect_rank == 0) {
+        res.value[i] = sc.output(ids[i]).global_as<float>();
+      }
+    }
+    res.stats = sc.stats();
+  });
+  res.elapsed = rt.elapsed();
+  if (rt.chaos() != nullptr) res.faults = rt.chaos()->stats();
+  return res;
+}
+
+bool bit_equal(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+/// The flagship choreography: aggregator rank 4 (index 2 of {0,2,4,6})
+/// dies after reading its third chunk; when the watch agrees on the death,
+/// rank 2 — the survivor rotation's absorber for the missed slot — dies
+/// inside the replan. The make-up receive hits a dead absorber, the
+/// attempt aborts in agreement, and only a service-level resubmit from the
+/// parked mid can finish the job.
+std::vector<fault::CrashPoint> absorber_death() {
+  return {{fault::Phase::mid_map, 4, 3}, {fault::Phase::replan, 2, 1}};
+}
+
+// ---------------- resubmit-from-mid on a shrunken world ----------------
+
+TEST(SvcRecovery, ProcessDeathMidSliceResumesFromParkedMidBitIdentical) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 1;
+  const std::vector<JobDef> jobs = {{Slab{"v", 0, 64}}};
+  const float solo = solo_value(jobs[0].slab);
+
+  const RecRun r = run_service(cfg, jobs, absorber_death());
+  ASSERT_EQ(r.st[0], svc::JobState::done);
+  EXPECT_TRUE(bit_equal(r.value[0], solo))
+      << "recovered job diverged from the uninterrupted run";
+  // The in-slice machinery could not absorb this one: the attempt aborted
+  // and the service resubmitted from the parked mid at least once.
+  EXPECT_GE(r.res[0].retries, 1);
+  EXPECT_FALSE(r.res[0].failed);
+  EXPECT_EQ(r.res[0].reason, svc::FailReason::none);
+  EXPECT_GE(r.stats.retries, 1u);
+  EXPECT_EQ(r.stats.recovered, 1u);
+  EXPECT_EQ(r.stats.completed, 1u);
+  EXPECT_EQ(r.stats.failed, 0u);
+  EXPECT_EQ(r.faults.rank_crashes, 2u);
+  EXPECT_GE(r.faults.svc_retries, 1u);
+}
+
+TEST(SvcRecovery, ResumeOnWorldThatShrankAgainBetweenParkAndResubmit) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 1;
+  const std::vector<JobDef> jobs = {{Slab{"v", 0, 64}}};
+  const float solo = solo_value(jobs[0].slab);
+
+  // On top of the aborted first attempt, aggregator rank 6 dies when the
+  // resubmitted attempt re-maps the rolled-back chunk: the world shrinks
+  // AGAIN between the park and the completed resubmit, leaving rank 0 the
+  // only aggregator of the original four.
+  auto crashes = absorber_death();
+  crashes.push_back({fault::Phase::mid_map, 6, 4});
+  const RecRun r = run_service(cfg, jobs, crashes);
+  ASSERT_EQ(r.st[0], svc::JobState::done);
+  EXPECT_TRUE(bit_equal(r.value[0], solo))
+      << "twice-shrunken resume diverged from the uninterrupted run";
+  EXPECT_GE(r.res[0].retries, 1);
+  EXPECT_EQ(r.stats.recovered, 1u);
+  EXPECT_EQ(r.faults.rank_crashes, 3u);
+}
+
+// ---------------- retry budgets ----------------
+
+TEST(SvcRecovery, RetryBudgetExhaustionFailsStructuredAndSparesOthers) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 1;
+  // Job 0 forbids retries: the aborted attempt must end it with a
+  // structured retry_budget failure, not a resubmit, not a hang. Job 1
+  // (a different variable) then runs on the shrunken world untouched.
+  const std::vector<JobDef> jobs = {{Slab{"v", 0, 64}, 0, 0, /*retries=*/0},
+                                    {Slab{"u", 0, 64}, 1}};
+  const float solo1 = solo_value(jobs[1].slab);
+
+  const RecRun r = run_service(cfg, jobs, absorber_death());
+  EXPECT_EQ(r.st[0], svc::JobState::failed);
+  EXPECT_TRUE(r.res[0].failed);
+  EXPECT_EQ(r.res[0].reason, svc::FailReason::retry_budget);
+  EXPECT_EQ(r.res[0].retries, 0);
+  ASSERT_EQ(r.st[1], svc::JobState::done);
+  EXPECT_TRUE(bit_equal(r.value[1], solo1))
+      << "the surviving tenant's job diverged";
+  EXPECT_EQ(r.stats.failed, 1u);
+  EXPECT_EQ(r.stats.completed, 1u);
+  EXPECT_GE(r.faults.svc_failures, 1u);
+}
+
+// ---------------- deadlines (virtual-time SLOs) ----------------
+
+TEST(SvcRecovery, DeadlineFiresMidRetry) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 1;
+  const std::vector<JobDef> clean_jobs = {{Slab{"v", 0, 64}}};
+  const RecRun pilot = run_service(cfg, clean_jobs);
+  ASSERT_EQ(pilot.st[0], svc::JobState::done);
+
+  // The SLO comfortably covers the uninterrupted run, but the post-failure
+  // backoff alone would push the resubmit far past it: the deadline fires
+  // mid-retry, after the retry was granted but before it could run.
+  svc::ServiceConfig slo = cfg;
+  slo.backoff_base_s = 20.0 * pilot.elapsed;
+  std::vector<JobDef> jobs = clean_jobs;
+  jobs[0].deadline_s = 5.0 * pilot.elapsed;
+  const RecRun r = run_service(slo, jobs, absorber_death());
+  EXPECT_EQ(r.st[0], svc::JobState::failed);
+  EXPECT_TRUE(r.res[0].failed);
+  EXPECT_EQ(r.res[0].reason, svc::FailReason::deadline);
+  EXPECT_EQ(r.res[0].retries, 1);
+  EXPECT_EQ(r.stats.failed, 1u);
+  EXPECT_EQ(r.stats.completed, 0u);
+}
+
+TEST(SvcRecovery, QueuedPastDeadlineFailsWithoutRunning) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 1;
+  cfg.shed_infeasible = false;  // exercise the breach path, not the shed
+  // Job 1's SLO is already gone when job 0 finishes monopolizing the unit
+  // budget: the breach is detected at pick time on the replicated clock.
+  const std::vector<JobDef> jobs = {{Slab{"v", 0, 64}},
+                                    {Slab{"u", 0, 64}, 1, /*deadline=*/1e-6}};
+  const RecRun r = run_service(cfg, jobs);
+  EXPECT_EQ(r.st[0], svc::JobState::done);
+  EXPECT_EQ(r.st[1], svc::JobState::failed);
+  EXPECT_EQ(r.res[1].reason, svc::FailReason::deadline);
+  EXPECT_EQ(r.slices[1], 0);
+  EXPECT_EQ(r.stats.failed, 1u);
+}
+
+// ---------------- admission-control shedding ----------------
+
+TEST(SvcRecovery, QueueDepthBoundShedsSubmissionBurst) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 2;
+  cfg.max_queue = 1;
+  // Three submits against a depth-1 queue: the burst's tail is shed with
+  // queue_full before any collective plan build, and never runs a slice.
+  const std::vector<JobDef> jobs = {
+      {Slab{"v", 0, 32}}, {Slab{"u", 0, 32}, 1}, {Slab{"v", 32, 32}, 2}};
+  const RecRun r = run_service(cfg, jobs);
+  EXPECT_EQ(r.st[0], svc::JobState::done);
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_EQ(r.st[static_cast<std::size_t>(i)], svc::JobState::shed)
+        << "job " << i;
+    EXPECT_EQ(r.res[static_cast<std::size_t>(i)].reason,
+              svc::FailReason::queue_full)
+        << "job " << i;
+    EXPECT_TRUE(r.res[static_cast<std::size_t>(i)].failed);
+    EXPECT_EQ(r.slices[static_cast<std::size_t>(i)], 0) << "job " << i;
+  }
+  EXPECT_EQ(r.stats.shed, 2u);
+  EXPECT_EQ(r.stats.completed, 1u);
+  EXPECT_EQ(r.stats.submitted, 3u);
+}
+
+TEST(SvcRecovery, InfeasibleDeadlineShedAtAdmission) {
+  mpi::Runtime rt(four_node_machine(), kProcs);
+  // A parked crash point that never fires keeps the recovery machinery on
+  // (per-slice outcome agreements feed the cost estimate) without killing
+  // anyone — and doubles as the recover-mode bit-transparency check.
+  fault::ChaosConfig cc;
+  cc.seed = chaos_seed();
+  fault::ChaosSchedule sched(cc, rt.n_nodes(), kProcs, 8);
+  sched.add_crash_point({fault::Phase::mid_map, 7, 1000000});
+  rt.install_chaos(std::move(sched));
+  auto ds = make_ds(rt.fs());
+  const Slab warm{"v", 0, 64};
+  svc::JobResult shed_res;
+  float warm_value = 0;
+  svc::ServiceStats stats;
+  rt.run([&](mpi::Comm& c) {
+    svc::ServiceConfig cfg;
+    cfg.max_concurrent = 1;
+    cfg.slice_iters = 1;
+    svc::ServiceContext sc(c, cfg);
+    const int d = sc.register_dataset(ds);
+    svc::JobSpec a;
+    a.name = "warm";
+    a.dataset = d;
+    a.io = make_io(ds, warm, c.rank());
+    const svc::JobId ia = sc.submit(std::move(a));
+    sc.run_all();  // seeds the smoothed per-iteration cost estimate
+    svc::JobSpec b;
+    b.name = "doomed";
+    b.dataset = d;
+    b.io = make_io(ds, Slab{"u", 0, 64}, c.rank());
+    b.deadline_s = 1e-6;  // far below any per-iteration estimate
+    const svc::JobId ib = sc.submit(std::move(b));
+    sc.run_all();
+    if (c.rank() != 0) return;
+    warm_value = sc.output(ia).global_as<float>();
+    shed_res = sc.result(ib);
+    stats = sc.stats();
+  });
+  EXPECT_TRUE(bit_equal(warm_value, solo_value(warm)))
+      << "recover-mode clean run diverged from the solo value";
+  EXPECT_EQ(shed_res.state, svc::JobState::shed);
+  EXPECT_EQ(shed_res.reason, svc::FailReason::infeasible);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// ---------------- fatal verdicts stay structured ----------------
+
+TEST(SvcRecovery, RootDeathYieldsStructuredFailureNotHang) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 1;
+  const std::vector<JobDef> jobs = {{Slab{"v", 0, 64}}};
+  // The reduction root (rank 0) dies after mapping its second chunk. No
+  // survivor set can deliver the root's output: the verdict is fatal, the
+  // job ends failed-with-reason on every survivor, and run_all returns.
+  const RecRun r =
+      run_service(cfg, jobs, {{fault::Phase::mid_map, 0, 2}},
+                  /*collect_rank=*/1);
+  EXPECT_EQ(r.st[0], svc::JobState::failed);
+  EXPECT_TRUE(r.res[0].failed);
+  EXPECT_EQ(r.res[0].reason, svc::FailReason::root_failed);
+  EXPECT_EQ(r.stats.failed, 1u);
+  EXPECT_EQ(r.stats.completed, 0u);
+  EXPECT_EQ(r.faults.rank_crashes, 1u);
+  EXPECT_GE(r.faults.svc_failures, 1u);
+}
+
+// ---------------- determinism ----------------
+
+TEST(SvcRecovery, RecoveryRunsAreDeterministic) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 1;
+  const std::vector<JobDef> jobs = {{Slab{"v", 0, 64}}};
+  const RecRun a = run_service(cfg, jobs, absorber_death());
+  const RecRun b = run_service(cfg, jobs, absorber_death());
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.res[0].retries, b.res[0].retries);
+  EXPECT_EQ(a.stats.slices, b.stats.slices);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_TRUE(bit_equal(a.value[0], b.value[0]));
+}
+
+// ---------------- checkpoint persistence of parked mids ----------------
+
+TEST(SvcRecovery, ParkedMidsPersistThroughWriteBehind) {
+  mpi::Runtime rt(four_node_machine(), kProcs);
+  auto ds = make_ds(rt.fs());
+  auto park =
+      rt.fs().create("park", std::make_unique<pfs::MemStore>(1 << 20));
+  std::uint64_t dirty_after_flush = 1;
+  std::size_t pinned_after = 1;
+  std::uint64_t slot_len = 0;
+  std::uint64_t cap = 0;
+  rt.run([&](mpi::Comm& c) {
+    svc::ServiceConfig cfg;
+    cfg.max_concurrent = 1;
+    cfg.slice_iters = 1;
+    cfg.park = park;
+    svc::ServiceContext sc(c, cfg);
+    const int d = sc.register_dataset(ds);
+    svc::JobSpec s;
+    s.name = "parked";
+    s.dataset = d;
+    s.io = make_io(ds, Slab{"v", 0, 64}, c.rank());
+    const svc::JobId id = sc.submit(std::move(s));
+    sc.run_all();
+    sc.staging().wb_flush();
+    if (c.rank() != 0) return;
+    EXPECT_EQ(sc.state(id), svc::JobState::done);
+    dirty_after_flush = sc.staging().wb_dirty_bytes();
+    pinned_after = sc.staging().cache().pinned_entries();
+    cap = (8 + 24 + 24ull * kProcs + 63) / 64 * 64;
+    // Rank 0's slot of job 0 holds the last parked mid, length-prefixed.
+    std::vector<std::byte> hdr(8);
+    rt.fs().read(park, 0, hdr);
+    std::memcpy(&slot_len, hdr.data(), sizeof(slot_len));
+  });
+  EXPECT_EQ(dirty_after_flush, 0u);
+  EXPECT_EQ(pinned_after, 0u);
+  EXPECT_GT(slot_len, 0u);
+  EXPECT_LE(slot_len, cap - 8);
+}
+
+}  // namespace
+}  // namespace colcom
