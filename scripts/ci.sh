@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# CI driver: project lint -> configure -> build -> clang-tidy (when
-# available) -> test inside a wall-clock budget -> the same suite again
-# under the MPI correctness checker (COLCOM_CHECK=1 strict), then an
-# optional -Werror + ASan/UBSan pass over the trace/prof tests, then a chaos
-# stage running the fault suites under the sanitizers with several seeds —
-# also under the correctness checker.
+# CI driver: project lint -> configure -> build -> clang-tidy gate (hard
+# fail, pinned major) -> test inside a wall-clock budget -> the same suite
+# again under the MPI correctness checker (COLCOM_CHECK=1 strict), then an
+# optional -Werror + ASan/UBSan pass over the trace/prof tests, a budgeted
+# CHK-EXPLORE schedule-exploration stage, and a chaos stage running the
+# fault suites under the sanitizers with several seeds — also under the
+# correctness checker.
 #
-# Usage: scripts/ci.sh [--fast] [--no-sanitize] [--no-chaos] [chaos]
+# Usage: scripts/ci.sh [--fast] [--no-sanitize] [--no-chaos] [--no-tidy]
+#                      [chaos]
 #   --fast         skip tests labeled `slow` (ctest -LE slow)
-#   --no-sanitize  skip the sanitizer build/run stage (implies --no-chaos)
+#   --no-sanitize  skip the sanitizer build/run stage (implies --no-chaos
+#                  and the explore stage)
 #   --no-chaos     skip the chaos (fault-injection) stage
+#   --no-tidy      skip the clang-tidy gate (for hosts without the pinned
+#                  toolchain; the gate otherwise hard-fails when clang-tidy
+#                  is missing or has the wrong major version)
 #   chaos          run ONLY the chaos stage (configure/build the sanitizer
 #                  tree as needed)
 #
@@ -18,6 +24,9 @@
 #                (default 900)
 #   BUILD_DIR    main build tree (default build-ci)
 #   CHAOS_SEEDS  seeds swept by the chaos stage (default "1 7 42")
+#   CLANG_TIDY   clang-tidy binary for the tidy gate (default clang-tidy)
+#   TIDY_MAJOR   pinned clang-tidy major version (default 18): diagnostics
+#                drift across majors, so the gate only accepts the pin
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,15 +34,19 @@ cd "$(dirname "$0")/.."
 BUDGET="${CI_BUDGET_S:-900}"
 BUILD_DIR="${BUILD_DIR:-build-ci}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-1 7 42}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+TIDY_MAJOR="${TIDY_MAJOR:-18}"
 FAST=0
 SANITIZE=1
 CHAOS=1
+TIDY=1
 ONLY_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --no-sanitize) SANITIZE=0 ;;
     --no-chaos) CHAOS=0 ;;
+    --no-tidy) TIDY=0 ;;
     chaos) ONLY_CHAOS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -114,12 +127,29 @@ ln -sf "$BUILD_DIR/compile_commands.json" compile_commands.json
 step "build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-if command -v clang-tidy >/dev/null 2>&1; then
-  step "clang-tidy (src/)"
+# clang-tidy is a hard gate pinned to one major version: tidy diagnostics
+# drift between majors, and a floating version turns the gate into noise.
+# Hosts without the pinned toolchain must opt out explicitly (--no-tidy).
+if [[ $TIDY -eq 1 ]]; then
+  step "clang-tidy gate (src/, pinned to major $TIDY_MAJOR)"
+  if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+    echo "clang-tidy gate FAILED: '$CLANG_TIDY' not on PATH." >&2
+    echo "Install clang-tidy $TIDY_MAJOR (or pass --no-tidy on hosts" \
+         "without the toolchain)." >&2
+    exit 1
+  fi
+  TIDY_VER="$("$CLANG_TIDY" --version |
+    sed -n 's/.*version \([0-9][0-9]*\)\..*/\1/p' | head -1)"
+  if [[ "$TIDY_VER" != "$TIDY_MAJOR" ]]; then
+    echo "clang-tidy gate FAILED: found major ${TIDY_VER:-unknown}," \
+         "pinned to $TIDY_MAJOR (set TIDY_MAJOR to re-pin deliberately)." >&2
+    exit 1
+  fi
   find src -name '*.cpp' -print0 |
-    xargs -0 -n 8 -P "$(nproc)" clang-tidy -p "$BUILD_DIR" --quiet
+    xargs -0 -n 8 -P "$(nproc)" "$CLANG_TIDY" -p "$BUILD_DIR" --quiet \
+      --warnings-as-errors='*'
 else
-  step "clang-tidy: not on PATH, stage skipped"
+  step "clang-tidy gate skipped (--no-tidy)"
 fi
 
 step "ctest (budget ${BUDGET}s)"
@@ -167,6 +197,18 @@ if [[ $SANITIZE -eq 1 ]]; then
   sanitizer_env
   timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_trace"
   timeout "$BUDGET" "$BUILD_DIR-asan/tests/test_prof"
+
+  # CHK-EXPLORE: bounded-budget schedule exploration of the 4-rank
+  # ft-agreement and svc resubmit-from-mid worlds, plus the seeded-bug
+  # rediscovery and replay-determinism tests, all under ASan/UBSan. The
+  # exploration statistics are asserted deterministic inside the tests.
+  # Hang-aborted executions abandon fiber stacks by design (the livelock
+  # rediscovery), leaving their heap blocks unreachable — leak detection
+  # stays off for this stage only.
+  step "explore stage (CHK-EXPLORE under ASan/UBSan, budgeted)"
+  cmake --build "$BUILD_DIR-asan" -j "$(nproc)" --target test_explore
+  ASAN_OPTIONS="$ASAN_OPTIONS:detect_leaks=0" timeout "$BUDGET" \
+    "$BUILD_DIR-asan/tests/test_explore"
 
   if [[ $CHAOS -eq 1 ]]; then
     chaos_stage

@@ -18,6 +18,12 @@ Rules
                 into a buffer is fine).
   include       headers use #pragma once; no "../" relative includes; every
                 quoted project include must resolve under src/.
+  raw-tag       internal message tags live in the negative space below -1000
+                and must be spelled as named constexpr constants (kPlanTag,
+                kAgreeTagBase, ...) registered with check::register_tag — a
+                raw negative literal of tag magnitude anywhere else collides
+                silently and defeats the tag-registry diagnostics. The
+                constexpr definition line itself is exempt.
 
 A finding on a line carrying `// lint: allow(<rule>)` is waived.
 
@@ -52,6 +58,11 @@ RULES = [
         "printf-family output in library code (use iostream or trace)",
     ),
 ]
+
+# Internal-tag namespace: a negative literal of 4+ digits used outside a
+# constexpr constant definition (see the raw-tag rule above).
+RAW_TAG = re.compile(r"(^|[^\w.])-\d{4,}\b")
+CONSTEXPR_DEF = re.compile(r"\bconstexpr\b")
 
 LINE_COMMENT = re.compile(r"//.*$")
 STRING = re.compile(r'"(\\.|[^"\\])*"')
@@ -114,6 +125,16 @@ def lint_file(path: Path, src_root: Path, findings: list) -> None:
         for rule, pattern, message in RULES:
             if pattern.search(code) and not waived(raw, rule):
                 findings.append((rel, i, rule, message))
+        if (
+            RAW_TAG.search(code)
+            and not CONSTEXPR_DEF.search(code)
+            and not waived(raw, "raw-tag")
+        ):
+            findings.append(
+                (rel, i, "raw-tag",
+                 "raw internal tag literal (define a constexpr k*Tag "
+                 "constant and register it with check::register_tag)")
+            )
 
 
 def main() -> int:

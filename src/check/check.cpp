@@ -51,6 +51,10 @@ std::string metric_name(Rule r) {
       return "check.io_overlaps";
     case Rule::hint_mismatch:
       return "check.hint_mismatches";
+    case Rule::replicated_divergence:
+      return "check.replicated_divergences";
+    case Rule::explore:
+      return "check.explore_violations";
   }
   return "check.unknown";
 }
@@ -73,6 +77,10 @@ const char* rule_id(Rule r) {
       return "CHK-IO";
     case Rule::hint_mismatch:
       return "CHK-HINT";
+    case Rule::replicated_divergence:
+      return "CHK-REP";
+    case Rule::explore:
+      return "CHK-EXPLORE";
   }
   return "CHK-UNKNOWN";
 }
@@ -165,6 +173,7 @@ void Checker::begin_world(des::Engine& engine, int nprocs) {
   inflight_.clear();
   pending_.clear();
   staged_dirty_.clear();
+  decisions_.clear();
   coll_seq_.assign(static_cast<std::size_t>(nprocs), 0);
   colls_.clear();
   open_seq_.assign(static_cast<std::size_t>(nprocs), 0);
@@ -460,11 +469,14 @@ void Checker::on_stall(const std::vector<int>& blocked) {
   os << "event queue drained with " << blocked.size()
      << " fiber(s) still blocked — nothing can ever wake them:";
   std::map<int, int> waits_on;
+  std::map<int, PendingOp> op_of;
   for (int a : blocked) {
     const PendingOp op = static_cast<std::size_t>(a) < pending_.size()
                              ? pending_[static_cast<std::size_t>(a)]
                              : PendingOp{};
-    os << "\n  " << engine_->actor_name(a) << ": " << describe(op);
+    os << "\n  " << engine_->actor_name(a) << " (blocked since t="
+       << engine_->actor_blocked_since(a) << "): " << describe(op);
+    op_of[a] = op;
     if (op.kind != PendingOp::Kind::none && op.peer >= 0) {
       waits_on[a] = op.peer;  // rank fibers are spawned first: actor == rank
     }
@@ -495,14 +507,96 @@ void Checker::on_stall(const std::vector<int>& blocked) {
     if (!cycle.empty()) break;
   }
   if (!cycle.empty()) {
-    os << "\n  wait cycle:";
-    for (std::size_t i = 0; i < cycle.size(); ++i) {
-      os << (i == 0 ? " " : " -> ") << "rank" << cycle[i];
+    // Each edge carries the tag the waiting rank blocks on, resolved through
+    // the tag registry so internal protocol tags read by name.
+    os << "\n  wait cycle: rank" << cycle.front();
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+      const PendingOp& op = op_of[cycle[i]];
+      os << " -[";
+      if (op.kind == PendingOp::Kind::none || op.tag_any) {
+        os << "tag ANY";
+      } else {
+        os << "tag " << describe_tag(op.tag);
+      }
+      os << "]-> rank" << cycle[i + 1];
     }
   }
   Diagnostic d;
   d.rule = Rule::deadlock;
   d.ranks = blocked;
+  d.message = os.str();
+  report(std::move(d));
+}
+
+namespace {
+/// Splits a decision desc ("epoch=3 verdict=5 mask=0x1f") into ordered
+/// (key, value) pairs for the field-level diff. Tokens without '=' are kept
+/// whole under an empty value.
+std::vector<std::pair<std::string, std::string>> decision_fields(
+    const std::string& desc) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream is(desc);
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(tok, std::string{});
+    } else {
+      out.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void Checker::on_decision(int rank, const char* kind, std::uint64_t digest,
+                          const std::string& desc) {
+  if (engine_ == nullptr) return;
+  COLCOM_EXPECT(rank >= 0 && rank < nprocs_);
+  DecisionStream& ds = decisions_[kind];
+  if (ds.seq.empty()) ds.seq.assign(static_cast<std::size_t>(nprocs_), 0);
+  const std::uint64_t slot = ds.seq[static_cast<std::size_t>(rank)]++;
+  if (slot >= ds.slots.size()) {
+    // First rank to reach this step defines the reference decision.
+    ds.slots.push_back(DecisionSlot{digest, desc, rank});
+    return;
+  }
+  const DecisionSlot& ref = ds.slots[static_cast<std::size_t>(slot)];
+  if (digest == ref.digest) return;
+  const auto mine = decision_fields(desc);
+  const auto theirs = decision_fields(ref.desc);
+  auto find_key = [](const std::vector<std::pair<std::string, std::string>>& f,
+                     const std::string& k) -> const std::string* {
+    for (const auto& p : f) {
+      if (p.first == k) return &p.second;
+    }
+    return nullptr;
+  };
+  std::ostringstream os;
+  os << "replicated decision '" << kind << "' step #" << slot
+     << " diverges: rank " << rank << " decided {" << desc << "}, rank "
+     << ref.first_rank << " decided {" << ref.desc << "}";
+  bool first = true;
+  auto emit = [&](const std::string& what) {
+    os << (first ? "; divergent field(s): " : ", ") << what;
+    first = false;
+  };
+  for (const auto& [k, v] : mine) {
+    const std::string* w = find_key(theirs, k);
+    if (w == nullptr) {
+      emit(k + "=" + v + " only on rank " + std::to_string(rank));
+    } else if (*w != v) {
+      emit(k + "=" + v + " vs " + *w);
+    }
+  }
+  for (const auto& [k, v] : theirs) {
+    if (find_key(mine, k) == nullptr) {
+      emit(k + "=" + v + " only on rank " + std::to_string(ref.first_rank));
+    }
+  }
+  Diagnostic d;
+  d.rule = Rule::replicated_divergence;
+  d.ranks = {rank, ref.first_rank};
   d.message = os.str();
   report(std::move(d));
 }
@@ -562,7 +656,7 @@ void Checker::report(Diagnostic d) {
     const int tid = d.ranks.empty() ? 0 : d.ranks.front();
     tr->instant(trace::Track::ranks, tid, "check", rule_id(d.rule), d.at);
   }
-  if (mode_ == Mode::report) {
+  if (mode_ == Mode::report && !quiet_) {
     std::cerr << "[check] " << rule_id(d.rule) << " at t=" << d.at << ": "
               << d.message << "\n";
   }

@@ -23,6 +23,14 @@
 //                may observe pre- or post-write bytes depending on drain
 //                timing, exactly the overlap MPI-IO consistency semantics
 //                forbid without an intervening sync.
+//   CHK-REP      replicated-decision divergence: every rank's control-plane
+//                decision stream (schedule picks, replan plans, agreement
+//                verdicts, epoch/tag-salt allocations) is digest-compared
+//                slot by slot; the first divergent step is reported with a
+//                field-level diff.
+//   CHK-EXPLORE  schedule-space violations: findings surfaced by
+//                check::Explorer (explore.hpp) while enumerating event
+//                orders, wrapped with the violating schedule's identity.
 //
 // The checker is off unless installed — either through the `CheckSession`
 // RAII type or `install_from_env()` (COLCOM_CHECK=1|strict|report). In
@@ -57,6 +65,8 @@ enum class Rule {
   buffer_mutation,
   io_overlap,
   hint_mismatch,
+  replicated_divergence,
+  explore,
 };
 
 /// Stable rule identifier ("CHK-RACE", ...) used in messages, metrics and
@@ -149,6 +159,11 @@ class Checker {
   std::size_t count(Rule r) const;
   void clear() { findings_.clear(); }
 
+  /// Suppresses the per-finding stderr line in report mode. The Explorer
+  /// runs thousands of executions expecting some to fail; it reads
+  /// findings() instead of the console.
+  void set_quiet(bool quiet) { quiet_ = quiet; }
+
   // --- world lifecycle (called by mpi::Runtime) ---
 
   /// Resets per-world state. Unconditional: a world whose run() threw never
@@ -202,6 +217,18 @@ class Checker {
   /// The engine drained its queue with `blocked` actors still waiting
   /// (CHK-DEADLOCK).
   void on_stall(const std::vector<int>& blocked);
+
+  /// CHK-REP: `rank` made the control-plane decision of kind `kind`
+  /// ("ft.agree", "svc.pick", "svc.alloc", "core.replan", ...) whose FNV
+  /// digest is `digest`. The repo's foundational contract is that every rank
+  /// computes the identical decision sequence from replicated data, so the
+  /// rank's Nth decision of a kind is cross-checked against the first rank
+  /// to reach that slot. `desc` renders the decision as space-separated
+  /// `key=value` fields; on a digest mismatch the finding names the first
+  /// divergent step and diffs the fields. Dead ranks simply stop
+  /// contributing to a stream, which is legal.
+  void on_decision(int rank, const char* kind, std::uint64_t digest,
+                   const std::string& desc);
 
   // --- staging epoch markers (called by colcom::stage; CHK-IO) ---
   //
@@ -266,6 +293,15 @@ class Checker {
     std::uint64_t length = 0;
     int ctx = 0;  ///< staging/communicator context the write belongs to
   };
+  struct DecisionSlot {
+    std::uint64_t digest = 0;
+    std::string desc;
+    int first_rank = -1;
+  };
+  struct DecisionStream {
+    std::vector<DecisionSlot> slots;   // slot n: the stream's nth decision
+    std::vector<std::uint64_t> seq;    // per rank: next slot index
+  };
 
   static std::uint64_t vc_at(const SendRec& r, int i) {
     return i == r.src ? r.vc_own : (*r.vc_base)[static_cast<std::size_t>(i)];
@@ -277,6 +313,7 @@ class Checker {
   Mode mode_;
   Checker* prev_ = nullptr;
   bool installed_ = false;
+  bool quiet_ = false;
   std::vector<Diagnostic> findings_;
 
   // Per-world state.
@@ -292,6 +329,7 @@ class Checker {
   std::vector<OpenSlot> opens_;
   std::vector<char> rank_dead_;  // exempt from the collective-count check
   std::vector<StagedWrite> staged_dirty_;  // unflushed write-behind extents
+  std::map<std::string, DecisionStream> decisions_;  // CHK-REP, by kind
 
   // Volume counters surfaced as check.* metrics at end_world.
   std::uint64_t sends_tracked_ = 0;

@@ -1,0 +1,349 @@
+#include "check/explore.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "des/sched.hpp"
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::check {
+
+namespace {
+
+/// Thrown from the controller's on_dispatch when an execution exceeds its
+/// dispatch budget. Propagates from the engine's host-context run loop out
+/// through the world closure to the explorer — never through a fiber.
+struct AbortExecution {};
+
+/// One recorded choice point: the seq numbers offered and the one taken.
+struct ChoiceRec {
+  std::vector<std::uint64_t> ties;
+  std::uint64_t chosen = 0;
+};
+
+/// The recording/replaying controller behind every exploration run. Forces
+/// the first `forced.size()` picks, defaults to the (time, seq) minimum
+/// afterwards, and records choices, dispatch order and per-event footprints
+/// for the DPOR pass.
+class TraceController final : public des::ScheduleController {
+ public:
+  TraceController(std::vector<std::uint64_t> forced, des::SimTime window,
+                  std::uint64_t max_steps)
+      : forced_(std::move(forced)), window_(window), max_steps_(max_steps) {}
+
+  std::size_t pick(const std::vector<des::RunnableEvent>& ties) override {
+    const std::size_t cp = choices.size();
+    std::size_t idx = 0;
+    if (cp < forced_.size()) {
+      for (std::size_t i = 0; i < ties.size(); ++i) {
+        if (ties[i].seq == forced_[cp]) {
+          idx = i;
+          break;
+        }
+      }
+      // A forced seq absent from the ties means the prefix diverged (the
+      // alternative changed what gets scheduled); fall back to the default.
+    }
+    ChoiceRec rec;
+    rec.ties.reserve(ties.size());
+    for (const des::RunnableEvent& e : ties) rec.ties.push_back(e.seq);
+    rec.chosen = ties[idx].seq;
+    choices.push_back(std::move(rec));
+    choice_dispatch.push_back(dispatch_order.size());
+    return idx;
+  }
+
+  void on_dispatch(const des::RunnableEvent& ev) override {
+    cur_seq_ = ev.seq;
+    dispatch_order.push_back(ev.seq);
+    if (dispatch_order.size() > max_steps_) throw AbortExecution{};
+  }
+
+  void on_access(std::uint64_t key) override {
+    std::vector<std::uint64_t>& f = footprint[cur_seq_];
+    if (std::find(f.begin(), f.end(), key) == f.end()) f.push_back(key);
+  }
+
+  des::SimTime tie_window() const override { return window_; }
+
+  std::vector<ChoiceRec> choices;
+  std::vector<std::uint64_t> dispatch_order;
+  std::vector<std::size_t> choice_dispatch;  // choice i -> dispatch index
+  std::map<std::uint64_t, std::vector<std::uint64_t>> footprint;
+
+ private:
+  std::vector<std::uint64_t> forced_;
+  des::SimTime window_;
+  std::uint64_t max_steps_;
+  std::uint64_t cur_seq_ = 0;
+};
+
+std::uint64_t prefix_hash(const std::vector<std::uint64_t>& forced) {
+  std::uint64_t h = 1469598103934665603ull;
+  const std::uint64_t kPrime = 1099511628211ull;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) h = (h ^ ((v >> (8 * i)) & 0xffu)) * kPrime;
+  };
+  mix(forced.size());
+  for (std::uint64_t s : forced) mix(s);
+  return h;
+}
+
+}  // namespace
+
+void write_replay_file(const std::string& path, des::SimTime tie_window,
+                       std::uint64_t max_steps,
+                       const std::vector<std::uint64_t>& schedule) {
+  std::ofstream out(path, std::ios::trunc);
+  COLCOM_ENSURE_MSG(out.good(), "cannot open replay file for writing");
+  out << "# colcom explore replay v1\n";
+  out << "tie_window " << std::setprecision(17) << tie_window << "\n";
+  out << "max_steps " << max_steps << "\n";
+  for (std::uint64_t s : schedule) out << "pick " << s << "\n";
+}
+
+ReplaySpec read_replay_file(const std::string& path) {
+  std::ifstream in(path);
+  COLCOM_ENSURE_MSG(in.good(), "cannot open replay file for reading");
+  ReplaySpec spec;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (key == "tie_window") {
+      is >> spec.tie_window;
+    } else if (key == "max_steps") {
+      is >> spec.max_steps;
+    } else if (key == "pick") {
+      std::uint64_t s = 0;
+      is >> s;
+      spec.schedule.push_back(s);
+    }
+    COLCOM_ENSURE_MSG(!is.fail(), "malformed replay line");
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------- Explorer
+
+struct Explorer::Execution {
+  std::vector<ChoiceRec> choices;
+  std::vector<std::uint64_t> dispatch_order;
+  std::vector<std::size_t> choice_dispatch;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> footprint;
+  std::vector<Diagnostic> findings;
+  bool hang = false;
+  bool violating = false;
+};
+
+Explorer::Explorer(ExploreConfig cfg) : cfg_(cfg) {}
+
+Explorer::Execution Explorer::run_once(
+    const std::function<void()>& world,
+    const std::vector<std::uint64_t>& forced) {
+  Execution ex;
+  TraceController ctl(forced, cfg_.tie_window, cfg_.max_steps);
+  // The explorer's own checker shadows any env-installed one for the
+  // duration of the run, so strict CI modes do not abort exploration and
+  // report-mode console spam stays off across thousands of executions.
+  Checker ck(Mode::report);
+  ck.set_quiet(true);
+  ck.install();
+  ctl.install();
+  std::string escaped;
+  try {
+    world();
+  } catch (const AbortExecution&) {
+    ex.hang = true;
+  } catch (const std::exception& e) {
+    escaped = e.what();
+    if (escaped.empty()) escaped = "unknown std::exception";
+  } catch (...) {
+    escaped = "non-standard exception";
+  }
+  ctl.uninstall();
+  ck.uninstall();
+  ex.findings = ck.findings();
+  if (ex.hang) {
+    Diagnostic d;
+    d.rule = Rule::explore;
+    d.message = "execution exceeded max_steps=" +
+                std::to_string(cfg_.max_steps) +
+                " dispatches — livelock/hang (some event keeps re-arming "
+                "and the world never completes)";
+    ex.findings.push_back(std::move(d));
+  }
+  if (!escaped.empty()) {
+    Diagnostic d;
+    d.rule = Rule::explore;
+    d.message = "execution threw: " + escaped;
+    ex.findings.push_back(std::move(d));
+  }
+  ex.violating = !ex.findings.empty();
+  ex.choices = std::move(ctl.choices);
+  ex.dispatch_order = std::move(ctl.dispatch_order);
+  ex.choice_dispatch = std::move(ctl.choice_dispatch);
+  ex.footprint = std::move(ctl.footprint);
+  return ex;
+}
+
+namespace {
+
+/// Conservative dependence: events with unknown/empty footprints are assumed
+/// dependent; otherwise they depend iff their footprints intersect.
+bool dependent(const std::map<std::uint64_t, std::vector<std::uint64_t>>& fp,
+               std::uint64_t a, std::uint64_t b) {
+  auto ia = fp.find(a);
+  auto ib = fp.find(b);
+  if (ia == fp.end() || ib == fp.end() || ia->second.empty() ||
+      ib->second.empty()) {
+    return true;
+  }
+  for (std::uint64_t k : ia->second) {
+    if (std::find(ib->second.begin(), ib->second.end(), k) !=
+        ib->second.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Would dispatching `alt` at the choice point that occurred at dispatch
+/// index `from` instead of its actual (later) slot possibly change the
+/// outcome? Yes iff `alt` is dependent with some event dispatched between
+/// the choice point and alt's own dispatch (the classic DPOR backtrack
+/// condition; conservative when alt never ran).
+bool reorder_matters(
+    const std::vector<std::uint64_t>& dispatch_order,
+    const std::map<std::uint64_t, std::vector<std::uint64_t>>& footprint,
+    std::size_t from, std::uint64_t alt) {
+  std::size_t alt_at = dispatch_order.size();
+  for (std::size_t j = from; j < dispatch_order.size(); ++j) {
+    if (dispatch_order[j] == alt) {
+      alt_at = j;
+      break;
+    }
+  }
+  if (alt_at == dispatch_order.size()) return true;  // never ran: keep
+  for (std::size_t j = from; j < alt_at; ++j) {
+    if (dependent(footprint, dispatch_order[j], alt)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreResult Explorer::run(const std::function<void()>& world) {
+  ExploreResult res;
+  std::vector<std::vector<std::uint64_t>> stack;
+  stack.push_back({});
+  std::set<std::uint64_t> visited;
+  visited.insert(prefix_hash({}));
+  while (!stack.empty() &&
+         res.stats.executions <
+             static_cast<std::uint64_t>(cfg_.max_executions)) {
+    const std::vector<std::uint64_t> forced = std::move(stack.back());
+    stack.pop_back();
+    Execution ex = run_once(world, forced);
+    ++res.stats.executions;
+    res.stats.choice_points += ex.choices.size();
+    if (ex.hang) ++res.stats.hangs;
+    if (ex.violating && !res.violation_found) {
+      res.violation_found = true;
+      res.schedule = forced;
+      res.schedule_findings = ex.findings;
+      const Diagnostic& inner = ex.findings.front();
+      res.first.rule = Rule::explore;
+      res.first.ranks = inner.ranks;
+      res.first.at = inner.at;
+      res.first.message =
+          "schedule with " + std::to_string(forced.size()) +
+          " forced choice(s) violates " + rule_id(inner.rule) + ": " +
+          inner.message;
+      if (!cfg_.replay_file.empty()) {
+        write_replay_file(cfg_.replay_file, cfg_.tie_window, cfg_.max_steps,
+                          forced);
+      }
+      if (cfg_.stop_at_first) break;
+    }
+    // Branch generation. Choice points before forced.size() belong to an
+    // ancestor execution that already branched them.
+    std::size_t prefix_delays = 0;
+    const std::size_t from = forced.size();
+    for (std::size_t i = 0; i < ex.choices.size() && i < from; ++i) {
+      if (ex.choices[i].chosen != ex.choices[i].ties.front()) ++prefix_delays;
+    }
+    for (std::size_t i = from; i < ex.choices.size(); ++i) {
+      const ChoiceRec& c = ex.choices[i];
+      res.stats.naive_branches += c.ties.size() - 1;
+      for (std::uint64_t alt : c.ties) {
+        if (alt == c.chosen) continue;
+        if (!reorder_matters(ex.dispatch_order, ex.footprint,
+                             ex.choice_dispatch[i], alt)) {
+          continue;  // DPOR prune: the reordering commutes
+        }
+        if (prefix_delays + 1 > static_cast<std::size_t>(cfg_.delay_bound)) {
+          ++res.stats.delay_pruned;
+          continue;
+        }
+        std::vector<std::uint64_t> child;
+        child.reserve(i + 1);
+        for (std::size_t j = 0; j < i; ++j) {
+          child.push_back(ex.choices[j].chosen);
+        }
+        child.push_back(alt);
+        if (!visited.insert(prefix_hash(child)).second) {
+          ++res.stats.sleep_hits;
+          continue;
+        }
+        ++res.stats.dpor_branches;
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+  res.budget_exhausted =
+      !stack.empty() &&
+      res.stats.executions >= static_cast<std::uint64_t>(cfg_.max_executions);
+  if (trace::Tracer* tr = trace::Tracer::current(); tr != nullptr) {
+    auto& m = tr->metrics();
+    m.counter("check.explore.executions").add(res.stats.executions);
+    m.counter("check.explore.choice_points").add(res.stats.choice_points);
+    m.counter("check.explore.naive_branches").add(res.stats.naive_branches);
+    m.counter("check.explore.dpor_branches").add(res.stats.dpor_branches);
+    m.counter("check.explore.sleep_hits").add(res.stats.sleep_hits);
+    m.counter("check.explore.delay_pruned").add(res.stats.delay_pruned);
+    m.counter("check.explore.hangs").add(res.stats.hangs);
+  }
+  return res;
+}
+
+std::vector<Diagnostic> Explorer::replay(const std::function<void()>& world,
+                                         const std::string& replay_file) {
+  const ReplaySpec spec = read_replay_file(replay_file);
+  ExploreConfig cfg;
+  cfg.tie_window = spec.tie_window;
+  cfg.max_steps = spec.max_steps;
+  Explorer e(cfg);
+  return e.run_once(world, spec.schedule).findings;
+}
+
+std::vector<std::uint64_t> Explorer::minimize(
+    const std::function<void()>& world, std::vector<std::uint64_t> schedule) {
+  while (!schedule.empty()) {
+    std::vector<std::uint64_t> shorter(schedule.begin(),
+                                       std::prev(schedule.end()));
+    if (!run_once(world, shorter).violating) break;
+    schedule = std::move(shorter);
+  }
+  return schedule;
+}
+
+}  // namespace colcom::check

@@ -1,0 +1,127 @@
+// check::Explorer — stateless model checking of DES schedules (CHK-EXPLORE).
+//
+// One chaos seed tests one schedule; the warm-ship deadlock of the
+// fault-tolerance line survived hundreds of green runs because the buggy
+// interleaving needed a particular timer/message order. The Explorer instead
+// *enumerates* schedules: it installs a des::ScheduleController, runs the
+// world under a recorded choice trace, then re-executes with alternative
+// picks at the choice points that could actually change the outcome —
+// CHESS-style stateless re-execution with dynamic partial-order reduction
+// over the event footprints the engine seam reports (actor resumes, mailbox
+// accesses).
+//
+// Pruning, in order:
+//   1. DPOR      an alternative is re-executed only when it is dependent
+//                (footprint intersection, conservative when unknown) with
+//                some event dispatched between the choice point and its own
+//                dispatch — independent reorderings cannot change state.
+//   2. delay     at most `delay_bound` non-default picks per execution
+//     bounding   (CHESS's result: most bugs need very few preemptions).
+//   3. sleep-set style dedup: a forced prefix is executed at most once.
+//
+// Violations are anything the normal Checker rules flag under any explored
+// schedule, an exception escaping the world, or an execution exceeding
+// `max_steps` dispatches (livelock — e.g. a crash-detection poll re-arming
+// forever). The violating schedule serializes to a small text replay file
+// that `Explorer::replay()` re-executes deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "des/time.hpp"
+
+namespace colcom::check {
+
+struct ExploreConfig {
+  /// Execution budget: the explorer stops after this many world runs.
+  int max_executions = 5000;
+  /// Max non-default picks per execution (CHESS delay bounding).
+  int delay_bound = 2;
+  /// Per-execution dispatch budget; exceeding it is reported as a hang.
+  std::uint64_t max_steps = 500'000;
+  /// Events within [t, t + tie_window] of the earliest runnable event count
+  /// as simultaneous. 0 = exact-timestamp ties only; a small positive window
+  /// additionally exposes timer-vs-message races.
+  des::SimTime tie_window = 0;
+  /// Stop at the first violating schedule (default) or keep exploring.
+  bool stop_at_first = true;
+  /// When nonempty, the first violating schedule is serialized here.
+  std::string replay_file;
+};
+
+struct ExploreStats {
+  std::uint64_t executions = 0;
+  std::uint64_t choice_points = 0;  ///< pick() calls across all executions
+  /// Branches full enumeration would have queued (sum of ties-1 per point).
+  std::uint64_t naive_branches = 0;
+  /// Branches actually queued after DPOR dependence pruning.
+  std::uint64_t dpor_branches = 0;
+  /// Branches skipped because their forced prefix was already executed.
+  std::uint64_t sleep_hits = 0;
+  /// Branches skipped by the delay bound.
+  std::uint64_t delay_pruned = 0;
+  /// Executions aborted at max_steps.
+  std::uint64_t hangs = 0;
+};
+
+struct ExploreResult {
+  bool violation_found = false;
+  /// Rule::explore wrapper naming the violating schedule + inner finding.
+  Diagnostic first;
+  /// All findings of the violating execution (inner rules: CHK-RACE, ...).
+  std::vector<Diagnostic> schedule_findings;
+  /// Forced choice prefix (engine seq numbers) reproducing the violation.
+  std::vector<std::uint64_t> schedule;
+  ExploreStats stats;
+  /// True when the budget ran out with unexplored branches left.
+  bool budget_exhausted = false;
+};
+
+/// Parsed replay file (see write_replay_file for the format).
+struct ReplaySpec {
+  des::SimTime tie_window = 0;
+  std::uint64_t max_steps = 500'000;
+  std::vector<std::uint64_t> schedule;
+};
+
+/// Serializes a violating schedule: a `# colcom explore replay v1` header,
+/// `tie_window <seconds>` and `max_steps <n>` lines, then one `pick <seq>`
+/// line per forced choice. Text so counterexamples diff and hand-edit.
+void write_replay_file(const std::string& path, des::SimTime tie_window,
+                       std::uint64_t max_steps,
+                       const std::vector<std::uint64_t>& schedule);
+ReplaySpec read_replay_file(const std::string& path);
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreConfig cfg = {});
+
+  /// Explores `world`. The callable must build a *fresh* world per call
+  /// (tests construct a new mpi::Runtime inside it); it is invoked up to
+  /// max_executions times. Emits check.explore.* metrics when a tracer is
+  /// active.
+  ExploreResult run(const std::function<void()>& world);
+
+  /// Re-executes `world` once under the forced schedule from `replay_file`
+  /// and returns that execution's findings (a hang is itself a finding).
+  static std::vector<Diagnostic> replay(const std::function<void()>& world,
+                                        const std::string& replay_file);
+
+  /// Shrinks a violating schedule to a shorter forced prefix that still
+  /// violates, by dropping trailing choices while the violation persists.
+  std::vector<std::uint64_t> minimize(const std::function<void()>& world,
+                                      std::vector<std::uint64_t> schedule);
+
+ private:
+  struct Execution;
+  Execution run_once(const std::function<void()>& world,
+                     const std::vector<std::uint64_t>& forced);
+
+  ExploreConfig cfg_;
+};
+
+}  // namespace colcom::check

@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <span>
@@ -46,6 +47,21 @@ constexpr int kRecoverTag = -2350;
   check::register_tag_range(-2'000'000'000, -1'000'000'000, "cc.salted");
   return true;
 }();
+
+// Fault-seeding switches for the schedule explorer's regression tests
+// (tests/test_explore.cpp): each re-introduces a bug a previous PR fixed so
+// check::Explorer can prove it rediscovers them. Never set outside tests.
+//   COLCOM_TEST_WARMSHIP_BUG   a role-dead aggregator with no wreck skips
+//                              its death note — the absorbing survivor's
+//                              warm receive then polls forever (the PR 7
+//                              warm-ship livelock).
+//   COLCOM_TEST_SHUFFLE_REUSE_BUG  the shuffle sends straight from the
+//                              reused `batch` buffer instead of parking it
+//                              (the PR 3 CHK-BUF send-buffer mutation).
+bool test_bug(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && *v != '0';
+}
 
 // Logical-map construction costs (CPU sys time), per reconstructed run and
 // per byte-range piece. These are the "additional works... summed up as
@@ -475,6 +491,24 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       if (!plan.all_requests.empty()) {
         absorbed[static_cast<std::size_t>(d)] =
             romio::replan_local(comm, plan, d);
+        if (check::Checker* ck = check::Checker::current(); ck != nullptr) {
+          // CHK-REP: replan_local runs on replicated metadata — every rank
+          // must absorb the identical request list for the dead domain.
+          std::uint64_t h = 0;
+          std::uint64_t nbytes = 0;
+          for (const romio::FlatRequest& fr :
+               absorbed[static_cast<std::size_t>(d)]) {
+            const std::vector<std::byte> wire = fr.serialize();
+            h = h * 1099511628211ull + check::checksum(wire);
+            nbytes += fr.total_bytes();
+          }
+          ck->on_decision(
+              comm.rank(), "core.replan", h + static_cast<std::uint64_t>(d),
+              "domain=" + std::to_string(d) + " nreq=" +
+                  std::to_string(
+                      absorbed[static_cast<std::size_t>(d)].size()) +
+                  " bytes=" + std::to_string(nbytes));
+        }
       } else {
         std::vector<int> survivors;
         for (int b = 0; b < naggs; ++b) {
@@ -667,8 +701,16 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     if (ship) {
       TRACE_SPAN(comm.engine(), "cc", "shuffle");
       if (c.length > 0) {
-        shipped.push_back(std::move(batch));
-        const std::vector<PartialRecord>& out = shipped.back();
+        if (!test_bug("COLCOM_TEST_SHUFFLE_REUSE_BUG")) {
+          shipped.push_back(std::move(batch));
+        } else {
+          // Seeded PR 3 bug: ship from the live `batch`, which the next
+          // process_chunk call this iteration clears and refills while the
+          // isends are still pending (CHK-BUF).
+          shipped.emplace_back();
+        }
+        const std::vector<PartialRecord>& out =
+            shipped.back().empty() && !batch.empty() ? batch : shipped.back();
         if (a2one) {
           const auto wire =
               std::as_bytes(std::span<const PartialRecord>(out));
@@ -722,7 +764,10 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         }
         wreck.reset();
       } else if (fi->schedule().config().warm_partials && mk >= 0 &&
-                 plan.chunk(my_agg, mk).length > 0) {
+                 plan.chunk(my_agg, mk).length > 0 &&
+                 !test_bug("COLCOM_TEST_WARMSHIP_BUG")) {
+        // (With the seeded PR 7 bug the death note is skipped and the
+        // absorber's warm receive below polls forever.)
         // A miss on this domain was announced, but this role-dead rank has
         // no wreck to forward — its role died in an earlier slice (or
         // before serving anything of this one) and the miss really came

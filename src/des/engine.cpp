@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "des/sched.hpp"
 #include "util/assert.hpp"
 
 namespace colcom::des {
@@ -65,6 +66,11 @@ ActorHandle Engine::spawn(std::string name, int node,
 }
 
 void Engine::schedule(SimTime t, std::function<void()> fn) {
+  if (t < now_ && ScheduleController::current() != nullptr) {
+    // Under a controller with a nonzero tie window the clock may have run
+    // ahead of a deadline computed before the pick; fire such events asap.
+    t = now_;
+  }
   COLCOM_EXPECT_MSG(t >= now_, "cannot schedule an event in the past");
   queue_.push(Event{t, seq_++, std::move(fn)});
 }
@@ -72,11 +78,15 @@ void Engine::schedule(SimTime t, std::function<void()> fn) {
 void Engine::run() {
   COLCOM_EXPECT_MSG(!in_actor(), "run() must be called from the host context");
   while (!queue_.empty()) {
-    // priority_queue::top() is const; the event is copied out before pop.
-    Event ev = queue_.top();
-    queue_.pop();
-    COLCOM_ENSURE_MSG(ev.time >= now_, "virtual clock must be monotonic");
-    now_ = ev.time;
+    Event ev = pop_next_event();
+    if (ScheduleController::current() == nullptr) {
+      COLCOM_ENSURE_MSG(ev.time >= now_, "virtual clock must be monotonic");
+      now_ = ev.time;
+    } else {
+      // A controller may dispatch the later end of a tie window first; the
+      // re-queued earlier events then fire at a clock that has already moved.
+      now_ = std::max(now_, ev.time);
+    }
     ++events_dispatched_;
     ev.fn();
     if (pending_exception_) {
@@ -93,6 +103,39 @@ void Engine::run() {
   }
 }
 
+Engine::Event Engine::pop_next_event() {
+  // priority_queue::top() is const; events are copied out before pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  ScheduleController* sc = ScheduleController::current();
+  if (sc == nullptr) return ev;
+  // Collect every event runnable within the tie window and let the
+  // controller choose; the rest go back on the queue untouched (their seq
+  // numbers keep the default order stable for the next round).
+  const SimTime window_end = ev.time + sc->tie_window();
+  std::vector<Event> ties;
+  ties.push_back(std::move(ev));
+  while (!queue_.empty() && queue_.top().time <= window_end) {
+    ties.push_back(queue_.top());
+    queue_.pop();
+  }
+  std::size_t chosen = 0;
+  if (ties.size() > 1) {
+    std::vector<RunnableEvent> view;
+    view.reserve(ties.size());
+    for (const Event& e : ties) view.push_back(RunnableEvent{e.time, e.seq});
+    chosen = sc->pick(view);
+    COLCOM_ENSURE_MSG(chosen < ties.size(),
+                      "controller pick out of range");
+  }
+  Event out = std::move(ties[chosen]);
+  for (std::size_t i = 0; i < ties.size(); ++i) {
+    if (i != chosen) queue_.push(std::move(ties[i]));
+  }
+  sc->on_dispatch(RunnableEvent{out.time, out.seq});
+  return out;
+}
+
 Engine::Actor& Engine::self() {
   COLCOM_EXPECT_MSG(in_actor(), "call valid only inside an actor");
   COLCOM_ENSURE(current_actor_ >= 0);
@@ -102,6 +145,7 @@ Engine::Actor& Engine::self() {
 void Engine::resume_actor(int id) {
   Actor& a = *actors_[static_cast<std::size_t>(id)];
   if (a.fiber->finished()) return;
+  note_access(actor_key(id));
   const int prev = std::exchange(current_actor_, id);
   a.fiber->resume();
   current_actor_ = prev;
@@ -146,6 +190,7 @@ void Engine::wake(int actor_id) {
                 actor_id < static_cast<int>(actors_.size()));
   Actor& a = *actors_[static_cast<std::size_t>(actor_id)];
   COLCOM_EXPECT_MSG(a.blocked, "wake() target must be blocked");
+  note_access(actor_key(actor_id));
   a.blocked = false;
   schedule(now_, [this, actor_id] { resume_actor(actor_id); });
 }

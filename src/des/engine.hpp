@@ -126,6 +126,7 @@ class Engine {
   };
 
   Actor& self();
+  Event pop_next_event();
   void resume_actor(int id);
   void record(int actor_id, CpuKind kind, SimTime begin, SimTime end);
 

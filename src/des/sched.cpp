@@ -1,0 +1,57 @@
+#include "des/sched.hpp"
+
+#include "util/assert.hpp"
+
+namespace colcom::des {
+
+namespace {
+ScheduleController* g_controller = nullptr;
+
+// FNV-1a over a tagged 64-bit id so actor and mailbox keys cannot collide.
+std::uint64_t mix_key(std::uint64_t domain, std::uint64_t id) {
+  std::uint64_t h = 1469598103934665603ull;
+  const std::uint64_t kPrime = 1099511628211ull;
+  for (std::uint64_t v : {domain, id}) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xffu)) * kPrime;
+    }
+  }
+  return h;
+}
+}  // namespace
+
+ScheduleController::~ScheduleController() {
+  COLCOM_ENSURE_MSG(!installed_,
+                    "ScheduleController destroyed while still installed");
+}
+
+ScheduleController* ScheduleController::current() { return g_controller; }
+
+void ScheduleController::install() {
+  COLCOM_EXPECT_MSG(!installed_, "controller already installed");
+  prev_ = g_controller;
+  g_controller = this;
+  installed_ = true;
+}
+
+void ScheduleController::uninstall() {
+  COLCOM_EXPECT_MSG(installed_ && g_controller == this,
+                    "uninstall order must be LIFO");
+  g_controller = prev_;
+  prev_ = nullptr;
+  installed_ = false;
+}
+
+std::uint64_t actor_key(int actor_id) {
+  return mix_key(1, static_cast<std::uint64_t>(actor_id));
+}
+
+std::uint64_t mailbox_key(int rank) {
+  return mix_key(2, static_cast<std::uint64_t>(rank));
+}
+
+void note_access(std::uint64_t key) {
+  if (g_controller != nullptr) g_controller->on_access(key);
+}
+
+}  // namespace colcom::des

@@ -1,0 +1,86 @@
+// Schedule-controller seam: the engine's one source of nondeterminism made
+// explicit and steerable.
+//
+// The DES is deterministic — events fire in (time, insertion-sequence) order —
+// but the *insertion sequence* is an artifact of construction order, not a
+// semantic constraint. Whenever several events are runnable at (effectively)
+// the same virtual time, any of them could legitimately fire first: a message
+// arrival vs. a crash-detection timer, two same-timestamp sends racing into a
+// wildcard receive, two fibers unblocked in the same instant. A
+// ScheduleController intercepts exactly these ties and chooses which event
+// dispatches next, which is the hook `check::Explorer` uses to enumerate
+// schedules (CHESS/DPOR-style stateless model checking).
+//
+// Controllers install globally (stacked, like check::Checker) so the engine
+// does not need to be threaded through every call site. With no controller
+// installed the engine behaves exactly as before: strict (time, seq) order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace colcom::des {
+
+/// One runnable event offered to the controller at a choice point. `seq` is
+/// the engine's insertion sequence number — stable across re-executions of a
+/// deterministic world, which is what makes recorded choices replayable.
+struct RunnableEvent {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+};
+
+class ScheduleController {
+ public:
+  virtual ~ScheduleController();
+
+  /// Called when >= 2 events are runnable within the tie window. Returns the
+  /// index into `ties` of the event to dispatch next; the rest are re-queued.
+  /// `ties` is ordered by (time, seq), so index 0 is the default choice.
+  virtual std::size_t pick(const std::vector<RunnableEvent>& ties) = 0;
+
+  /// Called for every dispatched event, tie or not, just before its callback
+  /// runs. Lets the controller keep a per-execution step counter and attach
+  /// shared-state accesses (on_access) to the right event.
+  virtual void on_dispatch(const RunnableEvent& ev) { (void)ev; }
+
+  /// Reports that the currently dispatching event touched the shared state
+  /// identified by `key` (see actor_key / mailbox_key). DPOR uses these
+  /// footprints to decide which pairs of tied events actually commute.
+  virtual void on_access(std::uint64_t key) { (void)key; }
+
+  /// Events with time in [t_min, t_min + tie_window()] are treated as
+  /// simultaneous for pick(). 0 means exact-timestamp ties only; a small
+  /// positive window additionally exposes timer-vs-message races whose
+  /// timestamps differ by less than the window.
+  virtual SimTime tie_window() const { return 0; }
+
+  /// Innermost installed controller, or nullptr.
+  static ScheduleController* current();
+
+  /// Stacked global installation (LIFO, like check::Checker).
+  void install();
+  void uninstall();
+
+ protected:
+  ScheduleController() = default;
+
+ private:
+  ScheduleController* prev_ = nullptr;
+  bool installed_ = false;
+};
+
+/// Footprint key for "resumes actor `id`" (fiber-local state).
+std::uint64_t actor_key(int actor_id);
+
+/// Footprint key for "touches rank `rank`'s mailbox" (posted-receive and
+/// unexpected-message queues — where wildcard-receive matching races live).
+std::uint64_t mailbox_key(int rank);
+
+/// Convenience: forwards to the installed controller's on_access; no-op when
+/// none is installed. Call sites in des/mpi stay unconditional.
+void note_access(std::uint64_t key);
+
+}  // namespace colcom::des

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/check.hpp"
+#include "des/sched.hpp"
 #include "des/timer.hpp"
 #include "fault/fault.hpp"
 #include "mpi/world.hpp"
@@ -293,6 +294,7 @@ void World::complete_match(int dst, std::shared_ptr<Msg> msg,
 }
 
 void World::match_or_enqueue(int dst, std::shared_ptr<Msg> msg) {
+  des::note_access(des::mailbox_key(dst));
   Mailbox& mb = mailbox[static_cast<std::size_t>(dst)];
   for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
     if (!matches((*it)->src, (*it)->tag, *msg)) continue;
@@ -445,6 +447,7 @@ void Comm::send(int dst, int tag, std::span<const std::byte> data) {
 
 Request Comm::irecv(int src, int tag, std::span<std::byte> dst) {
   COLCOM_EXPECT(src == kAnySource || (src >= 0 && src < size()));
+  des::note_access(des::mailbox_key(rank_));
   Mailbox& mb = world_->mailbox[static_cast<std::size_t>(rank_)];
   Request req;
   req.state_ = std::make_shared<Request::State>();
@@ -527,6 +530,9 @@ MsgInfo Comm::recv_ft(int src, int tag, std::span<std::byte> dst) {
     auto poll = std::make_shared<std::function<void()>>();
     auto suspected = std::make_shared<bool>(false);
     *poll = [w, pr, timer, poll, suspected, dt, src, me, fi] {
+      // The poll reads this rank's mailbox state (pr->matched); footprint
+      // it so the explorer knows poll ticks race with message deliveries.
+      des::note_access(des::mailbox_key(me));
       if (pr->matched) return;
       if (w->dead[static_cast<std::size_t>(src)] != 0) {
         if (*suspected) {

@@ -1,6 +1,7 @@
 #include "mpi/ft.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "check/check.hpp"
 #include "fault/chaos.hpp"
@@ -15,6 +16,34 @@ namespace {
 int agree_tag(int epoch, int round, int which) {
   COLCOM_EXPECT_MSG(round < 64, "agreement exceeded 64 coordinator restarts");
   return kAgreeTagBase - (epoch * 64 + round) * 2 - which;
+}
+
+/// CHK-REP: every rank leaves one agreement with the identical verdict —
+/// digest it (epoch + rounds + mask + dead words) and let the checker
+/// cross-compare the per-rank decision streams.
+void audit_verdict(int rank, int epoch, const Verdict& v) {
+  check::Checker* ck = check::Checker::current();
+  if (ck == nullptr) return;
+  std::vector<std::uint64_t> words;
+  words.reserve(2 + v.mask.size() + v.dead.size());
+  words.push_back(static_cast<std::uint64_t>(epoch));
+  words.push_back(static_cast<std::uint64_t>(v.mask.size()));
+  words.insert(words.end(), v.mask.begin(), v.mask.end());
+  words.insert(words.end(), v.dead.begin(), v.dead.end());
+  const std::uint64_t digest =
+      check::checksum(std::as_bytes(std::span(words)));
+  std::ostringstream os;
+  os << "epoch=" << epoch << " mask=";
+  if (v.mask.empty()) os << "-";
+  for (std::size_t i = 0; i < v.mask.size(); ++i) {
+    os << (i > 0 ? "," : "") << std::hex << "0x" << v.mask[i] << std::dec;
+  }
+  os << " dead=";
+  if (v.dead.empty()) os << "-";
+  for (std::size_t i = 0; i < v.dead.size(); ++i) {
+    os << (i > 0 ? "," : "") << std::hex << "0x" << v.dead[i] << std::dec;
+  }
+  ck->on_decision(rank, "ft.agree", digest, os.str());
 }
 
 }  // namespace
@@ -91,6 +120,7 @@ Verdict agree(Comm& comm, std::span<const std::uint64_t> mask, int epoch) {
             comm.isend(dst, verdict_tag, std::as_bytes(std::span(wire))));
       }
       wait_all(sends);
+      audit_verdict(me, epoch, v);
       return v;
     }
     // Participant: offer my mask (eager — lands harmlessly in a dead
@@ -108,6 +138,7 @@ Verdict agree(Comm& comm, std::span<const std::uint64_t> mask, int epoch) {
                   wire.begin() + static_cast<std::ptrdiff_t>(mw));
     v.dead.assign(wire.begin() + static_cast<std::ptrdiff_t>(mw), wire.end());
     v.rounds = round + 1;
+    audit_verdict(me, epoch, v);
     return v;
   }
   COLCOM_EXPECT_MSG(false, "agreement found no live coordinator");

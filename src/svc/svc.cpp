@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.hpp"
 #include "des/completion.hpp"
 #include "fault/chaos.hpp"
 #include "mpi/ft.hpp"
@@ -15,6 +16,27 @@
 namespace colcom::svc {
 
 namespace {
+
+/// CHK-REP: the service scheduler is replicated — every rank must compute
+/// the identical decision from the same admitted-job state. Digest the
+/// decision's fields and hand them to the checker's per-kind stream.
+void audit_decision(int rank, const char* kind,
+                    std::initializer_list<std::pair<const char*, long long>>
+                        fields) {
+  check::Checker* ck = check::Checker::current();
+  if (ck == nullptr) return;
+  std::vector<std::uint64_t> words;
+  std::string desc;
+  for (const auto& [k, v] : fields) {
+    words.push_back(static_cast<std::uint64_t>(v));
+    if (!desc.empty()) desc += ' ';
+    desc += k;
+    desc += '=';
+    desc += std::to_string(v);
+  }
+  ck->on_decision(rank, kind,
+                  check::checksum(std::as_bytes(std::span(words))), desc);
+}
 
 /// Stride-scheduling scale: pass advances by slice_cost * kPassScale /
 /// weight, so integer division keeps useful resolution for weights well
@@ -453,6 +475,12 @@ void ServiceContext::run_slice(Job& j) {
     const int span = 2 * j.plan.n_iters + 8;
     outcome_epoch = epoch_cursor_ + span - 1;
     epoch_cursor_ += span;
+    audit_decision(comm_->rank(), "svc.alloc",
+                   {{"job", j.id},
+                    {"epoch_base", ropt.epoch_base},
+                    {"tag_salt", ropt.tag_salt},
+                    {"span", span},
+                    {"outcome_epoch", outcome_epoch}});
     j.mid_backup = j.mid;
   }
   core::CcOutput out;
@@ -595,6 +623,11 @@ void ServiceContext::run_all() {
       if (last_run_ >= 0) ++stats_.switches;
       last_run_ = j->id;
     }
+    audit_decision(comm_->rank(), "svc.pick",
+                   {{"job", j->id},
+                    {"tenant", j->spec.tenant},
+                    {"iter", j->next_iter},
+                    {"slice", j->slices + 1}});
     run_slice(*j);
   }
 }

@@ -1,0 +1,156 @@
+// Golden-output tests: the CHK-* rule-id strings and Diagnostic message
+// formats are contract. CI log scrapers, the explore replay workflow in
+// docs/CORRECTNESS.md and downstream triage tooling all match on these
+// exact strings, so changing any of them must be a deliberate,
+// test-breaking act — not a drive-by reword.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/explore.hpp"
+#include "des/engine.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+#include "trace/trace.hpp"
+
+namespace colcom {
+namespace {
+
+using check::Diagnostic;
+using check::Rule;
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+TEST(GoldenRuleIds, AllNineRuleIdStringsAreLocked) {
+  EXPECT_STREQ(check::rule_id(Rule::message_race), "CHK-RACE");
+  EXPECT_STREQ(check::rule_id(Rule::deadlock), "CHK-DEADLOCK");
+  EXPECT_STREQ(check::rule_id(Rule::collective_mismatch), "CHK-COLL");
+  EXPECT_STREQ(check::rule_id(Rule::datatype_overlap), "CHK-DTYPE");
+  EXPECT_STREQ(check::rule_id(Rule::buffer_mutation), "CHK-BUF");
+  EXPECT_STREQ(check::rule_id(Rule::io_overlap), "CHK-IO");
+  EXPECT_STREQ(check::rule_id(Rule::hint_mismatch), "CHK-HINT");
+  EXPECT_STREQ(check::rule_id(Rule::replicated_divergence), "CHK-REP");
+  EXPECT_STREQ(check::rule_id(Rule::explore), "CHK-EXPLORE");
+}
+
+TEST(GoldenDeadlock, CycleRendersBlockedSinceAndRegistryResolvedTags) {
+  // A reserved internal tag resolves by name inside the wait cycle.
+  check::register_tag(-9001, "golden.proto");
+  check::CheckSession cs(check::Mode::strict);
+  mpi::MachineConfig machine;
+  machine.cores_per_node = 1;
+  mpi::Runtime rt(machine, 2);
+  bool threw = false;
+  try {
+    rt.run([](mpi::Comm& c) {
+      std::vector<std::byte> got(4);
+      c.recv(1 - c.rank(), -9001, got);
+    });
+  } catch (const check::Violation& v) {
+    threw = true;
+    const std::string& m = v.diagnostic().message;
+    EXPECT_EQ(v.diagnostic().rule, Rule::deadlock);
+    EXPECT_TRUE(contains(m,
+                         "event queue drained with 2 fiber(s) still blocked "
+                         "— nothing can ever wake them:"))
+        << m;
+    EXPECT_TRUE(contains(m, "rank0 (blocked since t=")) << m;
+    EXPECT_TRUE(contains(m, "rank1 (blocked since t=")) << m;
+    EXPECT_TRUE(contains(m,
+                         "wait cycle: rank0 -[tag golden.proto(-9001)]-> "
+                         "rank1 -[tag golden.proto(-9001)]-> rank0"))
+        << m;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(GoldenChkRep, DivergenceMessageFormatIsLocked) {
+  check::Checker ck(check::Mode::report);
+  ck.set_quiet(true);
+  ck.install();
+  {
+    mpi::MachineConfig machine;
+    machine.cores_per_node = 1;
+    mpi::Runtime rt(machine, 2);
+    rt.run([](mpi::Comm& c) {
+      check::Checker* k = check::Checker::current();
+      if (c.rank() == 0) {
+        k->on_decision(0, "golden.kind", 11, "a=1 b=2");
+      } else {
+        k->on_decision(1, "golden.kind", 12, "a=1 b=3 c=7");
+      }
+    });
+  }
+  ck.uninstall();
+  ASSERT_EQ(ck.findings().size(), 1u);
+  EXPECT_EQ(ck.findings().front().message,
+            "replicated decision 'golden.kind' step #0 diverges: "
+            "rank 1 decided {a=1 b=3 c=7}, rank 0 decided {a=1 b=2}; "
+            "divergent field(s): b=3 vs 2, c=7 only on rank 1");
+}
+
+TEST(GoldenExplore, ThrowWrapperAndScheduleMessageAreLocked) {
+  check::Explorer e;
+  const check::ExploreResult r =
+      e.run([] { throw std::runtime_error("boom"); });
+  ASSERT_TRUE(r.violation_found);
+  EXPECT_EQ(r.first.message,
+            "schedule with 0 forced choice(s) violates CHK-EXPLORE: "
+            "execution threw: boom");
+  ASSERT_EQ(r.schedule_findings.size(), 1u);
+  EXPECT_EQ(r.schedule_findings.front().message, "execution threw: boom");
+}
+
+TEST(GoldenExplore, HangMessageIsLocked) {
+  check::ExploreConfig cfg;
+  cfg.max_steps = 100;
+  check::Explorer e(cfg);
+  const check::ExploreResult r = e.run([] {
+    // A timer that re-arms forever: the queue never drains.
+    des::Engine eng;
+    std::function<void(double)> arm = [&](double t) {
+      eng.schedule(t, [&arm, t] { arm(t + 1.0); });
+    };
+    arm(1.0);
+    eng.run();
+  });
+  ASSERT_TRUE(r.violation_found);
+  EXPECT_EQ(r.schedule_findings.front().message,
+            "execution exceeded max_steps=100 dispatches — livelock/hang "
+            "(some event keeps re-arming and the world never completes)");
+}
+
+TEST(GoldenReportMode, StderrLinePrefixAndMetricNameAreLocked) {
+  des::Engine metrics_engine;
+  trace::Tracer tr;
+  tr.attach(metrics_engine);
+  check::Checker ck(check::Mode::report);  // not quiet: the line must print
+  ck.install();
+  testing::internal::CaptureStderr();
+  {
+    mpi::MachineConfig machine;
+    machine.cores_per_node = 1;
+    mpi::Runtime rt(machine, 2);
+    rt.run([](mpi::Comm& c) {
+      check::Checker::current()->on_decision(
+          c.rank(), "golden.report", 100 + static_cast<std::uint64_t>(c.rank()),
+          "x=" + std::to_string(c.rank()));
+    });
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  ck.uninstall();
+  EXPECT_TRUE(contains(err, "[check] CHK-REP at t=")) << err;
+  EXPECT_TRUE(contains(err, "divergent field(s): x=1 vs 0")) << err;
+  // The finding also lands on the tracer as a check.* metric.
+  EXPECT_EQ(
+      tr.metrics().counters().at("check.replicated_divergences").value(), 1u);
+}
+
+}  // namespace
+}  // namespace colcom

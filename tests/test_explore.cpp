@@ -1,0 +1,501 @@
+// CHK-EXPLORE / CHK-REP: systematic schedule-space exploration over the DES
+// and the replicated-decision divergence auditor.
+//
+// The rediscovery tests are the acceptance gate for the explorer: with the
+// shipped fixes reverted behind COLCOM_TEST_* env flags, the explorer must
+// find the PR 7 warm-ship livelock (a role-dead aggregator that skips its
+// death note, hanging the absorber's warm receive) and the PR 3
+// shuffle-buffer reuse (shipping from the live `batch` that the next
+// process_chunk call clears while the isends are pending, CHK-BUF) — and
+// each violating schedule's replay file must reproduce it deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/explore.hpp"
+#include "core/runtime.hpp"
+#include "des/engine.hpp"
+#include "des/sched.hpp"
+#include "fault/chaos.hpp"
+#include "mpi/ft.hpp"
+#include "mpi/runtime.hpp"
+#include "ncio/dataset.hpp"
+#include "svc/svc.hpp"
+#include "trace/trace.hpp"
+
+namespace colcom {
+namespace {
+
+using check::Diagnostic;
+using check::ExploreConfig;
+using check::Explorer;
+using check::ExploreResult;
+using check::Rule;
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Sets a COLCOM_TEST_* bug-revert flag for the scope of one test.
+struct EnvFlag {
+  explicit EnvFlag(const char* n) : name(n) { ::setenv(n, "1", 1); }
+  ~EnvFlag() { ::unsetenv(name); }
+  const char* name;
+};
+
+std::string tmp_replay_path(const char* stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + stem + ".replay";
+}
+
+// ---------------------------------------------------------------- seam
+
+TEST(ExploreSeam, DefaultOrderWithoutControllerIsInsertionOrder) {
+  des::Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    eng.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+/// A controller that always picks the last (highest-seq) tie.
+struct LastPick final : des::ScheduleController {
+  std::size_t pick(const std::vector<des::RunnableEvent>& ties) override {
+    ++picks;
+    ties_seen.push_back(ties.size());
+    return ties.size() - 1;
+  }
+  int picks = 0;
+  std::vector<std::size_t> ties_seen;
+};
+
+TEST(ExploreSeam, ControllerReordersExactTimestampTies) {
+  des::Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    eng.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  LastPick ctl;
+  ctl.install();
+  eng.run();
+  ctl.uninstall();
+  // Picking the last tie each time reverses the default insertion order.
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(ctl.picks, 2);  // 3-way tie, then 2-way; a lone event skips pick()
+  EXPECT_EQ(ctl.ties_seen, (std::vector<std::size_t>{3, 2}));
+}
+
+/// tie_window > 0 widens the tie set to near-simultaneous events, exposing
+/// timer-vs-message races whose timestamps differ by less than the window.
+struct WindowedLastPick final : des::ScheduleController {
+  explicit WindowedLastPick(des::SimTime w) : window(w) {}
+  std::size_t pick(const std::vector<des::RunnableEvent>& ties) override {
+    max_ties = std::max(max_ties, ties.size());
+    return ties.size() - 1;
+  }
+  des::SimTime tie_window() const override { return window; }
+  des::SimTime window;
+  std::size_t max_ties = 0;
+};
+
+TEST(ExploreSeam, TieWindowMergesNearSimultaneousEvents) {
+  std::vector<int> order;
+  auto build = [&](des::Engine& eng) {
+    order.clear();
+    eng.schedule(1.0, [&order] { order.push_back(0); });
+    eng.schedule(1.00005, [&order] { order.push_back(1); });
+    eng.schedule(2.0, [&order] { order.push_back(2); });
+  };
+  {
+    des::Engine eng;
+    build(eng);
+    WindowedLastPick ctl(0.0);  // window 0: the 1.0 / 1.00005 pair is not a tie
+    ctl.install();
+    eng.run();
+    ctl.uninstall();
+    EXPECT_EQ(ctl.max_ties, 0u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  }
+  {
+    des::Engine eng;
+    build(eng);
+    WindowedLastPick ctl(1e-4);  // window covers the pair, not the 2.0 event
+    ctl.install();
+    eng.run();
+    ctl.uninstall();
+    EXPECT_EQ(ctl.max_ties, 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+  }
+}
+
+// ---------------------------------------------------------------- replay file
+
+TEST(ExploreReplay, FileRoundTrips) {
+  const std::string path = tmp_replay_path("roundtrip");
+  const std::vector<std::uint64_t> sched{42, 7, 123456789012345ull};
+  check::write_replay_file(path, 2.5e-4, 150000, sched);
+  const check::ReplaySpec spec = check::read_replay_file(path);
+  EXPECT_DOUBLE_EQ(spec.tie_window, 2.5e-4);
+  EXPECT_EQ(spec.max_steps, 150000u);
+  EXPECT_EQ(spec.schedule, sched);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- worlds
+
+/// 4-rank agreement world: rank 0 (the round-0 coordinator) dies at a
+/// control-plane crash point, survivors reach a unanimous verdict via the
+/// rotating coordinator. CHK-REP audits the verdicts inside the explorer's
+/// checker, so any schedule that broke unanimity would surface as a finding.
+void agreement_world() {
+  mpi::MachineConfig machine;
+  machine.cores_per_node = 1;
+  fault::ChaosConfig cc;
+  cc.seed = 0xc4a05;
+  machine.chaos = cc;
+  mpi::Runtime rt(machine, 4);
+  fault::ChaosSchedule sched(cc, rt.n_nodes(), 4, 8);
+  sched.add_crash_point({fault::Phase::plan_exchange, 0, 1});
+  rt.install_chaos(std::move(sched));
+  rt.run([](mpi::Comm& c) {
+    mpi::ft::crash_point(c, fault::Phase::plan_exchange);  // kills rank 0
+    std::uint64_t mine = 1ull << c.rank();
+    const mpi::ft::Verdict v =
+        mpi::ft::agree(c, std::span<const std::uint64_t>(&mine, 1), 0);
+    if (v.rounds < 1 || v.mask.empty()) throw std::runtime_error("bad verdict");
+  });
+}
+
+/// Small collective-compute world: 8 ranks, a (16, 16, 16) f32 variable,
+/// per-rank slab (16, 2, 16). cores_per_node picks the aggregator layout
+/// (4 -> aggregators {0, 4}; 2 -> {0, 2, 4, 6}); cb_buffer sizes the chunks
+/// so every domain splits into exactly two iterations.
+float run_small_cc(const std::vector<fault::CrashPoint>& points,
+                   const std::vector<fault::ChaosEvent>& events,
+                   int cores_per_node, std::uint32_t cb_buffer) {
+  mpi::MachineConfig machine;
+  machine.cores_per_node = cores_per_node;
+  machine.pfs.n_osts = 4;
+  machine.pfs.stripe_size = 8192;
+  fault::ChaosConfig cc;
+  cc.seed = 0xc4a05;
+  machine.chaos = cc;
+  mpi::Runtime rt(machine, 8);
+  if (!points.empty() || !events.empty()) {
+    fault::ChaosSchedule sched(cc, rt.n_nodes(), 8, 8);
+    for (const auto& ev : events) sched.add(ev);
+    for (const auto& cp : points) sched.add_crash_point(cp);
+    rt.install_chaos(std::move(sched));
+  }
+  auto ds = ncio::DatasetBuilder(rt.fs(), "explore.nc")
+                .add_generated_var<float>(
+                    "v", {16, 16, 16},
+                    [](std::span<const std::uint64_t> c) {
+                      double v = 1.0;
+                      for (auto x : c) v = v * 3.7 + static_cast<double>(x);
+                      return static_cast<float>(v * 1e-3);
+                    })
+                .finish();
+  float value = 0;
+  rt.run([&](mpi::Comm& comm) {
+    core::ObjectIO io;
+    io.var = ds.var("v");
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    io.start = {0, 2 * r, 0};
+    io.count = {16, 2, 16};
+    io.op = mpi::Op::sum();
+    io.hints.cb_buffer_size = cb_buffer;
+    core::CcOutput out;
+    core::collective_compute(comm, ds, io, out);
+    if (comm.rank() == 0) value = out.global_as<float>();
+  });
+  return value;
+}
+
+/// PR 7 warm-ship world: rank 0's aggregator *role* dies at t=0 (no wreck —
+/// it never served anything), and the survivor absorbing its slot-1 chunk
+/// (rank 4) *process*-dies mid-map. The final watch announces both misses;
+/// the fixed code has role-dead rank 0 send a 1-byte death note so the new
+/// absorber (rank 6) falls through to the cold re-read. With the bug flag
+/// the note is skipped and rank 6's warm receive polls forever: a livelock.
+void warmship_world() {
+  fault::ChaosEvent role_crash;
+  role_crash.kind = fault::Kind::aggregator_crash;
+  role_crash.subject = 0;
+  // Just after t=0: a crash at exactly 0 would exclude rank 0 from the
+  // aggregator pool at plan time instead of striking its role at the first
+  // watch (pre-serve, so no wreck exists).
+  role_crash.at = 1e-9;
+  run_small_cc({{fault::Phase::mid_map, 4, 2}}, {role_crash},
+               /*cores_per_node=*/2, /*cb_buffer=*/2048);
+}
+
+/// PR 3 shuffle-reuse world: rank 4 (aggregator of domain 1) process-dies at
+/// its first mid-map, so from the next iteration rank 0 runs process_chunk
+/// twice per iteration (its own chunk plus the absorbed dead domain) before
+/// the iteration's wait_all. With the bug flag the shuffle ships straight
+/// from the live `batch`, which the second call clears and refills while the
+/// first call's isends are pending: CHK-BUF.
+void shuffle_world() {
+  run_small_cc({{fault::Phase::mid_map, 4, 1}}, {},
+               /*cores_per_node=*/4, /*cb_buffer=*/4096);
+}
+
+/// Service resubmit-from-mid world (test_svc_recovery's flagship
+/// choreography, compacted): aggregator rank 4 dies mid-map, then rank 2 —
+/// the absorber for the missed slot — dies inside the replan. The attempt
+/// aborts in agreement and the service resubmits the job from the parked
+/// mid on the shrunken world. Every control-plane decision on the way
+/// (svc.pick, svc.alloc, core.replan, ft.agree) feeds CHK-REP.
+void svc_resubmit_world() {
+  mpi::MachineConfig machine;
+  machine.cores_per_node = 2;
+  machine.pfs.n_osts = 4;
+  machine.pfs.stripe_size = 8192;
+  fault::ChaosConfig cc;
+  cc.seed = 0xc4a05;
+  machine.chaos = cc;
+  mpi::Runtime rt(machine, 8);
+  fault::ChaosSchedule sched(cc, rt.n_nodes(), 8, 8);
+  sched.add_crash_point({fault::Phase::mid_map, 4, 3});
+  sched.add_crash_point({fault::Phase::replan, 2, 1});
+  rt.install_chaos(std::move(sched));
+  auto ds = ncio::DatasetBuilder(rt.fs(), "explore_svc.nc")
+                .add_generated_var<float>(
+                    "v", {64, 16, 16},
+                    [](std::span<const std::uint64_t> c) {
+                      double v = 1.0;
+                      for (auto x : c) v = v * 3.7 + static_cast<double>(x);
+                      return static_cast<float>(v * 1e-3);
+                    })
+                .finish();
+  rt.run([&](mpi::Comm& c) {
+    svc::ServiceConfig cfg;
+    cfg.policy = svc::Policy::fifo;
+    cfg.max_concurrent = 1;
+    cfg.slice_iters = 1;
+    svc::ServiceContext sc(c, cfg);
+    const int d = sc.register_dataset(ds);
+    svc::JobSpec s;
+    s.name = "v";
+    s.dataset = d;
+    s.io.var = ds.var("v");
+    const auto r = static_cast<std::uint64_t>(c.rank());
+    s.io.start = {0, 2 * r, 0};
+    s.io.count = {64, 2, 16};
+    s.io.op = mpi::Op::sum();
+    s.io.hints.cb_buffer_size = 4096;
+    const svc::JobId id = sc.submit(std::move(s));
+    sc.run_all();
+    if (sc.state(id) != svc::JobState::done) {
+      throw std::runtime_error("svc job did not complete");
+    }
+    if (c.rank() == 0 && sc.result(id).retries < 1) {
+      throw std::runtime_error("expected a service-level resubmit");
+    }
+  });
+}
+
+// ---------------------------------------------------------------- exploration
+
+TEST(ExploreAgreement, NoViolationAndDporPrunesTenfold) {
+  des::Engine metrics_engine;
+  trace::Tracer tr;
+  tr.attach(metrics_engine);
+  ExploreConfig cfg;
+  cfg.max_executions = 200;
+  cfg.delay_bound = 2;
+  cfg.max_steps = 200000;
+  cfg.tie_window = 2.5e-4;  // half the crash-detect poll: timer/message races
+  Explorer e(cfg);
+  const ExploreResult a = e.run(agreement_world);
+  EXPECT_FALSE(a.violation_found) << a.first.message;
+  EXPECT_EQ(a.stats.hangs, 0u);
+  EXPECT_GE(a.stats.executions, 2u);
+  EXPECT_GT(a.stats.choice_points, 0u);
+  // The DPOR acceptance bar: at least 10x fewer branches re-executed than
+  // full enumeration of every tie would have queued.
+  EXPECT_GE(a.stats.naive_branches,
+            10 * std::max<std::uint64_t>(1, a.stats.dpor_branches))
+      << "naive=" << a.stats.naive_branches
+      << " dpor=" << a.stats.dpor_branches;
+  // The counters surface through the tracer as check.explore.* metrics.
+  const auto& counters = tr.metrics().counters();
+  ASSERT_EQ(counters.count("check.explore.executions"), 1u);
+  EXPECT_EQ(counters.at("check.explore.executions").value(),
+            a.stats.executions);
+  EXPECT_EQ(counters.at("check.explore.naive_branches").value(),
+            a.stats.naive_branches);
+  EXPECT_EQ(counters.at("check.explore.dpor_branches").value(),
+            a.stats.dpor_branches);
+
+  // Exploration is deterministic: the same world explores identically.
+  Explorer e2(cfg);
+  const ExploreResult b = e2.run(agreement_world);
+  EXPECT_EQ(a.stats.executions, b.stats.executions);
+  EXPECT_EQ(a.stats.choice_points, b.stats.choice_points);
+  EXPECT_EQ(a.stats.naive_branches, b.stats.naive_branches);
+  EXPECT_EQ(a.stats.dpor_branches, b.stats.dpor_branches);
+  EXPECT_EQ(a.stats.sleep_hits, b.stats.sleep_hits);
+  EXPECT_EQ(a.stats.delay_pruned, b.stats.delay_pruned);
+}
+
+TEST(ExploreSvc, ResubmitFromMidSurvivesReordering) {
+  // A heavier world, so a tight budget: a handful of reordered executions
+  // of the abort + park + resubmit choreography, none of which may deadlock,
+  // hang, diverge a CHK-REP decision stream or fail the job.
+  ExploreConfig cfg;
+  cfg.max_executions = 8;
+  cfg.delay_bound = 1;
+  cfg.max_steps = 2000000;
+  cfg.tie_window = 2.5e-4;
+  Explorer e(cfg);
+  const ExploreResult r = e.run(svc_resubmit_world);
+  EXPECT_FALSE(r.violation_found) << r.first.message;
+  EXPECT_EQ(r.stats.hangs, 0u);
+  EXPECT_GE(r.stats.executions, 2u);
+  EXPECT_GT(r.stats.choice_points, 0u);
+}
+
+TEST(ExploreRediscovery, WarmShipDeathNoteSkipLivelocksAndReplays) {
+  // Baseline: the fixed code completes and the recovery is value-exact.
+  const float clean = run_small_cc({}, {}, 2, 2048);
+  const float fixed = [] {
+    fault::ChaosEvent role_crash;
+    role_crash.kind = fault::Kind::aggregator_crash;
+    role_crash.subject = 0;
+    role_crash.at = 1e-9;
+    return run_small_cc({{fault::Phase::mid_map, 4, 2}}, {role_crash}, 2,
+                        2048);
+  }();
+  EXPECT_EQ(std::memcmp(&fixed, &clean, sizeof(float)), 0);
+
+  const std::string replay = tmp_replay_path("warmship");
+  EnvFlag bug("COLCOM_TEST_WARMSHIP_BUG");
+  ExploreConfig cfg;
+  cfg.max_executions = 5000;
+  cfg.max_steps = 150000;
+  cfg.replay_file = replay;
+  Explorer e(cfg);
+  const ExploreResult r = e.run(warmship_world);
+  ASSERT_TRUE(r.violation_found);
+  EXPECT_LE(r.stats.executions, 5000u);
+  EXPECT_GE(r.stats.hangs, 1u);
+  EXPECT_EQ(check::rule_id(r.first.rule), std::string("CHK-EXPLORE"));
+  EXPECT_TRUE(contains(r.first.message, "forced choice(s) violates"))
+      << r.first.message;
+  EXPECT_TRUE(contains(r.first.message, "livelock/hang")) << r.first.message;
+
+  // The replay file reproduces the livelock, and does so deterministically.
+  const std::vector<Diagnostic> f1 = Explorer::replay(warmship_world, replay);
+  const std::vector<Diagnostic> f2 = Explorer::replay(warmship_world, replay);
+  ASSERT_FALSE(f1.empty());
+  EXPECT_TRUE(contains(f1.front().message, "max_steps")) << f1.front().message;
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].message, f2[i].message);
+  }
+  std::remove(replay.c_str());
+}
+
+TEST(ExploreRediscovery, ShuffleReuseBugTripsChkBufAndReplays) {
+  const float clean = run_small_cc({}, {}, 4, 4096);
+  const float fixed = run_small_cc({{fault::Phase::mid_map, 4, 1}}, {}, 4,
+                                   4096);
+  EXPECT_EQ(std::memcmp(&fixed, &clean, sizeof(float)), 0);
+
+  const std::string replay = tmp_replay_path("shuffle");
+  EnvFlag bug("COLCOM_TEST_SHUFFLE_REUSE_BUG");
+  ExploreConfig cfg;
+  cfg.max_executions = 5000;
+  cfg.max_steps = 150000;
+  cfg.replay_file = replay;
+  Explorer e(cfg);
+  const ExploreResult r = e.run(shuffle_world);
+  ASSERT_TRUE(r.violation_found);
+  EXPECT_LE(r.stats.executions, 5000u);
+  EXPECT_TRUE(contains(r.first.message, "CHK-BUF")) << r.first.message;
+  bool saw_buf = false;
+  for (const Diagnostic& d : r.schedule_findings) {
+    if (d.rule == Rule::buffer_mutation) saw_buf = true;
+  }
+  EXPECT_TRUE(saw_buf);
+
+  const std::vector<Diagnostic> f1 = Explorer::replay(shuffle_world, replay);
+  ASSERT_FALSE(f1.empty());
+  bool replayed_buf = false;
+  for (const Diagnostic& d : f1) {
+    if (d.rule == Rule::buffer_mutation) replayed_buf = true;
+  }
+  EXPECT_TRUE(replayed_buf);
+  std::remove(replay.c_str());
+}
+
+TEST(ExploreMinimize, StripsForcedChoicesTheViolationDoesNotNeed) {
+  // The warm-ship livelock fires on the default schedule, so any forced
+  // picks are redundant: minimize() must strip them all. Unknown seqs in the
+  // forced prefix fall back to the default pick, so padding is harmless.
+  EnvFlag bug("COLCOM_TEST_WARMSHIP_BUG");
+  ExploreConfig cfg;
+  cfg.max_steps = 150000;
+  Explorer e(cfg);
+  const std::vector<std::uint64_t> minimized =
+      e.minimize(warmship_world, {999999991, 999999992});
+  EXPECT_TRUE(minimized.empty());
+}
+
+// ---------------------------------------------------------------- CHK-REP
+
+TEST(ChkRep, SeededDivergenceNamesFirstDivergentStepAndDiffsFields) {
+  check::Checker ck(check::Mode::report);
+  ck.set_quiet(true);
+  ck.install();
+  {
+    mpi::MachineConfig machine;
+    machine.cores_per_node = 1;
+    mpi::Runtime rt(machine, 2);
+    rt.run([](mpi::Comm& c) {
+      check::Checker* k = check::Checker::current();
+      ASSERT_NE(k, nullptr);
+      // Step 0 agrees on both ranks; step 1 diverges in `pick` and rank 1
+      // reports an extra field.
+      k->on_decision(c.rank(), "test.pick", 7, "epoch=3 pick=2");
+      if (c.rank() == 0) {
+        k->on_decision(c.rank(), "test.pick", 8, "epoch=3 pick=2");
+      } else {
+        k->on_decision(c.rank(), "test.pick", 9, "epoch=3 pick=4 salt=1");
+      }
+    });
+  }
+  ck.uninstall();
+  ASSERT_EQ(ck.count(Rule::replicated_divergence), 1u);
+  const Diagnostic& d = ck.findings().front();
+  EXPECT_EQ(check::rule_id(d.rule), std::string("CHK-REP"));
+  EXPECT_TRUE(contains(d.message, "'test.pick' step #1")) << d.message;
+  EXPECT_TRUE(contains(d.message, "pick=4 vs 2")) << d.message;
+  EXPECT_TRUE(contains(d.message, "salt=1 only on rank 1")) << d.message;
+  EXPECT_EQ(d.ranks, (std::vector<int>{1, 0}));
+}
+
+TEST(ChkRep, CleanRecoveryWorldsStaySilent) {
+  check::Checker ck(check::Mode::strict);
+  ck.install();
+  // Both rediscovery worlds, fixed code: the ft.agree / core.replan / svc
+  // decision streams they drive must be bit-identical across ranks.
+  warmship_world();
+  shuffle_world();
+  agreement_world();
+  ck.uninstall();
+  EXPECT_EQ(ck.count(Rule::replicated_divergence), 0u);
+  EXPECT_TRUE(ck.findings().empty());
+}
+
+}  // namespace
+}  // namespace colcom
