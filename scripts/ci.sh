@@ -188,6 +188,23 @@ step "service suite under COLCOM_CHECK=1 and a chaos seed"
 COLCOM_CHAOS_SEED=7 COLCOM_CHECK=1 timeout "$BUDGET" \
   "$BUILD_DIR/tests/test_svc"
 
+step "streaming bench smoke (ext_streaming shape checks)"
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target ext_streaming
+STREAMING_OUT="$(timeout "$BUDGET" "$BUILD_DIR/bench/ext_streaming")"
+echo "$STREAMING_OUT"
+if grep -q "shape MISS" <<<"$STREAMING_OUT"; then
+  echo "ext_streaming shape check failed" >&2
+  exit 1
+fi
+
+# The streaming suite under the correctness checker and a shifted chaos
+# seed: producer/consumer crash points at moved timestamps must end every
+# run done or failed-with-reason — no hangs, no leaked stream pins — and
+# keep the streamed bits identical to the file-based run.
+step "streaming suite under COLCOM_CHECK=1 and a chaos seed"
+COLCOM_CHAOS_SEED=7 COLCOM_CHECK=1 timeout "$BUDGET" \
+  "$BUILD_DIR/tests/test_stream"
+
 if [[ $SANITIZE -eq 1 ]]; then
   configure_asan
   step "sanitizer build (-Werror + ASan/UBSan)"

@@ -160,6 +160,7 @@ CcStats IterativeComputer::run_window(std::uint64_t t, int begin, int upto,
   const romio::TwoPhasePlan plan = plan0_.shifted(delta);
   RunOptions ropt;
   ropt.staging = staging_;
+  ropt.source = source_;
   ropt.begin_iter = begin;
   ropt.end_iter = upto;
   ropt.mid = &mid_state_;

@@ -18,6 +18,7 @@
 #include "romio/plan.hpp"
 
 namespace colcom::stage {
+class ChunkSource;
 class StagingArea;
 }
 
@@ -51,6 +52,14 @@ class IterativeComputer {
   /// step: warm chunks come from its cache, prefetches overlap the map, and
   /// persist_checkpoint() goes through its write-behind. nullptr detaches.
   void attach_staging(stage::StagingArea* sa) { staging_ = sa; }
+
+  /// Attaches a per-rank chunk source (src/stream/): every subsequent
+  /// step's aggregator reads come from the source instead of the PFS —
+  /// the in-transit path, where the analysis consumes the producer's
+  /// staged bytes before (or without) any file landing. The source's
+  /// window must cover at least one step's consumed span. nullptr
+  /// detaches and restores the file/staging paths bit for bit.
+  void attach_source(stage::ChunkSource* src) { source_ = src; }
 
   /// Runs the analysis with the window moved to start[0] = t, reusing the
   /// cached plan (collective; all ranks must pass the same t). The shifted
@@ -104,6 +113,7 @@ class IterativeComputer {
   double plan_cost_s_ = 0;
   int steps_ = 0;
   stage::StagingArea* staging_ = nullptr;
+  stage::ChunkSource* source_ = nullptr;
 
   // Parked mid-analysis state of an interrupted step (mid_upto_ < 0: none).
   std::uint64_t mid_t_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 
@@ -578,13 +580,19 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   std::vector<std::byte> bufs[2];
   romio::ChunkReader reader;
   std::optional<stage::StagedReader> sreader;
-  if (ropt.staging != nullptr && my_agg >= 0) {
+  // The chunk source actually serving aggregator reads this run: an
+  // explicit ropt.source (the streaming data plane) wins, else a
+  // StagedReader over the attached staging area, else nullptr and the
+  // bare ChunkReader double-buffers against the PFS.
+  stage::ChunkSource* csrc = ropt.source;
+  if (csrc == nullptr && ropt.staging != nullptr && my_agg >= 0) {
     sreader.emplace(*ropt.staging, fs, ds.file(), hints.sieve_gap, fi);
+    csrc = &*sreader;
   }
   auto issue_read = [&](int k, bool speculative) -> bool {
-    if (sreader.has_value()) {
-      return sreader->begin(plan.chunk(my_agg, k), plan.domain_requests,
-                            speculative);
+    if (csrc != nullptr) {
+      return csrc->begin(plan.chunk(my_agg, k), plan.domain_requests,
+                         speculative);
     }
     reader.issue(fs, ds.file(), plan.domain_requests, plan.chunk(my_agg, k),
                  bufs[k % 2], hints.sieve_gap, comm.wtime(), fi);
@@ -594,16 +602,41 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
   // case) even when the hints ask for pipelining.
   const bool pipelined =
       hints.pipelined &&
-      (ropt.staging == nullptr || ropt.staging->config().prefetch);
+      (ropt.source != nullptr || ropt.staging == nullptr ||
+       ropt.staging->config().prefetch);
   // Readahead depth: how many chunks beyond the one in service may be in
   // flight. Only the staging pipeline can queue more than one (the bare
-  // ChunkReader double-buffers), and depths > 1 are additionally subject
-  // to the area's readahead budget — a denied speculative issue leaves
-  // `next_issue` in place and the chunk is demand-read when its turn comes.
+  // ChunkReader double-buffers, a stream source paces itself through the
+  // topic window), and depths > 1 are additionally subject to the area's
+  // readahead budget — a denied speculative issue leaves `next_issue` in
+  // place and the chunk is demand-read when its turn comes.
   const int depth =
       sreader.has_value()
           ? std::max(1, ropt.staging->config().prefetch_depth)
           : 1;
+  // A streaming source gets the run's consumed byte span up front:
+  // prepare() blocks until the producer has published it (or throws its
+  // structured failure), and it does so on EVERY rank — aggregator or not
+  // — so a dead producer surfaces before the first collective exchange,
+  // never as a hang inside one.
+  std::uint64_t src_lo = 0;
+  std::uint64_t src_hi = 0;
+  if (ropt.source != nullptr) {
+    src_lo = std::numeric_limits<std::uint64_t>::max();
+    for (int a = 0; a < plan.aggregator_count(); ++a) {
+      for (int k = begin_iter; k < end_iter; ++k) {
+        const pfs::ByteExtent c = plan.chunk(a, k);
+        if (c.length == 0) continue;
+        src_lo = std::min(src_lo, c.offset);
+        src_hi = std::max(src_hi, c.offset + c.length);
+      }
+    }
+    if (src_lo >= src_hi) {
+      src_lo = 0;
+      src_hi = 0;
+    }
+    ropt.source->prepare(src_lo, src_hi);
+  }
   int next_issue = begin_iter;
   if (my_agg >= 0 && begin_iter < end_iter) {
     issue_read(begin_iter, false);
@@ -853,22 +886,45 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         if (!served) {
           // Cold make-up: re-read the lost chunk and rebuild its records —
           // the arithmetic and record order match the fault-free serve.
-          romio::ChunkReader ar;
-          std::vector<std::byte> abuf;
-          ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
-                   abuf, hints.sieve_gap, comm.wtime(), fi);
-          const double w0 = comm.wtime();
-          {
-            TRACE_SPAN(comm.engine(), "cc", "makeup");
-            ar.wait();
+          // With a stream source attached the bytes never hit the PFS, so
+          // the make-up reads from an auxiliary (non-subscribing) reader
+          // over the same topic instead of a bare ChunkReader.
+          if (ropt.source != nullptr) {
+            std::unique_ptr<stage::ChunkSource> ar = ropt.source->aux();
+            ar->begin(c, absorbed[static_cast<std::size_t>(d)], false);
+            const double w0 = comm.wtime();
+            stage::SourceChunk sc;
+            {
+              TRACE_SPAN(comm.engine(), "cc", "makeup");
+              sc = ar->take();
+            }
+            stats.io_s += comm.wtime() - w0;
+            stats.bytes_read += sc.bytes_read;
+            stats.io_fallbacks += sc.fallbacks;
+            ++stats.absorbed_chunks;
+            fi->note_absorbed_chunk();
+            std::vector<std::byte> abuf(sc.data.begin(), sc.data.end());
+            ar->release();
+            process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
+                          sc.service_s, recover_tag, sends, true);
+          } else {
+            romio::ChunkReader ar;
+            std::vector<std::byte> abuf;
+            ar.issue(fs, ds.file(), absorbed[static_cast<std::size_t>(d)], c,
+                     abuf, hints.sieve_gap, comm.wtime(), fi);
+            const double w0 = comm.wtime();
+            {
+              TRACE_SPAN(comm.engine(), "cc", "makeup");
+              ar.wait();
+            }
+            stats.io_s += comm.wtime() - w0;
+            stats.bytes_read += ar.bytes_read();
+            stats.io_fallbacks += ar.fallbacks();
+            ++stats.absorbed_chunks;
+            fi->note_absorbed_chunk();
+            process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
+                          ar.service_time(), recover_tag, sends, true);
           }
-          stats.io_s += comm.wtime() - w0;
-          stats.bytes_read += ar.bytes_read();
-          stats.io_fallbacks += ar.fallbacks();
-          ++stats.absorbed_chunks;
-          fi->note_absorbed_chunk();
-          process_chunk(c, abuf, absorbed[static_cast<std::size_t>(d)],
-                        ar.service_time(), recover_tag, sends, true);
         }
       } catch (const fault::Error&) {
         if (!recover) throw;
@@ -1001,7 +1057,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       TRACE_COUNT(comm.engine(), ::colcom::trace::Track::ranks,
                   "cc.aggregation_rounds", 1);
       const double wait0 = comm.wtime();
-      stage::StagedReader::Chunk sc;
+      stage::SourceChunk sc;
       double read_service = 0;
       std::span<std::byte> chunk_mut;
       std::span<const pfs::ByteExtent> read_extents;
@@ -1013,8 +1069,8 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
       }
       {
         TRACE_SPAN(comm.engine(), "cc", "io");
-        if (sreader.has_value()) {
-          sc = sreader->take();
+        if (csrc != nullptr) {
+          sc = csrc->take();
           read_service = sc.service_s;
           stats.bytes_read += sc.bytes_read;
           stats.io_fallbacks += sc.fallbacks;
@@ -1090,7 +1146,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         process_chunk(c, chunk, plan.domain_requests, read_service,
                       partial_tag, sends, true);
       }
-      if (sreader.has_value()) sreader->release();
+      if (csrc != nullptr) csrc->release();
       // Blocking two-phase: only start the next read after this chunk is
       // fully processed.
       if (!interrupted && !pipelined && next_issue == k + 1 &&
@@ -1112,7 +1168,27 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
         if (serving_index(d, k) != my_agg) continue;
         const pfs::ByteExtent c = plan.chunk(d, k);
         if (c.length == 0) continue;
-        if (ropt.staging != nullptr) {
+        if (ropt.source != nullptr) {
+          // Streamed absorb: the bytes never hit the PFS, so the dead
+          // domain's chunk is re-served by an auxiliary (non-subscribing)
+          // reader over the same topic — same extent union, same bytes.
+          std::unique_ptr<stage::ChunkSource> ar = ropt.source->aux();
+          ar->begin(c, absorbed[static_cast<std::size_t>(d)], false);
+          const double w0 = comm.wtime();
+          stage::SourceChunk ac;
+          {
+            TRACE_SPAN(comm.engine(), "cc", "absorb");
+            ac = ar->take();
+          }
+          stats.io_s += comm.wtime() - w0;
+          stats.bytes_read += ac.bytes_read;
+          stats.io_fallbacks += ac.fallbacks;
+          ++stats.absorbed_chunks;
+          fi->note_absorbed_chunk();
+          process_chunk(c, ac.data, absorbed[static_cast<std::size_t>(d)],
+                        ac.service_s, absorb_tag, sends, true);
+          ar->release();
+        } else if (ropt.staging != nullptr) {
           // Staged absorb: the re-read enters this survivor's cache keyed
           // by the dead domain's window with the absorbed request union —
           // the extent re-validation keeps it from ever serving a key
@@ -1378,6 +1454,10 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
     if (stats.elements > 0) contribution.merge(my_acc);
     fold_final(comm, obj, prim, contribution, out, stats, final_tag);
   }
+
+  // The run's consumed span is done on every rank: a streaming source may
+  // now retire the steps it covers and release the staged bytes.
+  if (ropt.source != nullptr) ropt.source->retire(src_lo, src_hi);
 
   stats.total_s = comm.wtime() - t_begin;
   return stats;

@@ -18,6 +18,7 @@
 #include "ncio/dataset.hpp"
 
 namespace colcom::stage {
+class ChunkSource;
 class StagingArea;
 }
 
@@ -80,6 +81,15 @@ struct RunOptions {
   /// through its cache + prefetch pipeline, and replans invalidate the dead
   /// domain. nullptr runs the unstaged path bit-identically to before.
   stage::StagingArea* staging = nullptr;
+
+  /// Per-rank chunk source overriding the PFS entirely (see src/stream/):
+  /// aggregator chunk reads — demand, absorb and cold make-up alike — are
+  /// served by this source, and the run brackets its consumed byte span
+  /// with source->prepare()/retire() on every rank. The map/shuffle/reduce
+  /// path is unchanged, so a source serving the file's bytes produces
+  /// bit-identical results. Takes precedence over `staging` for chunk
+  /// reads; nullptr keeps the PFS paths exactly as before.
+  stage::ChunkSource* source = nullptr;
 
   /// First aggregation iteration (chunk index) to execute. > 0 resumes a
   /// partial run and requires the matching `mid` state.

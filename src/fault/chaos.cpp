@@ -17,6 +17,7 @@ const char* to_string(Layer layer) {
     case Layer::pfs: return "pfs";
     case Layer::romio: return "romio";
     case Layer::core: return "core";
+    case Layer::stream: return "stream";
   }
   return "?";
 }
@@ -33,6 +34,7 @@ const char* to_string(Kind kind) {
     case Kind::slice_aborted: return "slice_aborted";
     case Kind::root_failed: return "root_failed";
     case Kind::unrecoverable: return "unrecoverable";
+    case Kind::producer_failed: return "producer_failed";
   }
   return "?";
 }
@@ -44,6 +46,8 @@ const char* to_string(Phase phase) {
     case Phase::flush_collective: return "flush_collective";
     case Phase::mid_map: return "mid_map";
     case Phase::replan: return "replan";
+    case Phase::submit: return "submit";
+    case Phase::stream_publish: return "stream_publish";
   }
   return "?";
 }

@@ -103,6 +103,8 @@ enum class Phase {
   flush_collective,  ///< inside stage::Area::wb_flush_collective
   mid_map,           ///< after a chunk read, before its shuffle
   replan,            ///< inside the post-death replan metadata recovery
+  submit,            ///< inside svc::submit's plan-exchange collectives
+  stream_publish,    ///< inside stream::Producer::publish (producer death)
 };
 
 const char* to_string(Phase phase);

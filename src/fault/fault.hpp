@@ -14,7 +14,7 @@
 namespace colcom::fault {
 
 /// Which layer of the stack detected the fault.
-enum class Layer { des, net, mpi, pfs, romio, core };
+enum class Layer { des, net, mpi, pfs, romio, core, stream };
 
 /// What went wrong.
 enum class Kind {
@@ -28,6 +28,7 @@ enum class Kind {
   slice_aborted,     ///< a recoverable slice failed; resubmit from `mid`
   root_failed,       ///< the reduction root's process died (not retryable)
   unrecoverable,     ///< no survivor can finish the job (not retryable)
+  producer_failed,   ///< the streaming producer died with steps pending
 };
 
 const char* to_string(Layer layer);

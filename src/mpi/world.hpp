@@ -80,7 +80,7 @@ struct World {
   std::vector<char> dead;
   /// Per-rank, per-fault::Phase entry counters driving crash points
   /// (indexed by static_cast<int>(Phase)).
-  std::vector<std::array<int, 5>> phase_hits;
+  std::vector<std::array<int, 7>> phase_hits;
 
   /// Marks `rank` dead, bumps fault.rank.* metrics and emits a trace
   /// instant. Idempotent.

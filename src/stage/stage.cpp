@@ -51,7 +51,44 @@ ChunkCache::Entry* ChunkCache::find(const ChunkKey& k) {
   return it->second.get();
 }
 
-void ChunkCache::evict_to_fit(std::uint64_t incoming, StageStats& stats) {
+void ChunkCache::set_quota(int tenant, std::uint64_t bytes) {
+  if (bytes == 0) {
+    quota_.erase(tenant);
+  } else {
+    quota_[tenant] = bytes;
+  }
+}
+
+std::uint64_t ChunkCache::tenant_bytes(int tenant) const {
+  std::uint64_t total = 0;
+  for (const auto& [k, e] : map_) {
+    if (e->owner == tenant && !e->doomed) total += e->bytes.size();
+  }
+  return total;
+}
+
+void ChunkCache::evict_to_fit(std::uint64_t incoming, StageStats& stats,
+                              int owner) {
+  // Per-tenant partitioning: an inserting tenant over its configured share
+  // sheds its *own* unpinned LRU entries first, so one tenant's scan
+  // pressure never evicts another tenant's warm chunks (as long as the
+  // quotas sum to at most the capacity).
+  if (auto q = quota_.find(owner); q != quota_.end()) {
+    while (tenant_bytes(owner) + incoming > q->second) {
+      auto victim = map_.end();
+      for (auto it = map_.begin(); it != map_.end(); ++it) {
+        if (it->second->pins > 0 || it->second->owner != owner) continue;
+        if (victim == map_.end() || it->second->lru < victim->second->lru) {
+          victim = it;
+        }
+      }
+      if (victim == map_.end()) break;  // nothing of the tenant's evictable
+      bytes_ -= victim->second->bytes.size();
+      ++stats.evictions;
+      ++stats.quota_evictions;
+      map_.erase(victim);
+    }
+  }
   while (bytes_ + incoming > capacity_) {
     // Deterministic LRU: smallest sequence number among unpinned entries.
     auto victim = map_.end();
@@ -70,19 +107,20 @@ void ChunkCache::evict_to_fit(std::uint64_t incoming, StageStats& stats) {
 
 ChunkCache::Entry* ChunkCache::insert(ChunkKey k, std::vector<std::byte> bytes,
                                       std::vector<pfs::ByteExtent> extents,
-                                      StageStats& stats) {
+                                      StageStats& stats, int owner) {
   auto it = map_.find(k);
   if (it != map_.end()) {
     if (it->second->pins > 0) return nullptr;  // key held; serve transiently
     bytes_ -= it->second->bytes.size();
     map_.erase(it);
   }
-  evict_to_fit(bytes.size(), stats);
+  evict_to_fit(bytes.size(), stats, owner);
   auto e = std::make_unique<Entry>();
   e->key = k;
   e->bytes = std::move(bytes);
   e->extents = std::move(extents);
   e->lru = ++lru_seq_;
+  e->owner = owner;
   bytes_ += e->bytes.size();
   Entry* raw = e.get();
   map_.emplace(k, std::move(e));
@@ -91,12 +129,13 @@ ChunkCache::Entry* ChunkCache::insert(ChunkKey k, std::vector<std::byte> bytes,
 
 void ChunkCache::unpin(Entry& e, StageStats& stats) {
   COLCOM_EXPECT(e.pins > 0);
+  const int owner = e.owner;
   if (--e.pins == 0 && e.doomed) {
     erase(e.key);
     return;
   }
   // A pinned insert may have pushed occupancy over budget; settle now.
-  if (bytes_ > capacity_) evict_to_fit(0, stats);
+  if (bytes_ > capacity_) evict_to_fit(0, stats, owner);
 }
 
 std::size_t ChunkCache::invalidate(int file, std::uint64_t lo,
@@ -400,6 +439,12 @@ romio::CollectiveStats StagingArea::wb_flush_collective(
   return stats;
 }
 
+// --- ChunkSource ---
+
+ChunkSource::~ChunkSource() = default;
+void ChunkSource::prepare(std::uint64_t /*lo*/, std::uint64_t /*hi*/) {}
+void ChunkSource::retire(std::uint64_t /*lo*/, std::uint64_t /*hi*/) {}
+
 // --- StagedReader ---
 
 StagedReader::StagedReader(StagingArea& area, pfs::Pfs& fs, pfs::FileId file,
@@ -560,9 +605,9 @@ StagedReader::Chunk StagedReader::take() {
   ChunkCache::Entry* e =
       f.stale ? nullptr
               : area_->cache_.insert(f.key, std::move(f.buf),
-                                     std::move(f.extents), st);
+                                     std::move(f.extents), st,
+                                     area_->tenant_);
   if (e != nullptr) {
-    e->owner = area_->tenant_;
     area_->cache_.pin(*e);
     held_entry_ = e;
     out.data = std::span<std::byte>(e->bytes);
@@ -582,6 +627,11 @@ StagedReader::Chunk StagedReader::take() {
   }
   area_->sample_occupancy();
   return out;
+}
+
+std::unique_ptr<ChunkSource> StagedReader::aux() {
+  return std::make_unique<StagedReader>(*area_, *fs_, file_, sieve_gap_,
+                                        chaos_);
 }
 
 void StagedReader::release() {

@@ -40,6 +40,7 @@
 #include "romio/collective.hpp"
 #include "romio/plan.hpp"
 #include "romio/request.hpp"
+#include "util/assert.hpp"
 
 namespace colcom::fault {
 class Injector;
@@ -85,6 +86,11 @@ struct StageStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Evictions forced by per-tenant quota enforcement: an inserting tenant
+  /// over its configured share sheds its own LRU entries first, so a
+  /// scan-heavy tenant can never push another tenant's warm chunks out
+  /// (docs/SERVICE.md).
+  std::uint64_t quota_evictions = 0;
   std::uint64_t invalidations = 0;   ///< entries dropped by invalidate()
   std::uint64_t hit_bytes = 0;       ///< bytes served from the cache
   std::uint64_t read_bytes = 0;      ///< bytes pulled from the PFS
@@ -139,12 +145,23 @@ class ChunkCache {
   /// Lookup; bumps the LRU clock. Doomed entries never match.
   Entry* find(const ChunkKey& k);
 
-  /// Inserts a filled entry (unpinned), evicting unpinned LRU entries until
-  /// the budget holds. Replaces an existing unpinned entry under the same
-  /// key; returns nullptr if the key is held by a pinned entry (the caller
-  /// serves its transient buffer instead).
+  /// Inserts a filled entry (unpinned, owned by `owner`), evicting unpinned
+  /// LRU entries until the budget holds — the owner's own over-quota entries
+  /// first when a quota is configured. Replaces an existing unpinned entry
+  /// under the same key; returns nullptr if the key is held by a pinned
+  /// entry (the caller serves its transient buffer instead).
   Entry* insert(ChunkKey k, std::vector<std::byte> bytes,
-                std::vector<pfs::ByteExtent> extents, StageStats& stats);
+                std::vector<pfs::ByteExtent> extents, StageStats& stats,
+                int owner = 0);
+
+  /// Caps `tenant`'s live bytes at `bytes` (0 removes the cap). An insert
+  /// that would push the tenant past its cap evicts the tenant's own
+  /// unpinned LRU entries first (counted as quota_evictions); tenants
+  /// without a cap share the remaining capacity as before.
+  void set_quota(int tenant, std::uint64_t bytes);
+
+  /// Live (non-doomed) bytes of entries populated by `tenant`.
+  std::uint64_t tenant_bytes(int tenant) const;
 
   void pin(Entry& e) { ++e.pins; }
   /// Unpins; erases the entry if doomed, and trims back under budget.
@@ -176,13 +193,15 @@ class ChunkCache {
 
  private:
   /// Evicts unpinned LRU entries until occupancy + incoming fits the
-  /// budget (or only pinned entries remain).
-  void evict_to_fit(std::uint64_t incoming, StageStats& stats);
+  /// budget (or only pinned entries remain). `owner` is the inserting
+  /// tenant: when it has a quota, its own over-quota entries go first.
+  void evict_to_fit(std::uint64_t incoming, StageStats& stats, int owner);
 
   std::uint64_t capacity_;
   std::uint64_t bytes_ = 0;
   std::uint64_t lru_seq_ = 0;
   std::map<ChunkKey, std::unique_ptr<Entry>> map_;
+  std::map<int, std::uint64_t> quota_;  ///< tenant -> live-byte cap
 };
 
 /// One rank's staging area: the chunk cache plus the write-behind state.
@@ -208,6 +227,26 @@ class StagingArea {
   /// different tenant counts as a cross-query hit.
   void set_tenant(int tenant) { tenant_ = tenant; }
   int tenant() const { return tenant_; }
+
+  /// Caps `tenant`'s share of the chunk cache (see ChunkCache::set_quota);
+  /// colcom::svc derives the caps from ServiceConfig::tenant_weights.
+  void set_tenant_quota(int tenant, std::uint64_t bytes) {
+    cache_.set_quota(tenant, bytes);
+  }
+
+  // --- streaming pub/sub accounting (colcom::stream) ---
+  //
+  // Published step buffers live in the stream topics, not the chunk cache,
+  // but they occupy the same burst buffer; the topics account their pinned
+  // bytes here so occupancy tooling and the zero-leak end-state invariant
+  // (stream_pinned_bytes() == 0 after quiesce) see one number.
+
+  void stream_pin(std::uint64_t bytes) { stream_pinned_bytes_ += bytes; }
+  void stream_unpin(std::uint64_t bytes) {
+    COLCOM_EXPECT(stream_pinned_bytes_ >= bytes);
+    stream_pinned_bytes_ -= bytes;
+  }
+  std::uint64_t stream_pinned_bytes() const { return stream_pinned_bytes_; }
 
   /// Cached bytes of `file` resident in this rank's chunk cache — the
   /// placement score of staging-aware aggregator selection
@@ -286,6 +325,9 @@ class StagingArea {
   StageStats stats_;
   ChunkCache cache_;
   int tenant_ = 0;
+  /// Stream-published step bytes currently pinned in the burst buffer
+  /// (colcom::stream topics; released at step retirement).
+  std::uint64_t stream_pinned_bytes_ = 0;
   /// Bytes of speculative fetches currently in flight across this area's
   /// readers (readahead budget accounting).
   std::uint64_t spec_inflight_bytes_ = 0;
@@ -300,17 +342,68 @@ class StagingArea {
   std::vector<StagedReader*> readers_;  ///< live readers (invalidation hook)
 };
 
+/// One acquired chunk, however it was sourced (cache, PFS, or stream).
+struct SourceChunk {
+  /// Window-addressed chunk bytes; mutable so chunk verification can
+  /// repair corrupted extents in place (the repaired copy stays cached).
+  /// Valid until release().
+  std::span<std::byte> data;
+  std::span<const pfs::ByteExtent> extents;  ///< ranges actually read
+  double service_s = 0;          ///< PFS service time (0 on a hit)
+  std::uint64_t bytes_read = 0;  ///< bytes pulled from the PFS
+  std::uint64_t fallbacks = 0;   ///< extent-level independent recoveries
+  bool hit = false;
+};
+
+/// The chunk-source seam of the collective-computing runtime: anything that
+/// can serve window-addressed chunk bytes behind the begin/take/release
+/// pipeline — the staged PFS reader below, or a stream::Reader fed by an
+/// in-transit producer (src/stream/). The runtime's map/shuffle/reduce path
+/// is source-agnostic, so results are bit-identical across sources that
+/// serve the same bytes.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource();
+
+  /// Starts acquiring `chunk` over the union of `dreqs`. `speculative`
+  /// marks prefetches (best effort; failures degrade at take()). Returns
+  /// false — with nothing begun — when the source refuses to deepen its
+  /// pipeline; the caller retries on demand when the chunk's turn comes.
+  virtual bool begin(pfs::ByteExtent chunk,
+                     const std::vector<romio::FlatRequest>& dreqs,
+                     bool speculative) = 0;
+
+  /// Completes the oldest begun fetch. The previous take must have been
+  /// released.
+  virtual SourceChunk take() = 0;
+
+  /// Releases the bytes of the last take (unpins / frees the buffer).
+  virtual void release() = 0;
+
+  /// A fresh source over the same backing data, for recovery side-channels
+  /// (a survivor absorbing a dead aggregator's domain reads through an
+  /// auxiliary source so the primary pipeline's order is untouched).
+  virtual std::unique_ptr<ChunkSource> aux() = 0;
+
+  /// Window hooks for sources with producer-side state: [lo, hi) is the
+  /// file-byte span the next run will consume. prepare() may block until
+  /// the span is available (all ranks call it together); retire() signals
+  /// the span was fully consumed. No-ops for PFS-backed sources.
+  virtual void prepare(std::uint64_t lo, std::uint64_t hi);
+  virtual void retire(std::uint64_t lo, std::uint64_t hi);
+};
+
 /// The prefetch pipeline over one file: begin() starts acquiring a chunk
 /// (cache probe, else an async demand read through romio::ChunkReader);
 /// take() completes the oldest begun fetch and pins its bytes until
 /// release(). Multiple begins may be outstanding — that is the overlap.
-class StagedReader {
+class StagedReader : public ChunkSource {
  public:
   StagedReader(StagingArea& area, pfs::Pfs& fs, pfs::FileId file,
                std::uint64_t sieve_gap, fault::Injector* chaos);
   /// Unpins held entries; speculative fetches never taken count as
   /// prefetch_wasted.
-  ~StagedReader();
+  ~StagedReader() override;
 
   StagedReader(const StagedReader&) = delete;
   StagedReader& operator=(const StagedReader&) = delete;
@@ -323,26 +416,20 @@ class StagedReader {
   /// the readahead budget; the caller retries it as a demand read when the
   /// chunk's turn comes (StageStats::readahead_denied).
   bool begin(pfs::ByteExtent chunk,
-             const std::vector<romio::FlatRequest>& dreqs, bool speculative);
+             const std::vector<romio::FlatRequest>& dreqs,
+             bool speculative) override;
 
-  struct Chunk {
-    /// Window-addressed chunk bytes; mutable so chunk verification can
-    /// repair corrupted extents in place (the repaired copy stays cached).
-    /// Valid until release().
-    std::span<std::byte> data;
-    std::span<const pfs::ByteExtent> extents;  ///< ranges actually read
-    double service_s = 0;          ///< PFS service time (0 on a hit)
-    std::uint64_t bytes_read = 0;  ///< bytes pulled from the PFS
-    std::uint64_t fallbacks = 0;   ///< extent-level independent recoveries
-    bool hit = false;
-  };
+  using Chunk = SourceChunk;
 
   /// Completes the oldest begun fetch. The previous take must have been
   /// released.
-  Chunk take();
+  Chunk take() override;
 
   /// Releases the bytes of the last take (unpins / frees the buffer).
-  void release();
+  void release() override;
+
+  /// A sibling reader over the same area and file (absorb side-channel).
+  std::unique_ptr<ChunkSource> aux() override;
 
  private:
   friend class StagingArea;

@@ -1,0 +1,325 @@
+// colcom::stream — in-transit streaming analysis: a virtual-time
+// publish/subscribe data plane coupling a simulation producer to the
+// collective analysis ranks without the file barrier (cf. Poeschel et al.,
+// "Transitioning from file-based HPC workflows to streaming data pipelines
+// with openPMD and ADIOS2").
+//
+// One Topic carries one variable of one dataset, addressed in *file byte
+// coordinates*: a published step slab occupies exactly the byte range the
+// variable's timestep occupies in the ncio file, so a stream::Reader can
+// serve the identical extents a StagedReader would read from the PFS — the
+// map/shuffle/reduce path above the chunk-source seam is unchanged, and the
+// analysis bits are memcmp-identical between file-based and streaming runs.
+//
+// Data plane: producer ranks publish() their owned slab rows per step; the
+// bytes are copied into the step buffer at burst-buffer bandwidth
+// (stage::StageConfig::bb_bw class handoff, never the PFS) and accounted as
+// stream pins on the publishing rank's StagingArea. A step is complete when
+// its slab is fully covered; completion is monotonic in step order because
+// each producer publishes its steps in order.
+//
+// Flow control is explicit and deterministic: a producer publishing step s
+// blocks (DES fiber block/wake, the des/sync.hpp idiom) while
+// s >= retired_steps + window — back-pressure counted as
+// stream.backpressure_stalls plus stalled virtual seconds. Consumers retire
+// a step once every live subscriber consumed it; retirement frees the step
+// buffer, releases the stream pins and wakes stalled producers.
+//
+// Faults: a producer crash point (fault::Phase::stream_publish) fails the
+// stream from its first incomplete step — consumers blocked in prepare()
+// get a structured fault::Error{Layer::stream, Kind::producer_failed}
+// instead of a hang, while already-complete steps still serve (colcom::svc
+// turns the error into a failed-with-reason job). A consumer rank death
+// unwinds its Reader, whose destructor unsubscribes and recomputes the
+// retirement floor, so the producer re-targets the survivors. Published
+// extents carry CHK-IO epoch markers in a per-(topic, step) context: dirty
+// at publish, sealed (flushed) at step completion, checked at every
+// consumer copy. See docs/STREAMING.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "pfs/extent.hpp"
+#include "pfs/pfs.hpp"
+#include "romio/request.hpp"
+#include "stage/stage.hpp"
+
+namespace colcom::stream {
+
+/// Knobs of one stream engine (shared by its topics).
+struct StreamConfig {
+  /// Bounded window of in-flight steps: a producer publishing step s stalls
+  /// while s >= retired steps + window. Must be >= 1 (window 1 serializes
+  /// producer and consumer step by step; larger windows overlap them).
+  int window = 2;
+  /// Handoff bandwidth for published bytes (burst-buffer class). A
+  /// publishing rank with a StagingArea attached is charged at that area's
+  /// bb_bw instead, so file-based staging and streaming price the same
+  /// buffer identically.
+  double bb_bw = 12e9;
+  /// CHK-IO context namespace: topic t's step s carries context
+  /// check_ctx_base + t * kCtxStride + (s % kCtxStride), disjoint from the
+  /// staging areas' contexts (which are small integers).
+  int check_ctx_base = 1 << 16;
+};
+
+/// Counters of one topic (Engine::stats() aggregates over topics), mirrored
+/// into stream.* trace metrics when a tracer is installed.
+struct StreamStats {
+  std::uint64_t steps_published = 0;  ///< steps fully covered (completions)
+  std::uint64_t bytes_published = 0;  ///< bytes handed off by producers
+  std::uint64_t steps_retired = 0;    ///< steps freed after full consumption
+  std::uint64_t backpressure_stalls = 0;  ///< publishes that had to wait
+  double stall_s = 0;                 ///< virtual seconds producers stalled
+  std::uint64_t steps_failed = 0;     ///< pending steps failed by a death
+};
+
+/// Where one streamed variable lives in file byte coordinates. For an ncio
+/// variable with dims (nt, ...), base is VarInfo::file_offset, step_bytes
+/// is byte_size() / nt and n_steps is nt — stream addresses and file
+/// addresses coincide, which is what makes the two sources bit-equivalent.
+struct TopicLayout {
+  pfs::FileId file;
+  std::uint64_t base = 0;
+  std::uint64_t step_bytes = 0;
+  std::uint64_t n_steps = 0;
+  /// Producers expected to register over the topic's lifetime (0 = unknown).
+  /// Producer registration is not synchronized: a fast rank can stream every
+  /// step and close before a slow rank has even constructed its writer, and
+  /// without this count the topic would mistake "all registered so far
+  /// closed" for end-of-stream and fail the incomplete steps. A producer of
+  /// a world-wide writer sets this to the world size.
+  int producers = 0;
+};
+
+class Reader;
+
+/// One (variable, step-sequence) channel: step buffers, the completion and
+/// retirement state machine, and the producer/consumer wait queues.
+class Topic {
+ public:
+  Topic(std::string name, TopicLayout layout, const StreamConfig& cfg,
+        int check_ctx);
+
+  Topic(const Topic&) = delete;
+  Topic& operator=(const Topic&) = delete;
+
+  const std::string& name() const { return name_; }
+  const TopicLayout& layout() const { return layout_; }
+  const StreamStats& stats() const { return stats_; }
+
+  /// First never-retired step (steps below are freed).
+  std::uint64_t retired_steps() const { return retired_upto_; }
+  /// Step the stream failed from (layout().n_steps when healthy or cleanly
+  /// closed: every step either completed or will never be awaited).
+  std::uint64_t failed_from() const { return failed_from_; }
+  bool failed() const { return failed_from_ < layout_.n_steps; }
+  /// Bytes currently held in unretired step buffers — the zero-leak
+  /// end-state invariant checks this reaches 0 after retirement/teardown.
+  std::uint64_t resident_bytes() const;
+
+  // --- producer side (via stream::Producer) ---
+
+  void add_producer() { ++producers_; }
+  /// A producer finished cleanly. When the last one closes, steps that can
+  /// no longer complete are failed so late consumers error instead of hang.
+  void producer_closed(mpi::Comm& comm);
+  /// Publishes `bytes` at `step_offset` inside `step`'s slab: blocks under
+  /// back-pressure, copies at handoff bandwidth, pins the bytes on `area`
+  /// (when given) until retirement, marks the CHK-IO epoch, and wakes
+  /// consumers when the step completes. Throws
+  /// fault::Error{producer_failed} if the stream already failed.
+  /// `takeover = true` is the rank-death re-target path: a survivor
+  /// publishing a dead rank's rows silently skips ranges the dead rank
+  /// already covered (partial overlaps still abort — only a full cover is
+  /// a benign duplicate).
+  void publish(mpi::Comm& comm, std::uint64_t step, std::uint64_t step_offset,
+               std::span<const std::byte> bytes, stage::StagingArea* area,
+               bool takeover = false);
+  /// True when [offset, offset + length) of `step`'s slab is already fully
+  /// covered by contributions (retired and complete steps count as
+  /// covered). Survivors use this to decide which of a dead rank's rows
+  /// still need re-targeted publishes.
+  bool covered(std::uint64_t step, std::uint64_t offset,
+               std::uint64_t length) const;
+  /// Fails every incomplete step (producer death): pending and future
+  /// awaits throw fault::Error{producer_failed}; complete steps still
+  /// serve. Idempotent; wakes every waiter.
+  void fail(mpi::Comm& comm);
+  /// Rank death: the rank's StagingArea is being torn down with its
+  /// process, so unpin and forget every pin the rank holds — later
+  /// retirement of its contributions must never touch the destroyed area.
+  void release_rank_pins(int rank);
+
+  // --- consumer side (via stream::Reader) ---
+
+  void subscribe(Reader* r);
+  /// Drops `r` from the retirement quorum and re-settles the floor — the
+  /// consumer-death path (Reader's destructor runs on fiber unwind).
+  void unsubscribe(Reader* r);
+  /// Blocks until every step overlapping file bytes [lo, hi) is complete;
+  /// throws fault::Error{producer_failed} for steps at/after failed_from().
+  void await(mpi::Comm& comm, std::uint64_t lo, std::uint64_t hi);
+  /// Copies file-addressed bytes [off, off + dst.size()) out of complete
+  /// step buffers (CHK-IO read markers; contract error if not complete).
+  void copy(mpi::Comm& comm, std::uint64_t off, std::span<std::byte> dst);
+  /// `r` fully consumed file bytes below `hi`; retires steps every live
+  /// subscriber consumed, freeing buffers and waking stalled producers.
+  void consumed(mpi::Comm& comm, Reader* r, std::uint64_t hi);
+
+ private:
+  friend class Reader;
+
+  struct Contribution {
+    int rank = -1;
+    std::uint64_t offset = 0;  ///< within the step slab
+    std::uint64_t length = 0;
+    stage::StagingArea* area = nullptr;  ///< pin accounting, may be null
+  };
+  struct Step {
+    std::vector<std::byte> buf;
+    std::uint64_t filled = 0;
+    bool complete = false;
+    std::vector<Contribution> contribs;
+  };
+
+  std::uint64_t step_of(std::uint64_t file_off) const {
+    return (file_off - layout_.base) / layout_.step_bytes;
+  }
+  int ctx_of(std::uint64_t step) const;
+  /// First step at/after retired_upto_ that is not complete (n_steps when
+  /// everything published). Completion is monotonic in step order.
+  std::uint64_t first_incomplete() const;
+  void advance_retirement(mpi::Comm* comm);
+  void wake_all(std::deque<int>& waiters);
+
+  std::string name_;
+  TopicLayout layout_;
+  const StreamConfig* cfg_;
+  int check_ctx_;
+  StreamStats stats_;
+  des::Engine* des_ = nullptr;  ///< bound on first use (any comm call)
+  std::map<std::uint64_t, Step> steps_;
+  std::uint64_t retired_upto_ = 0;
+  std::uint64_t failed_from_;
+  int producers_ = 0;
+  int closed_producers_ = 0;
+  std::vector<Reader*> subscribers_;
+  std::deque<int> producer_waiters_;
+  std::deque<int> consumer_waiters_;
+};
+
+/// The per-world topic registry. Construct at host scope (next to the
+/// per-rank result vectors), capture by reference inside the rank fibers:
+/// the registry is passive shared state of the DES, all blocking runs
+/// through the calling rank's engine.
+class Engine {
+ public:
+  explicit Engine(StreamConfig cfg = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const StreamConfig& config() const { return cfg_; }
+
+  /// Create-or-get: the first call with a name creates the topic from
+  /// `layout`; later calls must pass an identical layout.
+  Topic& topic(const std::string& name, const TopicLayout& layout);
+  Topic* find(const std::string& name);
+
+  /// Aggregated counters over every topic.
+  StreamStats stats() const;
+  /// Unretired step-buffer bytes over every topic (zero after quiesce).
+  std::uint64_t resident_bytes() const;
+
+ private:
+  StreamConfig cfg_;
+  std::vector<std::pair<std::string, std::unique_ptr<Topic>>> topics_;
+};
+
+/// One producing rank's handle on a topic. publish() hands off the rank's
+/// owned rows of one step; close() ends the stream cleanly. Destruction
+/// without close() — or a fault::Phase::stream_publish crash point — is a
+/// producer death: the topic fails from its first incomplete step.
+class Producer {
+ public:
+  Producer(Topic& topic, mpi::Comm& comm, stage::StagingArea* area = nullptr);
+  ~Producer();
+
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+
+  /// Publishes `bytes` at `step_offset` inside `step`'s slab. Checks the
+  /// stream_publish crash point first: a scheduled producer death fails the
+  /// topic and throws fault::Error{producer_failed} — the simulation died,
+  /// the analysis ranks live on and see the structured error. `takeover`
+  /// marks a re-targeted publish of a dead rank's rows (see
+  /// Topic::publish).
+  void publish(std::uint64_t step, std::uint64_t step_offset,
+               std::span<const std::byte> bytes, bool takeover = false);
+  void close();
+
+  Topic& topic() { return *topic_; }
+
+ private:
+  Topic* topic_;
+  mpi::Comm* comm_;
+  stage::StagingArea* area_;
+  int entries_ = 0;  ///< stream_publish crash-point entry counter
+  bool closed_ = false;
+};
+
+/// The consumer-side chunk source: plugs into the runtime's chunk-source
+/// seam (core::RunOptions::source) so the collective-computing path reads
+/// published step bytes exactly where it would read PFS bytes. prepare()
+/// blocks until the window's steps are complete (every rank calls it
+/// together, so a producer death surfaces on all ranks before any
+/// collective); retire() reports full consumption for step retirement.
+class Reader : public stage::ChunkSource {
+ public:
+  /// `sieve_gap` must match the analysis hints so the served extent unions
+  /// are identical to the file-based run's. `subscribing = false` builds a
+  /// recovery side-channel reader that never holds up retirement (aux()).
+  Reader(Topic& topic, mpi::Comm& comm, std::uint64_t sieve_gap = 0,
+         bool subscribing = true);
+  ~Reader() override;
+
+  bool begin(pfs::ByteExtent chunk,
+             const std::vector<romio::FlatRequest>& dreqs,
+             bool speculative) override;
+  stage::SourceChunk take() override;
+  void release() override;
+  std::unique_ptr<stage::ChunkSource> aux() override;
+  void prepare(std::uint64_t lo, std::uint64_t hi) override;
+  void retire(std::uint64_t lo, std::uint64_t hi) override;
+
+  /// First step this subscriber has not yet fully consumed.
+  std::uint64_t watermark() const { return watermark_; }
+
+ private:
+  friend class Topic;
+
+  struct Fetch {
+    pfs::ByteExtent chunk;
+    std::vector<pfs::ByteExtent> extents;
+  };
+
+  Topic* topic_;
+  mpi::Comm* comm_;
+  std::uint64_t sieve_gap_;
+  bool subscribing_;
+  std::uint64_t watermark_ = 0;
+  std::deque<Fetch> inflight_;
+  std::vector<std::byte> held_buf_;
+  std::vector<pfs::ByteExtent> held_extents_;
+  bool holding_ = false;
+};
+
+}  // namespace colcom::stream

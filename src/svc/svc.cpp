@@ -54,6 +54,7 @@ constexpr std::uint64_t kOutcomeFailed = 1;        ///< some rank failed
 constexpr std::uint64_t kOutcomeNonRetryable = 2;  ///< ... fatally
 constexpr std::uint64_t kOutcomeRootDead = 4;      ///< root_failed verdict
 constexpr std::uint64_t kOutcomeUnrecoverable = 8; ///< unrecoverable verdict
+constexpr std::uint64_t kOutcomeProducerDead = 16; ///< stream producer died
 
 std::uint64_t to_nanos(double s) {
   return static_cast<std::uint64_t>(s * 1e9);
@@ -109,6 +110,7 @@ const char* to_string(FailReason r) {
     case FailReason::infeasible: return "infeasible";
     case FailReason::root_failed: return "root_failed";
     case FailReason::unrecoverable: return "unrecoverable";
+    case FailReason::producer_failed: return "producer_failed";
   }
   return "?";
 }
@@ -121,6 +123,21 @@ ServiceContext::ServiceContext(mpi::Comm& comm, ServiceConfig cfg)
   COLCOM_EXPECT(cfg_.backoff_base_s >= 0 && cfg_.backoff_factor >= 1);
   COLCOM_EXPECT(cfg_.max_queue >= 0);
   staging_ = std::make_unique<stage::StagingArea>(comm, cfg_.stage);
+  if (!cfg_.tenant_weights.empty()) {
+    // Weighted cache partitioning: tenant k's quota is its share of the
+    // capacity by weight. Weights are replicated config, so every rank
+    // derives identical quotas.
+    std::uint64_t total = 0;
+    for (const auto& [tenant, w] : cfg_.tenant_weights) {
+      COLCOM_EXPECT(w >= 1);
+      total += static_cast<std::uint64_t>(w);
+    }
+    for (const auto& [tenant, w] : cfg_.tenant_weights) {
+      staging_->set_tenant_quota(
+          tenant, cfg_.stage.capacity_bytes *
+                      static_cast<std::uint64_t>(w) / total);
+    }
+  }
 }
 
 ServiceContext::~ServiceContext() = default;
@@ -172,6 +189,34 @@ JobId ServiceContext::submit(JobSpec spec) {
     ++stats_.submitted;
     bump_metric("svc.jobs_submitted");
     return id;
+  }
+
+  if (recovery_active()) {
+    // A process death during submit's collective plan exchange must end as
+    // a structured outcome, never a hang: the crash point kills the doomed
+    // rank *before* any collective, and one agreement replicates the death
+    // registry so every survivor takes the same branch. build_plan's
+    // offset-list exchange is not death-aware — with a dead member the
+    // survivors would fail at scattered points (or wait on sends nobody
+    // posts), so a submit that finds any member dead fails the job
+    // structurally on every rank instead of entering the exchange.
+    mpi::ft::crash_point(*comm_, fault::Phase::submit);
+    std::vector<std::uint64_t> m(1, 0);
+    const mpi::ft::Verdict v = mpi::ft::agree(*comm_, m, epoch_cursor_++);
+    bool any_dead = false;
+    for (int r = 0; r < comm_->size(); ++r) {
+      if (v.dead_bit(r)) any_dead = true;
+    }
+    if (any_dead) {
+      j->spec = std::move(spec);
+      const JobId id = j->id;
+      fail_job(*j, FailReason::unrecoverable);
+      jobs_.push_back(std::move(j));
+      ++stats_.submitted;
+      bump_metric("svc.jobs_submitted");
+      audit_decision(comm_->rank(), "svc.submit_dead", {{"job", id}});
+      return id;
+    }
   }
 
   // Build the job's plan now (collective): scheduling and overlap-affinity
@@ -459,6 +504,7 @@ void ServiceContext::run_slice(Job& j) {
   staging_->set_tenant(j.spec.tenant);
   core::RunOptions ropt;
   ropt.staging = staging_.get();
+  ropt.source = j.spec.source;
   ropt.begin_iter = j.next_iter;
   const int upto = std::min(j.next_iter + cfg_.slice_iters, j.plan.n_iters);
   ropt.end_iter = upto;
@@ -506,6 +552,12 @@ void ServiceContext::run_slice(Job& j) {
           why = FailReason::unrecoverable;
           retryable = false;
           break;
+        case fault::Kind::producer_failed:
+          // The in-transit producer died: its unpublished steps are gone
+          // for good, so no resubmit can ever finish this job.
+          why = FailReason::producer_failed;
+          retryable = false;
+          break;
         default:
           // slice_aborted (and any other recoverable fault): resubmit.
           break;
@@ -523,6 +575,7 @@ void ServiceContext::run_slice(Job& j) {
       if (!retryable) m[0] |= kOutcomeNonRetryable;
       if (why == FailReason::root_failed) m[0] |= kOutcomeRootDead;
       if (why == FailReason::unrecoverable) m[0] |= kOutcomeUnrecoverable;
+      if (why == FailReason::producer_failed) m[0] |= kOutcomeProducerDead;
     }
     m[1 + static_cast<std::size_t>(comm_->rank())] = to_nanos(comm_->wtime());
     const mpi::ft::Verdict v = mpi::ft::agree(*comm_, m, outcome_epoch);
@@ -542,6 +595,8 @@ void ServiceContext::run_slice(Job& j) {
         why = FailReason::root_failed;
       } else if ((v.mask[0] & kOutcomeUnrecoverable) != 0) {
         why = FailReason::unrecoverable;
+      } else if ((v.mask[0] & kOutcomeProducerDead) != 0) {
+        why = FailReason::producer_failed;
       }
       j.mid = j.mid_backup;
       handle_slice_failure(j, why, retryable);

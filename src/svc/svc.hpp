@@ -95,6 +95,14 @@ struct ServiceConfig {
   bool overlap_affinity = true;
   /// Config of the shared per-rank staging area every job runs over.
   stage::StageConfig stage;
+  /// Weighted per-tenant cache partitioning: tenant -> relative weight.
+  /// Non-empty maps give tenant k a quota of stage.capacity_bytes *
+  /// w_k / sum(w) — an inserting tenant over its share evicts its *own*
+  /// LRU entries first (stage.quota_evictions), so a scan-heavy tenant
+  /// cannot flush another tenant's warm chunks. Tenants absent from the
+  /// map are unquota'd (bounded only by total capacity). Identical on
+  /// every rank.
+  std::map<int, int> tenant_weights;
 
   // --- robustness policy (svc::Recovery) ---
   /// Default per-job resubmit budget: how many failed slice attempts may
@@ -142,6 +150,12 @@ struct JobSpec {
   double deadline_s = 0;
   /// Per-job retry-budget override; < 0 uses ServiceConfig::max_retries.
   int max_retries = -1;
+
+  /// In-transit input (src/stream/): non-null routes every slice's chunk
+  /// reads through this source instead of the PFS/staging paths
+  /// (core::RunOptions::source). The source must stay valid for the job's
+  /// lifetime; a producer death surfaces as FailReason::producer_failed.
+  stage::ChunkSource* source = nullptr;
 };
 
 enum class JobState : std::uint8_t {
@@ -165,6 +179,7 @@ enum class FailReason : std::uint8_t {
   infeasible,    ///< shed at admission: deadline unreachable by estimate
   root_failed,   ///< the reduction root's process died (not retryable)
   unrecoverable, ///< no survivor set can finish the plan (not retryable)
+  producer_failed, ///< the streaming producer died mid-job (not retryable)
 };
 
 const char* to_string(FailReason r);

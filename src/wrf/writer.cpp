@@ -1,0 +1,181 @@
+#include "wrf/writer.hpp"
+
+#include <cstring>
+
+#include "fault/fault.hpp"
+#include "util/assert.hpp"
+
+namespace colcom::wrf {
+
+Band writer_band(const HurricaneConfig& cfg, int index, int nprocs) {
+  COLCOM_EXPECT(nprocs >= 1 && index >= 0 && index < nprocs);
+  const std::uint64_t n = static_cast<std::uint64_t>(nprocs);
+  const std::uint64_t i = static_cast<std::uint64_t>(index);
+  const std::uint64_t base = cfg.ny / n;
+  const std::uint64_t extra = cfg.ny % n;
+  Band b;
+  b.y0 = i * base + std::min(i, extra);
+  b.rows = base + (i < extra ? 1 : 0);
+  return b;
+}
+
+void fill_band(const HurricaneConfig& cfg, int var, std::uint64_t t,
+               const Band& band, std::span<float> out) {
+  COLCOM_EXPECT(var >= 0 && var < 4);
+  COLCOM_EXPECT(out.size() >= band.rows * cfg.nx);
+  std::size_t i = 0;
+  for (std::uint64_t y = band.y0; y < band.y0 + band.rows; ++y) {
+    for (std::uint64_t x = 0; x < cfg.nx; ++x, ++i) {
+      double v = 0;
+      switch (var) {
+        case 0: v = slp_at(cfg, t, y, x); break;
+        case 1: v = u10_at(cfg, t, y, x); break;
+        case 2: v = v10_at(cfg, t, y, x); break;
+        default: v = wind_speed_at(cfg, t, y, x); break;
+      }
+      out[i] = static_cast<float>(v);
+    }
+  }
+}
+
+ncio::Dataset make_hurricane_sink(pfs::Pfs& fs, const std::string& name,
+                                  const HurricaneConfig& cfg) {
+  COLCOM_EXPECT(cfg.nt >= 1 && cfg.ny >= 2 && cfg.nx >= 2);
+  ncio::DatasetBuilder b(fs, name);
+  const std::vector<std::uint64_t> dims{cfg.nt, cfg.ny, cfg.nx};
+  for (const char* v : kHurricaneVars) {
+    b.add_var(v, mpi::Prim::f32, dims);
+  }
+  return b.finish();
+}
+
+// --- FileWriter ---
+
+FileWriter::FileWriter(mpi::Comm& comm, const ncio::Dataset& ds,
+                       HurricaneConfig cfg)
+    : comm_(&comm), ds_(&ds), cfg_(cfg) {
+  for (std::size_t v = 0; v < kHurricaneVars.size(); ++v) {
+    vars_[v] = ds.var(kHurricaneVars[v]);
+    COLCOM_EXPECT_MSG(vars_[v].valid(), "sink dataset lacks a field");
+  }
+}
+
+void FileWriter::write_step(std::uint64_t t) {
+  const Band b = writer_band(cfg_, comm_->rank(), comm_->size());
+  buf_.resize(static_cast<std::size_t>(b.rows * cfg_.nx));
+  const std::uint64_t start[3] = {t, b.y0, 0};
+  const std::uint64_t count[3] = {1, b.rows, cfg_.nx};
+  for (int v = 0; v < 4; ++v) {
+    fill_band(cfg_, v, t, b, buf_);
+    ds_->put_vara_all<float>(*comm_, vars_[static_cast<std::size_t>(v)],
+                             start, count, buf_);
+  }
+}
+
+// --- StreamWriter ---
+
+StreamWriter::StreamWriter(stream::Engine& se, mpi::Comm& comm,
+                           const ncio::Dataset& ds,
+                           const std::string& topic_prefix,
+                           HurricaneConfig cfg, stage::StagingArea* area)
+    : comm_(&comm), cfg_(cfg) {
+  for (std::size_t v = 0; v < kHurricaneVars.size(); ++v) {
+    const ncio::VarId id = ds.var(kHurricaneVars[v]);
+    COLCOM_EXPECT_MSG(id.valid(), "sink dataset lacks a field");
+    const ncio::VarInfo& info = ds.info(id);
+    COLCOM_EXPECT(info.dims.size() == 3 && info.dims[0] == cfg_.nt);
+    stream::TopicLayout lay;
+    lay.file = ds.file();
+    lay.base = info.file_offset;
+    lay.step_bytes = info.byte_size() / cfg_.nt;
+    lay.n_steps = cfg_.nt;
+    // Every rank of the world runs a StreamWriter: end-of-stream must wait
+    // for all of them, even ones that have not registered yet (a rank can
+    // lag behind inside a prior I/O collective's flush).
+    lay.producers = comm.size();
+    stream::Topic& topic =
+        se.topic(topic_prefix + "/" + kHurricaneVars[v], lay);
+    producers_[v] = std::make_unique<stream::Producer>(topic, comm, area);
+  }
+}
+
+void StreamWriter::write_step(std::uint64_t t) {
+  const int me = comm_->rank();
+  const int n = comm_->size();
+  // The re-target protocol: besides its own band, this rank takes over the
+  // band of every dead rank whose next alive successor (cyclic scan
+  // upward) is this rank. The fields are closed-form, so any survivor can
+  // re-derive a dead rank's rows. Takeovers backfill every *unretired*
+  // step up to t, not just t itself — the dead rank may have stopped
+  // several steps behind the survivors, and a step it never covered would
+  // otherwise stay incomplete forever. covered() skips ranges the dead
+  // rank (or another survivor) already published, so backfills are cheap
+  // and idempotent. This scan runs before the own-band publish (which may
+  // block under back-pressure): retirement can always advance past the
+  // backfilled steps, so blocked producers eventually resume and re-scan.
+  for (int d = 0; d < n; ++d) {
+    if (comm_->alive(d)) continue;
+    int succ = -1;
+    for (int k = 1; k <= n; ++k) {
+      const int c = (d + k) % n;
+      if (comm_->alive(c)) {
+        succ = c;
+        break;
+      }
+    }
+    if (succ != me) continue;
+    const Band b = writer_band(cfg_, d, n);
+    if (b.rows == 0) continue;
+    buf_.resize(static_cast<std::size_t>(b.rows * cfg_.nx));
+    const std::uint64_t off = b.y0 * cfg_.nx * sizeof(float);
+    const std::uint64_t len = b.rows * cfg_.nx * sizeof(float);
+    for (int v = 0; v < 4; ++v) {
+      stream::Producer& p = *producers_[static_cast<std::size_t>(v)];
+      for (std::uint64_t s = p.topic().retired_steps(); s <= t; ++s) {
+        if (p.topic().covered(s, off, len)) continue;
+        fill_band(cfg_, v, s, b, buf_);
+        p.publish(s, off, std::as_bytes(std::span<const float>(buf_)),
+                  /*takeover=*/true);
+      }
+    }
+  }
+  const Band b = writer_band(cfg_, me, n);
+  if (b.rows == 0) return;
+  buf_.resize(static_cast<std::size_t>(b.rows * cfg_.nx));
+  const std::uint64_t off = b.y0 * cfg_.nx * sizeof(float);
+  for (int v = 0; v < 4; ++v) {
+    fill_band(cfg_, v, t, b, buf_);
+    producers_[static_cast<std::size_t>(v)]->publish(
+        t, off, std::as_bytes(std::span<const float>(buf_)));
+  }
+}
+
+void StreamWriter::close() {
+  for (auto& p : producers_) p->close();
+}
+
+bool StreamWriter::run(double step_interval_s) {
+  try {
+    for (std::uint64_t t = 0; t < cfg_.nt; ++t) {
+      if (step_interval_s > 0) comm_->compute(step_interval_s);
+      write_step(t);
+    }
+    close();
+    return true;
+  } catch (const fault::Error&) {
+    // stream_publish crash point: the producer is gone. The crashing
+    // publish already failed its own topic; the simulation is one process,
+    // so its other fields die with it — fail them now (idempotent) rather
+    // than at destruction, or their consumers would block until then.
+    for (auto& p : producers_) p->topic().fail(*comm_);
+    return false;
+  } catch (const mpi::RankStop&) {
+    // The rank's process died (consumer-death scenario): the Producer
+    // destructors deregistered quietly and the survivors re-target this
+    // rank's rows. Absorb the unwind — only Runtime::run's rank wrapper
+    // absorbs RankStop, and this is a spawned helper fiber.
+    return false;
+  }
+}
+
+}  // namespace colcom::wrf

@@ -1,0 +1,99 @@
+// The WRF producer half: writes the hurricane fields step by step, either
+// through the PFS (the classic file barrier: simulate, write, analyze) or
+// through colcom::stream topics (in-transit: the analysis consumes each
+// step's bytes while the simulation keeps running).
+//
+// Both paths produce their bytes with the same fill_band() arithmetic, so a
+// streaming analysis is memcmp-bit-identical to a file-based one — the
+// in-transit coupling changes the schedule, never the data.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ncio/dataset.hpp"
+#include "stream/stream.hpp"
+#include "wrf/hurricane.hpp"
+
+namespace colcom::wrf {
+
+/// The four fields every step emits, in variable order.
+inline constexpr std::array<const char*, 4> kHurricaneVars = {"SLP", "U10",
+                                                              "V10", "W10"};
+
+/// Row-band domain decomposition of the (ny, nx) grid over `nprocs`
+/// writers: writer `index` owns rows [y0, y0 + rows).
+struct Band {
+  std::uint64_t y0 = 0;
+  std::uint64_t rows = 0;
+};
+Band writer_band(const HurricaneConfig& cfg, int index, int nprocs);
+
+/// Fills `out` (band.rows * cfg.nx floats) with variable `var` (index into
+/// kHurricaneVars) of step t over the band's rows. The single arithmetic
+/// both write paths share: file writes and stream publishes alike hand off
+/// exactly these bytes, which is what makes the two runs bit-identical.
+void fill_band(const HurricaneConfig& cfg, int var, std::uint64_t t,
+               const Band& band, std::span<float> out);
+
+/// Builds the writable (memory-backed, zero-initialized) twin of
+/// make_hurricane_dataset: same variables, dims and file layout. A
+/// FileWriter fills it step by step; a stream-mode run uses it for layout
+/// only (slab requests, plans) while the bytes travel through the stream.
+ncio::Dataset make_hurricane_sink(pfs::Pfs& fs, const std::string& name,
+                                  const HurricaneConfig& cfg);
+
+/// File-based producer: each step is a collective put_vara_all of every
+/// variable's band rows — the PFS round-trip the stream removes. All ranks
+/// call write_step collectively for the same t.
+class FileWriter {
+ public:
+  FileWriter(mpi::Comm& comm, const ncio::Dataset& ds, HurricaneConfig cfg);
+
+  void write_step(std::uint64_t t);
+
+ private:
+  mpi::Comm* comm_;
+  const ncio::Dataset* ds_;
+  HurricaneConfig cfg_;
+  std::array<ncio::VarId, 4> vars_;
+  std::vector<float> buf_;
+};
+
+/// Stream-based producer half of one rank: per-variable Producers over
+/// topics named "<prefix>/<var>" whose layouts mirror the sink dataset, so
+/// stream byte addresses and file byte addresses coincide. Run it from a
+/// spawned helper fiber (mpi::Comm::spawn_thread) so the simulation
+/// overlaps the analysis on the same rank.
+class StreamWriter {
+ public:
+  StreamWriter(stream::Engine& se, mpi::Comm& comm, const ncio::Dataset& ds,
+               const std::string& topic_prefix, HurricaneConfig cfg,
+               stage::StagingArea* area = nullptr);
+
+  /// Publishes this rank's rows of step t for every variable — plus any
+  /// dead rank's rows deterministically re-targeted to this rank (takeover
+  /// publishes skip ranges the dead rank already covered).
+  void write_step(std::uint64_t t);
+  void close();
+
+  /// The whole producer loop: charge step_interval_s of simulation per
+  /// step, publish it, close at the end. Returns false when the producer
+  /// died at a stream_publish crash point (the topics are already failed —
+  /// every consumer sees the structured error) or when this rank's process
+  /// died (RankStop is absorbed: survivors re-target this rank's rows).
+  bool run(double step_interval_s = 0);
+
+  stream::Topic& topic(int var) { return producers_[var]->topic(); }
+
+ private:
+  mpi::Comm* comm_;
+  HurricaneConfig cfg_;
+  std::array<std::unique_ptr<stream::Producer>, 4> producers_;
+  std::vector<float> buf_;
+};
+
+}  // namespace colcom::wrf

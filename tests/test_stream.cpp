@@ -1,0 +1,497 @@
+// colcom::stream tests — in-transit streaming analysis: the WRF producer
+// couples to the analysis ranks through stream topics instead of the file
+// barrier. The contract under test: streaming results are memcmp
+// bit-identical to file-based results for both paper kernels (min SLP, max
+// W10 wind), back-pressure stalls and resumes cleanly, step retirement
+// releases every staged byte (zero leaked extents), a producer crash
+// surfaces as a structured fault::Error{producer_failed} (and a
+// failed-with-reason job through colcom::svc), and a consumer rank death
+// recovers bit-identically while the surviving producers re-target the
+// dead rank's rows. CI sweeps COLCOM_CHAOS_SEED and COLCOM_CHECK=1 over
+// this suite (see scripts/ci.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/iterative.hpp"
+#include "core/object_io.hpp"
+#include "core/runtime.hpp"
+#include "des/completion.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault.hpp"
+#include "mpi/runtime.hpp"
+#include "ncio/dataset.hpp"
+#include "stage/stage.hpp"
+#include "stream/stream.hpp"
+#include "svc/svc.hpp"
+#include "wrf/hurricane.hpp"
+#include "wrf/writer.hpp"
+
+namespace colcom {
+namespace {
+
+constexpr int kProcs = 6;
+
+/// CI sweeps several seeds: COLCOM_CHAOS_SEED overrides the default.
+std::uint64_t chaos_seed() {
+  if (const char* s = std::getenv("COLCOM_CHAOS_SEED")) {
+    return std::strtoull(s, nullptr, 0);
+  }
+  return 0x57e4a;
+}
+
+mpi::MachineConfig small_machine() {
+  mpi::MachineConfig cfg;
+  cfg.cores_per_node = 4;
+  cfg.pfs.n_osts = 4;
+  cfg.pfs.stripe_size = 8192;
+  return cfg;
+}
+
+wrf::HurricaneConfig tiny_storm() {
+  wrf::HurricaneConfig cfg;
+  cfg.nt = 6;
+  cfg.ny = 48;
+  cfg.nx = 48;
+  return cfg;
+}
+
+/// Per-rank per-step analysis object: a contiguous y band, one timestep per
+/// window (count[0] = 1), so each IterativeComputer step consumes exactly
+/// one stream step — the streaming overlap pattern. cb_buffer 4096 gives
+/// every aggregator at least one chunk per step (a 48x48 f32 slab is 9216
+/// bytes), so mid-step crash points have somewhere to fire.
+core::ObjectIO step_object(const ncio::Dataset& ds, const char* var,
+                           mpi::Op op, int rank, int nprocs) {
+  const auto& info = ds.info(ds.var(var));
+  const std::uint64_t ny = info.dims[1];
+  const auto n = static_cast<std::uint64_t>(nprocs);
+  const auto r = static_cast<std::uint64_t>(rank);
+  const std::uint64_t base = ny / n;
+  const std::uint64_t extra = ny % n;
+  core::ObjectIO io;
+  io.var = ds.var(var);
+  io.start = {0, r * base + std::min(r, extra), 0};
+  io.count = {1, base + (r < extra ? 1 : 0), info.dims[2]};
+  io.op = std::move(op);
+  io.hints.cb_buffer_size = 4096;
+  io.compute.seconds_per_byte = 1.0 / 2.0e9;
+  return io;
+}
+
+float serial_min_slp(const wrf::HurricaneConfig& cfg) {
+  float best = 1e30f;
+  for (std::uint64_t t = 0; t < cfg.nt; ++t) {
+    for (std::uint64_t y = 0; y < cfg.ny; ++y) {
+      for (std::uint64_t x = 0; x < cfg.nx; ++x) {
+        best = std::min(best, static_cast<float>(slp_at(cfg, t, y, x)));
+      }
+    }
+  }
+  return best;
+}
+
+float serial_max_wind(const wrf::HurricaneConfig& cfg) {
+  float best = -1e30f;
+  for (std::uint64_t t = 0; t < cfg.nt; ++t) {
+    for (std::uint64_t y = 0; y < cfg.ny; ++y) {
+      for (std::uint64_t x = 0; x < cfg.nx; ++x) {
+        best = std::max(best,
+                        static_cast<float>(wind_speed_at(cfg, t, y, x)));
+      }
+    }
+  }
+  return best;
+}
+
+struct ModeRun {
+  float slp = 0;   ///< rank-0 cross-step min of SLP
+  float wind = 0;  ///< rank-0 cross-step max of W10
+  std::vector<char> finished;
+  std::vector<int> err_kind;  ///< fault::Kind caught per rank, -1 = none
+  std::vector<char> prod_ok;
+  std::vector<std::uint64_t> pinned;  ///< leftover stream pins per rank
+  stream::StreamStats stats;
+  std::uint64_t resident = 0;
+  std::uint64_t slp_retired = 0;
+  fault::FaultStats faults;
+};
+
+/// The file-barrier baseline: write every step through the PFS, then run
+/// the identical per-step analysis over the written file.
+ModeRun file_run(const wrf::HurricaneConfig& cfg) {
+  mpi::Runtime rt(small_machine(), kProcs);
+  auto sink = wrf::make_hurricane_sink(rt.fs(), "wrf_file.nc", cfg);
+  ModeRun res;
+  res.finished.assign(kProcs, 0);
+  rt.run([&](mpi::Comm& c) {
+    wrf::FileWriter fw(c, sink, cfg);
+    for (std::uint64_t t = 0; t < cfg.nt; ++t) fw.write_step(t);
+    auto slp_io =
+        step_object(sink, "SLP", mpi::Op::min(), c.rank(), c.size());
+    auto w10_io =
+        step_object(sink, "W10", mpi::Op::max(), c.rank(), c.size());
+    core::IterativeComputer slp_it(c, sink, slp_io);
+    core::IterativeComputer w10_it(c, sink, w10_io);
+    for (std::uint64_t t = 0; t < cfg.nt; ++t) {
+      core::CcOutput o1, o2;
+      slp_it.step(t, o1);
+      w10_it.step(t, o2);
+      if (o1.has_global) {
+        res.slp = t == 0 ? o1.global_as<float>()
+                         : std::min(res.slp, o1.global_as<float>());
+      }
+      if (o2.has_global) {
+        res.wind = t == 0 ? o2.global_as<float>()
+                          : std::max(res.wind, o2.global_as<float>());
+      }
+    }
+    res.finished[static_cast<std::size_t>(c.rank())] = 1;
+  });
+  return res;
+}
+
+struct StreamParams {
+  int window = 2;
+  double interval = 1e-4;  ///< producer seconds of simulation per step
+  double scan_spb = 0;     ///< consumer seconds per byte (0 = default)
+  std::vector<fault::CrashPoint> crashes;
+};
+
+/// The in-transit run: a producer fiber per rank streams the steps while
+/// the same per-step analysis consumes them through stream::Readers.
+ModeRun stream_run(const wrf::HurricaneConfig& cfg, const StreamParams& p) {
+  mpi::Runtime rt(small_machine(), kProcs);
+  if (!p.crashes.empty()) {
+    fault::ChaosConfig cc;
+    cc.seed = chaos_seed();
+    fault::ChaosSchedule sched(cc, rt.n_nodes(), kProcs, 8);
+    for (const auto& cp : p.crashes) sched.add_crash_point(cp);
+    rt.install_chaos(std::move(sched));
+  }
+  auto sink = wrf::make_hurricane_sink(rt.fs(), "wrf_stream.nc", cfg);
+  stream::StreamConfig scfg;
+  scfg.window = p.window;
+  stream::Engine se(scfg);
+  ModeRun res;
+  res.finished.assign(kProcs, 0);
+  res.err_kind.assign(kProcs, -1);
+  res.prod_ok.assign(kProcs, 0);
+  res.pinned.assign(kProcs, 0);
+  bool first = true;
+  // Host-scope areas: retirement of the last step is quorum-driven (it
+  // unpins only when the final subscriber retires), so the end-state pin
+  // counters are only settled once rt.run() returns.
+  std::vector<std::unique_ptr<stage::StagingArea>> areas(kProcs);
+  rt.run([&](mpi::Comm& c) {
+    const auto i = static_cast<std::size_t>(c.rank());
+    // Declaration order is the teardown contract (see docs/STREAMING.md):
+    // the area outlives the StreamWriter (producer destructors scrub its
+    // pins), the producer fiber is joined before either destructs, and the
+    // readers unsubscribe before the join — in this order even when a rank
+    // death unwinds the stack mid-run.
+    areas[i] = std::make_unique<stage::StagingArea>(c, stage::StageConfig{});
+    wrf::StreamWriter sw(se, c, sink, "wrf", cfg, areas[i].get());
+    bool ok = false;
+    des::Completion done =
+        c.spawn_thread("wrf_producer", [&] { ok = sw.run(p.interval); });
+    struct Join {
+      const des::Completion* d;
+      ~Join() { d->wait(); }
+    } join{&done};
+    {
+      auto slp_io =
+          step_object(sink, "SLP", mpi::Op::min(), c.rank(), c.size());
+      auto w10_io =
+          step_object(sink, "W10", mpi::Op::max(), c.rank(), c.size());
+      if (p.scan_spb > 0) {
+        slp_io.compute.seconds_per_byte = p.scan_spb;
+        w10_io.compute.seconds_per_byte = p.scan_spb;
+      }
+      stream::Reader slp_rd(sw.topic(0), c, slp_io.hints.sieve_gap);
+      stream::Reader w10_rd(sw.topic(3), c, w10_io.hints.sieve_gap);
+      core::IterativeComputer slp_it(c, sink, slp_io);
+      core::IterativeComputer w10_it(c, sink, w10_io);
+      slp_it.attach_source(&slp_rd);
+      w10_it.attach_source(&w10_rd);
+      try {
+        for (std::uint64_t t = 0; t < cfg.nt; ++t) {
+          core::CcOutput o1, o2;
+          slp_it.step(t, o1);
+          w10_it.step(t, o2);
+          if (o1.has_global) {
+            res.slp = first ? o1.global_as<float>()
+                            : std::min(res.slp, o1.global_as<float>());
+            res.wind = first ? o2.global_as<float>()
+                             : std::max(res.wind, o2.global_as<float>());
+            first = false;
+          }
+        }
+        res.finished[i] = 1;
+      } catch (const fault::Error& e) {
+        res.err_kind[i] = static_cast<int>(e.kind());
+      }
+    }
+    done.wait();
+    res.prod_ok[i] = ok ? 1 : 0;
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    res.pinned[i] =
+        areas[i] != nullptr ? areas[i]->stream_pinned_bytes() : 0;
+  }
+  res.stats = se.stats();
+  res.resident = se.resident_bytes();
+  if (stream::Topic* t = se.find("wrf/SLP"); t != nullptr) {
+    res.slp_retired = t->stats().steps_retired;
+  }
+  if (rt.chaos() != nullptr) res.faults = rt.chaos()->stats();
+  return res;
+}
+
+bool bit_equal(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+TEST(Stream, BitIdenticalToFileForBothKernels) {
+  const auto cfg = tiny_storm();
+  const ModeRun file = file_run(cfg);
+  StreamParams p;
+  p.window = 2;
+  const ModeRun strm = stream_run(cfg, p);
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(strm.finished[static_cast<std::size_t>(r)], 1) << "rank " << r;
+    EXPECT_EQ(strm.prod_ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+  // The paper kernels agree bit for bit with the file-based run and with
+  // the serial closed-form ground truth (min/max are order-independent).
+  EXPECT_TRUE(bit_equal(strm.slp, file.slp));
+  EXPECT_TRUE(bit_equal(strm.wind, file.wind));
+  EXPECT_TRUE(bit_equal(strm.slp, serial_min_slp(cfg)));
+  EXPECT_TRUE(bit_equal(strm.wind, serial_max_wind(cfg)));
+  // Every step of every topic published and retired; nothing resident.
+  EXPECT_EQ(strm.stats.steps_published, 4 * cfg.nt);
+  EXPECT_EQ(strm.stats.steps_retired, 4 * cfg.nt);
+  EXPECT_EQ(strm.slp_retired, cfg.nt);
+  EXPECT_EQ(strm.stats.steps_failed, 0u);
+  EXPECT_EQ(strm.resident, 0u);
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(strm.pinned[static_cast<std::size_t>(r)], 0u) << "rank " << r;
+  }
+  EXPECT_GT(strm.stats.bytes_published, 0u);
+}
+
+TEST(Stream, BackpressureStallsAndResumes) {
+  const auto cfg = tiny_storm();
+  const ModeRun file = file_run(cfg);
+  // Window 1 with an eager producer (no inter-step simulation time) and a
+  // 100x slower analysis: the producer must stall on the window and resume
+  // on every retirement — completing with identical bits.
+  StreamParams p;
+  p.window = 1;
+  p.interval = 0;
+  p.scan_spb = 100.0 / 2.0e9;
+  const ModeRun strm = stream_run(cfg, p);
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(strm.finished[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+  EXPECT_GT(strm.stats.backpressure_stalls, 0u);
+  EXPECT_GT(strm.stats.stall_s, 0.0);
+  EXPECT_TRUE(bit_equal(strm.slp, file.slp));
+  EXPECT_TRUE(bit_equal(strm.wind, file.wind));
+  // Stalling never leaks: the window bound means at most `window` steps of
+  // staged bytes were ever resident, and retirement drained them all.
+  EXPECT_EQ(strm.stats.steps_retired, 4 * cfg.nt);
+  EXPECT_EQ(strm.resident, 0u);
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(strm.pinned[static_cast<std::size_t>(r)], 0u) << "rank " << r;
+  }
+}
+
+TEST(Stream, ProducerCrashFailsStructuredNeverHangs) {
+  const auto cfg = tiny_storm();
+  // Rank 2's producer dies at its 6th publish (step 1, second variable):
+  // every consumer must see fault::Error{producer_failed} — at the same
+  // step boundary on every rank, before any collective — never a hang.
+  StreamParams p;
+  p.window = 2;
+  p.crashes = {{fault::Phase::stream_publish, 2, 6}};
+  const ModeRun strm = stream_run(cfg, p);
+  for (int r = 0; r < kProcs; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    EXPECT_EQ(strm.finished[i], 0) << "rank " << r;
+    EXPECT_EQ(strm.err_kind[i],
+              static_cast<int>(fault::Kind::producer_failed))
+        << "rank " << r;
+    EXPECT_EQ(strm.prod_ok[i], 0) << "rank " << r;
+  }
+  EXPECT_GT(strm.stats.steps_failed, 0u);
+  // Failure frees everything: failed steps are dropped eagerly and the
+  // complete-but-unconsumed prefix retires when the readers unsubscribe.
+  EXPECT_EQ(strm.resident, 0u);
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(strm.pinned[static_cast<std::size_t>(r)], 0u) << "rank " << r;
+  }
+}
+
+TEST(Stream, ConsumerCrashRecoversBitIdentically) {
+  const auto cfg = tiny_storm();
+  const ModeRun file = file_run(cfg);
+  // Aggregator rank 3 dies mid-map (with 6 ranks on 2 nodes the spaced
+  // default picks aggregators {0, 3}): its analysis fiber unwinds (the
+  // reader leaves the retirement quorum), its producer deregisters quietly,
+  // and rank 4 — the cyclic successor — re-targets its rows. The survivors'
+  // result must match the fault-free file run bit for bit.
+  StreamParams p;
+  p.window = 2;
+  p.crashes = {{fault::Phase::mid_map, 3, 2}};
+  const ModeRun strm = stream_run(cfg, p);
+  for (int r = 0; r < kProcs; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    EXPECT_EQ(strm.finished[i], r == 3 ? 0 : 1) << "rank " << r;
+  }
+  EXPECT_EQ(strm.faults.rank_crashes, 1u);
+  EXPECT_TRUE(bit_equal(strm.slp, file.slp));
+  EXPECT_TRUE(bit_equal(strm.wind, file.wind));
+  // The re-targeted stream still drains completely.
+  EXPECT_EQ(strm.resident, 0u);
+  // Survivors drain normally; the dead rank's pins were scrubbed when its
+  // producer deregistered at unwind (Topic::release_rank_pins).
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(strm.pinned[static_cast<std::size_t>(r)], 0u) << "rank " << r;
+  }
+}
+
+// ---------------- streaming jobs through colcom::svc ----------------
+
+/// Whole-domain job io (the svc slice path consumes multiple steps per
+/// slice, so the stream window must cover the full run span — window = nt).
+core::ObjectIO job_object(const ncio::Dataset& ds, const char* var,
+                          mpi::Op op, int rank, int nprocs) {
+  auto io = step_object(ds, var, std::move(op), rank, nprocs);
+  io.count[0] = ds.info(ds.var(var)).dims[0];
+  return io;
+}
+
+TEST(StreamSvc, CleanStreamingJobMatchesFileBasedJob) {
+  const auto cfg = tiny_storm();
+  mpi::Runtime rt(small_machine(), kProcs);
+  auto sink_file = wrf::make_hurricane_sink(rt.fs(), "wrf_file.nc", cfg);
+  auto sink_strm = wrf::make_hurricane_sink(rt.fs(), "wrf_stream.nc", cfg);
+  stream::StreamConfig scfg;
+  scfg.window = static_cast<int>(cfg.nt);  // svc slices span the whole run
+  stream::Engine se(scfg);
+  std::vector<svc::JobState> st(2, svc::JobState::queued);
+  float vs = 0, vf = 0;
+  rt.run([&](mpi::Comm& c) {
+    wrf::FileWriter fw(c, sink_file, cfg);
+    for (std::uint64_t t = 0; t < cfg.nt; ++t) fw.write_step(t);
+    wrf::StreamWriter sw(se, c, sink_strm, "wrf", cfg);
+    bool ok = false;
+    des::Completion done =
+        c.spawn_thread("wrf_producer", [&] { ok = sw.run(1e-4); });
+    struct Join {
+      const des::Completion* d;
+      ~Join() { d->wait(); }
+    } join{&done};
+    {
+      auto strm_io =
+          job_object(sink_strm, "SLP", mpi::Op::min(), c.rank(), c.size());
+      stream::Reader rd(sw.topic(0), c, strm_io.hints.sieve_gap);
+      svc::ServiceContext sc(c, svc::ServiceConfig{});
+      const int dstrm = sc.register_dataset(sink_strm);
+      const int dfile = sc.register_dataset(sink_file);
+      svc::JobSpec a;
+      a.name = "slp-stream";
+      a.dataset = dstrm;
+      a.io = strm_io;
+      a.source = &rd;
+      svc::JobSpec b;
+      b.name = "slp-file";
+      b.dataset = dfile;
+      b.io = job_object(sink_file, "SLP", mpi::Op::min(), c.rank(), c.size());
+      const svc::JobId ia = sc.submit(std::move(a));
+      const svc::JobId ib = sc.submit(std::move(b));
+      sc.run_all();
+      st[0] = sc.state(ia);
+      st[1] = sc.state(ib);
+      if (c.rank() == 0) {
+        if (st[0] == svc::JobState::done) vs = sc.output(ia).global_as<float>();
+        if (st[1] == svc::JobState::done) vf = sc.output(ib).global_as<float>();
+      }
+    }
+    done.wait();
+    EXPECT_TRUE(ok) << "rank " << c.rank();
+  });
+  EXPECT_EQ(st[0], svc::JobState::done);
+  EXPECT_EQ(st[1], svc::JobState::done);
+  EXPECT_TRUE(bit_equal(vs, vf));
+  EXPECT_TRUE(bit_equal(vs, serial_min_slp(cfg)));
+  EXPECT_EQ(se.resident_bytes(), 0u);
+}
+
+TEST(StreamSvc, ProducerDeathEndsJobFailedWithReason) {
+  const auto cfg = tiny_storm();
+  mpi::Runtime rt(small_machine(), kProcs);
+  fault::ChaosConfig cc;
+  cc.seed = chaos_seed();
+  fault::ChaosSchedule sched(cc, rt.n_nodes(), kProcs, 8);
+  sched.add_crash_point({fault::Phase::stream_publish, 3, 6});
+  rt.install_chaos(std::move(sched));
+  auto sink = wrf::make_hurricane_sink(rt.fs(), "wrf_stream.nc", cfg);
+  auto plain = wrf::make_hurricane_sink(rt.fs(), "wrf_plain.nc", cfg);
+  stream::StreamConfig scfg;
+  scfg.window = static_cast<int>(cfg.nt);
+  stream::Engine se(scfg);
+  std::vector<svc::JobState> st(2, svc::JobState::queued);
+  svc::JobResult res_strm;
+  rt.run([&](mpi::Comm& c) {
+    wrf::StreamWriter sw(se, c, sink, "wrf", cfg);
+    bool ok = false;
+    des::Completion done =
+        c.spawn_thread("wrf_producer", [&] { ok = sw.run(1e-4); });
+    struct Join {
+      const des::Completion* d;
+      ~Join() { d->wait(); }
+    } join{&done};
+    {
+      auto strm_io =
+          job_object(sink, "SLP", mpi::Op::min(), c.rank(), c.size());
+      stream::Reader rd(sw.topic(0), c, strm_io.hints.sieve_gap);
+      svc::ServiceContext sc(c, svc::ServiceConfig{});
+      const int dstrm = sc.register_dataset(sink);
+      const int dplain = sc.register_dataset(plain);
+      svc::JobSpec a;
+      a.name = "slp-stream";
+      a.dataset = dstrm;
+      a.io = strm_io;
+      a.source = &rd;
+      svc::JobSpec b;  // a PFS-backed bystander job: the service survives
+      b.name = "w10-file";
+      b.dataset = dplain;
+      b.io = job_object(plain, "W10", mpi::Op::max(), c.rank(), c.size());
+      const svc::JobId ia = sc.submit(std::move(a));
+      const svc::JobId ib = sc.submit(std::move(b));
+      sc.run_all();
+      st[0] = sc.state(ia);
+      st[1] = sc.state(ib);
+      res_strm = sc.result(ia);
+    }
+    done.wait();
+    EXPECT_FALSE(ok) << "rank " << c.rank();
+  });
+  // The streaming job ends failed-with-reason — producer_failed, not
+  // retryable, no hang — while the bystander job completes.
+  EXPECT_EQ(st[0], svc::JobState::failed);
+  EXPECT_TRUE(res_strm.failed);
+  EXPECT_EQ(res_strm.reason, svc::FailReason::producer_failed);
+  EXPECT_EQ(res_strm.retries, 0);
+  EXPECT_EQ(st[1], svc::JobState::done);
+  EXPECT_EQ(se.resident_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace colcom

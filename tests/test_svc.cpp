@@ -312,6 +312,48 @@ TEST(Svc, OverlappingTenantsShareStagedChunks) {
   EXPECT_EQ(dj.sstats.cross_query_hits, 0u);
 }
 
+TEST(Svc, TenantQuotaShieldsWarmTenantFromScanPressure) {
+  svc::ServiceConfig cfg;
+  cfg.policy = svc::Policy::fifo;
+  cfg.max_concurrent = 1;
+  cfg.slice_iters = 2;
+  // A cache two warm working sets wide: the scanner's 64-step sweep is 4x
+  // the capacity, so it cycles the cache; the warm tenant's 8-step slab
+  // fits its half-share with room to spare.
+  cfg.stage.capacity_bytes = 16384;
+  const std::vector<JobDef> jobs = {{Slab{"v", 0, 8}, 0},    // warm stage
+                                    {Slab{"u", 0, 64}, 1},   // adversary scan
+                                    {Slab{"v", 0, 8}, 0}};   // warm re-read
+  const float solo_warm = solo_value(jobs[0].slab);
+  const float solo_scan = solo_value(jobs[1].slab);
+
+  // Unpartitioned baseline: the scan flushes the warm tenant's chunks, so
+  // the re-read goes back to the PFS.
+  const SvcRun open = run_service(cfg, jobs);
+  ASSERT_EQ(open.st[2], svc::JobState::done);
+  EXPECT_EQ(open.sstats.quota_evictions, 0u);
+  EXPECT_GT(open.cc[2].bytes_read, 0u)
+      << "baseline did not generate eviction pressure; shrink the cache";
+
+  // Weighted partitioning: the inserting scanner over its share evicts its
+  // OWN lru entries (quota_evictions), never the warm tenant's.
+  svc::ServiceConfig part = cfg;
+  part.tenant_weights = {{0, 1}, {1, 1}};
+  const SvcRun r = run_service(part, jobs);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(r.st[static_cast<std::size_t>(i)], svc::JobState::done)
+        << "job " << i;
+  }
+  EXPECT_TRUE(bit_equal(r.value[0], solo_warm));
+  EXPECT_TRUE(bit_equal(r.value[1], solo_scan));
+  EXPECT_TRUE(bit_equal(r.value[2], solo_warm));
+  EXPECT_GT(r.sstats.quota_evictions, 0u)
+      << "the scanner never hit its share cap";
+  // The warm tenant's chunks survived the scan: the re-read is all hits.
+  EXPECT_EQ(r.cc[2].bytes_read, 0u);
+  EXPECT_LT(r.cc[2].bytes_read, open.cc[2].bytes_read);
+}
+
 // ---------------- per-job bit-identity vs solo runs ----------------
 
 TEST(Svc, InterleavedJobsAreBitIdenticalToSoloRuns) {
