@@ -26,6 +26,7 @@
 
 #include "bench_common.hpp"
 #include "fault/chaos.hpp"
+#include "integrity/integrity.hpp"
 #include "ncio/dataset.hpp"
 #include "pfs/store.hpp"
 #include "stage/stage.hpp"
@@ -119,6 +120,7 @@ std::vector<SoakJob> make_jobs(int n) {
 
 struct Run {
   std::vector<svc::JobResult> res;
+  integrity::Stats integ;  ///< process-global integrity counters for the run
   std::vector<svc::JobState> st;
   std::vector<float> value;  ///< valid where st == done
   svc::ServiceStats stats;
@@ -131,6 +133,7 @@ struct Run {
 
 Run run_soak(const std::vector<SoakJob>& jobs, int max_queue, bool chaos,
              double role_crash_at) {
+  integrity::reset_stats();
   mpi::Runtime rt(soak_machine(), kProcs);
   if (chaos) {
     fault::ChaosConfig cc;
@@ -140,6 +143,14 @@ Run run_soak(const std::vector<SoakJob>& jobs, int max_queue, bool chaos,
     cc.straggler_duration_s = 0.02;
     cc.svc_abort_tenant = 2;  // one tenant loses a job mid-service
     cc.svc_abort_slice = 2;
+    // The corruption axis: low-rate bit rot on verified cache hits and torn
+    // write-behind flushes, composed with everything above. One recovery
+    // attempt suffices (the PFS / pristine shadow is clean), so every
+    // detection heals bit-identically and the baseline-memcmp check below
+    // doubles as the never-silently-wrong integrity invariant.
+    cc.cache_rot_prob = 0.03;
+    cc.wb_torn_prob = 0.03;
+    cc.corrupt_attempts = 1;
     fault::ChaosSchedule sched(cc, rt.n_nodes(), kProcs, 8);
     // Process deaths first: aggregator rank 4 dies mid-map deep into the
     // soak (the hit count is tuned to land on a job's first iteration), and
@@ -214,6 +225,7 @@ Run run_soak(const std::vector<SoakJob>& jobs, int max_queue, bool chaos,
     res.stats = sc.stats();
   });
   res.elapsed = rt.elapsed();
+  res.integ = integrity::stats();
   if (rt.chaos() != nullptr) res.faults = rt.chaos()->stats();
   for (int r = 0; r < kProcs; ++r) {
     if (seen[static_cast<std::size_t>(r)] == 0) continue;
@@ -241,7 +253,8 @@ void print_json(const char* config, int jobs, const Run& r,
       "\"msgs_dropped\":%llu,\"straggler_hits\":%llu,"
       "\"svc_retries\":%llu,\"svc_failures\":%llu,\"svc_shed\":%llu,"
       "\"leaked_dirty_bytes\":%llu,\"leaked_pins\":%llu,"
-      "\"survivors\":%d}\n",
+      "\"survivors\":%d,\"integ_detected\":%llu,\"integ_recovered\":%llu,"
+      "\"integ_failed\":%llu}\n",
       config, jobs, count(r, svc::JobState::done),
       count(r, svc::JobState::aborted), count(r, svc::JobState::failed),
       count(r, svc::JobState::shed),
@@ -257,7 +270,10 @@ void print_json(const char* config, int jobs, const Run& r,
       static_cast<unsigned long long>(r.faults.svc_failures),
       static_cast<unsigned long long>(r.faults.svc_shed),
       static_cast<unsigned long long>(r.leaked_dirty),
-      static_cast<unsigned long long>(r.leaked_pins), r.survivors);
+      static_cast<unsigned long long>(r.leaked_pins), r.survivors,
+      static_cast<unsigned long long>(r.integ.detected),
+      static_cast<unsigned long long>(r.integ.recovered),
+      static_cast<unsigned long long>(r.integ.failed));
 }
 
 }  // namespace
@@ -390,5 +406,16 @@ int main(int argc, char** argv) {
       "no leaked staged extents on any survivor (dirty=0, pins=0)");
   bench::shape_check(base.stats.recovered == 0 && base.faults.rank_crashes == 0,
                      "the baseline really was fault-free");
+  // --- integrity accounting ---
+  bench::shape_check(
+      soak.integ.detected == soak.integ.recovered + soak.integ.failed,
+      "every corruption detection is accounted (recovered or failed)");
+  bench::shape_check(base.integ.detected == 0,
+                     "the fault-free baseline saw zero corruption");
+  if (full_horizon) {
+    bench::shape_check(
+        soak.integ.detected >= 1 && soak.integ.recovered >= 1,
+        "the corruption axis really fired and healed under the soak");
+  }
   return 0;
 }

@@ -69,7 +69,8 @@ configure_asan() {
 chaos_stage() {
   step "chaos build (fault suites under ASan/UBSan)"
   cmake --build "$BUILD_DIR-asan" -j "$(nproc)" \
-    --target test_fault test_fault_net test_ft test_svc_recovery ext_soak
+    --target test_fault test_fault_net test_ft test_svc_recovery \
+    test_integrity ext_soak
   sanitizer_env
   # COLCOM_CHECK=1: the correctness checker must stay silent across every
   # chaos seed — retransmissions, failovers and replans are not races.
@@ -86,6 +87,12 @@ chaos_stage() {
       "$BUILD_DIR-asan/tests/test_ft"
     COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
       "$BUILD_DIR-asan/tests/test_svc_recovery"
+    # test_integrity plants corruption chaos at every custody layer (cache
+    # rot, torn write-behind, stream payloads, checkpoint generations) and
+    # asserts heal-bit-identical or structured data_corrupt — never a
+    # silently wrong answer — at every seed.
+    COLCOM_CHAOS_SEED="$seed" COLCOM_CHECK=1 timeout "$BUDGET" \
+      "$BUILD_DIR-asan/tests/test_integrity"
   done
   # test_fault is seed-independent (storage faults roll from pfs.fault_seed);
   # one sanitizer pass suffices.
@@ -187,6 +194,15 @@ fi
 step "service suite under COLCOM_CHECK=1 and a chaos seed"
 COLCOM_CHAOS_SEED=7 COLCOM_CHECK=1 timeout "$BUDGET" \
   "$BUILD_DIR/tests/test_svc"
+
+step "integrity bench smoke (ext_integrity shape checks)"
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target ext_integrity
+INTEGRITY_OUT="$(timeout "$BUDGET" "$BUILD_DIR/bench/ext_integrity")"
+echo "$INTEGRITY_OUT"
+if grep -q "shape MISS" <<<"$INTEGRITY_OUT"; then
+  echo "ext_integrity shape check failed" >&2
+  exit 1
+fi
 
 step "streaming bench smoke (ext_streaming shape checks)"
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target ext_streaming

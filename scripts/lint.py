@@ -18,6 +18,12 @@ Rules
                 into a buffer is fine).
   include       headers use #pragma once; no "../" relative includes; every
                 quoted project include must resolve under src/.
+  raw-fnv1a     checksums in simulated code go through integrity::checksum /
+                integrity::Hasher (trace-metered, samplable, combinable), not
+                raw pfs::fnv1a calls — a bare fnv1a bypasses the integrity
+                accounting that the detected == recovered + failed invariant
+                audits. The pfs definition site and the single blessed
+                call in src/integrity/ are exempt.
   raw-tag       internal message tags live in the negative space below -1000
                 and must be spelled as named constexpr constants (kPlanTag,
                 kAgreeTagBase, ...) registered with check::register_tag — a
@@ -63,6 +69,11 @@ RULES = [
 # constexpr constant definition (see the raw-tag rule above).
 RAW_TAG = re.compile(r"(^|[^\w.])-\d{4,}\b")
 CONSTEXPR_DEF = re.compile(r"\bconstexpr\b")
+
+# Raw checksum primitive outside the integrity module (see raw-fnv1a above).
+# The prototype/definition lines carry the return type and are exempt.
+FNV1A_CALL = re.compile(r"\bfnv1a\s*\(")
+FNV1A_DECL = re.compile(r"\bstd::uint64_t\s+fnv1a\s*\(")
 
 LINE_COMMENT = re.compile(r"//.*$")
 STRING = re.compile(r'"(\\.|[^"\\])*"')
@@ -125,6 +136,17 @@ def lint_file(path: Path, src_root: Path, findings: list) -> None:
         for rule, pattern, message in RULES:
             if pattern.search(code) and not waived(raw, rule):
                 findings.append((rel, i, rule, message))
+        if (
+            "integrity" not in rel.parts
+            and FNV1A_CALL.search(code)
+            and not FNV1A_DECL.search(code)
+            and not waived(raw, "raw-fnv1a")
+        ):
+            findings.append(
+                (rel, i, "raw-fnv1a",
+                 "raw fnv1a call outside src/integrity/ (use "
+                 "integrity::checksum / integrity::Hasher)")
+            )
         if (
             RAW_TAG.search(code)
             and not CONSTEXPR_DEF.search(code)

@@ -55,6 +55,8 @@ std::string metric_name(Rule r) {
       return "check.replicated_divergences";
     case Rule::explore:
       return "check.explore_violations";
+    case Rule::payload_sum:
+      return "check.payload_sums";
   }
   return "check.unknown";
 }
@@ -81,6 +83,8 @@ const char* rule_id(Rule r) {
       return "CHK-REP";
     case Rule::explore:
       return "CHK-EXPLORE";
+    case Rule::payload_sum:
+      return "CHK-SUM";
   }
   return "CHK-UNKNOWN";
 }
@@ -228,10 +232,12 @@ void Checker::end_world() {
     tr->metrics()
         .counter("check.collectives_verified")
         .add(collectives_checked_);
+    tr->metrics().counter("check.payloads_verified").add(payloads_checked_);
   }
   sends_tracked_ = 0;
   wildcard_matches_ = 0;
   collectives_checked_ = 0;
+  payloads_checked_ = 0;
   engine_ = nullptr;
   nprocs_ = 0;
 }
@@ -352,6 +358,25 @@ void Checker::verify_send_buffer(const PendingOp& op,
               "touching a pending send's buffer (the transport may still "
               "read it)";
   d.at = engine_ != nullptr ? engine_->now() : 0;
+  report(std::move(d));
+}
+
+void Checker::verify_payload(int src, int dst, int tag,
+                             std::span<const std::byte> payload,
+                             std::uint64_t posted_sum) {
+  if (engine_ == nullptr) return;
+  ++payloads_checked_;
+  if (checksum(payload) == posted_sum) return;
+  Diagnostic d;
+  d.rule = Rule::payload_sum;
+  d.ranks = {dst, src};
+  d.message = "payload of message (src=" + std::to_string(src) +
+              ", dst=" + std::to_string(dst) +
+              ", tag=" + describe_tag(tag) + ", " +
+              format_bytes(payload.size()) +
+              ") does not match the checksum sampled at post time — the "
+              "envelope was corrupted between send and delivery";
+  d.at = engine_->now();
   report(std::move(d));
 }
 

@@ -31,6 +31,12 @@
 //   CHK-EXPLORE  schedule-space violations: findings surfaced by
 //                check::Explorer (explore.hpp) while enumerating event
 //                orders, wrapped with the violating schedule's identity.
+//   CHK-SUM      envelope payload integrity: every delivered message's
+//                payload is compared against the checksum sampled when the
+//                send was posted (the sampled-window FNV of checksum()), so
+//                a shuffle envelope corrupted between post and delivery —
+//                or a matching bug handing the wrong buffer to a receiver —
+//                is caught at the hand-off, before the analysis consumes it.
 //
 // The checker is off unless installed — either through the `CheckSession`
 // RAII type or `install_from_env()` (COLCOM_CHECK=1|strict|report). In
@@ -67,6 +73,7 @@ enum class Rule {
   hint_mismatch,
   replicated_divergence,
   explore,
+  payload_sum,
 };
 
 /// Stable rule identifier ("CHK-RACE", ...) used in messages, metrics and
@@ -193,6 +200,14 @@ class Checker {
   /// value sampled at post time (CHK-BUF).
   void verify_send_buffer(const PendingOp& op, std::span<const std::byte> buf,
                           std::uint64_t posted_sum);
+
+  /// A message is being handed to its receiver: recompute the payload
+  /// checksum and compare with the value sampled when the send was posted
+  /// (CHK-SUM). Runs in the delivery funnel, so eager and rendezvous
+  /// envelopes alike are verified before the receive buffer is filled.
+  void verify_payload(int src, int dst, int tag,
+                      std::span<const std::byte> payload,
+                      std::uint64_t posted_sum);
 
   /// A rank entered a collective (CHK-COLL sequence check).
   void on_collective(int rank, const CollCall& call);
@@ -335,6 +350,7 @@ class Checker {
   std::uint64_t sends_tracked_ = 0;
   std::uint64_t wildcard_matches_ = 0;
   std::uint64_t collectives_checked_ = 0;
+  std::uint64_t payloads_checked_ = 0;
 };
 
 /// RAII install/uninstall, for tests and embedded use:

@@ -2,9 +2,12 @@
 
 #include <cstring>
 #include <span>
+#include <string>
+#include <utility>
 
 #include "check/check.hpp"
 #include "fault/chaos.hpp"
+#include "integrity/integrity.hpp"
 #include "mpi/runtime.hpp"
 #include "stage/stage.hpp"
 #include "util/assert.hpp"
@@ -28,6 +31,66 @@ std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& pos) {
   }
   pos += 8;
   return v;
+}
+
+// Checkpoint slot framing: [payload_len:8][payload][magic:8][seq:8][sum:8].
+// The trailer makes each generation self-verifying; the magic distinguishes
+// a never-written slot (garbage/zeros) from a corrupt one.
+constexpr std::uint64_t kCkptTrailerBytes = 24;
+
+struct CkptSlot {
+  bool present = false;  ///< trailer magic matched (a generation was written)
+  bool intact = false;   ///< payload checksum matched
+  std::uint64_t seq = 0;
+  std::vector<std::byte> payload;
+};
+
+// Reads and parses one generation slot. `inject` arms the ckpt_corrupt_prob
+// chaos roll (layer salt 3, keyed by file/slot offset) which flips the
+// payload *after* the read and *before* verification — the load-time
+// bit-rot the generation chain exists to survive. The probe path passes
+// false so sequence discovery neither injects nor double-counts.
+CkptSlot read_ckpt_slot(mpi::Comm& comm, pfs::FileId file, std::uint64_t off,
+                        bool inject) {
+  pfs::Pfs& fs = comm.runtime().fs();
+  CkptSlot s;
+  const std::uint64_t fsize = fs.file_size(file);
+  if (off + 8 > fsize) return s;
+  check::Checker* chk = check::Checker::current();
+  std::vector<std::byte> head(8);
+  if (chk != nullptr) {
+    chk->on_stage_read(comm.rank(), file.index, off, head.size());
+  }
+  fs.read_async(file, off, head).wait();
+  std::size_t pos = 0;
+  const std::uint64_t len = get_u64(head, pos);
+  if (len == 0 || off + 8 + len + kCkptTrailerBytes > fsize) return s;
+  s.payload.resize(len);
+  std::vector<std::byte> trailer(kCkptTrailerBytes);
+  if (chk != nullptr) {
+    chk->on_stage_read(comm.rank(), file.index, off + 8, len);
+    chk->on_stage_read(comm.rank(), file.index, off + 8 + len,
+                       trailer.size());
+  }
+  fs.read_async(file, off + 8, s.payload).wait();
+  fs.read_async(file, off + 8 + len, trailer).wait();
+  pos = 0;
+  if (get_u64(trailer, pos) != IterativeComputer::kCheckpointMagic) return s;
+  s.present = true;
+  s.seq = get_u64(trailer, pos);
+  const std::uint64_t want = get_u64(trailer, pos);
+  fault::Injector* fi = comm.runtime().chaos();
+  if (inject && fi != nullptr &&
+      fi->schedule().corrupt_extent(3, static_cast<std::uint64_t>(file.index),
+                                    off, 0)) {
+    fault::chaos_flip(s.payload, fi->schedule().config().seed ^
+                                     (static_cast<std::uint64_t>(file.index) *
+                                          0x9e3779b97f4a7c15ull +
+                                      off));
+    fi->note_corruption_injected("ckpt");
+  }
+  s.intact = integrity::checksum(s.payload) == want;
+  return s;
 }
 
 }  // namespace
@@ -202,42 +265,94 @@ CcStats IterativeComputer::step_prefix(std::uint64_t t, int upto,
 }
 
 std::uint64_t IterativeComputer::persist_checkpoint(pfs::FileId file,
-                                                    std::uint64_t offset) {
+                                                    std::uint64_t offset,
+                                                    int n_gens,
+                                                    std::uint64_t slot_stride) {
+  COLCOM_EXPECT(n_gens >= 1);
+  COLCOM_EXPECT_MSG(n_gens == 1 || slot_stride > 0,
+                    "a generation chain needs a slot stride");
+  if (ckpt_seq_ == 0 && n_gens > 1) {
+    // First generational persist of this computer: continue the chain of a
+    // previous incarnation (a restarted rank must not recycle a live
+    // generation number — the newest-intact scan would prefer the stale
+    // image). Probe parses trailers only; no chaos, no integrity counters.
+    for (int g = 0; g < n_gens; ++g) {
+      const CkptSlot s = read_ckpt_slot(
+          *comm_, file, offset + static_cast<std::uint64_t>(g) * slot_stride,
+          /*inject=*/false);
+      if (s.present && s.seq > ckpt_seq_) ckpt_seq_ = s.seq;
+    }
+  }
   const Checkpoint ck = checkpoint();
+  const std::uint64_t seq = ++ckpt_seq_;
+  const std::uint64_t sum = integrity::checksum(ck.bytes);
   std::vector<std::byte> image;
-  image.reserve(8 + ck.bytes.size());
+  image.reserve(8 + ck.bytes.size() + kCkptTrailerBytes);
   put_u64(image, ck.bytes.size());
   image.insert(image.end(), ck.bytes.begin(), ck.bytes.end());
+  put_u64(image, IterativeComputer::kCheckpointMagic);
+  put_u64(image, seq);
+  put_u64(image, sum);
+  const std::uint64_t slot = seq % static_cast<std::uint64_t>(n_gens);
+  COLCOM_EXPECT_MSG(n_gens == 1 || image.size() <= slot_stride,
+                    "checkpoint image exceeds the generation slot stride");
+  const std::uint64_t off = offset + slot * slot_stride;
   if (staging_ != nullptr) {
-    staging_->wb_write(file, offset, image);
+    staging_->wb_write(file, off, image);
   } else {
     pfs::Pfs& fs = comm_->runtime().fs();
-    fs.write_async(file, offset, image).wait();
+    fs.write_async(file, off, image).wait();
   }
   return image.size();
 }
 
 IterativeComputer::Checkpoint IterativeComputer::load_checkpoint(
-    mpi::Comm& comm, pfs::FileId file, std::uint64_t offset) {
-  pfs::Pfs& fs = comm.runtime().fs();
-  // One-shot restore: no staging cache involved, but both reads carry the
-  // CHK-IO marker so a load racing the write-behind drain of
-  // persist_checkpoint is surfaced, not silently reordered.
-  check::Checker* chk = check::Checker::current();
-  std::vector<std::byte> head(8);
-  if (chk != nullptr) {
-    chk->on_stage_read(comm.rank(), file.index, offset, head.size());
+    mpi::Comm& comm, pfs::FileId file, std::uint64_t offset, int n_gens,
+    std::uint64_t slot_stride) {
+  COLCOM_EXPECT(n_gens >= 1);
+  COLCOM_EXPECT_MSG(n_gens == 1 || slot_stride > 0,
+                    "a generation chain needs a slot stride");
+  // One-shot restore: no staging cache involved, but every slot read
+  // carries the CHK-IO marker (inside read_ckpt_slot) so a load racing the
+  // write-behind drain of persist_checkpoint is surfaced, not silently
+  // reordered. Each present slot is verified against its trailer checksum
+  // at this point of use; the newest intact generation wins. One corrupt
+  // load is one detection episode, closed by either the fallback
+  // (recovered) or the structured data_corrupt error (failed).
+  bool detected = false;
+  CkptSlot best;
+  for (int g = 0; g < n_gens; ++g) {
+    CkptSlot s = read_ckpt_slot(
+        comm, file, offset + static_cast<std::uint64_t>(g) * slot_stride,
+        /*inject=*/true);
+    if (!s.present) continue;
+    integrity::note_verified(integrity::Stage::checkpoint);
+    if (!s.intact) {
+      if (!detected) {
+        detected = true;
+        integrity::note_detected(integrity::Stage::checkpoint);
+      }
+      continue;
+    }
+    if (!best.present || s.seq > best.seq) best = std::move(s);
   }
-  fs.read_async(file, offset, head).wait();
-  std::size_t pos = 0;
-  const std::uint64_t len = get_u64(head, pos);
-  Checkpoint ck;
-  ck.bytes.resize(len);
-  if (chk != nullptr) {
-    chk->on_stage_read(comm.rank(), file.index, offset + 8, len);
+  if (best.present && best.intact) {
+    if (detected) {
+      integrity::note_recovered(integrity::Stage::checkpoint,
+                                best.payload.size());
+    }
+    Checkpoint ck;
+    ck.bytes = std::move(best.payload);
+    return ck;
   }
-  fs.read_async(file, offset + 8, ck.bytes).wait();
-  return ck;
+  // No generation verifies (or none was ever written where one is
+  // expected): surface structured, never return silently wrong bytes.
+  if (!detected) integrity::note_detected(integrity::Stage::checkpoint);
+  throw integrity::make_corrupt_error(
+      fault::Layer::core, integrity::Stage::checkpoint,
+      "file " + std::to_string(file.index) + " offset " +
+          std::to_string(offset) + ": no intact generation among " +
+          std::to_string(n_gens));
 }
 
 }  // namespace colcom::core

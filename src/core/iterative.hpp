@@ -81,15 +81,38 @@ class IterativeComputer {
   /// mid-analysis state, so a checkpoint may be taken mid-step.
   Checkpoint checkpoint();
 
+  /// Magic tag opening a checkpoint slot trailer ("CKPKGEN1"). Exposed so
+  /// tests and tools can frame or inspect slot images; a slot whose trailer
+  /// lacks it is treated as never written (absent), not corrupt.
+  static constexpr std::uint64_t kCheckpointMagic = 0x314e45474b504b43ull;
+
   /// Persists checkpoint() through the simulated PFS at (file, offset):
   /// length-prefixed, written via the attached staging area's write-behind
   /// when present (fsync'd by its flush) or a charged direct write
   /// otherwise. Returns bytes written.
-  std::uint64_t persist_checkpoint(pfs::FileId file, std::uint64_t offset);
+  ///
+  /// Every image carries a checksummed trailer {magic, generation sequence,
+  /// payload checksum} (colcom::integrity). With n_gens > 1 the writes form
+  /// a generation chain: image N lands in slot N % n_gens at
+  /// offset + slot * slot_stride, so the newest corrupt generation never
+  /// destroys the last intact one. slot_stride must exceed the largest
+  /// image (payload + 32 framing bytes). The first generational persist of
+  /// a computer probes the existing slots and continues the chain of a
+  /// previous incarnation instead of restarting at generation 1.
+  std::uint64_t persist_checkpoint(pfs::FileId file, std::uint64_t offset,
+                                   int n_gens = 1,
+                                   std::uint64_t slot_stride = 0);
 
-  /// Reads a checkpoint image persisted at (file, offset); charges the I/O.
+  /// Reads the newest *intact* checkpoint generation persisted at
+  /// (file, offset [, n_gens slots spaced slot_stride apart]); charges the
+  /// I/O. Each slot's payload is verified against its trailer checksum at
+  /// the point of use; a corrupt newest generation falls back to the
+  /// newest older generation that still verifies. When no generation
+  /// verifies, throws fault::Error{core, data_corrupt} naming the
+  /// checkpoint custody stage — never returns silently wrong bytes.
   static Checkpoint load_checkpoint(mpi::Comm& comm, pfs::FileId file,
-                                    std::uint64_t offset);
+                                    std::uint64_t offset, int n_gens = 1,
+                                    std::uint64_t slot_stride = 0);
 
   /// Cross-step running reduction over every step's global result.
   const Accumulator& running() const { return running_; }
@@ -112,6 +135,7 @@ class IterativeComputer {
   Accumulator running_;
   double plan_cost_s_ = 0;
   int steps_ = 0;
+  std::uint64_t ckpt_seq_ = 0;  ///< generation counter for persist_checkpoint
   stage::StagingArea* staging_ = nullptr;
   stage::ChunkSource* source_ = nullptr;
 

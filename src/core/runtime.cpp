@@ -11,6 +11,7 @@
 #include "check/check.hpp"
 #include "core/logical.hpp"
 #include "fault/chaos.hpp"
+#include "integrity/integrity.hpp"
 #include "pfs/fault.hpp"
 #include "mpi/ft.hpp"
 #include "mpi/runtime.hpp"
@@ -1098,7 +1099,7 @@ CcStats collective_compute_with_plan(mpi::Comm& comm, const ncio::Dataset& ds,
               pfs::store_checksum(truth, e.offset, e.length);
           comm.overhead(static_cast<double>(e.length) / memcpy_bw);
           int tries = 0;
-          while (pfs::fnv1a(slice) != want) {
+          while (integrity::checksum(slice) != want) {
             COLCOM_EXPECT_MSG(++tries <= obj.verify.max_reread,
                               "chunk verification exceeded max_reread");
             ++stats.verify_rereads;

@@ -18,6 +18,7 @@ const char* to_string(Layer layer) {
     case Layer::romio: return "romio";
     case Layer::core: return "core";
     case Layer::stream: return "stream";
+    case Layer::stage: return "stage";
   }
   return "?";
 }
@@ -35,6 +36,7 @@ const char* to_string(Kind kind) {
     case Kind::root_failed: return "root_failed";
     case Kind::unrecoverable: return "unrecoverable";
     case Kind::producer_failed: return "producer_failed";
+    case Kind::data_corrupt: return "data_corrupt";
   }
   return "?";
 }
@@ -50,6 +52,13 @@ const char* to_string(Phase phase) {
     case Phase::stream_publish: return "stream_publish";
   }
   return "?";
+}
+
+void chaos_flip(std::span<std::byte> span, std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (std::size_t i = 0; i < span.size(); i += 257) {
+    span[i] ^= static_cast<std::byte>(sm.next() | 1);
+  }
 }
 
 ChaosSchedule::ChaosSchedule(const ChaosConfig& cfg, int n_nodes, int nprocs,
@@ -136,6 +145,31 @@ bool ChaosSchedule::drop_transfer(int src_rank, int dst_rank,
                  static_cast<std::uint64_t>(attempt) * 40503ull));
   const double roll = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
   return roll < cfg_.msg_loss_prob;
+}
+
+bool ChaosSchedule::corrupt_extent(int layer_salt, std::uint64_t a,
+                                   std::uint64_t b, int attempt) const {
+  double prob = 0;
+  switch (layer_salt) {
+    case 0: prob = cfg_.cache_rot_prob; break;
+    case 1: prob = cfg_.wb_torn_prob; break;
+    case 2: prob = cfg_.stream_corrupt_prob; break;
+    case 3: prob = cfg_.ckpt_corrupt_prob; break;
+    default: prob = 0; break;
+  }
+  if (prob <= 0) return false;
+  // One roll decides the extent's fate; the attempt index only bounds how
+  // long the corruption persists (FaultyStore-style), so recovery either
+  // converges within `corrupt_attempts` or exhausts its budget — never
+  // flickers between independent rolls.
+  if (attempt >= cfg_.corrupt_attempts) return false;
+  SplitMix64 sm(cfg_.seed ^
+                (a * 0x9e3779b97f4a7c15ull +
+                 b * 0xbf58476d1ce4e5b9ull +
+                 static_cast<std::uint64_t>(layer_salt) * 0x94d049bb133111ebull +
+                 0x2545f4914f6cdd1dull));
+  const double roll = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return roll < prob;
 }
 
 bool ChaosSchedule::crash_at(Phase phase, int rank, int entry_no) const {
@@ -279,6 +313,15 @@ void Injector::note_svc_failure() {
 void Injector::note_svc_shed() {
   ++stats_.svc_shed;
   bump("fault.svc.shed");
+}
+void Injector::note_corruption_injected(const char* layer) {
+  ++stats_.corruptions_injected;
+  bump("fault.corrupt.injected");
+  if (trace::Tracer* tr = trace::Tracer::current()) {
+    tr->metrics()
+        .counter(std::string("fault.corrupt.injected.") + layer)
+        .add(1);
+  }
 }
 
 }  // namespace colcom::fault

@@ -8,7 +8,9 @@
 // `fault.*` metric emission through colcom::trace.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "des/time.hpp"
@@ -68,6 +70,20 @@ struct ChaosConfig {
   /// Off forces the cold re-read path (the A/B for the recovery study).
   bool warm_partials = true;
 
+  /// Silent-data-corruption chaos (colcom::integrity): each staged cache
+  /// hit / write-behind flush / stream contribution serve independently
+  /// rolls against its probability; on a hit the resident bytes are flipped
+  /// *before* the integrity layer verifies them, so detection and bounded
+  /// recovery run under real corruption. `corrupt_attempts` bounds how many
+  /// consecutive recovery attempts per extent are re-corrupted before the
+  /// bytes come back clean (mirrors pfs::FaultyStore); an attempt budget the
+  /// recovery bound cannot beat surfaces as fault::Error{data_corrupt}.
+  double cache_rot_prob = 0;       ///< bit-rot on a ChunkCache verify
+  double wb_torn_prob = 0;         ///< torn write-behind extent at flush
+  double stream_corrupt_prob = 0;  ///< corrupted stream payload at serve
+  double ckpt_corrupt_prob = 0;    ///< corrupted checkpoint generation
+  int corrupt_attempts = 1;        ///< re-corruptions per extent before clean
+
   /// Multi-tenant service chaos (colcom::svc): abort the first job of
   /// tenant `svc_abort_tenant` that is about to run its
   /// `svc_abort_slice`-th scheduler slice (1-based; 0 disables). The abort
@@ -78,7 +94,12 @@ struct ChaosConfig {
 
   bool any() const {
     return msg_loss_prob > 0 || degraded_links > 0 || stragglers > 0 ||
-           aggregator_crashes > 0;
+           aggregator_crashes > 0 || any_corruption();
+  }
+
+  bool any_corruption() const {
+    return cache_rot_prob > 0 || wb_torn_prob > 0 || stream_corrupt_prob > 0 ||
+           ckpt_corrupt_prob > 0;
   }
 };
 
@@ -108,6 +129,12 @@ enum class Phase {
 };
 
 const char* to_string(Phase phase);
+
+/// The shared corruption pattern: XORs a seeded non-zero byte into every
+/// 257th position of `span` (mirrors pfs::FaultyStore, so planted damage
+/// looks the same at every custody layer). Involutory for a fixed seed —
+/// applying it twice restores the original bytes.
+void chaos_flip(std::span<std::byte> span, std::uint64_t seed);
 
 /// Kill `rank` the `hit`-th time (1-based) it enters `phase`.
 struct CrashPoint {
@@ -168,6 +195,19 @@ class ChaosSchedule {
            cfg_.svc_abort_slice == slice_no;
   }
 
+  /// Deterministic corruption roll for one integrity verification, keyed by
+  /// the custody layer (a small salt: 0 cache, 1 write-behind, 2 stream,
+  /// 3 checkpoint), the extent identity (`a`, `b` — e.g. file-id/offset or
+  /// topic/step) and the attempt index. Pure data like drop_transfer: the
+  /// first `corrupt_attempts` attempts that roll under the layer's
+  /// probability corrupt; later attempts of the same extent come back clean
+  /// so bounded recovery can converge (set corrupt_attempts past the
+  /// recovery budget to exercise the data_corrupt failure path).
+  bool corrupt_extent(int layer_salt, std::uint64_t a, std::uint64_t b,
+                      int attempt) const;
+
+  bool has_corruption() const { return cfg_.any_corruption(); }
+
   /// True when `rank`'s `entry_no`-th entry (1-based) into `phase` matches
   /// a registered crash point.
   bool crash_at(Phase phase, int rank, int entry_no) const;
@@ -205,6 +245,7 @@ struct FaultStats {
   std::uint64_t svc_retries = 0;       ///< slices resubmitted from a parked mid
   std::uint64_t svc_failures = 0;      ///< jobs failed with a structured reason
   std::uint64_t svc_shed = 0;          ///< jobs shed at admission control
+  std::uint64_t corruptions_injected = 0;  ///< extents flipped by chaos
 };
 
 /// The mutable face of a schedule: owns the FaultStats and forwards every
@@ -252,6 +293,7 @@ class Injector {
   void note_svc_retry();
   void note_svc_failure();
   void note_svc_shed();
+  void note_corruption_injected(const char* layer);
 
  private:
   void per_rank(const char* base, const char* hist, int rank);

@@ -14,7 +14,7 @@
 namespace colcom::fault {
 
 /// Which layer of the stack detected the fault.
-enum class Layer { des, net, mpi, pfs, romio, core, stream };
+enum class Layer { des, net, mpi, pfs, romio, core, stream, stage };
 
 /// What went wrong.
 enum class Kind {
@@ -29,6 +29,7 @@ enum class Kind {
   root_failed,       ///< the reduction root's process died (not retryable)
   unrecoverable,     ///< no survivor can finish the job (not retryable)
   producer_failed,   ///< the streaming producer died with steps pending
+  data_corrupt,      ///< checksum mismatch survived every recovery budget
 };
 
 const char* to_string(Layer layer);

@@ -1,0 +1,124 @@
+#include "integrity/integrity.hpp"
+
+#include "pfs/fault.hpp"
+#include "trace/trace.hpp"
+#include "util/prng.hpp"
+
+namespace colcom::integrity {
+
+const char* to_string(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::off: return "off";
+    case VerifyMode::sampled: return "sampled";
+    case VerifyMode::always: return "always";
+  }
+  return "?";
+}
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::pfs_read: return "pfs.read";
+    case Stage::cache: return "stage.cache";
+    case Stage::write_behind: return "stage.write_behind";
+    case Stage::stream_payload: return "stream.payload";
+    case Stage::shuffle: return "mpi.shuffle";
+    case Stage::checkpoint: return "core.checkpoint";
+    case Stage::scrub: return "stage.scrub";
+  }
+  return "?";
+}
+
+std::uint64_t checksum(std::span<const std::byte> bytes) {
+  return pfs::fnv1a(bytes);  // lint: allow(raw-fnv1a) the blessed call site
+}
+
+Hasher& Hasher::update(std::span<const std::byte> bytes) {
+  for (const std::byte b : bytes) {
+    h_ ^= static_cast<std::uint64_t>(b);
+    h_ *= 0x100000001b3ull;
+  }
+  return *this;
+}
+
+std::uint64_t combine(std::uint64_t acc, std::uint64_t part,
+                      std::uint64_t len) {
+  // hash_combine-style fold: each input lands on the accumulator through a
+  // position-dependent mix, so order and extent boundaries both matter.
+  acc ^= part + 0x9e3779b97f4a7c15ull + (acc << 6) + (acc >> 2);
+  acc ^= len + 0x9e3779b97f4a7c15ull + (acc << 6) + (acc >> 2);
+  return acc;
+}
+
+bool should_verify(VerifyMode mode, std::uint64_t key) {
+  switch (mode) {
+    case VerifyMode::off: return false;
+    case VerifyMode::always: return true;
+    case VerifyMode::sampled: {
+      // Deterministic 1-in-8 keyed by extent identity: the sampled subset
+      // is the same every run, so sampled-mode runs stay bit-reproducible.
+      SplitMix64 sm(key * 0x9e3779b97f4a7c15ull + 0x1d8e4e27c47d124full);
+      return (sm.next() & 7u) == 0;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+Stats g_stats;
+
+void bump(const char* name, Stage stage, std::uint64_t n = 1) {
+  trace::Tracer* tr = trace::Tracer::current();
+  if (tr == nullptr) return;
+  tr->metrics().counter(name).add(n);
+  tr->metrics()
+      .counter(std::string(name) + "." + to_string(stage))
+      .add(n);
+}
+
+}  // namespace
+
+Stats& stats() { return g_stats; }
+
+void reset_stats() { g_stats = Stats{}; }
+
+void note_verified(Stage stage) {
+  ++g_stats.verified;
+  bump("integrity.verified", stage);
+}
+
+void note_detected(Stage stage) {
+  ++g_stats.detected;
+  bump("integrity.detected", stage);
+}
+
+void note_recovered(Stage stage, std::uint64_t bytes) {
+  ++g_stats.recovered;
+  g_stats.recovered_bytes += bytes;
+  bump("integrity.recovered", stage);
+  if (trace::Tracer* tr = trace::Tracer::current()) {
+    tr->metrics().counter("integrity.recovered_bytes").add(bytes);
+  }
+}
+
+void note_scrub_pass(std::uint64_t extents, std::uint64_t repairs) {
+  ++g_stats.scrub_passes;
+  g_stats.scrub_extents += extents;
+  g_stats.scrub_repairs += repairs;
+  if (trace::Tracer* tr = trace::Tracer::current()) {
+    tr->metrics().counter("integrity.scrub_passes").add(1);
+    tr->metrics().counter("integrity.scrub_extents").add(extents);
+    tr->metrics().counter("integrity.scrub_repairs").add(repairs);
+  }
+}
+
+fault::Error make_corrupt_error(fault::Layer layer, Stage stage,
+                                const std::string& detail) {
+  ++g_stats.failed;
+  bump("integrity.failed", stage);
+  std::string what = to_string(stage);
+  if (!detail.empty()) what += ": " + detail;
+  return fault::Error(layer, fault::Kind::data_corrupt, what);
+}
+
+}  // namespace colcom::integrity

@@ -231,6 +231,12 @@ void World::complete_match(int dst, std::shared_ptr<Msg> msg,
   auto finish = [&eng, dst](Msg& m, PostedRecv& r) {
     COLCOM_EXPECT_MSG(m.payload.size() <= r.dst.size(),
                       "message longer than receive buffer");
+    // CHK-SUM: the envelope is verified at the hand-off, before the receive
+    // buffer is filled — eager and rendezvous deliveries funnel here.
+    if (check::Checker* ck = check::Checker::current();
+        ck != nullptr && m.check_id != 0) {
+      ck->verify_payload(m.src, dst, m.tag, m.payload, m.check_sum);
+    }
     if (!m.payload.empty()) {
       std::memcpy(r.dst.data(), m.payload.data(), m.payload.size());
     }
@@ -378,6 +384,7 @@ Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
     req.state_->check_buf = data;
     req.state_->check_sum = check::checksum(data);
     req.state_->check_armed = true;
+    msg->check_sum = req.state_->check_sum;  // CHK-SUM rides the envelope
   }
   if (!world_->dead.empty() &&
       world_->dead[static_cast<std::size_t>(dst)] != 0) {

@@ -40,6 +40,9 @@ struct Msg {
   std::shared_ptr<des::CompletionSource> send_done;  // rendezvous only
   std::uint64_t trace_flow = 0;  ///< flow-arrow id, 0 when tracing is off
   std::uint64_t check_id = 0;    ///< checker envelope id, 0 when checking off
+  /// Payload checksum sampled at post time (CHK-SUM); travels with the
+  /// envelope because the sender's SendRec is erased at match time.
+  std::uint64_t check_sum = 0;
   /// Set when the chaos retransmit budget ran out: the message is delivered
   /// poisoned so both endpoints observe fault::Error instead of deadlocking.
   bool failed = false;

@@ -40,11 +40,16 @@ std::uint64_t store_checksum(const Store& store, std::uint64_t offset,
 /// Wraps a store; an injected fraction of reads returns corrupted bytes
 /// (deterministic in offset and attempt count). Each location corrupts at
 /// most `corrupt_attempts` times, so retries eventually see good data —
-/// modelling transient in-flight corruption.
+/// modelling transient in-flight corruption. With `write_corrupt_prob > 0`
+/// a fraction of writes lands corrupted *in the store itself* (a torn
+/// write), so verify-on-read paths above (checkpoint trailers, write-behind
+/// re-reads) see persistent damage they must recover around; a rewrite of
+/// the same offset is a fresh attempt and eventually lands clean.
 class FaultyStore final : public Store {
  public:
   FaultyStore(std::unique_ptr<Store> base, double corrupt_prob,
-              std::uint64_t seed = 0xbadc0de, int corrupt_attempts = 1);
+              std::uint64_t seed = 0xbadc0de, int corrupt_attempts = 1,
+              double write_corrupt_prob = 0);
 
   void read(std::uint64_t offset, std::span<std::byte> dst) const override;
   void write(std::uint64_t offset, std::span<const std::byte> src) override;
@@ -54,6 +59,7 @@ class FaultyStore final : public Store {
   const Store& pristine() const override { return *base_; }
 
   std::uint64_t corruptions_served() const { return corruptions_; }
+  std::uint64_t write_corruptions() const { return write_corruptions_; }
 
   /// Offsets currently holding a live attempt counter (bounded by
   /// kMaxTrackedOffsets) — exposed so tests can assert the memory bound.
@@ -66,8 +72,9 @@ class FaultyStore final : public Store {
   static constexpr std::size_t kMaxTrackedOffsets = 4096;
 
  private:
-  /// Deterministic per-(offset,attempt) decision.
-  bool should_corrupt(std::uint64_t offset) const;
+  /// Deterministic per-(key,attempt) decision; reads key by offset, writes
+  /// by offset mixed with a salt so the two fault spaces roll independently.
+  bool should_corrupt(std::uint64_t key, double prob) const;
 
   bool exhausted_contains(std::uint64_t offset) const;
   void exhausted_insert(std::uint64_t offset) const;
@@ -76,6 +83,7 @@ class FaultyStore final : public Store {
   double corrupt_prob_;
   std::uint64_t seed_;
   int corrupt_attempts_;
+  double write_corrupt_prob_;
   // Bounded attempt tracking; mutable: read() is logically const. Live
   // counters are FIFO-evicted at kMaxTrackedOffsets; exhausted offsets move
   // to a fixed-size two-probe bit filter (a false positive only makes a
@@ -84,6 +92,7 @@ class FaultyStore final : public Store {
   mutable std::deque<std::uint64_t> attempt_order_;
   mutable std::vector<std::uint64_t> exhausted_bits_;
   mutable std::uint64_t corruptions_ = 0;
+  std::uint64_t write_corruptions_ = 0;
 };
 
 }  // namespace colcom::pfs

@@ -427,6 +427,105 @@ TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
   return plan;
 }
 
+TwoPhasePlan build_plan_local(const std::vector<FlatRequest>& all_requests,
+                              const std::vector<int>& survivors, int rank,
+                              int n_nodes, const Hints& hints) {
+  COLCOM_EXPECT(hints.cb_buffer_size >= 1);
+  COLCOM_EXPECT(!survivors.empty());
+  TwoPhasePlan plan;
+  plan.cb = hints.cb_buffer_size;
+
+  // The global access range over the survivors' requests (a dead rank's
+  // share of the hyperslab is simply not part of the shrunken-world job).
+  std::int64_t gmin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t gmax = 0;
+  for (int r : survivors) {
+    const FlatRequest& req = all_requests[static_cast<std::size_t>(r)];
+    if (req.empty()) continue;
+    gmin = std::min(gmin, static_cast<std::int64_t>(req.min_offset()));
+    gmax = std::max(gmax, static_cast<std::int64_t>(req.max_offset()));
+  }
+  if (gmin >= gmax) {  // nobody accesses anything
+    plan.gmin = plan.gmax = 0;
+    return plan;
+  }
+  plan.gmin = static_cast<std::uint64_t>(gmin);
+  plan.gmax = static_cast<std::uint64_t>(gmax);
+  if (hints.fd_alignment > 1) {
+    plan.gmin -= plan.gmin % hints.fd_alignment;
+    plan.gmax += (hints.fd_alignment - plan.gmax % hints.fd_alignment) %
+                 hints.fd_alignment;
+    COLCOM_EXPECT_MSG(hints.cb_buffer_size % hints.fd_alignment == 0,
+                      "cb_buffer_size must be a multiple of fd_alignment");
+  }
+
+  // Spaced aggregator selection over the survivor pool — the same math as
+  // build_plan's default placement with `survivors` as the alive pool.
+  const std::vector<int>& pool = survivors;
+  const int npool = static_cast<int>(pool.size());
+  int naggs = hints.cb_nodes > 0 ? std::min(hints.cb_nodes, npool)
+                                 : std::min(n_nodes, npool);
+  naggs = std::max(1, naggs);
+  const int spacing = std::max(1, npool / naggs);
+  for (int a = 0; a < naggs; ++a) {
+    plan.aggregators.push_back(
+        pool[static_cast<std::size_t>(std::min(a * spacing, npool - 1))]);
+  }
+
+  // Even file-domain partitioning (same math as build_plan).
+  const std::uint64_t len = plan.gmax - plan.gmin;
+  std::uint64_t per = (len + static_cast<std::uint64_t>(naggs) - 1) /
+                      static_cast<std::uint64_t>(naggs);
+  if (hints.stripe_aligned_fd && hints.stripe_size > 0) {
+    per = ((per + hints.stripe_size - 1) / hints.stripe_size) *
+          hints.stripe_size;
+  }
+  if (hints.fd_alignment > 1) {
+    per = ((per + hints.fd_alignment - 1) / hints.fd_alignment) *
+          hints.fd_alignment;
+  }
+  per = std::max<std::uint64_t>(per, 1);
+  std::uint64_t max_domain = 0;
+  for (int a = 0; a < naggs; ++a) {
+    const std::uint64_t b =
+        std::min(plan.gmax, plan.gmin + static_cast<std::uint64_t>(a) * per);
+    const std::uint64_t e = std::min(plan.gmax, b + per);
+    plan.fd_begin.push_back(b);
+    plan.fd_end.push_back(e);
+    max_domain = std::max(max_domain, e - b);
+  }
+  plan.n_iters = static_cast<int>((max_domain + plan.cb - 1) / plan.cb);
+
+  // Replicated metadata: survivors' full requests everywhere (dead ranks
+  // stay empty), so later aggregator deaths still recover via replan_local.
+  const int nprocs = static_cast<int>(all_requests.size());
+  plan.all_requests.resize(static_cast<std::size_t>(nprocs));
+  for (int r : survivors) {
+    plan.all_requests[static_cast<std::size_t>(r)] =
+        all_requests[static_cast<std::size_t>(r)];
+  }
+
+  // Local clipping instead of the offset-list exchange: with every
+  // survivor's request in hand, an aggregator's domain_requests is a pure
+  // function of the plan (the replan_local property).
+  const int my_agg = plan.aggregator_index(rank);
+  if (my_agg >= 0) {
+    const auto ia = static_cast<std::size_t>(my_agg);
+    plan.domain_requests.resize(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      std::vector<pfs::ByteExtent> clipped;
+      for (const auto& p : plan.all_requests[static_cast<std::size_t>(r)]
+                               .intersect(plan.fd_begin[ia],
+                                          plan.fd_end[ia])) {
+        clipped.push_back(pfs::ByteExtent{p.file_off, p.len});
+      }
+      plan.domain_requests[static_cast<std::size_t>(r)] =
+          FlatRequest(std::move(clipped));
+    }
+  }
+  return plan;
+}
+
 std::vector<FlatRequest> replan_exchange(mpi::Comm& comm,
                                          const TwoPhasePlan& plan,
                                          int dead_agg,

@@ -106,6 +106,21 @@ struct TwoPhasePlan {
 TwoPhasePlan build_plan(mpi::Comm& comm, const FlatRequest& mine,
                         const Hints& hints, std::uint64_t my_residency = 0);
 
+/// Message-free plan build over replicated access metadata: computes the
+/// plan a healthy build_plan would agree on for a world whose alive members
+/// are exactly `survivors` (ascending world ranks), from every rank's full
+/// request (`all_requests`, indexed by world rank; entries of ranks outside
+/// `survivors` are ignored and treated as empty). Pure local computation —
+/// no collectives, so it is safe to call with dead world members and
+/// produces the identical plan on every survivor. Aggregator candidates
+/// come from `survivors`; staging-aware placement is never consulted (its
+/// residency allgather is a collective). `rank` only selects whether
+/// domain_requests is populated (this caller is an aggregator of the
+/// result); `n_nodes` feeds the default aggregator count.
+TwoPhasePlan build_plan_local(const std::vector<FlatRequest>& all_requests,
+                              const std::vector<int>& survivors, int rank,
+                              int n_nodes, const Hints& hints);
+
 /// Recovery exchange after aggregator `dead_agg` (an index into
 /// plan.aggregators) fails: every rank ships the part of its offset list
 /// falling in the dead aggregator's file domain to every rank in

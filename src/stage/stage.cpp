@@ -12,6 +12,7 @@
 #include "mpi/runtime.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
+#include "util/prng.hpp"
 
 namespace colcom::stage {
 
@@ -37,6 +38,40 @@ des::Completion fallback_write(pfs::Pfs& fs, pfs::FileId file,
 void stage_instant(mpi::Comm& comm, const char* name) {
   if (trace::Tracer* t = trace::Tracer::current(); t != nullptr) {
     t->instant(trace::Track::stage, comm.rank(), "stage", name, comm.wtime());
+  }
+}
+
+// Sampling key of one staged extent (integrity::should_verify).
+std::uint64_t extent_key(int file, std::uint64_t offset) {
+  return static_cast<std::uint64_t>(file) * 0x9e3779b97f4a7c15ull + offset;
+}
+
+// Deterministic corruption pattern shared by every stage-layer injection
+// (mirrors pfs::FaultyStore): flip every 257th byte of `span`.
+void flip_bytes(std::span<std::byte> span, std::uint64_t seed) {
+  fault::chaos_flip(span, seed);
+}
+
+// Window-buffer view of one filled extent of a cache entry.
+std::span<std::byte> entry_extent_span(ChunkCache::Entry& e,
+                                       const pfs::ByteExtent& x) {
+  return std::span<std::byte>(
+      e.bytes.data() + (x.offset - e.key.offset), x.length);
+}
+
+// Bit-rot injection over a resident entry: flips bytes only inside the
+// filled extents (holes were never read and never re-read by recovery).
+void rot_entry(ChunkCache::Entry& e, std::uint64_t seed) {
+  for (const pfs::ByteExtent& x : e.extents) {
+    flip_bytes(entry_extent_span(e, x), seed ^ x.offset);
+  }
+}
+
+// Charges checksum compute at StageConfig::checksum_bw (0 = free).
+void charge_checksum(mpi::Comm& comm, const StageConfig& cfg,
+                     std::uint64_t bytes) {
+  if (cfg.checksum_bw > 0 && bytes > 0) {
+    comm.overhead(static_cast<double>(bytes) / cfg.checksum_bw);
   }
 }
 
@@ -121,6 +156,9 @@ ChunkCache::Entry* ChunkCache::insert(ChunkKey k, std::vector<std::byte> bytes,
   e->extents = std::move(extents);
   e->lru = ++lru_seq_;
   e->owner = owner;
+  // Custody transfer into the burst buffer: attach the checksum every later
+  // hit serve and scrubber pass verifies against.
+  e->sum = integrity::checksum(e->bytes);
   bytes_ += e->bytes.size();
   Entry* raw = e.get();
   map_.emplace(k, std::move(e));
@@ -188,6 +226,83 @@ StagingArea::StagingArea(mpi::Comm& comm, StageConfig cfg)
 StagingArea::~StagingArea() {
   // Staged writes already moved their bytes into the Store at issue time;
   // dropping the completions only forgoes the fsync accounting.
+  stop_scrubber();
+}
+
+std::size_t StagingArea::scrub_once() {
+  std::uint64_t extents = 0;
+  std::uint64_t repairs = 0;
+  auto& fs = comm_->runtime().fs();
+  std::vector<ChunkKey> drop;
+  cache_.for_each_entry([&](ChunkCache::Entry& e) {
+    if (e.doomed || e.bytes.empty()) return;
+    ++extents;
+    charge_checksum(*comm_, cfg_, e.bytes.size());
+    if (integrity::checksum(e.bytes) == e.sum) return;
+    // Resident rot found before any consumer touched it.
+    integrity::note_detected(integrity::Stage::scrub);
+    const pfs::FileId file{e.key.file};
+    bool healed = false;
+    for (int r = 0; r < cfg_.verify_recovery_budget && !healed; ++r) {
+      std::uint64_t n = 0;
+      for (const pfs::ByteExtent& x : e.extents) {
+        fs.read(file, x.offset, entry_extent_span(e, x));
+        n += x.length;
+      }
+      charge_checksum(*comm_, cfg_, e.bytes.size());
+      if (integrity::checksum(e.bytes) == e.sum) {
+        integrity::note_recovered(integrity::Stage::scrub, n);
+        ++repairs;
+        healed = true;
+      }
+    }
+    if (!healed) {
+      // The scrubber is background work: an unrepairable entry is counted
+      // as a structured failure and dropped (a future consumer re-fetches
+      // from the PFS), never thrown across unrelated fibers.
+      (void)integrity::make_corrupt_error(
+          fault::Layer::stage, integrity::Stage::scrub,
+          "file " + std::to_string(e.key.file) + " offset " +
+              std::to_string(e.key.offset));
+      if (e.pins > 0) {
+        e.doomed = true;
+      } else {
+        drop.push_back(e.key);
+      }
+    }
+  });
+  for (const ChunkKey& k : drop) cache_.erase(k);
+  integrity::note_scrub_pass(extents, repairs);
+  if (!drop.empty()) sample_occupancy();
+  return static_cast<std::size_t>(repairs);
+}
+
+void StagingArea::start_scrubber(double period_s, int max_passes) {
+  COLCOM_EXPECT(period_s > 0);
+  stop_scrubber();
+  auto stop = std::make_shared<bool>(false);
+  scrub_stop_ = stop;
+  des::Engine& eng = comm_->engine();
+  const int node = comm_->node();
+  eng.spawn("stage.scrubber", node,
+            [this, stop, period_s, max_passes, &eng] {
+              // The stop flag is checked before every touch of the area, so
+              // a pending wake outliving the area exits without dereferencing
+              // freed state.
+              for (int pass = 0; max_passes <= 0 || pass < max_passes;
+                   ++pass) {
+                eng.sleep_for(period_s);
+                if (*stop) return;
+                scrub_once();
+              }
+            });
+}
+
+void StagingArea::stop_scrubber() {
+  if (scrub_stop_ != nullptr) {
+    *scrub_stop_ = true;
+    scrub_stop_.reset();
+  }
 }
 
 fault::Injector* StagingArea::injector() const {
@@ -253,6 +368,52 @@ des::Completion StagingArea::wb_issue(const pfs::FileId& file,
   }
 }
 
+void StagingArea::wb_verify(WbDirty& d) {
+  if (!integrity::should_verify(cfg_.verify,
+                                extent_key(d.file.index, d.ext.offset))) {
+    return;
+  }
+  integrity::note_verified(integrity::Stage::write_behind);
+  charge_checksum(*comm_, cfg_, d.bytes.size());
+  if (integrity::checksum(d.bytes) == d.sum) {
+    d.pristine.clear();
+    d.pristine.shrink_to_fit();
+    return;
+  }
+  integrity::note_detected(integrity::Stage::write_behind);
+  fault::Injector* fi = injector();
+  const std::uint64_t fseed =
+      (fi != nullptr ? fi->schedule().config().seed : 0) ^
+      extent_key(d.file.index, d.ext.offset);
+  if (!d.pristine.empty()) {
+    for (int r = 0; r < cfg_.verify_recovery_budget; ++r) {
+      // Re-stage from the pristine shadow, charged at bb bandwidth like the
+      // original staging copy.
+      comm_->overhead(static_cast<double>(d.pristine.size()) / cfg_.bb_bw);
+      d.bytes.assign(d.pristine.begin(), d.pristine.end());
+      if (fi != nullptr && fi->schedule().corrupt_extent(
+                               1, static_cast<std::uint64_t>(d.file.index),
+                               d.ext.offset, d.torn_attempts)) {
+        ++d.torn_attempts;
+        flip_bytes(d.bytes, fseed);
+        fi->note_corruption_injected("write_behind");
+      }
+      charge_checksum(*comm_, cfg_, d.bytes.size());
+      if (integrity::checksum(d.bytes) == d.sum) {
+        integrity::note_recovered(integrity::Stage::write_behind,
+                                  d.bytes.size());
+        d.pristine.clear();
+        d.pristine.shrink_to_fit();
+        return;
+      }
+    }
+  }
+  throw integrity::make_corrupt_error(
+      fault::Layer::stage, integrity::Stage::write_behind,
+      "file " + std::to_string(d.file.index) + " offset " +
+          std::to_string(d.ext.offset));
+}
+
 void StagingArea::wb_write(pfs::FileId file, std::uint64_t offset,
                            std::span<const std::byte> src) {
   COLCOM_EXPECT(file.valid());
@@ -271,22 +432,65 @@ void StagingArea::wb_write(pfs::FileId file, std::uint64_t offset,
   stage_instant(*comm_, "stage.wb_write");
 
   const pfs::ByteExtent ext{offset, src.size()};
+  // Custody transfer into the write-behind buffer: attach the checksum the
+  // drain verifies against, and roll the torn-flush chaos — a struck extent
+  // keeps a pristine shadow (bounded memory: clean extents carry no copy)
+  // as the re-stage source of verify-before-drain recovery.
+  const std::uint64_t wsum = integrity::checksum(src);
+  charge_checksum(*comm_, cfg_, src.size());
+  fault::Injector* fi = injector();
+  const bool torn =
+      fi != nullptr &&
+      fi->schedule().corrupt_extent(
+          1, static_cast<std::uint64_t>(file.index), offset, 0);
   if (cfg_.wb_collective_flush) {
-    wb_buffered_.push_back(
-        WbDirty{file, ext, std::vector<std::byte>(src.begin(), src.end())});
+    WbDirty d;
+    d.file = file;
+    d.ext = ext;
+    d.bytes.assign(src.begin(), src.end());
+    d.sum = wsum;
+    if (torn) {
+      d.pristine.assign(src.begin(), src.end());
+      flip_bytes(d.bytes,
+                 (fi->schedule().config().seed) ^ extent_key(file.index,
+                                                             offset));
+      d.torn_attempts = 1;
+      fi->note_corruption_injected("write_behind");
+    }
+    wb_buffered_.push_back(std::move(d));
     wb_buffered_bytes_ += src.size();
     // Over budget: write the oldest dirty extents through independently so
     // the buffer stays bounded even when the collective flush is far away.
     while (wb_buffered_bytes_ > cfg_.write_behind_budget_bytes &&
            wb_buffered_.size() > 1) {
       ++stats_.wb_stalls;
-      WbDirty d = std::move(wb_buffered_.front());
+      WbDirty old = std::move(wb_buffered_.front());
       wb_buffered_.pop_front();
-      wb_buffered_bytes_ -= d.bytes.size();
-      wb_issue(d.file, d.ext, d.bytes).wait();
+      wb_buffered_bytes_ -= old.bytes.size();
+      wb_verify(old);
+      wb_issue(old.file, old.ext, old.bytes).wait();
     }
   } else {
-    wb_inflight_.push_back(WbInflight{file, ext, wb_issue(file, ext, src)});
+    if (torn) {
+      // Async mode issues immediately, so the torn staged copy is detected
+      // (or, with verification off, silently persisted) right here.
+      WbDirty d;
+      d.file = file;
+      d.ext = ext;
+      d.bytes.assign(src.begin(), src.end());
+      d.sum = wsum;
+      d.pristine.assign(src.begin(), src.end());
+      flip_bytes(d.bytes,
+                 (fi->schedule().config().seed) ^ extent_key(file.index,
+                                                             offset));
+      d.torn_attempts = 1;
+      fi->note_corruption_injected("write_behind");
+      wb_verify(d);
+      wb_inflight_.push_back(
+          WbInflight{file, ext, wb_issue(file, ext, d.bytes)});
+    } else {
+      wb_inflight_.push_back(WbInflight{file, ext, wb_issue(file, ext, src)});
+    }
     wb_inflight_bytes_ += src.size();
     // Bounded dirty budget: block on the oldest outstanding write.
     while (wb_inflight_bytes_ > cfg_.write_behind_budget_bytes &&
@@ -311,6 +515,7 @@ double StagingArea::wb_flush() {
     WbDirty d = std::move(wb_buffered_.front());
     wb_buffered_.pop_front();
     wb_buffered_bytes_ -= d.bytes.size();
+    wb_verify(d);
     wb_issue(d.file, d.ext, d.bytes).wait();
   }
   ++stats_.wb_flushes;
@@ -347,6 +552,10 @@ romio::CollectiveStats StagingArea::wb_flush_collective(
       ++it;
     }
   }
+  // Verify every extent before it leaves our custody — torn staged copies
+  // are re-staged from their pristine shadow here, ahead of the newest-wins
+  // coalescing that would smear corrupt bytes across merged extents.
+  for (WbDirty& d : mine) wb_verify(d);
   // Coalesce newest-wins into sorted, non-overlapping extents: staged
   // writes may duplicate or overlap (e.g. persist_checkpoint to the same
   // slot twice between flushes), while FlatRequest requires disjoint
@@ -574,6 +783,10 @@ StagedReader::Chunk StagedReader::take() {
     // Burst-buffer read: charged at bb bandwidth instead of PFS service.
     comm.overhead(static_cast<double>(pfs::total_bytes(f.entry->extents)) /
                   area_->cfg_.bb_bw);
+    // Point of use: bit-rot chaos gets its shot at the resident bytes, then
+    // verification against the insert-time checksum (throws data_corrupt on
+    // recovery-budget exhaustion — after unpinning and dooming the entry).
+    verify_hit(*f.entry, out);
     held_entry_ = f.entry;
     out.data = std::span<std::byte>(f.entry->bytes);
     out.extents = std::span<const pfs::ByteExtent>(f.entry->extents);
@@ -634,10 +847,70 @@ std::unique_ptr<ChunkSource> StagedReader::aux() {
                                         chaos_);
 }
 
+void StagedReader::verify_hit(ChunkCache::Entry& e, SourceChunk& out) {
+  fault::Injector* fi = area_->injector();
+  const std::uint64_t key = extent_key(e.key.file, e.key.offset);
+  const std::uint64_t fseed =
+      (fi != nullptr ? fi->schedule().config().seed : 0) ^ key;
+  if (fi != nullptr &&
+      fi->schedule().corrupt_extent(0,
+                                    static_cast<std::uint64_t>(e.key.file),
+                                    e.key.offset, e.rot_attempts)) {
+    ++e.rot_attempts;
+    rot_entry(e, fseed);
+    fi->note_corruption_injected("cache");
+  }
+  const StageConfig& cfg = area_->cfg_;
+  if (!integrity::should_verify(cfg.verify, key)) return;
+  mpi::Comm& comm = *area_->comm_;
+  StageStats& st = area_->stats_;
+  integrity::note_verified(integrity::Stage::cache);
+  charge_checksum(comm, cfg, e.bytes.size());
+  if (integrity::checksum(e.bytes) == e.sum) return;
+  integrity::note_detected(integrity::Stage::cache);
+  for (int r = 0; r < cfg.verify_recovery_budget; ++r) {
+    // Bounded re-fetch: re-read the entry's filled extents from the PFS
+    // (charged there, like any demand read) straight into the window
+    // buffer, so a recovered hit is bit-identical to a fresh read.
+    std::uint64_t n = 0;
+    for (const pfs::ByteExtent& x : e.extents) {
+      fs_->read(file_, x.offset, entry_extent_span(e, x));
+      n += x.length;
+    }
+    out.bytes_read += n;
+    st.read_bytes += n;
+    if (fi != nullptr &&
+        fi->schedule().corrupt_extent(0,
+                                      static_cast<std::uint64_t>(e.key.file),
+                                      e.key.offset, e.rot_attempts)) {
+      ++e.rot_attempts;
+      rot_entry(e, fseed);
+      fi->note_corruption_injected("cache");
+    }
+    charge_checksum(comm, cfg, e.bytes.size());
+    if (integrity::checksum(e.bytes) == e.sum) {
+      integrity::note_recovered(integrity::Stage::cache, n);
+      return;
+    }
+  }
+  // Unrecoverable garbage: doom the entry so no future lookup can hit it,
+  // hand back our pin (erasing it), and surface the structured failure.
+  e.doomed = true;
+  area_->cache_.unpin(e, st);
+  throw integrity::make_corrupt_error(
+      fault::Layer::stage, integrity::Stage::cache,
+      "file " + std::to_string(e.key.file) + " offset " +
+          std::to_string(e.key.offset));
+}
+
 void StagedReader::release() {
   COLCOM_EXPECT_MSG(holding_, "release() without take()");
   holding_ = false;
   if (held_entry_ != nullptr) {
+    // The consumer may have repaired extents in place (core chunk
+    // verification against the pristine store); hand-back is a custody
+    // transfer, so re-bless the checksum over what is actually resident.
+    held_entry_->sum = integrity::checksum(held_entry_->bytes);
     area_->cache_.unpin(*held_entry_, area_->stats_);
     held_entry_ = nullptr;
     area_->sample_occupancy();

@@ -34,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "integrity/integrity.hpp"
 #include "mpi/comm.hpp"
 #include "pfs/extent.hpp"
 #include "pfs/pfs.hpp"
@@ -78,6 +79,20 @@ struct StageConfig {
   /// communicators should carry distinct contexts so the checker can tell
   /// a flush of one from a flush of the other.
   int check_ctx = 0;
+  /// Integrity policy (colcom::integrity): staged bytes are checksummed at
+  /// custody transfer (cache insert, wb_write) and verified at point of use
+  /// (cache hit serve, write-behind drain). `always` by default — a flipped
+  /// bit becomes a structured event, never a silently wrong answer.
+  integrity::VerifyMode verify = integrity::VerifyMode::always;
+  /// Bounded recovery: re-fetch (cache) / re-stage (write-behind) attempts
+  /// a detected corruption may consume before it surfaces as
+  /// fault::Error{data_corrupt} naming the custody stage.
+  int verify_recovery_budget = 3;
+  /// Virtual-time cost of checksum computation, charged per verified byte
+  /// when > 0 (bytes/s). 0 keeps verification free in virtual time so
+  /// default-on integrity does not shift existing schedules; the
+  /// bench/ext_integrity overhead study charges a realistic rate.
+  double checksum_bw = 0;
 };
 
 /// Counters of one staging area, mirrored into stage.* trace metrics.
@@ -140,6 +155,13 @@ class ChunkCache {
     std::uint64_t lru = 0;
     bool doomed = false;  ///< invalidated while pinned; erased on unpin
     int owner = 0;  ///< tenant whose query populated the entry (svc sharing)
+    /// Custody checksum over the whole window buffer, attached at insert
+    /// and verified on every hit serve / scrubber pass (colcom::integrity).
+    std::uint64_t sum = 0;
+    /// Bit-rot chaos attempt cursor (fault::ChaosConfig::cache_rot_prob):
+    /// bounds how many consecutive verifications of this entry see injected
+    /// rot before the bytes come back clean.
+    int rot_attempts = 0;
   };
 
   /// Lookup; bumps the LRU clock. Doomed entries never match.
@@ -174,6 +196,14 @@ class ChunkCache {
                          StageStats& stats);
 
   void erase(const ChunkKey& k);
+
+  /// Visits every entry (live and doomed) — the scrubber's iteration seam.
+  /// The callback must not insert or erase.
+  template <class F>
+  void for_each_entry(F&& f) {
+    for (auto& [k, e] : map_) f(*e);
+  }
+
   /// Bytes of live (non-doomed) entries of `file` — the residency score the
   /// staging-aware aggregator placement ranks candidates by.
   std::uint64_t file_bytes(int file) const;
@@ -298,6 +328,26 @@ class StagingArea {
     return wb_inflight_bytes_ + wb_buffered_bytes_;
   }
 
+  // --- integrity scrubber ---
+
+  /// One synchronous scrub pass over every resident cached extent: verify
+  /// each live entry against its custody checksum, repair rot by re-reading
+  /// the entry's filled extents from the PFS (bounded by
+  /// verify_recovery_budget; an unrepairable entry is dropped and counted
+  /// as an integrity failure — a future consumer re-fetches, so nothing is
+  /// ever served silently wrong). Returns repairs made. Callable directly
+  /// (tests) or driven by the background fiber below.
+  std::size_t scrub_once();
+
+  /// Spawns the background scrubber fiber: one scrub_once() every
+  /// `period_s` of virtual time until stop_scrubber() (or destruction)
+  /// and, when `max_passes` > 0, at most that many passes. NOTE: an
+  /// unbounded scrubber keeps the event queue non-empty — call
+  /// stop_scrubber() (or bound the passes) before expecting
+  /// Engine::run() to drain.
+  void start_scrubber(double period_s, int max_passes = 0);
+  void stop_scrubber();
+
  private:
   friend class StagedReader;
 
@@ -314,11 +364,23 @@ class StagingArea {
     pfs::FileId file;
     pfs::ByteExtent ext;
     std::vector<std::byte> bytes;
+    std::uint64_t sum = 0;  ///< custody checksum from wb_write
+    /// Pristine shadow, stashed only when torn-flush chaos struck this
+    /// extent (bounded memory: clean extents carry no copy) — the re-stage
+    /// source of verify-before-drain recovery.
+    std::vector<std::byte> pristine;
+    int torn_attempts = 0;  ///< chaos attempt cursor (wb_torn_prob)
   };
 
   /// Writes one dirty extent independently with a bounded fault fallback.
   des::Completion wb_issue(const pfs::FileId& file, const pfs::ByteExtent& e,
                            std::span<const std::byte> src);
+
+  /// Verify-before-drain: checks `d` against its custody checksum and
+  /// re-stages from the pristine shadow (charged at bb bandwidth) on
+  /// mismatch, bounded by verify_recovery_budget; throws
+  /// fault::Error{data_corrupt} naming stage.write_behind on exhaustion.
+  void wb_verify(WbDirty& d);
 
   mpi::Comm* comm_;
   StageConfig cfg_;
@@ -340,6 +402,10 @@ class StagingArea {
   /// (in a range disjoint from the runtime's crash-watch epochs).
   int wb_flush_seq_ = 0;
   std::vector<StagedReader*> readers_;  ///< live readers (invalidation hook)
+  /// Scrubber stop flag, shared with the fiber so destruction while a wake
+  /// is pending stays safe (the fiber checks the flag before touching the
+  /// area).
+  std::shared_ptr<bool> scrub_stop_;
 };
 
 /// One acquired chunk, however it was sourced (cache, PFS, or stream).
@@ -451,6 +517,13 @@ class StagedReader : public ChunkSource {
   };
 
   void issue_demand(Fetch& f);
+
+  /// Point-of-use verification of a cache hit: inject bit-rot chaos if the
+  /// entry's turn came, verify against the insert-time checksum, and
+  /// recover by re-reading the entry's filled extents from the PFS (bounded
+  /// by verify_recovery_budget). Exhaustion dooms the entry and throws
+  /// fault::Error{data_corrupt} naming stage.cache.
+  void verify_hit(ChunkCache::Entry& e, SourceChunk& out);
 
   StagingArea* area_;
   pfs::Pfs* fs_;

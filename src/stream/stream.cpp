@@ -7,6 +7,7 @@
 #include "check/check.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault.hpp"
+#include "integrity/integrity.hpp"
 #include "mpi/runtime.hpp"
 #include "romio/plan.hpp"
 #include "trace/trace.hpp"
@@ -152,15 +153,39 @@ void Topic::publish(mpi::Comm& comm, std::uint64_t step,
   s.filled += bytes.size();
   COLCOM_EXPECT_MSG(s.filled <= layout_.step_bytes,
                     "producers published overlapping slab rows");
-  s.contribs.push_back(Contribution{comm.rank(), step_offset, bytes.size(),
-                                    area});
+  const std::uint64_t file_off =
+      layout_.base + step * layout_.step_bytes + step_offset;
+  // Custody transfer: the payload's checksum rides with the contribution
+  // and is verified at the first consumer copy (colcom::integrity). While
+  // corruption chaos is armed the producer keeps a pristine shadow — the
+  // re-request source — and the step-buffer copy may be flipped right
+  // here, before any verification, so detection runs under real damage.
+  Contribution ctb;
+  ctb.rank = comm.rank();
+  ctb.offset = step_offset;
+  ctb.length = bytes.size();
+  ctb.area = area;
+  ctb.sum = integrity::checksum(bytes);
+  fault::Injector* fi = comm.runtime().chaos();
+  if (fi != nullptr && fi->schedule().has_corruption()) {
+    ctb.pristine.assign(bytes.begin(), bytes.end());
+    if (fi->schedule().corrupt_extent(
+            2, static_cast<std::uint64_t>(layout_.file.index), file_off, 0)) {
+      fault::chaos_flip(
+          std::span<std::byte>(s.buf.data() + step_offset, bytes.size()),
+          fi->schedule().config().seed ^
+              (static_cast<std::uint64_t>(layout_.file.index) *
+                   0x9e3779b97f4a7c15ull +
+               file_off));
+      fi->note_corruption_injected("stream");
+    }
+  }
+  s.contribs.push_back(std::move(ctb));
   if (area != nullptr) area->stream_pin(bytes.size());
   stats_.bytes_published += bytes.size();
   TRACE_COUNT(comm.engine(), trace::Track::stage, "stream.bytes_published",
               bytes.size());
 
-  const std::uint64_t file_off =
-      layout_.base + step * layout_.step_bytes + step_offset;
   if (check::Checker* chk = check::Checker::current(); chk != nullptr) {
     chk->on_stage_write(comm.rank(), layout_.file.index, file_off,
                         bytes.size(), ctx_of(step));
@@ -281,6 +306,46 @@ void Topic::await(mpi::Comm& comm, std::uint64_t lo, std::uint64_t hi) {
   }
 }
 
+void Topic::verify_contribs(mpi::Comm& comm, std::uint64_t step, Step& s) {
+  fault::Injector* fi = comm.runtime().chaos();
+  for (Contribution& c : s.contribs) {
+    if (c.verified) continue;
+    c.verified = true;
+    integrity::note_verified(integrity::Stage::stream_payload);
+    const std::span<std::byte> have(s.buf.data() + c.offset, c.length);
+    if (integrity::checksum(have) == c.sum) {
+      c.pristine.clear();
+      c.pristine.shrink_to_fit();
+      continue;
+    }
+    // The served buffer rotted after publish: one detection episode,
+    // closed by the producer re-request (recovered) or by both copies
+    // being bad (failed, structured).
+    integrity::note_detected(integrity::Stage::stream_payload);
+    const std::uint64_t file_off =
+        layout_.base + step * layout_.step_bytes + c.offset;
+    const bool producer_bad =
+        c.pristine.empty() ||
+        (fi != nullptr &&
+         fi->schedule().corrupt_extent(
+             2, static_cast<std::uint64_t>(layout_.file.index), file_off, 1));
+    if (!producer_bad && integrity::checksum(c.pristine) == c.sum) {
+      // Re-request: copy the producer's shadow back over the step buffer
+      // at handoff bandwidth — bounded, bit-identical recovery.
+      std::memcpy(have.data(), c.pristine.data(), c.length);
+      comm.overhead(static_cast<double>(c.length) / cfg_->bb_bw);
+      integrity::note_recovered(integrity::Stage::stream_payload, c.length);
+      c.pristine.clear();
+      c.pristine.shrink_to_fit();
+      continue;
+    }
+    throw integrity::make_corrupt_error(
+        fault::Layer::stream, integrity::Stage::stream_payload,
+        name_ + " step " + std::to_string(step) + " offset " +
+            std::to_string(c.offset) + ": producer copy also corrupt");
+  }
+}
+
 void Topic::copy(mpi::Comm& comm, std::uint64_t off,
                  std::span<std::byte> dst) {
   check::Checker* chk = check::Checker::current();
@@ -294,6 +359,10 @@ void Topic::copy(mpi::Comm& comm, std::uint64_t off,
     auto it = steps_.find(s);
     COLCOM_EXPECT_MSG(it != steps_.end() && it->second.complete,
                       "copy from an incomplete step (prepare() not awaited?)");
+    // Verify-on-first-use: every contribution of the step is checked the
+    // first time any consumer copy touches the step, so a corrupt payload
+    // never crosses this custody boundary unverified.
+    verify_contribs(comm, s, it->second);
     if (chk != nullptr) {
       chk->on_stage_read(comm.rank(), layout_.file.index, off + pos, n,
                          ctx_of(s));

@@ -169,6 +169,11 @@ class Topic {
   void await(mpi::Comm& comm, std::uint64_t lo, std::uint64_t hi);
   /// Copies file-addressed bytes [off, off + dst.size()) out of complete
   /// step buffers (CHK-IO read markers; contract error if not complete).
+  /// Every contribution is verified against its publish-time checksum the
+  /// first time a copy touches it; a mismatch re-requests the bytes from
+  /// the producer's unretired shadow (charged at handoff bandwidth) and
+  /// throws fault::Error{stream, data_corrupt} naming the stream-payload
+  /// custody stage when the producer's copy is bad too.
   void copy(mpi::Comm& comm, std::uint64_t off, std::span<std::byte> dst);
   /// `r` fully consumed file bytes below `hi`; retires steps every live
   /// subscriber consumed, freeing buffers and waking stalled producers.
@@ -182,6 +187,15 @@ class Topic {
     std::uint64_t offset = 0;  ///< within the step slab
     std::uint64_t length = 0;
     stage::StagingArea* area = nullptr;  ///< pin accounting, may be null
+    /// colcom::integrity custody checksum of the published bytes, verified
+    /// at the first consumer copy that touches this contribution.
+    std::uint64_t sum = 0;
+    bool verified = false;
+    /// Producer's unretired shadow of the published bytes — the re-request
+    /// source when the step buffer fails verification. Stashed only while
+    /// corruption chaos is armed (no chaos, no way for the buffer to rot,
+    /// no reason to double the resident footprint); freed on verify.
+    std::vector<std::byte> pristine;
   };
   struct Step {
     std::vector<std::byte> buf;
@@ -197,6 +211,8 @@ class Topic {
   /// First step at/after retired_upto_ that is not complete (n_steps when
   /// everything published). Completion is monotonic in step order.
   std::uint64_t first_incomplete() const;
+  /// Verify-on-first-use of a step's contributions (see copy()).
+  void verify_contribs(mpi::Comm& comm, std::uint64_t step, Step& s);
   void advance_retirement(mpi::Comm* comm);
   void wake_all(std::deque<int>& waiters);
 

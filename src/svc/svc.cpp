@@ -55,6 +55,7 @@ constexpr std::uint64_t kOutcomeNonRetryable = 2;  ///< ... fatally
 constexpr std::uint64_t kOutcomeRootDead = 4;      ///< root_failed verdict
 constexpr std::uint64_t kOutcomeUnrecoverable = 8; ///< unrecoverable verdict
 constexpr std::uint64_t kOutcomeProducerDead = 16; ///< stream producer died
+constexpr std::uint64_t kOutcomeDataCorrupt = 32;  ///< integrity gave up
 
 std::uint64_t to_nanos(double s) {
   return static_cast<std::uint64_t>(s * 1e9);
@@ -111,6 +112,7 @@ const char* to_string(FailReason r) {
     case FailReason::root_failed: return "root_failed";
     case FailReason::unrecoverable: return "unrecoverable";
     case FailReason::producer_failed: return "producer_failed";
+    case FailReason::data_corrupt: return "data_corrupt";
   }
   return "?";
 }
@@ -208,13 +210,59 @@ JobId ServiceContext::submit(JobSpec spec) {
       if (v.dead_bit(r)) any_dead = true;
     }
     if (any_dead) {
+      // Re-plan on the shrunken world instead of failing the job: the
+      // verdict names the same survivor set on every rank, so the survivors
+      // replicate their access metadata over a death-aware Group (flat
+      // bcasts only touch agreed-alive members) and build the plan locally
+      // from it — build_plan's offset-list exchange is not death-aware and
+      // is never entered. Staging-aware placement is skipped on this path
+      // (its residency allgather is a full-world collective); the replanned
+      // job just takes the spaced default placement over the survivors.
+      std::vector<int> survivors;
+      for (int r = 0; r < comm_->size(); ++r) {
+        if (!v.dead_bit(r)) survivors.push_back(static_cast<int>(r));
+      }
+      const ncio::Dataset& sds = *j->ds;
+      const auto sreq =
+          sds.slab_request(spec.io.var, spec.io.start, spec.io.count);
+      const romio::Hints shints = core::detail::cc_hints(
+          spec.io, mpi::prim_size(sds.info(spec.io.var).prim));
+      mpi::ft::Group g(*comm_, survivors, epoch_cursor_++);
+      std::vector<std::byte> wire = sreq.serialize();
+      std::vector<romio::FlatRequest> all(
+          static_cast<std::size_t>(comm_->size()));
+      for (int i = 0; i < g.size(); ++i) {
+        std::uint64_t len = wire.size();
+        g.bcast(std::span<std::byte>(reinterpret_cast<std::byte*>(&len),
+                                     sizeof(len)),
+                i);
+        std::vector<std::byte> buf = (g.index() == i)
+                                         ? wire
+                                         : std::vector<std::byte>(len);
+        if (len > 0) g.bcast(buf, i);
+        all[static_cast<std::size_t>(g.members()[static_cast<std::size_t>(
+            i)])] = romio::FlatRequest::deserialize(buf);
+      }
+      const double rt0 = comm_->wtime();
+      j->plan = romio::build_plan_local(all, survivors, comm_->rank(),
+                                        comm_->runtime().n_nodes(), shints);
+      j->cc.plan_s = comm_->wtime() - rt0;
       j->spec = std::move(spec);
+      if (j->spec.deadline_s > 0) {
+        deadline_mode_ = true;
+        sync_clock();
+        j->deadline_abs = agreed_now_ + j->spec.deadline_s;
+      }
       const JobId id = j->id;
-      fail_job(*j, FailReason::unrecoverable);
+      queue_.push_back(id);
       jobs_.push_back(std::move(j));
       ++stats_.submitted;
+      ++stats_.submit_replans;
       bump_metric("svc.jobs_submitted");
-      audit_decision(comm_->rank(), "svc.submit_dead", {{"job", id}});
+      bump_metric("svc.submit_replans");
+      audit_decision(comm_->rank(), "svc.submit_replan",
+                     {{"job", id},
+                      {"alive", static_cast<long long>(survivors.size())}});
       return id;
     }
   }
@@ -558,6 +606,13 @@ void ServiceContext::run_slice(Job& j) {
           why = FailReason::producer_failed;
           retryable = false;
           break;
+        case fault::Kind::data_corrupt:
+          // The integrity layer exhausted its recovery budget: the bytes
+          // are gone at every custody stage, so a resubmit would re-read
+          // the same corrupt extents. Surface, never retry.
+          why = FailReason::data_corrupt;
+          retryable = false;
+          break;
         default:
           // slice_aborted (and any other recoverable fault): resubmit.
           break;
@@ -576,6 +631,7 @@ void ServiceContext::run_slice(Job& j) {
       if (why == FailReason::root_failed) m[0] |= kOutcomeRootDead;
       if (why == FailReason::unrecoverable) m[0] |= kOutcomeUnrecoverable;
       if (why == FailReason::producer_failed) m[0] |= kOutcomeProducerDead;
+      if (why == FailReason::data_corrupt) m[0] |= kOutcomeDataCorrupt;
     }
     m[1 + static_cast<std::size_t>(comm_->rank())] = to_nanos(comm_->wtime());
     const mpi::ft::Verdict v = mpi::ft::agree(*comm_, m, outcome_epoch);
@@ -597,6 +653,8 @@ void ServiceContext::run_slice(Job& j) {
         why = FailReason::unrecoverable;
       } else if ((v.mask[0] & kOutcomeProducerDead) != 0) {
         why = FailReason::producer_failed;
+      } else if ((v.mask[0] & kOutcomeDataCorrupt) != 0) {
+        why = FailReason::data_corrupt;
       }
       j.mid = j.mid_backup;
       handle_slice_failure(j, why, retryable);

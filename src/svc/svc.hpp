@@ -180,6 +180,7 @@ enum class FailReason : std::uint8_t {
   root_failed,   ///< the reduction root's process died (not retryable)
   unrecoverable, ///< no survivor set can finish the plan (not retryable)
   producer_failed, ///< the streaming producer died mid-job (not retryable)
+  data_corrupt,  ///< integrity recovery budget exhausted (not retryable)
 };
 
 const char* to_string(FailReason r);
@@ -206,6 +207,9 @@ struct ServiceStats {
   std::uint64_t shed = 0;       ///< jobs rejected by admission control
   std::uint64_t retries = 0;    ///< slice attempts resubmitted from a mid
   std::uint64_t recovered = 0;  ///< jobs that finished after >= 1 resubmit
+  /// Submits that found a member dead and re-planned on the shrunken world
+  /// (message-free build over Group-replicated access metadata).
+  std::uint64_t submit_replans = 0;
 };
 
 /// The service frontend. Owns the dataset registry, the shared staging

@@ -13,6 +13,7 @@
 #include "core/iterative.hpp"
 #include "core/runtime.hpp"
 #include "fault/chaos.hpp"
+#include "integrity/integrity.hpp"
 #include "mpi/runtime.hpp"
 #include "ncio/dataset.hpp"
 #include "pfs/store.hpp"
@@ -628,12 +629,27 @@ TEST(CheckIo, CheckpointLoadRacingWriteBehindIsFlagged) {
   rt.run([&](mpi::Comm& c) {
     if (c.rank() != 0) return;
     stage::StagingArea sa(c, {});
-    // A length-prefixed checkpoint image staged through the write-behind...
-    std::vector<std::byte> image(8 + 32);
-    image[0] = static_cast<std::byte>(32);  // little-endian length prefix
+    // A validly framed checkpoint image staged through the write-behind:
+    // [len][payload][magic][seq][sum], so the load's trailer verification
+    // passes and the race is CHK-IO's to flag.
+    std::vector<std::byte> image(8 + 32 + 24);
+    const std::uint64_t len = 32;
+    std::memcpy(image.data(), &len, 8);
+    const std::uint64_t sum = integrity::checksum(
+        std::span<const std::byte>(image.data() + 8, 32));
+    const std::uint64_t seq = 1;
+    std::memcpy(image.data() + 40, &core::IterativeComputer::kCheckpointMagic,
+                8);
+    std::memcpy(image.data() + 48, &seq, 8);
+    std::memcpy(image.data() + 56, &sum, 8);
     sa.wb_write(file, 0, image);
     // ...and loaded back with no flush epoch in between races the drain.
-    (void)core::IterativeComputer::load_checkpoint(c, file, 0);
+    // The load may observe pre-write bytes and (correctly) refuse them;
+    // either way CHK-IO must flag the overlap.
+    try {
+      (void)core::IterativeComputer::load_checkpoint(c, file, 0);
+    } catch (const fault::Error&) {
+    }
     sa.wb_flush();
   });
   EXPECT_GE(cs.checker().count(check::Rule::io_overlap), 1u);
